@@ -1,0 +1,48 @@
+//! Clustering cost: the greedy §7.2 heuristic vs the exhaustive optimum,
+//! over growing pool sizes — relevant because "the problem of determining
+//! the optimal set of nodes is computationally hard … which is especially
+//! a cause for concern for runtime migration".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remos_fx::{exhaustive_cluster, greedy_cluster};
+
+#[allow(clippy::needless_range_loop)]
+fn matrix(n: usize) -> Vec<Vec<f64>> {
+    let mut m = vec![vec![0.0; n]; n];
+    let mut state = 42u64;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / (1u64 << 31) as f64
+    };
+    for i in 0..n {
+        for j in 0..i {
+            let d = 0.1 + next();
+            m[i][j] = d;
+            m[j][i] = d;
+        }
+    }
+    m
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("greedy");
+    for &n in &[8usize, 32, 128, 512] {
+        let m = matrix(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| greedy_cluster(m, 0, n / 2))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("exhaustive");
+    for &n in &[8usize, 12, 16] {
+        let m = matrix(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| exhaustive_cluster(m, 0, n / 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

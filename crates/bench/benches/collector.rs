@@ -1,0 +1,41 @@
+//! Collector costs: SNMP topology discovery and one counter poll over the
+//! CMU testbed (11 agents), in host wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remos_apps::testbed::cmu_testbed;
+use remos_core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
+use remos_core::collector::Collector;
+use remos_net::{SimDuration, Simulator};
+use remos_snmp::sim::{register_all_agents, share};
+use remos_snmp::SimTransport;
+use std::sync::Arc;
+
+fn stack() -> (SnmpCollector<SimTransport>, remos_snmp::sim::SharedSim) {
+    let sim = share(Simulator::new(cmu_testbed()).expect("testbed"));
+    let transport = Arc::new(SimTransport::new());
+    let agents = register_all_agents(&transport, &sim, "public");
+    (
+        SnmpCollector::new(transport, agents, SnmpCollectorConfig::default()),
+        sim,
+    )
+}
+
+fn bench_collector(c: &mut Criterion) {
+    c.bench_function("snmp/discover_testbed", |b| {
+        let (mut col, _sim) = stack();
+        b.iter(|| col.refresh_topology().unwrap())
+    });
+
+    c.bench_function("snmp/poll_testbed", |b| {
+        let (mut col, sim) = stack();
+        col.refresh_topology().unwrap();
+        col.poll().unwrap();
+        b.iter(|| {
+            sim.lock().run_for(SimDuration::from_millis(100)).unwrap();
+            col.poll().unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

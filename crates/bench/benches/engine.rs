@@ -1,0 +1,56 @@
+//! Fluid-engine throughput: simulated seconds per host second under churn
+//! (Poisson transfer arrivals), and flow start/complete cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remos_apps::testbed::random_network;
+use remos_net::flow::FlowParams;
+use remos_net::traffic::PoissonTransfers;
+use remos_net::{SimDuration, SimTime, Simulator};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine/bulk_transfer_roundtrip", |b| {
+        let topo = random_network(8, 3, 1, 1).expect("net");
+        let mut sim = Simulator::new(topo).expect("sim");
+        let t = sim.topology_arc();
+        let h0 = t.lookup("h0").expect("h0");
+        let h1 = t.lookup("h1").expect("h1");
+        b.iter(|| {
+            let f = sim.start_flow(FlowParams::bulk(h0, h1, 1_000_000)).unwrap();
+            sim.run_until_flows_complete(&[f]).unwrap()
+        })
+    });
+
+    let mut g = c.benchmark_group("engine/churn_60s");
+    g.sample_size(20); // each iteration simulates a full minute
+    for &hosts in &[8usize, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| {
+                let topo = random_network(hosts, hosts / 4, 2, 3).expect("net");
+                let mut sim = Simulator::new(topo).expect("sim");
+                let t = sim.topology_arc();
+                // A few competing arrival processes.
+                for k in 0..4 {
+                    let src = t.lookup(&format!("h{}", k)).unwrap();
+                    let dst = t.lookup(&format!("h{}", hosts - 1 - k)).unwrap();
+                    sim.add_process(
+                        SimTime::ZERO,
+                        Box::new(PoissonTransfers::new(
+                            src,
+                            dst,
+                            SimDuration::from_millis(50),
+                            500_000.0,
+                            None,
+                            k as u64,
+                        )),
+                    );
+                }
+                sim.run_until(SimTime::from_secs(60)).unwrap();
+                sim.take_finished().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

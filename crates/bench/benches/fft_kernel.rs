@@ -1,0 +1,46 @@
+//! The real FFT kernel: sequential vs rayon 2-D transforms — grounding
+//! the flop model the program model uses, and showing the shared-memory
+//! speedup the hpc-parallel guides center on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remos_apps::fft::{fft, fft2d, fft2d_parallel, Complex};
+
+fn input(n: usize) -> Vec<Complex> {
+    (0..n * n)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    c.bench_function("fft1d/1024", |b| {
+        let row: Vec<Complex> = input(32); // 1024 points
+        b.iter(|| {
+            let mut d = row.clone();
+            fft(&mut d, false);
+            d
+        })
+    });
+
+    let mut g = c.benchmark_group("fft2d");
+    for &n in &[128usize, 256, 512] {
+        let data = input(n);
+        g.bench_with_input(BenchmarkId::new("seq", n), &data, |b, data| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft2d(&mut d, n, false);
+                d
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &data, |b, data| {
+            b.iter(|| {
+                let mut d = data.clone();
+                fft2d_parallel(&mut d, n, false);
+                d
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Max-min fair solver scaling: flows × resources.
+//!
+//! The solver runs at every flow arrival/departure in the engine and once
+//! per history sample in every flow query, so its cost bounds both
+//! simulation throughput and Modeler query latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use remos_net::maxmin::{solve, FlowSpec};
+
+fn problem(n_resources: usize, n_flows: usize) -> (Vec<f64>, Vec<FlowSpec>) {
+    let capacities: Vec<f64> = (0..n_resources)
+        .map(|i| 1e8 * (1.0 + (i % 7) as f64 / 7.0))
+        .collect();
+    let flows = (0..n_flows)
+        .map(|i| {
+            // Deterministic pseudo-random 1-4 hop paths.
+            let len = 1 + (i * 2654435761) % 4;
+            let resources: Vec<usize> =
+                (0..len).map(|k| (i * 31 + k * 17) % n_resources).collect();
+            FlowSpec {
+                weight: 1.0 + (i % 3) as f64,
+                cap: if i % 4 == 0 { Some(5e7) } else { None },
+                resources,
+            }
+        })
+        .collect();
+    (capacities, flows)
+}
+
+fn bench_maxmin(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maxmin");
+    for &(r, f) in &[(10usize, 10usize), (20, 100), (100, 1000), (500, 5000)] {
+        let (caps, flows) = problem(r, f);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}res_{f}flows")),
+            &(caps, flows),
+            |b, (caps, flows)| b.iter(|| solve(caps, flows)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_maxmin);
+criterion_main!(benches);

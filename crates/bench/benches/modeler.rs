@@ -1,0 +1,78 @@
+//! Modeler query latency — the paper's overhead claim: "the cost that an
+//! application pays in terms of runtime overhead is low and directly
+//! related to the depth and frequency of its requests".
+//!
+//! Measured per wall-clock (host) time: one `get_graph` and one
+//! `flow_info` over pre-collected history, on the CMU testbed and on a
+//! larger random network.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remos_apps::testbed::{cmu_testbed, random_network, TESTBED_HOSTS};
+use remos_core::collector::oracle::OracleCollector;
+use remos_core::modeler::Modeler;
+use remos_core::{FlowInfoRequest, Timeframe};
+use remos_net::{SimDuration, Simulator};
+use remos_snmp::sim::share;
+
+fn primed_collector(topo: remos_net::Topology, polls: usize) -> OracleCollector {
+    use remos_core::collector::Collector;
+    let sim = share(Simulator::new(topo).expect("topology"));
+    let mut col = OracleCollector::new(sim.clone());
+    for _ in 0..polls {
+        sim.lock().run_for(SimDuration::from_millis(250)).expect("advance");
+        col.poll().expect("poll");
+    }
+    col
+}
+
+fn bench_modeler(c: &mut Criterion) {
+    let modeler = Modeler::default();
+
+    let col = primed_collector(cmu_testbed(), 16);
+    let names: Vec<String> = TESTBED_HOSTS.iter().map(|s| s.to_string()).collect();
+    c.bench_function("get_graph/testbed8", |b| {
+        b.iter(|| modeler.get_graph(&col, &names, Timeframe::Current).unwrap())
+    });
+    c.bench_function("get_graph/testbed8_window", |b| {
+        b.iter(|| {
+            modeler
+                .get_graph(&col, &names, Timeframe::Window(SimDuration::from_secs(3)))
+                .unwrap()
+        })
+    });
+
+    let req = FlowInfoRequest::new()
+        .fixed("m-1", "m-5", 1e6)
+        .variable("m-2", "m-6", 1.0)
+        .variable("m-3", "m-7", 2.0)
+        .independent("m-4", "m-8");
+    c.bench_function("flow_info/testbed8_4flows", |b| {
+        b.iter(|| modeler.flow_info(&col, &req, Timeframe::Current).unwrap())
+    });
+
+    // Larger network: 60 hosts, 12 routers.
+    let big = random_network(60, 12, 8, 7).expect("random network");
+    let col_big = primed_collector(big, 8);
+    let big_names: Vec<String> = (0..60).map(|i| format!("h{i}")).collect();
+    c.bench_function("get_graph/random60", |b| {
+        b.iter(|| modeler.get_graph(&col_big, &big_names, Timeframe::Current).unwrap())
+    });
+
+    // Flow-query cost scaling with query size: 2, 8, 32 flows over the
+    // testbed ("the cost … is directly related to the depth of its
+    // requests").
+    for n_flows in [2usize, 8, 32] {
+        let mut req = FlowInfoRequest::new();
+        for k in 0..n_flows {
+            let src = format!("m-{}", k % 4 + 1);
+            let dst = format!("m-{}", k % 4 + 5);
+            req = req.variable(&src, &dst, 1.0 + k as f64);
+        }
+        c.bench_function(&format!("flow_info/testbed8_{n_flows}flows"), |b| {
+            b.iter(|| modeler.flow_info(&col, &req, Timeframe::Current).unwrap())
+        });
+    }
+}
+
+criterion_group!(benches, bench_modeler);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! SNMP codec and agent throughput: encode/decode of a bulk response and
+//! a full GETBULK walk through the in-process transport.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use remos_snmp::agent::{Agent, StaticMib};
+use remos_snmp::codec::{decode, encode};
+use remos_snmp::mib::{Mib, SERVICES_ROUTER};
+use remos_snmp::oid::well_known;
+use remos_snmp::transport::SimTransport;
+use remos_snmp::{Manager, Pdu, Value, VarBind};
+use std::sync::Arc;
+
+fn big_mib() -> Mib {
+    let mut m = Mib::new();
+    m.set_system_group("bench", "router", 0, SERVICES_ROUTER);
+    m.set_if_number(64);
+    for i in 1..=64 {
+        m.set_interface_row(i, &format!("if{i}"), 100_000_000, true, i * 1000, i * 2000);
+        m.set_neighbor_row(i, &format!("peer{i}"), 1);
+    }
+    m
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let req = Pdu::get_bulk("public", 7, vec![well_known::if_out_octets()], 64);
+    let bindings: Vec<VarBind> = (1..=64)
+        .map(|i| VarBind {
+            oid: well_known::if_out_octets().child([i]),
+            value: Value::Counter32(i * 1000),
+        })
+        .collect();
+    let resp = Pdu::response(&req, bindings);
+
+    c.bench_function("codec/encode_64row_response", |b| b.iter(|| encode(&resp)));
+    let wire = encode(&resp);
+    c.bench_function("codec/decode_64row_response", |b| {
+        b.iter(|| decode(wire.clone()).unwrap())
+    });
+
+    let transport = Arc::new(SimTransport::new());
+    transport.register(Agent::new("bench", "public", Box::new(StaticMib(big_mib()))));
+    let mgr = Manager::new(Arc::clone(&transport), "public");
+    c.bench_function("agent/bulk_walk_iftable_64", |b| {
+        b.iter(|| mgr.bulk_walk("bench", &well_known::interfaces()).unwrap())
+    });
+    c.bench_function("agent/get_single", |b| {
+        b.iter(|| mgr.get("bench", &well_known::sys_name()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

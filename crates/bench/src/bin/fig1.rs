@@ -1,0 +1,107 @@
+//! Figure 1 — "Remos graph representing the structure of a simple
+//! network": the logical-topology example with node internal bandwidth.
+//!
+//! The figure's two readings are exercised against the live system:
+//!
+//! * switches A/B with 100 Mbps internal bandwidth — "the links
+//!   connecting the compute nodes to the network nodes restrict
+//!   bandwidth, and all nodes can send and receive messages at up to
+//!   10 Mbps simultaneously";
+//! * switches with 10 Mbps internal bandwidth — "these two network nodes
+//!   are the bottleneck and the aggregate bandwidth of nodes 1-4 and 5-8
+//!   will be limited to 10 Mbps".
+//!
+//! Both claims are demonstrated with simultaneous flow queries (fast
+//! switches: every flow gets its full 10 Mbps; slow switches: four
+//! same-switch flows share 10 Mbps) and verified against the simulator's
+//! actual max-min allocation.
+
+use remos_core::collector::oracle::OracleCollector;
+use remos_core::collector::SimClock;
+use remos_core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos_apps::testbed::fig1_network;
+use remos_net::flow::FlowParams;
+use remos_net::{mbps, Simulator};
+use remos_snmp::sim::share;
+use std::sync::Arc;
+
+fn remos_over(internal_bw: Option<f64>) -> (Remos, remos_snmp::sim::SharedSim) {
+    let sim = share(Simulator::new(fig1_network(internal_bw)).expect("fig1 builds"));
+    // The oracle collector is used because switch internal bandwidth is
+    // not exposed through any MIB (see DESIGN.md).
+    let collector = OracleCollector::new(Arc::clone(&sim));
+    let remos = Remos::new(
+        Box::new(collector),
+        Box::new(SimClock(Arc::clone(&sim))),
+        RemosConfig::default(),
+    );
+    (remos, sim)
+}
+
+/// Four simultaneous same-switch variable flows: n1->n2, n2->n3, n3->n4,
+/// n4->n1 (all through switch A).
+fn four_flow_query() -> FlowInfoRequest {
+    FlowInfoRequest::new()
+        .variable("n1", "n2", 1.0)
+        .variable("n2", "n3", 1.0)
+        .variable("n3", "n4", 1.0)
+        .variable("n4", "n1", 1.0)
+}
+
+fn print_case(label: &str, internal_bw: Option<f64>) {
+    println!("-- {label} --");
+    let (mut remos, sim) = remos_over(internal_bw);
+
+    // The logical topology as an application sees it.
+    let nodes: Vec<String> = (1..=8).map(|i| format!("n{i}")).collect();
+    let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+    let g = remos.get_graph(&refs, Timeframe::Current).expect("graph query");
+    println!(
+        "  graph: {} nodes ({} hosts), {} links",
+        g.nodes.len(),
+        g.compute_names().len(),
+        g.links.len()
+    );
+    let n1 = g.index_of("n1").expect("n1");
+    let n5 = g.index_of("n5").expect("n5");
+    println!(
+        "  path n1 -> n5: avail {:.1} Mbps (per-pair view)",
+        g.path_avail_bw(n1, n5).expect("path") / 1e6
+    );
+
+    // Simultaneous flow query through switch A.
+    let resp = remos.flow_info(&four_flow_query(), Timeframe::Current).expect("flow query");
+    print!("  4 simultaneous A-switch flows:");
+    for grant in &resp.variable {
+        print!(
+            " {}->{}: {:.1} Mbps",
+            grant.endpoints.src,
+            grant.endpoints.dst,
+            grant.bandwidth.median / 1e6
+        );
+    }
+    println!();
+
+    // Ground truth from the simulator.
+    let mut s = sim.lock();
+    let topo = s.topology_arc();
+    let mut handles = Vec::new();
+    for (a, b) in [("n1", "n2"), ("n2", "n3"), ("n3", "n4"), ("n4", "n1")] {
+        let f = s
+            .start_flow(FlowParams::greedy(
+                topo.lookup(a).expect("host"),
+                topo.lookup(b).expect("host"),
+            ))
+            .expect("flow starts");
+        handles.push(f);
+    }
+    let total: f64 = handles.iter().map(|&h| s.flow_rate(h).expect("rate")).sum();
+    println!("  simulator ground truth: aggregate through A = {:.1} Mbps\n", total / 1e6);
+}
+
+fn main() {
+    println!("Figure 1: logical topology with switch internal bandwidth\n");
+    print_case("switches with 100 Mbps internal bandwidth (links limit)", Some(mbps(100.0)));
+    print_case("switches with 10 Mbps internal bandwidth (switches limit)", Some(mbps(10.0)));
+    print_case("switches with unbounded backplane", None);
+}

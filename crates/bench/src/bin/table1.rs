@@ -1,0 +1,59 @@
+//! Table 1 — "Performance of programs on nodes selected using Remos on
+//! our IP based testbed": node selection in a *static* (unloaded)
+//! environment.
+//!
+//! For each program/size, the program runs on the Remos-selected node set
+//! (greedy clustering from start node m-4, exactly §8.1's procedure) and
+//! on the same two "other representative node sets" the paper lists; the
+//! table reports execution times and the percent increase of each
+//! alternative over the Remos-selected set. Shared definitions live in
+//! `remos_bench::experiments`; the `report` binary renders the same runs
+//! as Markdown with the paper's numbers side by side.
+
+use remos_bench::experiments::run_table1;
+use remos_bench::{emit, nodeset, pct_increase, Cell};
+
+fn main() {
+    println!("Table 1: node selection in a static (unloaded) environment");
+    println!("(paper: Remos-selected generally lowest, but only by small amounts)\n");
+    println!(
+        "{:<11} {:>3}  {:<14} {:>8}   {:<14} {:>8} {:>6}   {:<14} {:>8} {:>6}",
+        "Program", "N", "Remos set", "time(s)", "other set 1", "time(s)", "+%", "other set 2",
+        "time(s)", "+%"
+    );
+    for r in run_table1() {
+        emit(&Cell {
+            experiment: "table1",
+            row: format!("{} x{}", r.label, r.nodes),
+            column: "remos-selected".into(),
+            nodes: r.remos.0.clone(),
+            seconds: r.remos.1,
+            migrations: 0,
+        });
+        let mut cols = String::new();
+        for (i, (names, t)) in r.others.iter().enumerate() {
+            emit(&Cell {
+                experiment: "table1",
+                row: format!("{} x{}", r.label, r.nodes),
+                column: format!("other-{}", i + 1),
+                nodes: names.clone(),
+                seconds: *t,
+                migrations: 0,
+            });
+            cols.push_str(&format!(
+                "{:<14} {:>8.3} {:>5.1}%   ",
+                nodeset(names),
+                t,
+                pct_increase(r.remos.1, *t)
+            ));
+        }
+        println!(
+            "{:<11} {:>3}  {:<14} {:>8.3}   {}",
+            r.label,
+            r.nodes,
+            nodeset(&r.remos.0),
+            r.remos.1,
+            cols
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Table 2 — "Performance implications of node selection using Remos in
+//! the presence of external traffic": node selection in a *dynamic*
+//! environment.
+//!
+//! A synthetic traffic program loads the m-6 → m-8 route (via
+//! timberline → whiteface, Fig 4). Each program runs on (a) the nodes
+//! Remos selects from current dynamic measurements, (b) the node set the
+//! paper lists as the static-capacities-only selection, and (c) the
+//! Remos-selected nodes with no traffic at all (the last column). The
+//! paper's headline: static selection is 79–194% slower; dynamic
+//! selection degrades only marginally versus the unloaded run. Shared
+//! definitions live in `remos_bench::experiments`.
+
+use remos_bench::experiments::run_table2;
+use remos_bench::{emit, nodeset, pct_increase, Cell};
+
+fn main() {
+    println!("Table 2: node selection with external m-6 -> m-8 traffic");
+    println!("(paper: static selection 79-194% slower; dynamic near the unloaded time)\n");
+    println!(
+        "{:<11} {:>3}  {:<12} {:>8}   {:<14} {:>9} {:>6}   {:>10}",
+        "Program", "N", "Remos set", "time(s)", "static set", "time(s)", "+%", "no-traf(s)"
+    );
+    for r in run_table2() {
+        for (column, nodes, seconds) in [
+            ("remos-dynamic", &r.dynamic.0, r.dynamic.1),
+            ("static-selection", &r.static_sel.0, r.static_sel.1),
+            ("no-traffic", &r.dynamic.0, r.no_traffic),
+        ] {
+            emit(&Cell {
+                experiment: "table2",
+                row: format!("{} x{}", r.label, r.nodes),
+                column: column.into(),
+                nodes: nodes.clone(),
+                seconds,
+                migrations: 0,
+            });
+        }
+        println!(
+            "{:<11} {:>3}  {:<12} {:>8.3}   {:<14} {:>9.3} {:>5.0}%   {:>10.3}",
+            r.label,
+            r.nodes,
+            nodeset(&r.dynamic.0),
+            r.dynamic.1,
+            nodeset(&r.static_sel.0),
+            r.static_sel.1,
+            pct_increase(r.dynamic.1, r.static_sel.1),
+            r.no_traffic
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! The §2 usage models, end to end.
+//!
+//! The paper's introduction lists five ways applications can exploit
+//! Remos. Tables 1–3 cover the first two (node selection, migration);
+//! this binary demonstrates the remaining three plus the §6-cited
+//! pipeline-depth adaptation, each as a prediction-vs-execution
+//! experiment:
+//!
+//! * **Optimization of communication** — broadcast strategy selection;
+//! * **Application quality metrics** — adaptive video frame rate;
+//! * **Function and data shipping** — local vs remote execution;
+//! * **Pipeline depth** (Siegell & Steenkiste, ref \[21\], via §6) — pipelined
+//!   SOR depth selection.
+
+use remos_apps::bcast::{execute_broadcast, select_strategy, BroadcastStrategy};
+use remos_apps::shipping::{decide, execute, Job};
+use remos_apps::sor::{execute_sweep, select_depth, SorConfig};
+use remos_apps::synthetic::add_greedy_traffic;
+use remos_apps::testbed::star;
+use remos_apps::video::{VideoConfig, VideoStream};
+use remos_apps::TestbedHarness;
+use remos_core::Timeframe;
+use remos_net::{NodeId, SimDuration, SimTime};
+
+fn broadcast_demo() {
+    println!("== Optimization of communication: broadcast strategy ==");
+    let mut h = TestbedHarness::new(star(8));
+    let members: Vec<String> = (0..8).map(|i| format!("h{i}")).collect();
+    let refs: Vec<&str> = members.iter().map(String::as_str).collect();
+    let g = h.adapter.remos_mut().get_graph(&refs, Timeframe::Current).expect("graph");
+    let bytes = 1_250_000u64;
+    let ids: Vec<NodeId> = {
+        let s = h.sim.lock();
+        let t = s.topology_arc();
+        members.iter().map(|m| t.lookup(m).expect("host")).collect()
+    };
+    for strat in BroadcastStrategy::all() {
+        let predicted =
+            remos_apps::bcast::predict_broadcast_secs(&g, &members, bytes, strat).expect("predict");
+        let measured = execute_broadcast(&h.sim, &ids, bytes, strat).expect("execute");
+        println!("  {strat:?}: predicted {predicted:.3} s, measured {measured:.3} s");
+    }
+    let (best, t) = select_strategy(&g, &members, bytes).expect("select");
+    println!("  Remos selects {best:?} (predicted {t:.3} s) for a 10 Mbit broadcast on 8 hosts");
+}
+
+fn video_demo() {
+    println!("\n== Application quality metrics: adaptive video ==");
+    let mut h = TestbedHarness::cmu();
+    add_greedy_traffic(&h.sim, "m-2", "m-7", 20, SimTime::from_secs(20), None).expect("traffic");
+    let stream = VideoStream::new("m-1", "m-8", VideoConfig::default());
+    let rep = stream
+        .run(&h.sim, h.adapter.remos_mut(), SimDuration::from_secs(60))
+        .expect("stream");
+    println!("  60 s stream m-1 -> m-8, congestion arrives at t=20 s:");
+    for (t, fps) in &rep.rate_changes {
+        println!("    t={t:>5.1} s: {fps:>4.0} fps");
+    }
+    println!(
+        "  delivered {:.0} frames (mean {:.1} fps); a non-adaptive 30 fps sender would have dropped {:.0} frames",
+        rep.frames_delivered, rep.mean_fps, rep.frames_lost_without_adaptation
+    );
+}
+
+fn shipping_demo() {
+    println!("\n== Function and data shipping ==");
+    // A slow client and a 10x compute server behind one router.
+    let mut b = remos_net::TopologyBuilder::new();
+    let c = b.compute_with_speed("client", 50e6);
+    let v = b.compute_with_speed("server", 500e6);
+    let r = b.network("r");
+    b.link(c, r, remos_net::mbps(100.0), SimDuration::from_micros(100)).expect("link");
+    b.link(r, v, remos_net::mbps(100.0), SimDuration::from_micros(100)).expect("link");
+    let mut h2 = TestbedHarness::new(b.build().expect("builds"));
+
+    for (label, job) in [
+        ("large compute, small data", Job { work_flops: 500e6, input_bytes: 1_000_000, output_bytes: 1_000_000 }),
+        ("small compute, large data", Job { work_flops: 50e6, input_bytes: 100_000_000, output_bytes: 1_000 }),
+    ] {
+        let d = decide(h2.adapter.remos_mut(), "client", "server", &job).expect("decide");
+        let measured = execute(&h2.sim, "client", "server", &job, &d).expect("execute");
+        println!(
+            "  {label}: local {:.2} s vs remote {:.2} s -> {} (measured {:.2} s)",
+            d.local_secs,
+            d.remote_secs,
+            if d.ship { "SHIP" } else { "LOCAL" },
+            measured
+        );
+    }
+}
+
+fn sor_demo() {
+    println!("\n== Pipeline depth selection (pipelined SOR, ref [21]) ==");
+    let mut h = TestbedHarness::new(star(5));
+    let chain: Vec<String> = (0..5).map(|i| format!("h{i}")).collect();
+    let cfg = SorConfig::default();
+    let (d_star, predicted) = select_depth(h.adapter.remos_mut(), &chain, &cfg).expect("select");
+    let ids: Vec<NodeId> = {
+        let s = h.sim.lock();
+        let t = s.topology_arc();
+        chain.iter().map(|n| t.lookup(n).expect("host")).collect()
+    };
+    println!("  Remos-selected depth: {d_star} (predicted sweep {predicted:.3} s)");
+    for d in [1, d_star, cfg.max_depth] {
+        let t = execute_sweep(&h.sim, &ids, &cfg, d).expect("sweep");
+        println!("  depth {d:>2}: measured sweep {t:.3} s");
+    }
+}
+
+fn main() {
+    broadcast_demo();
+    video_demo();
+    shipping_demo();
+    sor_demo();
+}

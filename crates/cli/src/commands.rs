@@ -1,0 +1,385 @@
+//! Command implementations.
+
+use crate::args::{parse_pair, parse_pair_value, Parsed};
+use remos_apps::scenario::{Scenario, TrafficSpec};
+use remos_apps::TestbedHarness;
+use remos_core::{FlowInfoRequest, Timeframe};
+use remos_net::{mbps, SimDuration};
+use std::io::Write;
+
+type CmdResult = Result<(), String>;
+
+fn io_err(e: std::io::Error) -> String {
+    format!("output error: {e}")
+}
+
+/// Resolve `--scenario`: a built-in name or a JSON file path.
+fn load_scenario(p: &Parsed) -> Result<Scenario, String> {
+    match p.get("--scenario").unwrap_or("cmu") {
+        "cmu" => Ok(Scenario::cmu(vec![])),
+        "fig4" => Ok(Scenario::cmu(vec![TrafficSpec::Greedy {
+            src: "m-6".into(),
+            dst: "m-8".into(),
+            streams: remos_apps::synthetic::DEFAULT_TRAFFIC_STREAMS,
+            start_s: 0.0,
+            stop_s: None,
+        }])),
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read scenario {path:?}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("bad scenario {path:?}: {e}"))
+        }
+    }
+}
+
+/// Build the harness and let the scenario's traffic warm up.
+fn harness(p: &Parsed) -> Result<TestbedHarness, String> {
+    let sc = load_scenario(p)?;
+    let h = sc.build_harness().map_err(|e| e.to_string())?;
+    let warmup = p.get_f64("--warmup", 1.0)?;
+    if warmup > 0.0 {
+        h.sim
+            .lock()
+            .run_for(SimDuration::from_secs_f64(warmup))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(h)
+}
+
+fn timeframe(p: &Parsed) -> Result<Timeframe, String> {
+    match (p.get("--window"), p.get("--future")) {
+        (Some(_), Some(_)) => Err("--window and --future are mutually exclusive".into()),
+        (Some(w), None) => {
+            let s: f64 = w.parse().map_err(|_| "--window: not a number".to_string())?;
+            Ok(Timeframe::Window(SimDuration::from_secs_f64(s)))
+        }
+        (None, Some(f)) => {
+            let s: f64 = f.parse().map_err(|_| "--future: not a number".to_string())?;
+            Ok(Timeframe::Future(SimDuration::from_secs_f64(s)))
+        }
+        (None, None) => Ok(Timeframe::Current),
+    }
+}
+
+/// `remos-sim topology`
+pub fn topology(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    h.adapter.remos_mut().refresh_topology().map_err(|e| e.to_string())?;
+    let topo = h.adapter.remos_mut().collector().topology().map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "{} nodes ({} hosts, {} routers), {} links:",
+        topo.node_count(),
+        topo.compute_nodes().len(),
+        topo.network_nodes().len(),
+        topo.link_count()
+    )
+    .map_err(io_err)?;
+    for l in topo.link_ids() {
+        let link = topo.link(l);
+        writeln!(
+            out,
+            "  {:<12} -- {:<12} {:>6.0} Mbps  {:>4.0} us",
+            topo.node(link.a).name,
+            topo.node(link.b).name,
+            link.capacity / 1e6,
+            link.latency.as_secs_f64() * 1e6
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `remos-sim graph`
+pub fn graph(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let nodes = p.get_list("--nodes")?;
+    let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+    let tf = timeframe(p)?;
+    let g = h.adapter.remos_mut().get_graph(&refs, tf).map_err(|e| e.to_string())?;
+    if p.flag("--dot") {
+        write!(out, "{}", g.to_dot()).map_err(io_err)?;
+        return Ok(());
+    }
+    if p.flag("--json") {
+        let json = serde_json::to_string_pretty(&g).map_err(|e| e.to_string())?;
+        writeln!(out, "{json}").map_err(io_err)?;
+        return Ok(());
+    }
+    writeln!(out, "logical topology ({} nodes, {} links):", g.nodes.len(), g.links.len())
+        .map_err(io_err)?;
+    for l in &g.links {
+        writeln!(
+            out,
+            "  {:<12} -- {:<12} cap {:>6.1} Mbps   avail {:>6.1} / {:>6.1} Mbps (median, each direction)",
+            g.nodes[l.a].name,
+            g.nodes[l.b].name,
+            l.capacity / 1e6,
+            l.avail[0].median / 1e6,
+            l.avail[1].median / 1e6,
+        )
+        .map_err(io_err)?;
+    }
+    writeln!(out, "pairwise available bandwidth (median, Mbps):").map_err(io_err)?;
+    for a in &nodes {
+        for b in &nodes {
+            if a >= b {
+                continue;
+            }
+            let ia = g.index_of(a).map_err(|e| e.to_string())?;
+            let ib = g.index_of(b).map_err(|e| e.to_string())?;
+            let fwd = g.path_avail_bw(ia, ib).map_err(|e| e.to_string())?;
+            let rev = g.path_avail_bw(ib, ia).map_err(|e| e.to_string())?;
+            writeln!(out, "  {a} <-> {b}: {:.1} / {:.1}", fwd / 1e6, rev / 1e6)
+                .map_err(io_err)?;
+        }
+    }
+    if let Some((a, b, bw)) = g.best_connected_pair() {
+        writeln!(
+            out,
+            "best-connected pair: {} -> {} at {:.1} Mbps",
+            g.nodes[a].name,
+            g.nodes[b].name,
+            bw / 1e6
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `remos-sim flows`
+pub fn flows(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let mut req = FlowInfoRequest::new();
+    for f in p.get_all("--fixed") {
+        let (src, dst, rate) = parse_pair_value(f)?;
+        req = req.fixed(&src, &dst, mbps(rate));
+    }
+    for v in p.get_all("--variable") {
+        let (src, dst, w) = parse_pair_value(v)?;
+        req = req.variable(&src, &dst, w);
+    }
+    if let Some(i) = p.get("--independent") {
+        let (src, dst) = parse_pair(i)?;
+        req = req.independent(&src, &dst);
+    }
+    if req.flow_count() == 0 {
+        return Err("no flows given (use --fixed/--variable/--independent)".into());
+    }
+    let tf = timeframe(p)?;
+    let resp = h.adapter.remos_mut().flow_info(&req, tf).map_err(|e| e.to_string())?;
+    for g in &resp.fixed {
+        writeln!(
+            out,
+            "fixed       {} -> {}: {:.2} Mbps (satisfied: {})",
+            g.endpoints.src,
+            g.endpoints.dst,
+            g.bandwidth.median / 1e6,
+            g.fully_satisfied
+        )
+        .map_err(io_err)?;
+    }
+    for g in &resp.variable {
+        writeln!(
+            out,
+            "variable    {} -> {}: {:.2} Mbps {}",
+            g.endpoints.src,
+            g.endpoints.dst,
+            g.bandwidth.median / 1e6,
+            g.bandwidth
+        )
+        .map_err(io_err)?;
+    }
+    if let Some(g) = &resp.independent {
+        writeln!(
+            out,
+            "independent {} -> {}: {:.2} Mbps {}",
+            g.endpoints.src,
+            g.endpoints.dst,
+            g.bandwidth.median / 1e6,
+            g.bandwidth
+        )
+        .map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// `remos-sim select`
+pub fn select(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let pool = p.get_list("--pool")?;
+    let start = p.require("--start")?.to_string();
+    let k = p.require_usize("-k")?;
+    if k == 0 || k > pool.len() {
+        return Err(format!("-k {k} out of range for a pool of {}", pool.len()));
+    }
+    let selected = h.adapter.select_nodes(&pool, &start, k).map_err(|e| e.to_string())?;
+    writeln!(out, "selected nodes: {}", selected.join(", ")).map_err(io_err)?;
+    Ok(())
+}
+
+/// Parse `--app fft:N:P` / `--app airshed:P[:ITERS]`.
+fn parse_app(spec: &str) -> Result<remos_fx::Program, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["fft", n, pr] => {
+            let n: usize = n.parse().map_err(|_| "fft: bad size".to_string())?;
+            let pr: usize = pr.parse().map_err(|_| "fft: bad rank count".to_string())?;
+            if !n.is_power_of_two() || pr == 0 {
+                return Err("fft: size must be a power of two, ranks >= 1".into());
+            }
+            Ok(remos_apps::fft::fft_program(n, pr))
+        }
+        ["airshed", pr] => {
+            let pr: usize = pr.parse().map_err(|_| "airshed: bad rank count".to_string())?;
+            Ok(remos_apps::airshed::airshed_program(pr))
+        }
+        ["airshed", pr, iters] => {
+            let pr: usize = pr.parse().map_err(|_| "airshed: bad rank count".to_string())?;
+            let iters: usize =
+                iters.parse().map_err(|_| "airshed: bad iteration count".to_string())?;
+            Ok(remos_apps::airshed::airshed_program_iters(pr, iters))
+        }
+        _ => Err(format!(
+            "unknown app {spec:?} (expected fft:N:P or airshed:P[:ITERS])"
+        )),
+    }
+}
+
+/// `remos-sim run`
+pub fn run_app(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let prog = parse_app(p.require("--app")?)?;
+    let nodes = p.get_list("--nodes")?;
+    let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
+    let rep = if p.flag("--adaptive") {
+        let pool: Vec<String> = match p.get("--pool") {
+            Some(_) => p.get_list("--pool")?,
+            None => remos_apps::testbed::TESTBED_HOSTS.iter().map(|s| s.to_string()).collect(),
+        };
+        let pool_refs: Vec<&str> = pool.iter().map(String::as_str).collect();
+        h.run_adaptive(&prog, &pool_refs, &refs).map_err(|e| e.to_string())?
+    } else {
+        h.run_fixed(&prog, &refs).map_err(|e| e.to_string())?
+    };
+    writeln!(out, "{}: elapsed {:.3} s", rep.program, rep.elapsed).map_err(io_err)?;
+    writeln!(
+        out,
+        "  compute {:.3} s, comm {:.3} s, sync {:.3} s, decisions {:.3} s, migration {:.3} s",
+        rep.breakdown.compute,
+        rep.breakdown.comm,
+        rep.breakdown.sync,
+        rep.breakdown.decision,
+        rep.breakdown.migration
+    )
+    .map_err(io_err)?;
+    writeln!(out, "  bytes sent: {}", rep.bytes_sent).map_err(io_err)?;
+    writeln!(out, "  migrations: {}", rep.migrations.len()).map_err(io_err)?;
+    for (it, set) in &rep.migrations {
+        writeln!(out, "    iteration {it}: -> {}", set.join(", ")).map_err(io_err)?;
+    }
+    writeln!(out, "  final nodes: {}", rep.final_mapping.join(", ")).map_err(io_err)?;
+    Ok(())
+}
+
+/// `remos-sim watch`
+pub fn watch(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let (src, dst) = parse_pair(p.require("--pair")?)?;
+    let interval = p.get_f64("--interval", 1.0)?;
+    let duration = p.get_f64("--duration", 10.0)?;
+    if interval <= 0.0 || duration <= 0.0 {
+        return Err("--interval and --duration must be positive".into());
+    }
+    // With --window W each line also summarizes the trailing W seconds
+    // as quartiles (the paper's statistical reporting, §4.4).
+    let window = match p.get("--window") {
+        None => None,
+        Some(w) => {
+            let s: f64 = w.parse().map_err(|_| "--window: not a number".to_string())?;
+            Some(SimDuration::from_secs_f64(s))
+        }
+    };
+    let steps = (duration / interval).ceil() as usize;
+    match window {
+        None => writeln!(out, "available bandwidth {src} -> {dst} (median):"),
+        Some(_) => writeln!(
+            out,
+            "available bandwidth {src} -> {dst}: current, then trailing-window [min|q1|median|q3|max]:"
+        ),
+    }
+    .map_err(io_err)?;
+    for _ in 0..steps {
+        h.sim
+            .lock()
+            .run_for(SimDuration::from_secs_f64(interval))
+            .map_err(|e| e.to_string())?;
+        let g = h
+            .adapter
+            .remos_mut()
+            .get_graph(&[&src, &dst], Timeframe::Current)
+            .map_err(|e| e.to_string())?;
+        let a = g.index_of(&src).map_err(|e| e.to_string())?;
+        let b = g.index_of(&dst).map_err(|e| e.to_string())?;
+        let bw = g.path_avail_bw(a, b).map_err(|e| e.to_string())?;
+        let t = h.sim.lock().now().as_secs_f64();
+        match window {
+            None => {
+                writeln!(out, "  t={t:>8.2}s  {:>7.2} Mbps", bw / 1e6).map_err(io_err)?;
+            }
+            Some(w) => {
+                let gw = h
+                    .adapter
+                    .remos_mut()
+                    .get_graph(&[&src, &dst], Timeframe::Window(w))
+                    .map_err(|e| e.to_string())?;
+                let a = gw.index_of(&src).map_err(|e| e.to_string())?;
+                // The two-node logical graph is a single link; summarize
+                // the direction leaving `src`.
+                let q = gw.links[gw.neighbors(a)[0].0].avail_from(a);
+                writeln!(
+                    out,
+                    "  t={t:>8.2}s  {:>7.2} Mbps   [{:.1}|{:.1}|{:.1}|{:.1}|{:.1}] n={}",
+                    bw / 1e6,
+                    q.min / 1e6,
+                    q.q1 / 1e6,
+                    q.median / 1e6,
+                    q.q3 / 1e6,
+                    q.max / 1e6,
+                    q.samples
+                )
+                .map_err(io_err)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `remos-sim example`
+pub fn example(out: &mut dyn Write) -> CmdResult {
+    let sc = Scenario::cmu(vec![
+        TrafficSpec::Greedy {
+            src: "m-6".into(),
+            dst: "m-8".into(),
+            streams: 8,
+            start_s: 0.0,
+            stop_s: Some(120.0),
+        },
+        TrafficSpec::Bursty {
+            src: "m-1".into(),
+            dst: "m-3".into(),
+            mean_on_s: 2.0,
+            mean_off_s: 2.0,
+            seed: 7,
+        },
+        TrafficSpec::LinkDown {
+            a: "timberline".into(),
+            b: "whiteface".into(),
+            at_s: 200.0,
+            restore_s: Some(260.0),
+        },
+    ]);
+    let json = serde_json::to_string_pretty(&sc).map_err(|e| e.to_string())?;
+    writeln!(out, "{json}").map_err(io_err)?;
+    Ok(())
+}

@@ -1,0 +1,272 @@
+//! # remos-cli — the `remos-sim` command
+//!
+//! A self-contained front end over the whole stack: load (or pick) a
+//! scenario, then query it the way a network-aware application would.
+//!
+//! ```text
+//! remos-sim topology --scenario cmu
+//! remos-sim graph    --scenario cmu --nodes m-1,m-4,m-8 --warmup 2
+//! remos-sim flows    --scenario cmu --fixed m-1:m-8:2 --independent m-2:m-7
+//! remos-sim select   --scenario fig4 --pool m-1,...,m-8 --start m-4 -k 4
+//! remos-sim run      --scenario cmu --app fft:512:4 --nodes m-4,m-5,m-6,m-7
+//! remos-sim run      --scenario fig4 --app airshed:8:10 --nodes m-4,m-5,m-6,m-7,m-8 --adaptive
+//! remos-sim watch    --scenario fig4 --pair m-4:m-8 --interval 1 --duration 10
+//! remos-sim example  > my-scenario.json   # then: --scenario my-scenario.json
+//! ```
+//!
+//! Built-in scenarios: `cmu` (the idle Fig 3 testbed) and `fig4` (the
+//! testbed with the synthetic m-6 → m-8 traffic).
+
+mod args;
+mod commands;
+
+use std::io::Write;
+
+pub use args::{parse_pair, parse_pair_value, Parsed};
+
+/// Top-level dispatch. Writes human-readable output to `out`; errors are
+/// returned as strings.
+pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let parsed = args::Parsed::parse(argv)?;
+    match parsed.command.as_str() {
+        "topology" => commands::topology(&parsed, out),
+        "graph" => commands::graph(&parsed, out),
+        "flows" => commands::flows(&parsed, out),
+        "select" => commands::select(&parsed, out),
+        "run" => commands::run_app(&parsed, out),
+        "watch" => commands::watch(&parsed, out),
+        "example" => commands::example(out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", HELP).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown command {other:?} (try `remos-sim help`)")),
+    }
+}
+
+/// Usage text.
+pub const HELP: &str = "\
+remos-sim — Remos (HPDC'98) reproduction CLI
+
+USAGE: remos-sim <command> [options]
+
+COMMANDS:
+  topology  print the scenario's topology as the SNMP collector discovers it
+  graph     remos_get_graph over a node set
+  flows     remos_flow_info (fixed/variable/independent flow classes)
+  select    Remos-driven node selection (greedy clustering, §7.2)
+  run       execute an application model on chosen nodes
+  watch     sample available bandwidth of a pair over time
+  example   print an example scenario JSON to stdout
+  help      this text
+
+COMMON OPTIONS:
+  --scenario <cmu|fig4|file.json>   the network + traffic (default: cmu)
+  --warmup <seconds>                let traffic run before measuring (default 1)
+  --json                            machine-readable output where supported
+
+COMMAND OPTIONS:
+  graph:   --nodes a,b,c            [--window S | --future S] [--dot]
+  flows:   --fixed src:dst:MBPS     (repeatable)
+           --variable src:dst:WEIGHT (repeatable)
+           --independent src:dst
+  select:  --pool a,b,c --start a -k N
+  run:     --app fft:N:P | airshed:P[:ITERS]
+           --nodes a,b,...          [--adaptive [--pool a,b,...]]
+  watch:   --pair src:dst --interval S --duration S [--window S]
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        run(&argv, &mut buf)?;
+        Ok(String::from_utf8(buf).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints() {
+        let out = call(&["help"]).unwrap();
+        assert!(out.contains("remos-sim"));
+        assert!(out.contains("COMMANDS"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(call(&["frobnicate"]).is_err());
+        assert!(call(&[]).is_err());
+    }
+
+    #[test]
+    fn topology_cmu() {
+        let out = call(&["topology", "--scenario", "cmu"]).unwrap();
+        assert!(out.contains("timberline"));
+        assert!(out.contains("m-8"));
+        assert!(out.contains("100 Mbps"));
+    }
+
+    #[test]
+    fn graph_query() {
+        let out =
+            call(&["graph", "--scenario", "fig4", "--nodes", "m-1,m-4,m-8"]).unwrap();
+        // The m-6->m-8 traffic loads the path toward m-8.
+        assert!(out.contains("m-1"), "{out}");
+        assert!(out.contains("avail"), "{out}");
+    }
+
+    #[test]
+    fn graph_dot_mode() {
+        let out = call(&[
+            "graph", "--scenario", "cmu", "--nodes", "m-1,m-8", "--dot",
+        ])
+        .unwrap();
+        assert!(out.starts_with("graph remos {"), "{out}");
+        assert!(out.contains("\"m-1\" -- \"m-8\"") || out.contains("\"m-8\" -- \"m-1\""));
+    }
+
+    #[test]
+    fn graph_json_mode() {
+        let out = call(&[
+            "graph", "--scenario", "cmu", "--nodes", "m-1,m-2", "--json",
+        ])
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
+        assert!(v.get("nodes").is_some());
+        assert!(v.get("links").is_some());
+    }
+
+    #[test]
+    fn flows_query() {
+        let out = call(&[
+            "flows",
+            "--scenario",
+            "cmu",
+            "--fixed",
+            "m-1:m-8:2",
+            "--variable",
+            "m-2:m-8:1",
+            "--independent",
+            "m-3:m-8",
+        ])
+        .unwrap();
+        assert!(out.contains("fixed"), "{out}");
+        assert!(out.contains("satisfied"), "{out}");
+        assert!(out.contains("independent"), "{out}");
+    }
+
+    #[test]
+    fn select_reproduces_fig4() {
+        let out = call(&[
+            "select",
+            "--scenario",
+            "fig4",
+            "--pool",
+            "m-1,m-2,m-3,m-4,m-5,m-6,m-7,m-8",
+            "--start",
+            "m-4",
+            "-k",
+            "4",
+        ])
+        .unwrap();
+        for n in ["m-1", "m-2", "m-4", "m-5"] {
+            assert!(out.contains(n), "{out}");
+        }
+        assert!(!out.contains("m-6"), "{out}");
+    }
+
+    #[test]
+    fn run_fft() {
+        let out = call(&[
+            "run", "--scenario", "cmu", "--app", "fft:512:2", "--nodes", "m-4,m-5",
+        ])
+        .unwrap();
+        assert!(out.contains("elapsed"), "{out}");
+        // Near the calibrated 0.467 s.
+        assert!(out.contains("0.4"), "{out}");
+    }
+
+    #[test]
+    fn run_adaptive_airshed() {
+        let out = call(&[
+            "run",
+            "--scenario",
+            "fig4",
+            "--app",
+            "airshed:5:4",
+            "--nodes",
+            "m-4,m-5,m-6,m-7,m-8",
+            "--adaptive",
+        ])
+        .unwrap();
+        assert!(out.contains("migrations"), "{out}");
+    }
+
+    #[test]
+    fn watch_produces_series() {
+        let out = call(&[
+            "watch",
+            "--scenario",
+            "fig4",
+            "--pair",
+            "m-4:m-8",
+            "--interval",
+            "1",
+            "--duration",
+            "5",
+        ])
+        .unwrap();
+        let lines: Vec<&str> = out.lines().filter(|l| l.contains("Mbps")).collect();
+        assert!(lines.len() >= 5, "{out}");
+    }
+
+    #[test]
+    fn watch_with_window_shows_quartiles() {
+        let out = call(&[
+            "watch",
+            "--scenario",
+            "fig4",
+            "--pair",
+            "m-4:m-8",
+            "--interval",
+            "1",
+            "--duration",
+            "4",
+            "--window",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("[min|q1|median|q3|max]"), "{out}");
+        let quartile_lines = out.lines().filter(|l| l.contains("] n=")).count();
+        assert!(quartile_lines >= 4, "{out}");
+    }
+
+    #[test]
+    fn example_roundtrips_as_scenario() {
+        let out = call(&["example"]).unwrap();
+        let sc: remos_apps::scenario::Scenario =
+            serde_json::from_str(&out).expect("example is a valid scenario");
+        sc.build_topology().expect("example topology builds");
+    }
+
+    #[test]
+    fn scenario_file_loading() {
+        let out = call(&["example"]).unwrap();
+        let path = std::env::temp_dir().join("remos_cli_test_scenario.json");
+        std::fs::write(&path, &out).unwrap();
+        let got = call(&["topology", "--scenario", path.to_str().unwrap()]).unwrap();
+        assert!(got.contains("Mbps"));
+        let _ = std::fs::remove_file(&path);
+        assert!(call(&["topology", "--scenario", "/nonexistent.json"]).is_err());
+    }
+
+    #[test]
+    fn bad_options_error_cleanly() {
+        assert!(call(&["graph", "--scenario", "cmu"]).is_err()); // missing --nodes
+        assert!(call(&["flows", "--scenario", "cmu"]).is_err()); // no flows at all
+        assert!(call(&["run", "--scenario", "cmu", "--app", "doom:3"]).is_err());
+        assert!(call(&["select", "--scenario", "cmu", "--pool", "m-1", "--start", "m-9", "-k", "1"]).is_err());
+        assert!(call(&["watch", "--scenario", "cmu", "--pair", "m-1m-2"]).is_err());
+    }
+}

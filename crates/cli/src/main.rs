@@ -1,0 +1,15 @@
+//! `remos-sim` — command-line front end.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match remos_cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("remos-sim: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! One-call assembly of the full experiment stack.
+//!
+//! Builds, over any topology: the fluid network simulator, one SNMP agent
+//! per node, the SNMP collector, a Remos instance, the adaptation module,
+//! and the Fx runtime — i.e. everything in the paper's Fig 2 plus the
+//! applications' runtime, wired to the same simulated network.
+
+use remos_core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
+use remos_core::collector::SimClock;
+use remos_core::{CoreResult, Remos, RemosConfig};
+use remos_fx::runtime::{ExecutionReport, FxResult, FxRuntime, Mapping, RuntimeConfig};
+use remos_fx::{AdaptConfig, Adapter, Program};
+use remos_net::{Simulator, Topology};
+use remos_snmp::sim::{register_all_agents, share, SharedSim};
+use remos_snmp::SimTransport;
+use std::sync::Arc;
+
+/// The assembled stack.
+pub struct TestbedHarness {
+    /// The shared simulated network.
+    pub sim: SharedSim,
+    /// The SNMP transport (for message-cost accounting).
+    pub transport: Arc<SimTransport>,
+    /// The Fx runtime.
+    pub runtime: FxRuntime,
+    /// The adaptation module (owns the Remos instance).
+    pub adapter: Adapter,
+}
+
+impl TestbedHarness {
+    /// Assemble the stack over `topo` with default configurations.
+    pub fn new(topo: Topology) -> TestbedHarness {
+        Self::with_configs(
+            topo,
+            RuntimeConfig::default(),
+            AdaptConfig::default(),
+            RemosConfig::default(),
+        )
+    }
+
+    /// Assemble with explicit configurations.
+    pub fn with_configs(
+        topo: Topology,
+        runtime_cfg: RuntimeConfig,
+        adapt_cfg: AdaptConfig,
+        remos_cfg: RemosConfig,
+    ) -> TestbedHarness {
+        let sim = share(Simulator::new(topo).expect("topology is valid"));
+        let transport = Arc::new(SimTransport::new());
+        let agents = register_all_agents(&transport, &sim, "public");
+        let mut collector = SnmpCollector::new(
+            Arc::clone(&transport),
+            agents,
+            SnmpCollectorConfig::default(),
+        );
+        // React to linkDown/linkUp traps with re-discovery.
+        collector.set_trap_source(Box::new(remos_snmp::sim::SimTrapSource::new(
+            Arc::clone(&sim),
+            "public",
+        )));
+        let remos = Remos::new(
+            Box::new(collector),
+            Box::new(SimClock(Arc::clone(&sim))),
+            remos_cfg,
+        );
+        let adapter = Adapter::new(remos, adapt_cfg);
+        let runtime = FxRuntime::new(Arc::clone(&sim), runtime_cfg);
+        TestbedHarness { sim, transport, runtime, adapter }
+    }
+
+    /// The paper's testbed (Fig 3) with default configurations.
+    pub fn cmu() -> TestbedHarness {
+        Self::new(crate::testbed::cmu_testbed())
+    }
+
+    /// Remos-driven node selection (§7.3): query, cluster, return names.
+    pub fn select_nodes(
+        &mut self,
+        pool: &[&str],
+        start: &str,
+        k: usize,
+    ) -> CoreResult<Vec<String>> {
+        let pool: Vec<String> = pool.iter().map(|s| s.to_string()).collect();
+        self.adapter.select_nodes(&pool, start, k)
+    }
+
+    /// Execute a program on a fixed node set.
+    pub fn run_fixed(&mut self, prog: &Program, nodes: &[&str]) -> FxResult<ExecutionReport> {
+        let mapping = Mapping::of(nodes)?;
+        self.runtime.run(prog, &mapping)
+    }
+
+    /// Execute a program with per-iteration Remos-driven migration over
+    /// `pool`, starting on `initial`.
+    ///
+    /// The application's own-traffic estimate handed to the adapter is the
+    /// heaviest directed node-pair volume of one iteration divided by the
+    /// last iteration's duration — "the application knows how much
+    /// communication traffic it generates" (§8.3).
+    pub fn run_adaptive(
+        &mut self,
+        prog: &Program,
+        pool: &[&str],
+        initial: &[&str],
+    ) -> FxResult<ExecutionReport> {
+        let pool: Vec<String> = pool.iter().map(|s| s.to_string()).collect();
+        let initial = Mapping::of(initial)?;
+        let per_iter_pair_bytes = heaviest_pair_bytes_per_iteration(prog, &initial);
+        let TestbedHarness { runtime, adapter, .. } = self;
+        runtime.run_with_hook(prog, initial, |_it, current, last_secs| {
+            let own_rate = if last_secs > 0.0 {
+                per_iter_pair_bytes as f64 * 8.0 / last_secs
+            } else {
+                0.0
+            };
+            let new = adapter.consider_migration(&pool, &current.nodes, own_rate)?;
+            new.map(Mapping::new).transpose()
+        })
+    }
+}
+
+/// The heaviest directed node-pair communication volume of one body
+/// iteration under a mapping (bytes).
+pub fn heaviest_pair_bytes_per_iteration(prog: &Program, mapping: &Mapping) -> u64 {
+    use remos_fx::Phase;
+    use std::collections::HashMap;
+    let mut agg: HashMap<(usize, usize), u64> = HashMap::new();
+    for ph in &prog.body {
+        if let Phase::Comm(pattern) = ph {
+            for (rs, rd, bytes) in pattern.transfers(prog.ranks) {
+                let ns = mapping.node_of_rank(rs);
+                let nd = mapping.node_of_rank(rd);
+                if ns != nd {
+                    *agg.entry((ns, nd)).or_insert(0) += bytes;
+                }
+            }
+        }
+    }
+    agg.values().copied().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airshed::airshed_program_iters;
+    use crate::fft::fft_program;
+    use crate::synthetic::{install_scenario, TrafficScenario};
+    use crate::testbed::TESTBED_HOSTS;
+
+    #[test]
+    fn selection_on_idle_testbed_prefers_index_order_ties() {
+        let mut h = TestbedHarness::cmu();
+        let sel = h.select_nodes(&TESTBED_HOSTS, "m-4", 2).unwrap();
+        assert_eq!(sel[0], "m-4");
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn fig4_node_selection_avoids_busy_links() {
+        // The paper's Fig 4: traffic m-6 -> m-8, start node m-4, expected
+        // selection {m-1, m-2, m-4, m-5}.
+        let mut h = TestbedHarness::cmu();
+        install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+        h.sim.lock().run_for(remos_net::SimDuration::from_secs(1)).unwrap();
+        let mut sel = h.select_nodes(&TESTBED_HOSTS, "m-4", 4).unwrap();
+        sel.sort();
+        assert_eq!(sel, vec!["m-1", "m-2", "m-4", "m-5"]);
+    }
+
+    #[test]
+    fn fft_runs_on_selected_nodes() {
+        let mut h = TestbedHarness::cmu();
+        let prog = fft_program(256, 2);
+        let rep = h.run_fixed(&prog, &["m-4", "m-5"]).unwrap();
+        assert!(rep.elapsed > 0.0);
+        assert!(rep.bytes_sent > 0);
+    }
+
+    #[test]
+    fn adaptive_run_migrates_under_interference() {
+        let mut h = TestbedHarness::cmu();
+        // Moderate run so the test stays fast: 5 iterations.
+        let prog = airshed_program_iters(5, 5);
+        install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+        h.sim.lock().run_for(remos_net::SimDuration::from_secs(1)).unwrap();
+        let rep = h
+            .run_adaptive(&prog, &TESTBED_HOSTS, &["m-4", "m-5", "m-6", "m-7", "m-8"])
+            .unwrap();
+        // It must leave the loaded region: final mapping avoids m-6/m-8
+        // whose links carry the traffic.
+        assert!(
+            !rep.final_mapping.iter().any(|n| n == "m-6" || n == "m-8"),
+            "{:?}",
+            rep.final_mapping
+        );
+        assert!(!rep.migrations.is_empty());
+    }
+
+    #[test]
+    fn heaviest_pair_volume() {
+        let prog = fft_program(512, 2);
+        let m = Mapping::of(&["m-1", "m-2"]).unwrap();
+        // Two transposes of 16*512²/4 bytes per pair.
+        assert_eq!(
+            heaviest_pair_bytes_per_iteration(&prog, &m),
+            2 * 16 * 512 * 512 / 4
+        );
+    }
+}

@@ -1,0 +1,422 @@
+//! Declarative experiment scenarios.
+//!
+//! A [`Scenario`] describes a topology plus background traffic in plain
+//! data (JSON-serializable), so experiments can be written as files and
+//! replayed through the CLI or the harness without code changes.
+
+use crate::calib;
+use remos_net::{mbps, NetError, SimDuration, SimTime, Topology, TopologyBuilder};
+use remos_snmp::sim::SharedSim;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A node in a scenario topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Unique name.
+    pub name: String,
+    /// "host" or "router".
+    pub kind: String,
+    /// Host compute rate, Mflops (default 50).
+    #[serde(default)]
+    pub mflops: Option<f64>,
+    /// Router internal bandwidth cap, Mbps (Fig 1 semantics).
+    #[serde(default)]
+    pub internal_mbps: Option<f64>,
+}
+
+/// A link in a scenario topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One endpoint name.
+    pub a: String,
+    /// Other endpoint name.
+    pub b: String,
+    /// Capacity in Mbps (default 100).
+    #[serde(default)]
+    pub mbps: Option<f64>,
+    /// One-way latency in microseconds (default 100).
+    #[serde(default)]
+    pub latency_us: Option<u64>,
+}
+
+/// Background traffic in a scenario.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TrafficSpec {
+    /// Constant-bit-rate stream.
+    Cbr {
+        /// Source host.
+        src: String,
+        /// Destination host.
+        dst: String,
+        /// Rate, Mbps.
+        mbps: f64,
+        /// Start time, seconds (default 0).
+        #[serde(default)]
+        start_s: f64,
+        /// Stop time, seconds (default: never).
+        #[serde(default)]
+        stop_s: Option<f64>,
+    },
+    /// `streams` parallel greedy bulk flows.
+    Greedy {
+        /// Source host.
+        src: String,
+        /// Destination host.
+        dst: String,
+        /// Parallel stream count.
+        streams: usize,
+        /// Start time, seconds (default 0).
+        #[serde(default)]
+        start_s: f64,
+        /// Stop time, seconds (default: never).
+        #[serde(default)]
+        stop_s: Option<f64>,
+    },
+    /// Exponential on/off bursts.
+    Bursty {
+        /// Source host.
+        src: String,
+        /// Destination host.
+        dst: String,
+        /// Mean burst length, seconds.
+        mean_on_s: f64,
+        /// Mean gap length, seconds.
+        mean_off_s: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A scheduled link failure (and optional repair).
+    LinkDown {
+        /// One endpoint of the link.
+        a: String,
+        /// Other endpoint of the link.
+        b: String,
+        /// Failure time, seconds.
+        at_s: f64,
+        /// Repair time, seconds (default: never).
+        #[serde(default)]
+        restore_s: Option<f64>,
+    },
+}
+
+/// A complete scenario.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Display name.
+    #[serde(default)]
+    pub name: String,
+    /// Nodes.
+    pub nodes: Vec<NodeSpec>,
+    /// Links.
+    pub links: Vec<LinkSpec>,
+    /// Background traffic and events.
+    #[serde(default)]
+    pub traffic: Vec<TrafficSpec>,
+}
+
+/// Error building a scenario.
+#[derive(Debug)]
+pub enum ScenarioError {
+    /// The topology data is invalid.
+    Invalid(String),
+    /// The underlying network builder rejected it.
+    Net(NetError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Invalid(m) => write!(f, "invalid scenario: {m}"),
+            ScenarioError::Net(e) => write!(f, "network error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<NetError> for ScenarioError {
+    fn from(e: NetError) -> Self {
+        ScenarioError::Net(e)
+    }
+}
+
+impl Scenario {
+    /// The Fig 3 testbed with a chosen traffic pattern, as data.
+    pub fn cmu(traffic: Vec<TrafficSpec>) -> Scenario {
+        let mut nodes: Vec<NodeSpec> = crate::testbed::TESTBED_HOSTS
+            .iter()
+            .map(|h| NodeSpec {
+                name: h.to_string(),
+                kind: "host".into(),
+                mflops: Some(calib::NODE_FLOPS / 1e6),
+                internal_mbps: None,
+            })
+            .collect();
+        for r in crate::testbed::TESTBED_ROUTERS {
+            nodes.push(NodeSpec {
+                name: r.to_string(),
+                kind: "router".into(),
+                mflops: None,
+                internal_mbps: None,
+            });
+        }
+        let mut links = Vec::new();
+        let mut link = |a: &str, b: &str| {
+            links.push(LinkSpec {
+                a: a.to_string(),
+                b: b.to_string(),
+                mbps: Some(100.0),
+                latency_us: Some(calib::HOP_LATENCY_US),
+            })
+        };
+        for (h, r) in [
+            ("m-1", "aspen"),
+            ("m-2", "aspen"),
+            ("m-3", "aspen"),
+            ("m-4", "timberline"),
+            ("m-5", "timberline"),
+            ("m-6", "timberline"),
+            ("m-7", "whiteface"),
+            ("m-8", "whiteface"),
+        ] {
+            link(h, r);
+        }
+        link("aspen", "timberline");
+        link("timberline", "whiteface");
+        Scenario { name: "cmu-testbed".into(), nodes, links, traffic }
+    }
+
+    /// Build the topology.
+    pub fn build_topology(&self) -> Result<Topology, ScenarioError> {
+        if self.nodes.is_empty() {
+            return Err(ScenarioError::Invalid("no nodes".into()));
+        }
+        let mut b = TopologyBuilder::new();
+        let mut ids = HashMap::new();
+        for n in &self.nodes {
+            let id = match n.kind.as_str() {
+                "host" => b.compute_with_speed(
+                    &n.name,
+                    n.mflops.unwrap_or(calib::NODE_FLOPS / 1e6) * 1e6,
+                ),
+                "router" => match n.internal_mbps {
+                    Some(cap) => b.network_with_internal_bw(&n.name, mbps(cap)),
+                    None => b.network(&n.name),
+                },
+                other => {
+                    return Err(ScenarioError::Invalid(format!(
+                        "node {:?}: kind must be \"host\" or \"router\", got {other:?}",
+                        n.name
+                    )))
+                }
+            };
+            ids.insert(n.name.clone(), id);
+        }
+        for l in &self.links {
+            let a = *ids
+                .get(&l.a)
+                .ok_or_else(|| ScenarioError::Invalid(format!("unknown node {:?}", l.a)))?;
+            let bb = *ids
+                .get(&l.b)
+                .ok_or_else(|| ScenarioError::Invalid(format!("unknown node {:?}", l.b)))?;
+            b.link(
+                a,
+                bb,
+                mbps(l.mbps.unwrap_or(100.0)),
+                SimDuration::from_micros(l.latency_us.unwrap_or(calib::HOP_LATENCY_US)),
+            )?;
+        }
+        Ok(b.build()?)
+    }
+
+    /// Install the traffic/events into a shared simulator built from this
+    /// scenario's topology.
+    pub fn install_traffic(&self, sim: &SharedSim) -> Result<(), ScenarioError> {
+        for t in &self.traffic {
+            match t {
+                TrafficSpec::Cbr { src, dst, mbps: rate, start_s, stop_s } => {
+                    let mut s = sim.lock();
+                    let topo = s.topology_arc();
+                    let src = topo.lookup(src)?;
+                    let dst = topo.lookup(dst)?;
+                    s.add_process(
+                        SimTime::from_secs_f64(*start_s),
+                        Box::new(remos_net::traffic::CbrTraffic::new(
+                            src,
+                            dst,
+                            mbps(*rate),
+                            stop_s.map(SimTime::from_secs_f64),
+                        )),
+                    );
+                }
+                TrafficSpec::Greedy { src, dst, streams, start_s, stop_s } => {
+                    let mut s = sim.lock();
+                    let topo = s.topology_arc();
+                    let src = topo.lookup(src)?;
+                    let dst = topo.lookup(dst)?;
+                    s.add_process(
+                        SimTime::from_secs_f64(*start_s),
+                        Box::new(remos_net::traffic::GreedyTraffic::new(
+                            src,
+                            dst,
+                            *streams,
+                            stop_s.map(SimTime::from_secs_f64),
+                        )),
+                    );
+                }
+                TrafficSpec::Bursty { src, dst, mean_on_s, mean_off_s, seed } => {
+                    crate::synthetic::add_bursty_traffic(
+                        sim,
+                        src,
+                        dst,
+                        SimDuration::from_secs_f64(*mean_on_s),
+                        SimDuration::from_secs_f64(*mean_off_s),
+                        *seed,
+                    )?;
+                }
+                TrafficSpec::LinkDown { a, b, at_s, restore_s } => {
+                    let mut s = sim.lock();
+                    let topo = s.topology_arc();
+                    let na = topo.lookup(a)?;
+                    let nb = topo.lookup(b)?;
+                    let link = topo
+                        .neighbors(na)
+                        .iter()
+                        .find(|&&(_, n)| n == nb)
+                        .map(|&(l, _)| l)
+                        .ok_or_else(|| {
+                            ScenarioError::Invalid(format!("no link {a:?} -- {b:?}"))
+                        })?;
+                    s.schedule_link_state(SimTime::from_secs_f64(*at_s), link, false)?;
+                    if let Some(r) = restore_s {
+                        s.schedule_link_state(SimTime::from_secs_f64(*r), link, true)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Build the full [`crate::TestbedHarness`] for this scenario.
+    pub fn build_harness(&self) -> Result<crate::TestbedHarness, ScenarioError> {
+        let topo = self.build_topology()?;
+        let h = crate::TestbedHarness::new(topo);
+        self.install_traffic(&h.sim)?;
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::flow::FlowParams;
+
+    fn mini() -> Scenario {
+        Scenario {
+            name: "mini".into(),
+            nodes: vec![
+                NodeSpec { name: "a".into(), kind: "host".into(), mflops: Some(100.0), internal_mbps: None },
+                NodeSpec { name: "b".into(), kind: "host".into(), mflops: None, internal_mbps: None },
+                NodeSpec { name: "r".into(), kind: "router".into(), mflops: None, internal_mbps: Some(50.0) },
+            ],
+            links: vec![
+                LinkSpec { a: "a".into(), b: "r".into(), mbps: Some(100.0), latency_us: None },
+                LinkSpec { a: "r".into(), b: "b".into(), mbps: None, latency_us: Some(250) },
+            ],
+            traffic: vec![TrafficSpec::Cbr {
+                src: "a".into(),
+                dst: "b".into(),
+                mbps: 30.0,
+                start_s: 1.0,
+                stop_s: Some(3.0),
+            }],
+        }
+    }
+
+    #[test]
+    fn builds_topology_with_defaults() {
+        let t = mini().build_topology().unwrap();
+        assert_eq!(t.node_count(), 3);
+        let a = t.lookup("a").unwrap();
+        assert_eq!(t.node(a).compute_flops, 100e6);
+        let b = t.lookup("b").unwrap();
+        assert_eq!(t.node(b).compute_flops, calib::NODE_FLOPS);
+        let r = t.lookup("r").unwrap();
+        assert_eq!(t.node(r).internal_bw, Some(mbps(50.0)));
+        // Defaulted capacity and latency.
+        let (l0, _) = t.neighbors(a)[0];
+        assert_eq!(t.link(l0).capacity, mbps(100.0));
+    }
+
+    #[test]
+    fn traffic_installs_and_runs() {
+        let sc = mini();
+        let h = sc.build_harness().unwrap();
+        h.sim.lock().run_for(SimDuration::from_secs(5)).unwrap();
+        let s = h.sim.lock();
+        let topo = s.topology_arc();
+        let a = topo.lookup("a").unwrap();
+        let (link, _) = topo.neighbors(a)[0];
+        // CBR 30 Mbps for 2 s = 7.5 MB.
+        let octets = s.iface_out_octets(a, link);
+        assert!((octets - 7.5e6).abs() < 100.0, "{octets}");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let sc = Scenario::cmu(vec![TrafficSpec::Greedy {
+            src: "m-6".into(),
+            dst: "m-8".into(),
+            streams: 8,
+            start_s: 0.0,
+            stop_s: None,
+        }]);
+        let json = serde_json::to_string_pretty(&sc).unwrap();
+        let back: Scenario = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes.len(), 11);
+        assert_eq!(back.links.len(), 10);
+        assert_eq!(back.traffic.len(), 1);
+        back.build_topology().unwrap();
+    }
+
+    #[test]
+    fn bad_scenarios_rejected() {
+        let empty = Scenario::default();
+        assert!(empty.build_topology().is_err());
+        let mut bad_kind = mini();
+        bad_kind.nodes[0].kind = "switchboard".into();
+        assert!(matches!(bad_kind.build_topology(), Err(ScenarioError::Invalid(_))));
+        let mut bad_link = mini();
+        bad_link.links[0].a = "nope".into();
+        assert!(bad_link.build_topology().is_err());
+    }
+
+    #[test]
+    fn link_down_event_applies() {
+        let mut sc = mini();
+        sc.traffic = vec![TrafficSpec::LinkDown {
+            a: "a".into(),
+            b: "r".into(),
+            at_s: 1.0,
+            restore_s: Some(2.0),
+        }];
+        let h = sc.build_harness().unwrap();
+        let (a, b, link) = {
+            let s = h.sim.lock();
+            let topo = s.topology_arc();
+            let a = topo.lookup("a").unwrap();
+            let b = topo.lookup("b").unwrap();
+            let (link, _) = topo.neighbors(a)[0];
+            (a, b, link)
+        };
+        let mut s = h.sim.lock();
+        s.start_flow(FlowParams::cbr(a, b, mbps(10.0))).unwrap();
+        s.run_for(SimDuration::from_millis(1500)).unwrap();
+        assert!(!s.link_is_up(link));
+        assert_eq!(s.active_flow_count(), 0, "flow dies with its only route");
+        s.run_for(SimDuration::from_secs(1)).unwrap();
+        assert!(s.link_is_up(link));
+    }
+}

@@ -1,0 +1,231 @@
+//! Topology builders.
+//!
+//! [`cmu_testbed`] is the reproduction of Fig 3: "Links: 100Mbps
+//! point-to-point ethernet. Endpoints: DEC Alpha Systems (manchester-*
+//! labeled m-*). Routers: Pentium Pro PCs running NetBSD (aspen,
+//! timberline, whiteface)". The attachment layout is chosen to satisfy
+//! every constraint the paper states: the synthetic traffic route is
+//! `m-6 -> timberline -> whiteface -> m-8` (Fig 4), node selection from
+//! start node m-4 under that traffic yields {m-1, m-2, m-4, m-5}, and any
+//! node reaches any other within 3 router hops.
+
+use crate::calib;
+use remos_net::{mbps, NetError, NodeId, SimDuration, Topology, TopologyBuilder};
+
+/// Host names of the testbed, in order.
+pub const TESTBED_HOSTS: [&str; 8] =
+    ["m-1", "m-2", "m-3", "m-4", "m-5", "m-6", "m-7", "m-8"];
+
+/// Router names of the testbed.
+pub const TESTBED_ROUTERS: [&str; 3] = ["aspen", "timberline", "whiteface"];
+
+/// The CMU testbed (Fig 3): m-1..m-3 on aspen, m-4..m-6 on timberline,
+/// m-7..m-8 on whiteface; routers chained
+/// aspen — timberline — whiteface. All links 100 Mbps.
+pub fn cmu_testbed() -> Topology {
+    let mut b = TopologyBuilder::new();
+    let lat = SimDuration::from_micros(calib::HOP_LATENCY_US);
+    let hosts: Vec<NodeId> = TESTBED_HOSTS
+        .iter()
+        .map(|h| b.compute_with_speed(h, calib::NODE_FLOPS))
+        .collect();
+    let aspen = b.network("aspen");
+    let timberline = b.network("timberline");
+    let whiteface = b.network("whiteface");
+    let attach = [
+        (0, aspen),
+        (1, aspen),
+        (2, aspen),
+        (3, timberline),
+        (4, timberline),
+        (5, timberline),
+        (6, whiteface),
+        (7, whiteface),
+    ];
+    for (h, r) in attach {
+        b.link(hosts[h], r, mbps(100.0), lat).expect("host link");
+    }
+    b.link(aspen, timberline, mbps(100.0), lat).expect("backbone");
+    b.link(timberline, whiteface, mbps(100.0), lat).expect("backbone");
+    b.build().expect("testbed builds")
+}
+
+/// The Fig 1 example: compute nodes 1–8, network nodes A and B;
+/// 10 Mbps host links, a 100 Mbps A—B link, and configurable switch
+/// internal bandwidths (the figure's two interpretations).
+pub fn fig1_network(internal_bw: Option<f64>) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let lat = SimDuration::from_micros(calib::HOP_LATENCY_US);
+    let mk_switch = |b: &mut TopologyBuilder, name: &str| match internal_bw {
+        Some(bw) => b.network_with_internal_bw(name, bw),
+        None => b.network(name),
+    };
+    let a = mk_switch(&mut b, "A");
+    let bb = mk_switch(&mut b, "B");
+    for i in 1..=4 {
+        let h = b.compute(&format!("n{i}"));
+        b.link(h, a, mbps(10.0), lat).expect("host link");
+    }
+    for i in 5..=8 {
+        let h = b.compute(&format!("n{i}"));
+        b.link(h, bb, mbps(10.0), lat).expect("host link");
+    }
+    b.link(a, bb, mbps(100.0), lat).expect("backbone");
+    b.build().expect("fig1 builds")
+}
+
+/// A dumbbell: `n` hosts per side behind two routers joined by a
+/// `backbone_bps` link. Host links 100 Mbps.
+pub fn dumbbell(n: usize, backbone_bps: f64) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let lat = SimDuration::from_micros(calib::HOP_LATENCY_US);
+    let rl = b.network("left");
+    let rr = b.network("right");
+    for i in 0..n {
+        let h = b.compute_with_speed(&format!("l{i}"), calib::NODE_FLOPS);
+        b.link(h, rl, mbps(100.0), lat).expect("link");
+    }
+    for i in 0..n {
+        let h = b.compute_with_speed(&format!("r{i}"), calib::NODE_FLOPS);
+        b.link(h, rr, mbps(100.0), lat).expect("link");
+    }
+    b.link(rl, rr, backbone_bps, lat).expect("backbone");
+    b.build().expect("dumbbell builds")
+}
+
+/// A star: `n` hosts on one switch (the degenerate LAN).
+pub fn star(n: usize) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let lat = SimDuration::from_micros(calib::HOP_LATENCY_US);
+    let sw = b.network("sw");
+    for i in 0..n {
+        let h = b.compute_with_speed(&format!("h{i}"), calib::NODE_FLOPS);
+        b.link(h, sw, mbps(100.0), lat).expect("link");
+    }
+    b.build().expect("star builds")
+}
+
+/// A seeded random two-level network for scaling studies: `routers`
+/// network nodes connected by a random spanning tree plus `extra_links`
+/// shortcuts, with `hosts` compute nodes attached round-robin.
+///
+/// Deterministic in `seed` (a simple LCG — no external RNG needed here).
+pub fn random_network(
+    hosts: usize,
+    routers: usize,
+    extra_links: usize,
+    seed: u64,
+) -> Result<Topology, NetError> {
+    assert!(routers >= 1);
+    let mut b = TopologyBuilder::new();
+    let lat = SimDuration::from_micros(calib::HOP_LATENCY_US);
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = |bound: usize| -> usize {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % bound.max(1)
+    };
+    let rs: Vec<NodeId> = (0..routers).map(|i| b.network(&format!("r{i}"))).collect();
+    // Random spanning tree over routers.
+    for i in 1..routers {
+        let j = next(i);
+        b.link(rs[i], rs[j], mbps(100.0), lat)?;
+    }
+    // Shortcut links (skip duplicates silently by trying distinct pairs).
+    for _ in 0..extra_links {
+        let i = next(routers);
+        let j = next(routers);
+        if i != j {
+            let _ = b.link(rs[i], rs[j], mbps(100.0), lat);
+        }
+    }
+    for i in 0..hosts {
+        let h = b.compute_with_speed(&format!("h{i}"), calib::NODE_FLOPS);
+        b.link(h, rs[i % routers], mbps(100.0), lat)?;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::routing::Routing;
+    use remos_net::topology::NodeKind;
+
+    #[test]
+    fn testbed_matches_fig3() {
+        let t = cmu_testbed();
+        assert_eq!(t.node_count(), 11);
+        assert_eq!(t.link_count(), 10);
+        assert_eq!(t.compute_nodes().len(), 8);
+        assert_eq!(t.network_nodes().len(), 3);
+        assert!(t.is_connected());
+        // All links are 100 Mbps.
+        for l in t.link_ids() {
+            assert_eq!(t.link(l).capacity, mbps(100.0));
+        }
+    }
+
+    #[test]
+    fn testbed_traffic_route_matches_fig4() {
+        // "Traffic Route: m-6 -> timberline -> whiteface -> m-8"
+        let t = cmu_testbed();
+        let r = Routing::new(&t);
+        let m6 = t.lookup("m-6").unwrap();
+        let m8 = t.lookup("m-8").unwrap();
+        let p = r.path(&t, m6, m8).unwrap();
+        let names: Vec<&str> =
+            p.nodes.iter().map(|&n| t.node(n).name.as_str()).collect();
+        assert_eq!(names, vec!["m-6", "timberline", "whiteface", "m-8"]);
+    }
+
+    #[test]
+    fn testbed_three_hop_diameter() {
+        // "any node can be reached from any other node with at most 3
+        // hops" (router hops; i.e. ≤ 4 links).
+        let t = cmu_testbed();
+        let r = Routing::new(&t);
+        let hosts = t.compute_nodes();
+        for &a in &hosts {
+            for &b in &hosts {
+                if a != b {
+                    let p = r.path(&t, a, b).unwrap();
+                    assert!(p.hop_count() <= 4, "{:?}", p.nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let t = fig1_network(Some(mbps(10.0)));
+        assert_eq!(t.compute_nodes().len(), 8);
+        assert_eq!(t.network_nodes().len(), 2);
+        let a = t.lookup("A").unwrap();
+        assert_eq!(t.node(a).internal_bw, Some(mbps(10.0)));
+        assert_eq!(t.node(a).kind, NodeKind::Network);
+        let none = fig1_network(None);
+        assert_eq!(none.node(a).internal_bw, None);
+    }
+
+    #[test]
+    fn dumbbell_and_star() {
+        let d = dumbbell(3, mbps(10.0));
+        assert_eq!(d.compute_nodes().len(), 6);
+        assert!(d.is_connected());
+        let s = star(5);
+        assert_eq!(s.compute_nodes().len(), 5);
+        assert!(s.is_connected());
+    }
+
+    #[test]
+    fn random_network_is_connected_and_deterministic() {
+        for seed in 0..5 {
+            let t = random_network(20, 6, 4, seed).unwrap();
+            assert!(t.is_connected(), "seed {seed}");
+            assert_eq!(t.compute_nodes().len(), 20);
+        }
+        let a = random_network(10, 4, 2, 42).unwrap();
+        let b = random_network(10, 4, 2, 42).unwrap();
+        assert_eq!(a.link_count(), b.link_count());
+    }
+}

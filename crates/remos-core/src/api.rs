@@ -1,0 +1,481 @@
+//! The Remos facade: `remos_get_graph` / `remos_flow_info` as a typed API.
+//!
+//! Binds a [`Collector`] (network-oriented), the [`Modeler`]
+//! (application-oriented) and a [`Clock`] together. Queries that need
+//! fresh or windowed measurements drive the collector — and *consume
+//! measured time* doing so, which is exactly the runtime overhead the
+//! paper attributes to Remos ("the cost that an application pays in terms
+//! of runtime overhead is low and directly related to the depth and
+//! frequency of its requests").
+
+use crate::collector::{Clock, Collector};
+use crate::error::{CoreResult, RemosError};
+use crate::flows::{FlowInfoRequest, FlowInfoResponse};
+use crate::graph::{HostInfo, RemosGraph};
+use crate::modeler::{Modeler, ModelerConfig};
+use crate::timeframe::Timeframe;
+use remos_net::SimDuration;
+
+/// Remos configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RemosConfig {
+    /// Gap the facade lets pass between counter reads when it needs to
+    /// freshen measurements (the effective polling period).
+    pub poll_gap: SimDuration,
+    /// Modeler configuration.
+    pub modeler: ModelerConfig,
+}
+
+impl Default for RemosConfig {
+    fn default() -> Self {
+        RemosConfig {
+            poll_gap: SimDuration::from_millis(250),
+            modeler: ModelerConfig::default(),
+        }
+    }
+}
+
+/// The Remos query interface.
+pub struct Remos {
+    collector: Box<dyn Collector>,
+    clock: Box<dyn Clock>,
+    modeler: Modeler,
+    cfg: RemosConfig,
+}
+
+impl Remos {
+    /// Assemble the system. The collector's topology is discovered lazily
+    /// on first use (or call [`Remos::refresh_topology`]).
+    pub fn new(collector: Box<dyn Collector>, clock: Box<dyn Clock>, cfg: RemosConfig) -> Remos {
+        Remos { collector, clock, modeler: Modeler::new(cfg.modeler), cfg }
+    }
+
+    /// Re-discover the network topology (clears measurement history).
+    pub fn refresh_topology(&mut self) -> CoreResult<()> {
+        self.collector.refresh_topology()
+    }
+
+    /// Direct access to the collector (for harnesses and tests).
+    pub fn collector(&self) -> &dyn Collector {
+        &*self.collector
+    }
+
+    /// Make sure enough measurements exist for the timeframe, taking
+    /// fresh ones (and letting measured time pass) as needed.
+    fn ensure_samples(&mut self, tf: Timeframe) -> CoreResult<()> {
+        let needed = tf.min_samples(self.cfg.poll_gap);
+        if matches!(tf, Timeframe::Current) {
+            // Always measure *now*: a node-selection decision must reflect
+            // current traffic, not a stale snapshot. Measuring takes one
+            // poll gap of real (simulated) time — this is the per-decision
+            // overhead the paper reports — and the produced sample covers
+            // the interval since the previous counter read, so it includes
+            // whatever the application itself sent meanwhile (the root of
+            // the §8.3 self-traffic fallacy).
+            self.clock.advance(self.cfg.poll_gap)?;
+            if !self.collector.poll()? {
+                self.clock.advance(self.cfg.poll_gap)?;
+                if !self.collector.poll()? {
+                    return Err(RemosError::Collector(
+                        "collector produced no sample after an advance".into(),
+                    ));
+                }
+            }
+            return Ok(());
+        }
+        let mut guard = 0;
+        while self.collector.history().len() < needed {
+            guard += 1;
+            if guard > needed * 2 + 8 {
+                return Err(RemosError::Collector(format!(
+                    "could not accumulate {needed} samples"
+                )));
+            }
+            self.clock.advance(self.cfg.poll_gap)?;
+            self.collector.poll()?;
+        }
+        Ok(())
+    }
+
+    /// `remos_get_graph(nodes, graph, timeframe)`: the logical topology
+    /// relevant to `nodes`, annotated for `timeframe`.
+    pub fn get_graph(&mut self, nodes: &[&str], tf: Timeframe) -> CoreResult<RemosGraph> {
+        let names: Vec<String> = nodes.iter().map(|s| s.to_string()).collect();
+        self.ensure_samples(tf)?;
+        self.modeler.get_graph(&*self.collector, &names, tf)
+    }
+
+    /// `remos_flow_info(fixed, variable, independent, timeframe)`.
+    pub fn flow_info(
+        &mut self,
+        req: &FlowInfoRequest,
+        tf: Timeframe,
+    ) -> CoreResult<FlowInfoResponse> {
+        self.ensure_samples(tf)?;
+        self.modeler.flow_info(&*self.collector, req, tf)
+    }
+
+    /// The simple host compute/memory interface (§2).
+    pub fn host_info(&mut self, name: &str) -> CoreResult<HostInfo> {
+        if self.collector.topology().is_err() {
+            self.collector.refresh_topology()?;
+        }
+        self.collector.host_info(name)
+    }
+
+    /// The subset of `candidates` currently reachable from `anchor`
+    /// (per the collector's latest discovered view). Lets adaptation
+    /// modules shrink their node pool when the network partitions instead
+    /// of failing their graph queries.
+    pub fn reachable_peers(
+        &mut self,
+        anchor: &str,
+        candidates: &[String],
+    ) -> CoreResult<Vec<String>> {
+        if self.collector.topology().is_err() {
+            self.collector.refresh_topology()?;
+        }
+        let topo = self.collector.topology()?;
+        let a = topo
+            .lookup(anchor)
+            .map_err(|_| RemosError::UnknownNode(anchor.to_string()))?;
+        let routing = remos_net::routing::Routing::new(&topo);
+        Ok(candidates
+            .iter()
+            .filter(|c| {
+                topo.lookup(c)
+                    .map(|id| id == a || routing.path(&topo, a, id).is_ok())
+                    .unwrap_or(false)
+            })
+            .cloned()
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
+    use crate::collector::SimClock;
+    use remos_net::flow::FlowParams;
+    use remos_net::{mbps, SimDuration, Simulator, TopologyBuilder};
+    use remos_snmp::sim::{register_all_agents, share, SharedSim};
+    use remos_snmp::SimTransport;
+    use std::sync::Arc;
+
+    /// Build the full stack over a small dumbbell:
+    /// m-1, m-2 — aspen === timberline — m-3, m-4.
+    fn full_stack() -> (Remos, SharedSim) {
+        let mut b = TopologyBuilder::new();
+        let m1 = b.compute("m-1");
+        let m2 = b.compute("m-2");
+        let m3 = b.compute("m-3");
+        let m4 = b.compute("m-4");
+        let aspen = b.network("aspen");
+        let timberline = b.network("timberline");
+        let lat = SimDuration::from_micros(100);
+        b.link(m1, aspen, mbps(100.0), lat).unwrap();
+        b.link(m2, aspen, mbps(100.0), lat).unwrap();
+        b.link(aspen, timberline, mbps(100.0), lat).unwrap();
+        b.link(timberline, m3, mbps(100.0), lat).unwrap();
+        b.link(timberline, m4, mbps(100.0), lat).unwrap();
+        let sim = share(Simulator::new(b.build().unwrap()).unwrap());
+        let transport = Arc::new(SimTransport::new());
+        let agents = register_all_agents(&transport, &sim, "public");
+        let collector =
+            SnmpCollector::new(transport, agents, SnmpCollectorConfig::default());
+        let remos = Remos::new(
+            Box::new(collector),
+            Box::new(SimClock(Arc::clone(&sim))),
+            RemosConfig::default(),
+        );
+        (remos, sim)
+    }
+
+    #[test]
+    fn graph_query_discovers_logical_topology() {
+        let (mut remos, _sim) = full_stack();
+        let g = remos
+            .get_graph(&["m-1", "m-2", "m-3", "m-4"], Timeframe::Current)
+            .unwrap();
+        // Logical view keeps the two junction routers.
+        assert_eq!(g.nodes.len(), 6);
+        assert_eq!(g.links.len(), 5);
+        let m1 = g.index_of("m-1").unwrap();
+        let m3 = g.index_of("m-3").unwrap();
+        // Idle network: full capacity available.
+        let bw = g.path_avail_bw(m1, m3).unwrap();
+        assert!((bw - mbps(100.0)).abs() < mbps(1.0), "{bw}");
+    }
+
+    #[test]
+    fn two_host_query_collapses_backbone() {
+        let (mut remos, _sim) = full_stack();
+        let g = remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+        // Logical topology for two hosts: one collapsed link.
+        assert_eq!(g.nodes.len(), 2);
+        assert_eq!(g.links.len(), 1);
+        assert_eq!(g.links[0].latency, SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn graph_reflects_background_traffic() {
+        let (mut remos, sim) = full_stack();
+        {
+            let mut s = sim.lock();
+            let topo = s.topology_arc();
+            let m1 = topo.lookup("m-1").unwrap();
+            let m3 = topo.lookup("m-3").unwrap();
+            s.start_flow(FlowParams::cbr(m1, m3, mbps(60.0))).unwrap();
+            s.run_for(SimDuration::from_secs(1)).unwrap();
+        }
+        let g = remos.get_graph(&["m-2", "m-4"], Timeframe::Current).unwrap();
+        let m2 = g.index_of("m-2").unwrap();
+        let m4 = g.index_of("m-4").unwrap();
+        // The m-2 -> m-4 path shares the backbone with the 60 Mbps flow.
+        let bw = g.path_avail_bw(m2, m4).unwrap();
+        assert!((bw - mbps(40.0)).abs() < mbps(3.0), "avail {bw}");
+        // The reverse direction is idle.
+        let bw_rev = g.path_avail_bw(m4, m2).unwrap();
+        assert!(bw_rev > mbps(95.0), "{bw_rev}");
+    }
+
+    #[test]
+    fn flow_info_accounts_for_internal_sharing() {
+        let (mut remos, _sim) = full_stack();
+        // Two variable flows from m-1 and m-2 converging on m-3: they share
+        // the backbone and m-3's access link, 50 Mbps each — the classic
+        // simultaneous-query case.
+        let req = FlowInfoRequest::new()
+            .variable("m-1", "m-3", 1.0)
+            .variable("m-2", "m-3", 1.0);
+        let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+        for g in &resp.variable {
+            assert!(
+                (g.bandwidth.median - mbps(50.0)).abs() < mbps(2.0),
+                "{}",
+                g.bandwidth
+            );
+        }
+        // Queried individually, each flow would (misleadingly) see 100.
+        let alone = FlowInfoRequest::new().variable("m-1", "m-3", 1.0);
+        let r = remos.flow_info(&alone, Timeframe::Current).unwrap();
+        assert!(r.variable[0].bandwidth.median > mbps(95.0));
+    }
+
+    #[test]
+    fn flow_info_three_classes() {
+        let (mut remos, _sim) = full_stack();
+        let req = FlowInfoRequest::new()
+            .fixed("m-1", "m-3", mbps(20.0))
+            .variable("m-1", "m-3", 1.0)
+            .independent("m-2", "m-3");
+        let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+        let f = &resp.fixed[0];
+        assert!(f.fully_satisfied);
+        assert!((f.bandwidth.median - mbps(20.0)).abs() < mbps(1.0));
+        // Variable gets what's left of the shared bottleneck after fixed.
+        let v = &resp.variable[0];
+        assert!((v.bandwidth.median - mbps(80.0)).abs() < mbps(2.0), "{}", v.bandwidth);
+        // Independent shares m-3's access link residual: nothing is left
+        // after fixed (20) + variable (80) fill it.
+        let i = resp.independent.as_ref().unwrap();
+        assert!(i.bandwidth.median < mbps(2.0), "{}", i.bandwidth);
+    }
+
+    #[test]
+    fn window_query_accumulates_history() {
+        let (mut remos, _sim) = full_stack();
+        let g = remos
+            .get_graph(&["m-1", "m-3"], Timeframe::Window(SimDuration::from_secs(2)))
+            .unwrap();
+        assert!(g.links[0].avail[0].samples >= 2, "{}", g.links[0].avail[0].samples);
+    }
+
+    #[test]
+    fn future_query_uses_predictor() {
+        let (mut remos, _sim) = full_stack();
+        // Prime some history first.
+        remos
+            .get_graph(&["m-1", "m-3"], Timeframe::Window(SimDuration::from_secs(1)))
+            .unwrap();
+        let g = remos
+            .get_graph(&["m-1", "m-3"], Timeframe::Future(SimDuration::from_secs(5)))
+            .unwrap();
+        // Idle history predicts an idle future.
+        assert!(g.links[0].avail[0].median > mbps(95.0));
+    }
+
+    #[test]
+    fn flow_info_window_reports_spread() {
+        // A windowed flow query under on/off cross-traffic: grants are
+        // solved per sample, so the quartiles show the two regimes.
+        let (mut remos, sim) = full_stack();
+        {
+            let mut s = sim.lock();
+            let topo = s.topology_arc();
+            let m1 = topo.lookup("m-1").unwrap();
+            let m3 = topo.lookup("m-3").unwrap();
+            s.add_process(
+                remos_net::SimTime::ZERO,
+                Box::new(remos_net::traffic::OnOffTraffic::new(
+                    m1,
+                    m3,
+                    SimDuration::from_secs(2),
+                    SimDuration::from_secs(2),
+                    None,
+                    5,
+                )),
+            );
+            s.run_for(SimDuration::from_secs(4)).unwrap();
+        }
+        let req = FlowInfoRequest::new().independent("m-2", "m-3");
+        let resp = remos
+            .flow_info(&req, Timeframe::Window(SimDuration::from_secs(30)))
+            .unwrap();
+        let q = resp.independent.unwrap().bandwidth;
+        assert!(q.samples >= 4, "{q}");
+        // During bursts the independent flow gets ~0 of m-3's downlink;
+        // between bursts the full 100 Mbps.
+        assert!(q.max - q.min > mbps(50.0), "{q}");
+    }
+
+    #[test]
+    fn future_query_extrapolates_a_trend() {
+        use crate::modeler::predict::PredictorKind;
+        let cfg = RemosConfig {
+            poll_gap: SimDuration::from_millis(250),
+            modeler: crate::modeler::ModelerConfig {
+                predictor: PredictorKind::LinearTrend,
+                ..Default::default()
+            },
+        };
+        let (remos, sim) = full_stack();
+        let mut remos = remos;
+        // Rebuild with the trend predictor.
+        drop(remos);
+        let transport = Arc::new(SimTransport::new());
+        let agents = register_all_agents(&transport, &sim, "public2");
+        let collector = SnmpCollector::new(
+            transport,
+            agents,
+            crate::collector::snmp::SnmpCollectorConfig {
+                community: "public2".into(),
+                ..Default::default()
+            },
+        );
+        remos = Remos::new(Box::new(collector), Box::new(SimClock(Arc::clone(&sim))), cfg);
+
+        // Ramp the backbone load: each second, one more 10 Mbps stream.
+        let (m1, m3) = {
+            let s = sim.lock();
+            let t = s.topology_arc();
+            (t.lookup("m-1").unwrap(), t.lookup("m-3").unwrap())
+        };
+        for k in 0..8 {
+            {
+                let mut s = sim.lock();
+                s.start_flow(FlowParams::cbr(m1, m3, mbps(10.0))).unwrap();
+                s.run_for(SimDuration::from_secs(1)).unwrap();
+            }
+            // Sample each step so history records the ramp.
+            remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+            let _ = k;
+        }
+        // Current sees ~80 Mbps used; a trend forecast 4 s out must
+        // predict *less* available than now (load is rising).
+        let g_now = remos.get_graph(&["m-2", "m-4"], Timeframe::Current).unwrap();
+        let g_future = remos
+            .get_graph(&["m-2", "m-4"], Timeframe::Future(SimDuration::from_secs(4)))
+            .unwrap();
+        let a = g_now.index_of("m-2").unwrap();
+        let b = g_now.index_of("m-4").unwrap();
+        let now_avail = g_now.path_avail_bw(a, b).unwrap();
+        let fut_avail = g_future.path_avail_bw(a, b).unwrap();
+        assert!(
+            fut_avail < now_avail - mbps(3.0),
+            "future {fut_avail} not below current {now_avail}"
+        );
+    }
+
+    #[test]
+    fn fair_share_policy_promises_more_than_pinned() {
+        use crate::modeler::sharing::SharingPolicy;
+        // 4 greedy background flows saturate a path. Pinned: nothing left.
+        // Fair share: a new flow would claim 1/5 of the link.
+        let build = |policy| {
+            let (_, sim) = full_stack();
+            let transport = Arc::new(SimTransport::new());
+            let agents = register_all_agents(&transport, &sim, "p3");
+            let collector = SnmpCollector::new(
+                transport,
+                agents,
+                crate::collector::snmp::SnmpCollectorConfig {
+                    community: "p3".into(),
+                    ..Default::default()
+                },
+            );
+            let cfg = RemosConfig {
+                modeler: crate::modeler::ModelerConfig {
+                    sharing: policy,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let remos =
+                Remos::new(Box::new(collector), Box::new(SimClock(Arc::clone(&sim))), cfg);
+            (remos, sim)
+        };
+        let promise = |policy| {
+            let (mut remos, sim) = build(policy);
+            {
+                let mut s = sim.lock();
+                let t = s.topology_arc();
+                let m1 = t.lookup("m-1").unwrap();
+                let m3 = t.lookup("m-3").unwrap();
+                for _ in 0..4 {
+                    s.start_flow(FlowParams::greedy(m1, m3)).unwrap();
+                }
+                s.run_for(SimDuration::from_secs(1)).unwrap();
+            }
+            let req = FlowInfoRequest::new().independent("m-2", "m-3");
+            let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+            resp.independent.unwrap().bandwidth.median
+        };
+        let pinned = promise(SharingPolicy::ExternalPinned);
+        let fair = promise(SharingPolicy::ExternalFairShare);
+        assert!(pinned < mbps(2.0), "pinned promised {pinned}");
+        // Counters cannot count flows, so fair-share models the external
+        // traffic as ONE elastic aggregate: a new flow gets half the link
+        // (the simulator's per-flow truth would be 100/5 = 20 — the gap is
+        // inherent to counter-based measurement, not a bug).
+        assert!((fair - mbps(50.0)).abs() < mbps(2.0), "fair promised {fair}");
+    }
+
+    #[test]
+    fn host_info_via_snmp() {
+        let (mut remos, _sim) = full_stack();
+        let h = remos.host_info("m-1").unwrap();
+        assert!((h.compute_flops - 50e6).abs() < 1e6);
+        assert_eq!(h.memory_bytes, 256 * 1024 * 1024);
+        assert!(remos.host_info("aspen").is_err());
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let (mut remos, _sim) = full_stack();
+        assert!(matches!(
+            remos.get_graph(&["m-1", "nope"], Timeframe::Current),
+            Err(RemosError::UnknownNode(_))
+        ));
+    }
+
+    #[test]
+    fn queries_cost_measured_time() {
+        let (mut remos, sim) = full_stack();
+        let t0 = sim.lock().now();
+        remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+        let t1 = sim.lock().now();
+        assert!(t1 > t0, "a Current query must consume measurement time");
+    }
+}

@@ -1,0 +1,238 @@
+//! Collectors: the network-oriented half of the Remos implementation.
+//!
+//! "The Remos implementation has two components, a Collector and Modeler;
+//! they are responsible for network-oriented and application-oriented
+//! functionality, respectively. A Collector consists of a process that
+//! retrieves raw information about the network." (§5)
+//!
+//! Three collectors are provided, mirroring the paper:
+//! * [`snmp::SnmpCollector`] — discovers topology and polls interface
+//!   octet counters via the SNMP substrate (the paper's primary collector);
+//! * [`benchmark::BenchmarkCollector`] — actively probes host pairs with
+//!   short transfers "for environments where the use of SNMP is not
+//!   possible or practical";
+//! * [`multi::MultiCollector`] — multiple cooperating collectors, each
+//!   owning a region, merged into one view ("a large environment may
+//!   require multiple cooperating Collectors").
+
+pub mod benchmark;
+pub mod multi;
+pub mod oracle;
+pub mod snmp;
+
+use crate::error::{CoreResult, RemosError};
+use crate::graph::HostInfo;
+use remos_net::topology::{DirLink, Topology};
+use remos_net::{Bps, SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One utilization sample: per-directed-interface traffic rates observed
+/// over the interval ending at `t`.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// End of the measurement interval.
+    pub t: SimTime,
+    /// Length of the interval the rates were averaged over.
+    pub interval: SimDuration,
+    /// Utilization in bits/s, indexed by [`DirLink::index`] of the
+    /// collector's topology.
+    pub util: Box<[Bps]>,
+}
+
+impl Snapshot {
+    /// Utilization of one directed interface.
+    pub fn util_of(&self, d: DirLink) -> Bps {
+        self.util[d.index()]
+    }
+}
+
+/// Bounded history of utilization snapshots, newest last.
+#[derive(Clone, Debug)]
+pub struct SampleHistory {
+    samples: VecDeque<Snapshot>,
+    max_len: usize,
+}
+
+/// Default history bound (samples).
+pub const DEFAULT_HISTORY_LEN: usize = 512;
+
+impl Default for SampleHistory {
+    fn default() -> Self {
+        SampleHistory::new(DEFAULT_HISTORY_LEN)
+    }
+}
+
+impl SampleHistory {
+    /// History bounded to `max_len` samples.
+    pub fn new(max_len: usize) -> Self {
+        assert!(max_len > 0);
+        SampleHistory { samples: VecDeque::new(), max_len }
+    }
+
+    /// Append a snapshot, evicting the oldest if full.
+    pub fn push(&mut self, s: Snapshot) {
+        if self.samples.len() == self.max_len {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(s);
+    }
+
+    /// All samples, oldest first.
+    pub fn all(&self) -> impl Iterator<Item = &Snapshot> {
+        self.samples.iter()
+    }
+
+    /// The most recent sample.
+    pub fn latest(&self) -> Option<&Snapshot> {
+        self.samples.back()
+    }
+
+    /// Samples whose interval end lies within `window` of the latest
+    /// sample (inclusive), oldest first.
+    pub fn within(&self, window: SimDuration) -> Vec<&Snapshot> {
+        let Some(latest) = self.latest() else { return Vec::new() };
+        self.samples
+            .iter()
+            .filter(|s| latest.t.saturating_since(s.t) <= window)
+            .collect()
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples are stored.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Discard all samples (used when the topology is re-discovered and
+    /// interface indices change meaning).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+/// The collector interface the Modeler builds on.
+pub trait Collector: Send {
+    /// Discover (or re-discover) the network view. Must be called before
+    /// [`Collector::topology`]; re-discovery clears the sample history.
+    fn refresh_topology(&mut self) -> CoreResult<()>;
+
+    /// The discovered physical-view topology.
+    fn topology(&self) -> CoreResult<Arc<Topology>>;
+
+    /// Compute/memory resources of a named host, if known.
+    fn host_info(&self, name: &str) -> CoreResult<HostInfo>;
+
+    /// Take one measurement. Returns `true` if a utilization sample was
+    /// appended (the first poll after discovery only establishes a counter
+    /// baseline and returns `false`).
+    fn poll(&mut self) -> CoreResult<bool>;
+
+    /// The accumulated samples.
+    fn history(&self) -> &SampleHistory;
+
+    /// The collector's notion of the current time (from the measured
+    /// system, e.g. agent sysUpTime).
+    fn now(&self) -> CoreResult<SimTime>;
+}
+
+/// A source of unsolicited SNMP notifications (linkDown/linkUp traps).
+///
+/// Collectors that are handed a trap source re-discover the topology when
+/// a link-state trap arrives instead of waiting for the next full scan —
+/// the standard way real management systems track "networks \[whose\]
+/// topology and behavior … may even change during execution".
+pub trait TrapSource: Send {
+    /// Drain pending notifications as `(agent name, trap PDU)` pairs.
+    fn drain(&mut self) -> Vec<(String, remos_snmp::Pdu)>;
+}
+
+impl TrapSource for remos_snmp::sim::SimTrapSource {
+    fn drain(&mut self) -> Vec<(String, remos_snmp::Pdu)> {
+        remos_snmp::sim::SimTrapSource::drain(self)
+    }
+}
+
+/// True if a PDU is a linkDown or linkUp trap.
+pub fn is_link_state_trap(pdu: &remos_snmp::Pdu) -> bool {
+    use remos_snmp::oid::well_known;
+    if pdu.pdu_type != remos_snmp::PduType::TrapV2 {
+        return false;
+    }
+    pdu.bindings.iter().any(|b| {
+        b.oid == well_known::snmp_trap_oid()
+            && matches!(
+                &b.value,
+                remos_snmp::Value::ObjectId(o)
+                    if *o == well_known::link_down_trap() || *o == well_known::link_up_trap()
+            )
+    })
+}
+
+/// Something that can let measured time pass — in the simulated setting,
+/// running the network engine forward. The Remos facade uses this between
+/// counter reads; the elapsed time *is* the measurement cost the paper
+/// attributes to adaptation decisions.
+pub trait Clock: Send {
+    /// Let `d` of network time elapse.
+    fn advance(&mut self, d: SimDuration) -> CoreResult<()>;
+}
+
+/// Clock over the shared simulator.
+pub struct SimClock(pub remos_snmp::sim::SharedSim);
+
+impl Clock for SimClock {
+    fn advance(&mut self, d: SimDuration) -> CoreResult<()> {
+        self.0.lock().run_for(d).map_err(RemosError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t_secs: u64, util: &[f64]) -> Snapshot {
+        Snapshot {
+            t: SimTime::from_secs(t_secs),
+            interval: SimDuration::from_secs(1),
+            util: util.to_vec().into_boxed_slice(),
+        }
+    }
+
+    #[test]
+    fn history_bounds_and_order() {
+        let mut h = SampleHistory::new(3);
+        for i in 0..5 {
+            h.push(snap(i, &[i as f64]));
+        }
+        assert_eq!(h.len(), 3);
+        let ts: Vec<u64> = h.all().map(|s| s.t.as_nanos() / 1_000_000_000).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+        assert_eq!(h.latest().unwrap().util[0], 4.0);
+    }
+
+    #[test]
+    fn window_filtering() {
+        let mut h = SampleHistory::default();
+        for i in 0..10 {
+            h.push(snap(i, &[0.0]));
+        }
+        let recent = h.within(SimDuration::from_secs(3));
+        assert_eq!(recent.len(), 4); // t=6,7,8,9
+        assert!(h.within(SimDuration::from_secs(100)).len() == 10);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut h = SampleHistory::default();
+        h.push(snap(0, &[1.0]));
+        assert!(!h.is_empty());
+        h.clear();
+        assert!(h.is_empty());
+        assert!(h.latest().is_none());
+    }
+}

@@ -1,0 +1,198 @@
+//! Cooperating collectors (§5).
+//!
+//! "A large environment may require multiple cooperating Collectors. …
+//! we are also looking into the problem of dealing with very large
+//! networks, where multiple collectors will have to collaborate to collect
+//! the network information."
+//!
+//! [`MultiCollector`] owns several child collectors, each responsible for
+//! a region (e.g. one SNMP collector per campus subnet, a benchmark
+//! collector for the WAN in between), and merges their views: nodes are
+//! unified by name, links by endpoint-name pair (border links observed by
+//! two children are deduplicated, utilization merged by maximum), and
+//! snapshots are re-indexed into the merged topology.
+
+use crate::collector::{Collector, SampleHistory, Snapshot};
+use crate::error::{CoreResult, RemosError};
+use crate::graph::HostInfo;
+use remos_net::topology::{DirLink, NodeKind, Topology, TopologyBuilder};
+use remos_net::SimTime;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A federation of collectors presenting one merged view.
+pub struct MultiCollector {
+    children: Vec<Box<dyn Collector>>,
+    merged: Option<Merged>,
+    history: SampleHistory,
+}
+
+struct Merged {
+    topo: Arc<Topology>,
+    /// For each child: map child dir-link index -> merged dir-link index.
+    remap: Vec<Vec<usize>>,
+}
+
+impl MultiCollector {
+    /// Federate the given children. At least one is required.
+    pub fn new(children: Vec<Box<dyn Collector>>) -> Self {
+        MultiCollector { children, merged: None, history: SampleHistory::default() }
+    }
+
+    fn merge(&mut self) -> CoreResult<Merged> {
+        if self.children.is_empty() {
+            return Err(RemosError::Collector("no child collectors".into()));
+        }
+        let topos: Vec<Arc<Topology>> =
+            self.children.iter().map(|c| c.topology()).collect::<CoreResult<_>>()?;
+
+        // Union of nodes by name. Network kind wins on conflict (a border
+        // router may look like an opaque endpoint to a benchmark child).
+        let mut kinds: BTreeMap<String, NodeKind> = BTreeMap::new();
+        let mut speeds: HashMap<String, (f64, u64)> = HashMap::new();
+        for t in &topos {
+            for n in t.node_ids() {
+                let node = t.node(n);
+                let e = kinds.entry(node.name.clone()).or_insert(node.kind);
+                if node.kind == NodeKind::Network {
+                    *e = NodeKind::Network;
+                }
+                speeds
+                    .entry(node.name.clone())
+                    .or_insert((node.compute_flops, node.memory_bytes));
+            }
+        }
+        // Union of links by ordered name pair.
+        let mut edges: BTreeMap<(String, String), (f64, remos_net::SimDuration)> = BTreeMap::new();
+        for t in &topos {
+            for l in t.link_ids() {
+                let link = t.link(l);
+                let (an, bn) = (t.node(link.a).name.clone(), t.node(link.b).name.clone());
+                let key = if an < bn { (an, bn) } else { (bn, an) };
+                edges
+                    .entry(key)
+                    .and_modify(|(c, _)| *c = c.min(link.capacity))
+                    .or_insert((link.capacity, link.latency));
+            }
+        }
+        // Build merged topology.
+        let mut b = TopologyBuilder::new();
+        let mut ids = HashMap::new();
+        for (name, kind) in &kinds {
+            let id = match kind {
+                NodeKind::Network => b.network(name),
+                NodeKind::Compute => {
+                    let (flops, _mem) = speeds[name];
+                    b.compute_with_speed(name, flops)
+                }
+            };
+            ids.insert(name.clone(), id);
+        }
+        let mut link_ids = HashMap::new();
+        for ((an, bn), (cap, lat)) in &edges {
+            let id = b.link(ids[an], ids[bn], *cap, *lat).map_err(RemosError::from)?;
+            link_ids.insert((an.clone(), bn.clone()), id);
+        }
+        let topo = Arc::new(b.build().map_err(RemosError::from)?);
+
+        // Per-child dir-link remap.
+        let mut remap = Vec::with_capacity(topos.len());
+        for t in &topos {
+            let mut m = vec![usize::MAX; t.dir_link_count()];
+            for l in t.link_ids() {
+                let link = t.link(l);
+                let (an, bn) = (t.node(link.a).name.clone(), t.node(link.b).name.clone());
+                let key = if an < bn { (an.clone(), bn.clone()) } else { (bn.clone(), an.clone()) };
+                let merged_link = link_ids[&key];
+                // Directions must be matched by tail-node name, since the
+                // merged link may list endpoints in either order.
+                let merged_l = topo.link(merged_link);
+                let tail_a_name = &topo.node(merged_l.a).name;
+                for dir in [remos_net::Direction::AtoB, remos_net::Direction::BtoA] {
+                    let child_tail = t.node(link.tail(dir)).name.clone();
+                    let merged_dir = if &child_tail == tail_a_name {
+                        remos_net::Direction::AtoB
+                    } else {
+                        remos_net::Direction::BtoA
+                    };
+                    m[DirLink { link: l, dir }.index()] =
+                        DirLink { link: merged_link, dir: merged_dir }.index();
+                }
+            }
+            remap.push(m);
+        }
+        Ok(Merged { topo, remap })
+    }
+}
+
+impl Collector for MultiCollector {
+    fn refresh_topology(&mut self) -> CoreResult<()> {
+        for c in &mut self.children {
+            c.refresh_topology()?;
+        }
+        self.merged = Some(self.merge()?);
+        self.history.clear();
+        Ok(())
+    }
+
+    fn topology(&self) -> CoreResult<Arc<Topology>> {
+        self.merged
+            .as_ref()
+            .map(|m| Arc::clone(&m.topo))
+            .ok_or_else(|| RemosError::Collector("topology not discovered yet".into()))
+    }
+
+    fn host_info(&self, name: &str) -> CoreResult<HostInfo> {
+        for c in &self.children {
+            if let Ok(h) = c.host_info(name) {
+                return Ok(h);
+            }
+        }
+        Err(RemosError::UnknownNode(name.to_string()))
+    }
+
+    fn poll(&mut self) -> CoreResult<bool> {
+        if self.merged.is_none() {
+            self.refresh_topology()?;
+        }
+        let mut any = false;
+        for c in &mut self.children {
+            any |= c.poll()?;
+        }
+        if !any {
+            return Ok(false);
+        }
+        let merged = self.merged.as_ref().expect("just ensured");
+        let mut util = vec![0.0f64; merged.topo.dir_link_count()];
+        let mut t = SimTime::ZERO;
+        let mut interval = remos_net::SimDuration::ZERO;
+        let mut have_any_sample = false;
+        for (ci, c) in self.children.iter().enumerate() {
+            let Some(snap) = c.history().latest() else { continue };
+            have_any_sample = true;
+            t = t.max(snap.t);
+            interval = interval.max(snap.interval);
+            for (child_idx, &merged_idx) in merged.remap[ci].iter().enumerate() {
+                if merged_idx != usize::MAX && child_idx < snap.util.len() {
+                    util[merged_idx] = util[merged_idx].max(snap.util[child_idx]);
+                }
+            }
+        }
+        if !have_any_sample {
+            return Ok(false);
+        }
+        self.history.push(Snapshot { t, interval, util: util.into_boxed_slice() });
+        Ok(true)
+    }
+
+    fn history(&self) -> &SampleHistory {
+        &self.history
+    }
+
+    fn now(&self) -> CoreResult<SimTime> {
+        self.children
+            .first()
+            .ok_or_else(|| RemosError::Collector("no child collectors".into()))?
+            .now()
+    }
+}

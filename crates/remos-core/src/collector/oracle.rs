@@ -1,0 +1,109 @@
+//! Oracle collector: perfect, instantaneous knowledge of the simulator.
+//!
+//! Not part of the paper's system — it exists as the *ground truth*
+//! baseline for ablations (how much does SNMP sampling noise, Counter32
+//! wrap, or prediction error cost?) and for constructing hand-annotated
+//! examples like Fig 1, where the information (switch internal bandwidth)
+//! is not exposed through any MIB.
+
+use crate::collector::{Collector, SampleHistory, Snapshot};
+use crate::error::{CoreResult, RemosError};
+use crate::graph::HostInfo;
+use remos_net::topology::{DirLink, NodeKind, Topology};
+use remos_net::SimTime;
+use remos_snmp::sim::SharedSim;
+use std::sync::Arc;
+
+/// Collector that reads the simulator state directly.
+pub struct OracleCollector {
+    sim: SharedSim,
+    history: SampleHistory,
+    last_rates: Option<SimTime>,
+}
+
+impl OracleCollector {
+    /// New oracle over the shared simulator.
+    pub fn new(sim: SharedSim) -> Self {
+        OracleCollector { sim, history: SampleHistory::default(), last_rates: None }
+    }
+}
+
+impl Collector for OracleCollector {
+    fn refresh_topology(&mut self) -> CoreResult<()> {
+        self.history.clear();
+        Ok(())
+    }
+
+    fn topology(&self) -> CoreResult<Arc<Topology>> {
+        Ok(self.sim.lock().topology_arc())
+    }
+
+    fn host_info(&self, name: &str) -> CoreResult<HostInfo> {
+        let sim = self.sim.lock();
+        let topo = sim.topology();
+        let id = topo.lookup(name).map_err(RemosError::from)?;
+        let node = topo.node(id);
+        if node.kind != NodeKind::Compute {
+            return Err(RemosError::UnknownNode(name.to_string()));
+        }
+        Ok(HostInfo { compute_flops: node.compute_flops, memory_bytes: node.memory_bytes })
+    }
+
+    fn poll(&mut self) -> CoreResult<bool> {
+        let mut sim = self.sim.lock();
+        let t = sim.now();
+        let n = sim.topology().dir_link_count();
+        let mut util = Vec::with_capacity(n);
+        for i in 0..n {
+            util.push(sim.dirlink_rate(DirLink::from_index(i)));
+        }
+        let interval = match self.last_rates {
+            Some(prev) => t.saturating_since(prev),
+            None => remos_net::SimDuration::ZERO,
+        };
+        self.last_rates = Some(t);
+        self.history.push(Snapshot { t, interval, util: util.into_boxed_slice() });
+        Ok(true)
+    }
+
+    fn history(&self) -> &SampleHistory {
+        &self.history
+    }
+
+    fn now(&self) -> CoreResult<SimTime> {
+        Ok(self.sim.lock().now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::flow::FlowParams;
+    use remos_net::{mbps, SimDuration, Simulator, TopologyBuilder};
+    use remos_snmp::sim::share;
+
+    #[test]
+    fn oracle_sees_instantaneous_rates() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let r = b.network("r");
+        b.link(h1, r, mbps(100.0), SimDuration::ZERO).unwrap();
+        b.link(r, h2, mbps(100.0), SimDuration::ZERO).unwrap();
+        let sim = share(Simulator::new(b.build().unwrap()).unwrap());
+        sim.lock().start_flow(FlowParams::cbr(h1, h2, mbps(30.0))).unwrap();
+
+        let mut c = OracleCollector::new(sim);
+        assert!(c.poll().unwrap());
+        let snap = c.history().latest().unwrap();
+        let topo = c.topology().unwrap();
+        let (link, _) = topo.neighbors(h1)[0];
+        let d = DirLink { link, dir: topo.link(link).direction_from(h1) };
+        assert!((snap.util_of(d) - mbps(30.0)).abs() < 1.0);
+        // Host info comes straight from the topology.
+        let hi = c.host_info("h1").unwrap();
+        assert!(hi.compute_flops > 0.0);
+        assert!(c.host_info("r").is_err());
+        assert!(c.host_info("zz").is_err());
+    }
+}

@@ -1,0 +1,61 @@
+//! Error type for the Remos API.
+
+use std::fmt;
+
+/// Errors surfaced by Remos queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RemosError {
+    /// A queried node name is not known to the collector.
+    UnknownNode(String),
+    /// The collector could not discover or refresh its view.
+    Collector(String),
+    /// The underlying SNMP substrate failed.
+    Snmp(String),
+    /// The underlying simulator failed.
+    Net(String),
+    /// A query was malformed (empty node set, negative bandwidth, ...).
+    InvalidQuery(String),
+    /// Not enough history to answer a windowed/predictive query.
+    InsufficientHistory {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// Two queried nodes have no connecting path.
+    Disconnected(String, String),
+}
+
+/// Convenience alias.
+pub type CoreResult<T> = Result<T, RemosError>;
+
+impl fmt::Display for RemosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemosError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            RemosError::Collector(m) => write!(f, "collector error: {m}"),
+            RemosError::Snmp(m) => write!(f, "snmp error: {m}"),
+            RemosError::Net(m) => write!(f, "network error: {m}"),
+            RemosError::InvalidQuery(m) => write!(f, "invalid query: {m}"),
+            RemosError::InsufficientHistory { needed, available } => write!(
+                f,
+                "insufficient history: need {needed} samples, have {available}"
+            ),
+            RemosError::Disconnected(a, b) => write!(f, "no path between {a:?} and {b:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RemosError {}
+
+impl From<remos_snmp::SnmpError> for RemosError {
+    fn from(e: remos_snmp::SnmpError) -> Self {
+        RemosError::Snmp(e.to_string())
+    }
+}
+
+impl From<remos_net::NetError> for RemosError {
+    fn from(e: remos_net::NetError) -> Self {
+        RemosError::Net(e.to_string())
+    }
+}

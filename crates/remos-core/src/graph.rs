@@ -1,0 +1,496 @@
+//! The logical network topology returned by `remos_get_graph` (§4.3).
+//!
+//! "Remos represents the network as a graph with each edge corresponding
+//! to a link between nodes; nodes can be either compute nodes or network
+//! nodes. … Use of a logical topology graph means that the graph presented
+//! to the user is intended only to represent how the network behaves as
+//! seen by the user" — links are annotated with static capacity and
+//! dynamic available-bandwidth *statistics*, and network nodes may carry an
+//! internal bandwidth (Fig 1).
+
+use crate::error::{CoreResult, RemosError};
+use crate::stats::Quartiles;
+use remos_net::topology::NodeKind;
+use remos_net::{Bps, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Host compute/memory attributes (§2: Remos "does include a simple
+/// interface to computation and memory resources").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostInfo {
+    /// Peak floating-point rate, flops.
+    pub compute_flops: f64,
+    /// Physical memory, bytes.
+    pub memory_bytes: u64,
+}
+
+/// A node of the logical topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RemosNode {
+    /// Unique name (the API's lingua franca; applications name nodes, not
+    /// ids, exactly like the paper's `nodes = m1,m2,…`).
+    pub name: String,
+    /// Host or switch.
+    pub kind: NodeKind,
+    /// Backplane cap for network nodes (Fig 1 "internal bandwidth").
+    pub internal_bw: Option<Bps>,
+    /// Compute/memory resources for hosts.
+    pub host: Option<HostInfo>,
+}
+
+/// A logical link, annotated per direction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RemosLink {
+    /// Endpoint index into the node table.
+    pub a: usize,
+    /// Endpoint index into the node table.
+    pub b: usize,
+    /// Static capacity, bits/s (min along any collapsed physical chain).
+    pub capacity: Bps,
+    /// One-way latency (sum along any collapsed chain).
+    pub latency: SimDuration,
+    /// Available bandwidth statistics: `[a→b, b→a]`.
+    pub avail: [Quartiles; 2],
+}
+
+impl RemosLink {
+    /// Available-bandwidth summary in the direction leaving `from`
+    /// (node-table index).
+    pub fn avail_from(&self, from: usize) -> &Quartiles {
+        if from == self.a {
+            &self.avail[0]
+        } else {
+            debug_assert_eq!(from, self.b);
+            &self.avail[1]
+        }
+    }
+}
+
+/// The logical topology graph.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RemosGraph {
+    /// Nodes (hosts and switches).
+    pub nodes: Vec<RemosNode>,
+    /// Logical links.
+    pub links: Vec<RemosLink>,
+    #[serde(skip)]
+    name_index: HashMap<String, usize>,
+    #[serde(skip)]
+    adj: Vec<Vec<(usize, usize)>>, // per node: (link index, neighbor index)
+}
+
+impl RemosGraph {
+    /// Assemble a graph; builds the indices.
+    pub fn new(nodes: Vec<RemosNode>, links: Vec<RemosLink>) -> RemosGraph {
+        let mut g = RemosGraph { nodes, links, name_index: HashMap::new(), adj: Vec::new() };
+        g.rebuild_indices();
+        g
+    }
+
+    /// Rebuild the name index and adjacency (after deserialization or
+    /// mutation of `nodes`/`links`).
+    pub fn rebuild_indices(&mut self) {
+        self.name_index =
+            self.nodes.iter().enumerate().map(|(i, n)| (n.name.clone(), i)).collect();
+        self.adj = vec![Vec::new(); self.nodes.len()];
+        for (li, l) in self.links.iter().enumerate() {
+            self.adj[l.a].push((li, l.b));
+            self.adj[l.b].push((li, l.a));
+        }
+    }
+
+    /// Node index by name.
+    pub fn index_of(&self, name: &str) -> CoreResult<usize> {
+        self.name_index
+            .get(name)
+            .copied()
+            .ok_or_else(|| RemosError::UnknownNode(name.to_string()))
+    }
+
+    /// Node by name.
+    pub fn node_by_name(&self, name: &str) -> CoreResult<&RemosNode> {
+        Ok(&self.nodes[self.index_of(name)?])
+    }
+
+    /// `(link index, neighbor index)` pairs incident to node `i`.
+    pub fn neighbors(&self, i: usize) -> &[(usize, usize)] {
+        &self.adj[i]
+    }
+
+    /// All compute-node names, in node order.
+    pub fn compute_names(&self) -> Vec<&str> {
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Compute)
+            .map(|n| n.name.as_str())
+            .collect()
+    }
+
+    /// Routed path between two nodes, as a list of
+    /// `(link index, from node, to node)` steps. Hosts do not forward.
+    ///
+    /// Minimizes `(total latency, logical hop count, link index)` — a
+    /// logical link may abstract a long physical chain, so latency (which
+    /// the Modeler accumulates through collapses) is the faithful length
+    /// measure, not the logical hop count.
+    pub fn path(&self, src: usize, dst: usize) -> CoreResult<Vec<(usize, usize, usize)>> {
+        if src == dst {
+            return Ok(Vec::new());
+        }
+        let n = self.nodes.len();
+        let mut dist: Vec<(u64, u32)> = vec![(u64::MAX, u32::MAX); n];
+        let mut prev: Vec<Option<(usize, usize)>> = vec![None; n]; // (link, from)
+        let mut done = vec![false; n];
+        let mut heap: std::collections::BinaryHeap<
+            std::cmp::Reverse<(u64, u32, usize)>,
+        > = std::collections::BinaryHeap::new();
+        dist[src] = (0, 0);
+        heap.push(std::cmp::Reverse((0, 0, src)));
+        while let Some(std::cmp::Reverse((lat, hops, u))) = heap.pop() {
+            if done[u] {
+                continue;
+            }
+            done[u] = true;
+            if u != src && self.nodes[u].kind == NodeKind::Compute {
+                continue; // hosts terminate paths
+            }
+            for &(li, v) in &self.adj[u] {
+                if done[v] {
+                    continue;
+                }
+                let cand = (lat + self.links[li].latency.as_nanos(), hops + 1);
+                if cand < dist[v] {
+                    dist[v] = cand;
+                    prev[v] = Some((li, u));
+                    heap.push(std::cmp::Reverse((cand.0, cand.1, v)));
+                }
+            }
+        }
+        if dist[dst].0 == u64::MAX {
+            return Err(RemosError::Disconnected(
+                self.nodes[src].name.clone(),
+                self.nodes[dst].name.clone(),
+            ));
+        }
+        let mut steps = Vec::new();
+        let mut cur = dst;
+        while cur != src {
+            let (li, from) = prev[cur].expect("dijkstra parent chain broken");
+            steps.push((li, from, cur));
+            cur = from;
+        }
+        steps.reverse();
+        Ok(steps)
+    }
+
+    /// Available bandwidth (median) along the routed path `src → dst`:
+    /// the minimum of the per-link directional medians, further capped by
+    /// any switch internal bandwidth on the path.
+    pub fn path_avail_bw(&self, src: usize, dst: usize) -> CoreResult<Bps> {
+        let steps = self.path(src, dst)?;
+        let mut bw = f64::INFINITY;
+        for &(li, from, to) in &steps {
+            bw = bw.min(self.links[li].avail_from(from).median);
+            if to != dst {
+                if let Some(ib) = self.nodes[to].internal_bw {
+                    bw = bw.min(ib);
+                }
+            }
+        }
+        Ok(bw)
+    }
+
+    /// One-way latency along the routed path.
+    pub fn path_latency(&self, src: usize, dst: usize) -> CoreResult<SimDuration> {
+        let steps = self.path(src, dst)?;
+        let mut total = SimDuration::ZERO;
+        for &(li, _, _) in &steps {
+            total += self.links[li].latency;
+        }
+        Ok(total)
+    }
+
+    /// The pair of compute nodes with the highest available bandwidth
+    /// between them — §4.3's motivating example for exposing topology:
+    /// "finding the pair of nodes with the highest bandwidth connectivity
+    /// would be expensive if only flow-based queries were allowed."
+    /// Returns `(src index, dst index, bandwidth)` over ordered pairs;
+    /// `None` if fewer than two hosts are connected.
+    pub fn best_connected_pair(&self) -> Option<(usize, usize, Bps)> {
+        let hosts: Vec<usize> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.kind == NodeKind::Compute)
+            .map(|(i, _)| i)
+            .collect();
+        let mut best: Option<(usize, usize, Bps)> = None;
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b {
+                    continue;
+                }
+                let Ok(bw) = self.path_avail_bw(a, b) else { continue };
+                match best {
+                    Some((_, _, bb)) if bw <= bb => {}
+                    _ => best = Some((a, b, bw)),
+                }
+            }
+        }
+        best
+    }
+
+    /// Render as Graphviz DOT: hosts as boxes, switches as ellipses,
+    /// links labelled `avail/capacity` (median, Mbps). Handy for
+    /// visualizing what an application actually sees.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("graph remos {\n  overlap=false;\n");
+        for n in &self.nodes {
+            let shape = match n.kind {
+                NodeKind::Compute => "box",
+                NodeKind::Network => "ellipse",
+            };
+            let extra = match n.internal_bw {
+                Some(bw) => format!("\\n[{:.0} Mbps backplane]", bw / 1e6),
+                None => String::new(),
+            };
+            let _ = writeln!(s, "  \"{}\" [shape={shape} label=\"{}{extra}\"];", n.name, n.name);
+        }
+        for l in &self.links {
+            let _ = writeln!(
+                s,
+                "  \"{}\" -- \"{}\" [label=\"{:.0}/{:.0} Mbps\"];",
+                self.nodes[l.a].name,
+                self.nodes[l.b].name,
+                l.avail[0].median.min(l.avail[1].median) / 1e6,
+                l.capacity / 1e6,
+            );
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Pairwise communication *distance* matrix over the named nodes —
+    /// the clustering input (§7.3: "The logical topology graph is used to
+    /// compute a matrix representing distance between all pairs of
+    /// nodes"). Distance is `1 / available-bandwidth` plus a latency term
+    /// weighted by `latency_weight` (the paper's testbed uses
+    /// bandwidth-only distances: pass 0.0).
+    pub fn distance_matrix(
+        &self,
+        names: &[String],
+        latency_weight: f64,
+    ) -> CoreResult<Vec<Vec<f64>>> {
+        let idx: Vec<usize> =
+            names.iter().map(|n| self.index_of(n)).collect::<CoreResult<_>>()?;
+        let k = idx.len();
+        let mut m = vec![vec![0.0; k]; k];
+        for i in 0..k {
+            for j in 0..k {
+                if i == j {
+                    continue;
+                }
+                let bw = self.path_avail_bw(idx[i], idx[j])?;
+                let lat = self.path_latency(idx[i], idx[j])?.as_secs_f64();
+                let bw_term = if bw <= 0.0 { f64::INFINITY } else { 1.0 / bw };
+                m[i][j] = bw_term + latency_weight * lat;
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::mbps;
+
+    /// Fig-1-shaped helper: hosts h0..h3 on switch A, h4..h7 on switch B,
+    /// A—B backbone. `avail` sets every link's available bandwidth.
+    pub(crate) fn two_switch_graph(internal_bw: Option<Bps>, avail: Bps) -> RemosGraph {
+        let mut nodes = Vec::new();
+        for i in 0..8 {
+            nodes.push(RemosNode {
+                name: format!("h{i}"),
+                kind: NodeKind::Compute,
+                internal_bw: None,
+                host: Some(HostInfo { compute_flops: 50e6, memory_bytes: 1 << 28 }),
+            });
+        }
+        for s in ["A", "B"] {
+            nodes.push(RemosNode {
+                name: s.to_string(),
+                kind: NodeKind::Network,
+                internal_bw,
+                host: None,
+            });
+        }
+        let mut links = Vec::new();
+        let mk = |a: usize, b: usize, cap: f64, av: f64| RemosLink {
+            a,
+            b,
+            capacity: cap,
+            latency: SimDuration::from_micros(50),
+            avail: [Quartiles::exact(av), Quartiles::exact(av)],
+        };
+        for h in 0..4 {
+            links.push(mk(h, 8, mbps(10.0), avail.min(mbps(10.0))));
+        }
+        for h in 4..8 {
+            links.push(mk(h, 9, mbps(10.0), avail.min(mbps(10.0))));
+        }
+        links.push(mk(8, 9, mbps(100.0), avail));
+        RemosGraph::new(nodes, links)
+    }
+
+    #[test]
+    fn lookup_and_neighbors() {
+        let g = two_switch_graph(None, mbps(10.0));
+        let a = g.index_of("A").unwrap();
+        assert_eq!(g.neighbors(a).len(), 5);
+        assert!(g.index_of("zz").is_err());
+        assert_eq!(g.compute_names().len(), 8);
+    }
+
+    #[test]
+    fn path_across_switches() {
+        let g = two_switch_graph(None, mbps(10.0));
+        let h0 = g.index_of("h0").unwrap();
+        let h5 = g.index_of("h5").unwrap();
+        let p = g.path(h0, h5).unwrap();
+        assert_eq!(p.len(), 3); // h0-A, A-B, B-h5
+        assert_eq!(g.path(h0, h0).unwrap().len(), 0);
+        assert_eq!(
+            g.path_latency(h0, h5).unwrap(),
+            SimDuration::from_micros(150)
+        );
+    }
+
+    #[test]
+    fn hosts_do_not_forward_in_logical_graph() {
+        // h0 - h1 - h2 chain of hosts: no path h0 -> h2.
+        let nodes: Vec<RemosNode> = (0..3)
+            .map(|i| RemosNode {
+                name: format!("h{i}"),
+                kind: NodeKind::Compute,
+                internal_bw: None,
+                host: None,
+            })
+            .collect();
+        let l = |a, b| RemosLink {
+            a,
+            b,
+            capacity: mbps(10.0),
+            latency: SimDuration::ZERO,
+            avail: [Quartiles::exact(mbps(10.0)), Quartiles::exact(mbps(10.0))],
+        };
+        let g = RemosGraph::new(nodes, vec![l(0, 1), l(1, 2)]);
+        assert!(g.path(0, 1).is_ok());
+        assert!(matches!(g.path(0, 2), Err(RemosError::Disconnected(_, _))));
+    }
+
+    #[test]
+    fn fig1_fast_switches_links_bottleneck() {
+        // Fig 1, first interpretation: switches at 100 Mbps internal, host
+        // links 10 Mbps => pair bandwidth limited by access links to 10.
+        let g = two_switch_graph(Some(mbps(100.0)), mbps(100.0));
+        let h0 = g.index_of("h0").unwrap();
+        let h5 = g.index_of("h5").unwrap();
+        assert!((g.path_avail_bw(h0, h5).unwrap() - mbps(10.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn fig1_slow_switches_become_bottleneck() {
+        // Fig 1, second interpretation: switches at 10 Mbps internal would
+        // cap *aggregate*; for a single path the min is still 10, but a
+        // 5 Mbps switch shows through the path bound.
+        let g = two_switch_graph(Some(mbps(5.0)), mbps(100.0));
+        let h0 = g.index_of("h0").unwrap();
+        let h5 = g.index_of("h5").unwrap();
+        assert!((g.path_avail_bw(h0, h5).unwrap() - mbps(5.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn distance_matrix_orders_pairs() {
+        let g = two_switch_graph(None, mbps(10.0));
+        let names: Vec<String> = ["h0", "h1", "h4"].iter().map(|s| s.to_string()).collect();
+        let m = g.distance_matrix(&names, 0.0).unwrap();
+        assert_eq!(m[0][0], 0.0);
+        // Same available bandwidth everywhere: all pair distances equal.
+        assert!((m[0][1] - m[0][2]).abs() < 1e-15);
+        // With a latency term, the cross-switch pair is farther.
+        let ml = g.distance_matrix(&names, 1.0).unwrap();
+        assert!(ml[0][2] > ml[0][1]);
+    }
+
+    #[test]
+    fn best_connected_pair_prefers_clean_paths() {
+        let mut g = two_switch_graph(None, mbps(10.0));
+        // Load every access link except h2's and h3's.
+        for (li, l) in g.links.iter_mut().enumerate() {
+            if li != 2 && li != 3 && li < 8 {
+                l.avail = [Quartiles::exact(mbps(1.0)), Quartiles::exact(mbps(1.0))];
+            }
+        }
+        g.rebuild_indices();
+        let (a, b, bw) = g.best_connected_pair().unwrap();
+        let names = [&g.nodes[a].name, &g.nodes[b].name];
+        assert!(names.contains(&&"h2".to_string()) && names.contains(&&"h3".to_string()), "{names:?}");
+        assert!((bw - mbps(10.0)).abs() < 1.0);
+        // Degenerate: single host.
+        let lone = RemosGraph::new(
+            vec![RemosNode {
+                name: "x".into(),
+                kind: NodeKind::Compute,
+                internal_bw: None,
+                host: None,
+            }],
+            vec![],
+        );
+        assert!(lone.best_connected_pair().is_none());
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let g = two_switch_graph(Some(mbps(10.0)), mbps(8.0));
+        let dot = g.to_dot();
+        assert!(dot.starts_with("graph remos {"));
+        assert!(dot.contains("\"h0\" [shape=box"));
+        assert!(dot.contains("\"A\" [shape=ellipse"));
+        assert!(dot.contains("10 Mbps backplane"));
+        assert!(dot.contains("\"h0\" -- \"A\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn serde_roundtrip_and_reindex() {
+        let g = two_switch_graph(None, mbps(10.0));
+        let json = serde_json::to_string(&g).unwrap();
+        let mut back: RemosGraph = serde_json::from_str(&json).unwrap();
+        // Indices are skipped by serde; rebuild and verify behaviour.
+        back.rebuild_indices();
+        let a = back.index_of("h0").unwrap();
+        let b = back.index_of("h5").unwrap();
+        assert_eq!(
+            back.path_avail_bw(a, b).unwrap(),
+            g.path_avail_bw(g.index_of("h0").unwrap(), g.index_of("h5").unwrap()).unwrap()
+        );
+        assert_eq!(back.nodes.len(), g.nodes.len());
+        assert!(back.node_by_name("A").unwrap().kind == NodeKind::Network);
+    }
+
+    #[test]
+    fn directional_annotation() {
+        let mut g = two_switch_graph(None, mbps(10.0));
+        // Make the backbone asymmetric: A->B busy, B->A idle.
+        let backbone = g.links.len() - 1;
+        g.links[backbone].avail = [Quartiles::exact(mbps(2.0)), Quartiles::exact(mbps(90.0))];
+        g.rebuild_indices();
+        let h0 = g.index_of("h0").unwrap();
+        let h5 = g.index_of("h5").unwrap();
+        assert!((g.path_avail_bw(h0, h5).unwrap() - mbps(2.0)).abs() < 1.0);
+        assert!((g.path_avail_bw(h5, h0).unwrap() - mbps(10.0)).abs() < 1.0);
+    }
+}

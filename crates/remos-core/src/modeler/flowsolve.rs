@@ -1,0 +1,336 @@
+//! The flow-query solver (§4.2): fixed, then variable, then independent.
+//!
+//! All flows of one request share a single resource model, so internal
+//! sharing between the application's own connections is captured
+//! ("Remos resolves this problem by supporting queries … simultaneously
+//! for a set of flows"). Resources are the logical directed links plus
+//! capped switch backplanes; the solver runs once per history sample, and
+//! the caller summarizes grants into quartiles.
+
+use crate::error::{CoreResult, RemosError};
+use crate::graph::RemosGraph;
+use crate::modeler::sharing::SharingPolicy;
+use remos_net::maxmin::{self, FlowSpec};
+use remos_net::Bps;
+
+/// The static resource model extracted from a logical graph: per-resource
+/// capacities and per-flow resource paths.
+pub struct ResourceModel {
+    /// Capacity of each resource (2 per logical link, then one per capped
+    /// switch backplane).
+    pub capacities: Vec<Bps>,
+    /// For each logical dir-link resource, the logical link index and
+    /// direction slot (0 = a→b, 1 = b→a); backplane resources map to the
+    /// node index.
+    pub n_dir_links: usize,
+}
+
+impl ResourceModel {
+    /// Build the model from a logical graph. Dir-link resource `2*l + s`
+    /// covers link `l` direction slot `s`.
+    pub fn from_graph(g: &RemosGraph) -> ResourceModel {
+        let n_dir_links = g.links.len() * 2;
+        let mut capacities: Vec<Bps> = Vec::with_capacity(n_dir_links + 4);
+        for l in &g.links {
+            capacities.push(l.capacity);
+            capacities.push(l.capacity);
+        }
+        for n in &g.nodes {
+            if let Some(bw) = n.internal_bw {
+                capacities.push(bw);
+            }
+        }
+        ResourceModel { capacities, n_dir_links }
+    }
+
+    /// Resource indices crossed by the routed path `src → dst` in `g`
+    /// (node-table indices). Includes backplane resources of interior
+    /// capped switches.
+    pub fn path_resources(
+        &self,
+        g: &RemosGraph,
+        src: usize,
+        dst: usize,
+    ) -> CoreResult<Vec<usize>> {
+        let steps = g.path(src, dst)?;
+        let mut res = Vec::with_capacity(steps.len() + 2);
+        // Backplane resource index of node i = n_dir_links + rank of i
+        // among capped nodes.
+        let backplane_rank = |node: usize| -> Option<usize> {
+            g.nodes[node].internal_bw?;
+            let rank = g.nodes[..node]
+                .iter()
+                .filter(|n| n.internal_bw.is_some())
+                .count();
+            Some(self.n_dir_links + rank)
+        };
+        for (k, &(li, from, to)) in steps.iter().enumerate() {
+            let slot = if from == g.links[li].a { 0 } else { 1 };
+            res.push(li * 2 + slot);
+            let is_last = k == steps.len() - 1;
+            if !is_last {
+                if let Some(r) = backplane_rank(to) {
+                    res.push(r);
+                }
+            }
+        }
+        Ok(res)
+    }
+}
+
+/// One flow class to solve in a stage.
+pub struct StageFlow {
+    /// Resource indices (from [`ResourceModel::path_resources`]).
+    pub resources: Vec<usize>,
+    /// Max-min weight.
+    pub weight: f64,
+    /// Optional cap (fixed flows' requested bandwidth).
+    pub cap: Option<Bps>,
+}
+
+/// Per-sample solver state: capacities shrink as stages grant bandwidth.
+pub struct SampleSolver {
+    /// Remaining capacity per resource.
+    residual: Vec<Bps>,
+    /// External elastic competitors' remaining caps per resource
+    /// (fair-share policy only).
+    external_caps: Option<Vec<Bps>>,
+}
+
+impl SampleSolver {
+    /// Initialize from static capacities and one utilization sample
+    /// (`util[r]` = measured external traffic on resource `r`; resources
+    /// beyond the measured set — e.g. backplanes — carry zero).
+    pub fn new(
+        model: &ResourceModel,
+        util: &[Bps],
+        policy: SharingPolicy,
+    ) -> CoreResult<SampleSolver> {
+        if util.len() > model.capacities.len() {
+            return Err(RemosError::Collector(format!(
+                "sample has {} entries for {} resources",
+                util.len(),
+                model.capacities.len()
+            )));
+        }
+        let take = |r: usize| -> Bps { util.get(r).copied().unwrap_or(0.0) };
+        match policy {
+            SharingPolicy::ExternalPinned => {
+                // External traffic is subtracted up front.
+                let residual = model
+                    .capacities
+                    .iter()
+                    .enumerate()
+                    .map(|(r, &c)| (c - take(r)).max(0.0))
+                    .collect();
+                Ok(SampleSolver { residual, external_caps: None })
+            }
+            SharingPolicy::ExternalFairShare => {
+                let external =
+                    (0..model.capacities.len()).map(|r| take(r).min(model.capacities[r])).collect();
+                Ok(SampleSolver {
+                    residual: model.capacities.clone(),
+                    external_caps: Some(external),
+                })
+            }
+        }
+    }
+
+    /// Solve one stage simultaneously, consuming capacity. Returns the
+    /// granted rate per flow, in input order.
+    pub fn solve_stage(&mut self, flows: &[StageFlow]) -> Vec<Bps> {
+        if flows.is_empty() {
+            return Vec::new();
+        }
+        let mut specs: Vec<FlowSpec> = flows
+            .iter()
+            .map(|f| FlowSpec { weight: f.weight, cap: f.cap, resources: f.resources.clone() })
+            .collect();
+        let n_query = specs.len();
+        // Under fair sharing, external aggregates compete in every stage
+        // but can only shrink (their cap is last round's grant).
+        if let Some(ext) = &self.external_caps {
+            for (r, &cap) in ext.iter().enumerate() {
+                if cap > 0.0 {
+                    specs.push(FlowSpec { weight: 1.0, cap: Some(cap), resources: vec![r] });
+                }
+            }
+        }
+        let alloc = maxmin::solve(&self.residual, &specs);
+        // Update external caps to their granted rates.
+        if let Some(ext) = &mut self.external_caps {
+            let mut k = n_query;
+            for cap in ext.iter_mut() {
+                if *cap > 0.0 {
+                    *cap = alloc.rates[k].min(*cap);
+                    k += 1;
+                }
+            }
+        }
+        // Consume query-flow grants from residual capacity; external
+        // grants are *not* consumed (they re-compete next stage at their
+        // shrunken cap).
+        for (i, f) in flows.iter().enumerate() {
+            let r = alloc.rates[i];
+            if r.is_finite() {
+                for &res in &f.resources {
+                    self.residual[res] = (self.residual[res] - r).max(0.0);
+                }
+            }
+        }
+        alloc.rates[..n_query]
+            .iter()
+            .map(|&r| if r.is_finite() { r } else { f64::INFINITY })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{RemosGraph, RemosLink, RemosNode};
+    use crate::stats::Quartiles;
+    use remos_net::topology::NodeKind;
+    use remos_net::{mbps, SimDuration};
+
+    /// h0 — sw — h1 and h2 — sw (star), 100 Mbps logical links.
+    fn star_graph(internal_bw: Option<f64>) -> RemosGraph {
+        let mut nodes: Vec<RemosNode> = (0..3)
+            .map(|i| RemosNode {
+                name: format!("h{i}"),
+                kind: NodeKind::Compute,
+                internal_bw: None,
+                host: None,
+            })
+            .collect();
+        nodes.push(RemosNode {
+            name: "sw".into(),
+            kind: NodeKind::Network,
+            internal_bw,
+            host: None,
+        });
+        let links = (0..3)
+            .map(|h| RemosLink {
+                a: h,
+                b: 3,
+                capacity: mbps(100.0),
+                latency: SimDuration::from_micros(50),
+                avail: [Quartiles::exact(mbps(100.0)), Quartiles::exact(mbps(100.0))],
+            })
+            .collect();
+        RemosGraph::new(nodes, links)
+    }
+
+    #[test]
+    fn path_resources_directional() {
+        let g = star_graph(None);
+        let m = ResourceModel::from_graph(&g);
+        assert_eq!(m.capacities.len(), 6);
+        let r01 = m.path_resources(&g, 0, 1).unwrap();
+        // h0->sw on link 0 slot a->b (h0 is `a`), sw->h1 on link 1 slot b->a.
+        assert_eq!(r01, vec![0, 3]);
+        let r10 = m.path_resources(&g, 1, 0).unwrap();
+        assert_eq!(r10, vec![2, 1]);
+    }
+
+    #[test]
+    fn backplane_resource_appended() {
+        let g = star_graph(Some(mbps(10.0)));
+        let m = ResourceModel::from_graph(&g);
+        assert_eq!(m.capacities.len(), 7);
+        assert_eq!(m.capacities[6], mbps(10.0));
+        let r = m.path_resources(&g, 0, 1).unwrap();
+        assert_eq!(r, vec![0, 6, 3]);
+    }
+
+    #[test]
+    fn pinned_policy_subtracts_external() {
+        let g = star_graph(None);
+        let m = ResourceModel::from_graph(&g);
+        // 60 Mbps external on resource 0 (h0's uplink).
+        let mut util = vec![0.0; 6];
+        util[0] = mbps(60.0);
+        let mut s = SampleSolver::new(&m, &util, SharingPolicy::ExternalPinned).unwrap();
+        let flow = StageFlow {
+            resources: m.path_resources(&g, 0, 1).unwrap(),
+            weight: 1.0,
+            cap: None,
+        };
+        let grants = s.solve_stage(&[flow]);
+        assert!((grants[0] - mbps(40.0)).abs() < 1.0, "{}", grants[0]);
+    }
+
+    #[test]
+    fn fair_share_policy_splits_with_external() {
+        let g = star_graph(None);
+        let m = ResourceModel::from_graph(&g);
+        let mut util = vec![0.0; 6];
+        util[0] = mbps(60.0);
+        let mut s = SampleSolver::new(&m, &util, SharingPolicy::ExternalFairShare).unwrap();
+        let flow = StageFlow {
+            resources: m.path_resources(&g, 0, 1).unwrap(),
+            weight: 1.0,
+            cap: None,
+        };
+        let grants = s.solve_stage(&[flow]);
+        // Elastic external backs off to a fair 50/50 split.
+        assert!((grants[0] - mbps(50.0)).abs() < 1.0, "{}", grants[0]);
+    }
+
+    #[test]
+    fn staged_grants_consume_capacity() {
+        let g = star_graph(None);
+        let m = ResourceModel::from_graph(&g);
+        let util = vec![0.0; 6];
+        let mut s = SampleSolver::new(&m, &util, SharingPolicy::ExternalPinned).unwrap();
+        let path = m.path_resources(&g, 0, 1).unwrap();
+        // Fixed stage: 30 Mbps.
+        let fixed = StageFlow { resources: path.clone(), weight: 1.0, cap: Some(mbps(30.0)) };
+        let g1 = s.solve_stage(&[fixed]);
+        assert!((g1[0] - mbps(30.0)).abs() < 1.0);
+        // Independent stage on the same path: gets the remaining 70.
+        let indep = StageFlow { resources: path, weight: 1.0, cap: None };
+        let g2 = s.solve_stage(&[indep]);
+        assert!((g2[0] - mbps(70.0)).abs() < 1.0, "{}", g2[0]);
+    }
+
+    #[test]
+    fn paper_variable_example_through_stage() {
+        // §4.2: weights 3 : 4.5 : 9 over a 5.5 Mbps bottleneck → 1 : 1.5 : 3.
+        let g = star_graph(None);
+        let mut m = ResourceModel::from_graph(&g);
+        // Make h2's downlink (resource 5: link 2 slot b->a) the 5.5 Mbps
+        // bottleneck; all three flows converge on h2.
+        m.capacities[5] = mbps(5.5);
+        let util = vec![0.0; 6];
+        let mut s = SampleSolver::new(&m, &util, SharingPolicy::ExternalPinned).unwrap();
+        let path0 = m.path_resources(&g, 0, 2).unwrap();
+        let path1 = m.path_resources(&g, 1, 2).unwrap();
+        let flows = vec![
+            StageFlow { resources: path0.clone(), weight: 3.0, cap: None },
+            StageFlow { resources: path1, weight: 4.5, cap: None },
+            StageFlow { resources: path0, weight: 9.0, cap: None },
+        ];
+        let grants = s.solve_stage(&flows);
+        assert!((grants[0] - mbps(1.0)).abs() < 1e3, "{:?}", grants);
+        assert!((grants[1] - mbps(1.5)).abs() < 1e3);
+        assert!((grants[2] - mbps(3.0)).abs() < 1e3);
+    }
+
+    #[test]
+    fn oversubscribed_fixed_flows_share_fairly() {
+        let g = star_graph(None);
+        let m = ResourceModel::from_graph(&g);
+        let util = vec![0.0; 6];
+        let mut s = SampleSolver::new(&m, &util, SharingPolicy::ExternalPinned).unwrap();
+        let path = m.path_resources(&g, 0, 1).unwrap();
+        // Two fixed flows of 80 Mbps each on a 100 Mbps path: each gets 50.
+        let flows = vec![
+            StageFlow { resources: path.clone(), weight: 1.0, cap: Some(mbps(80.0)) },
+            StageFlow { resources: path, weight: 1.0, cap: Some(mbps(80.0)) },
+        ];
+        let grants = s.solve_stage(&flows);
+        assert!((grants[0] - mbps(50.0)).abs() < 1.0);
+        assert!((grants[1] - mbps(50.0)).abs() < 1.0);
+    }
+}

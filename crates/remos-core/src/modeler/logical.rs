@@ -1,0 +1,280 @@
+//! Logical-topology generation (§4.3).
+//!
+//! "Use of a logical topology graph means that the graph presented to the
+//! user is intended only to represent how the network behaves as seen by
+//! the user … if the routing rules imply that a physical link will not be
+//! used … that information is reflected in the graph. Similarly, if two
+//! sets of hosts are connected by a complex network (e.g. the Internet),
+//! Remos can represent this network by a single link with appropriate
+//! characteristics."
+//!
+//! Concretely, given the physical view and a target node set:
+//! 1. keep only the links and nodes that routing actually uses between
+//!    targets (information hiding);
+//! 2. collapse every chain of degree-2 non-target forwarding nodes into a
+//!    single logical link (capacity = min, latency = sum), remembering the
+//!    underlying physical interfaces so dynamic annotations stay
+//!    per-sample accurate.
+
+use crate::error::{CoreResult, RemosError};
+use remos_net::routing::Routing;
+use remos_net::topology::{DirLink, LinkId, NodeId, NodeKind, Topology};
+use remos_net::{Bps, SimDuration};
+use std::collections::BTreeSet;
+
+/// A logical link between two retained nodes, with its physical support.
+#[derive(Clone, Debug)]
+pub struct LogicalLinkSpec {
+    /// Retained endpoint (physical node id).
+    pub a: NodeId,
+    /// Retained endpoint (physical node id).
+    pub b: NodeId,
+    /// Static capacity: minimum along the collapsed chain.
+    pub capacity: Bps,
+    /// Latency: sum along the collapsed chain.
+    pub latency: SimDuration,
+    /// Underlying physical directed interfaces: `[a→b order, b→a order]`.
+    pub phys: [Vec<DirLink>; 2],
+}
+
+/// The structure of a logical topology, before dynamic annotation.
+#[derive(Clone, Debug)]
+pub struct LogicalStructure {
+    /// Retained physical node ids, sorted.
+    pub nodes: Vec<NodeId>,
+    /// Logical links between retained nodes.
+    pub links: Vec<LogicalLinkSpec>,
+}
+
+/// Compute the logical structure connecting `targets`.
+///
+/// Every target must be a compute node; pairs with no route produce
+/// [`RemosError::Disconnected`].
+pub fn logicalize(
+    topo: &Topology,
+    routing: &Routing,
+    targets: &[NodeId],
+) -> CoreResult<LogicalStructure> {
+    if targets.is_empty() {
+        return Err(RemosError::InvalidQuery("empty node set".into()));
+    }
+    let mut target_set = BTreeSet::new();
+    for &t in targets {
+        if topo.try_node(t).is_err() {
+            return Err(RemosError::Net(format!("node {t:?} out of range")));
+        }
+        target_set.insert(t);
+    }
+
+    // 1. Union of links used by routed paths between all target pairs.
+    let mut used_links: BTreeSet<LinkId> = BTreeSet::new();
+    let mut used_nodes: BTreeSet<NodeId> = target_set.clone();
+    for &s in &target_set {
+        for &d in &target_set {
+            if s >= d {
+                continue;
+            }
+            let path = routing.path(topo, s, d).map_err(|_| {
+                RemosError::Disconnected(topo.node(s).name.clone(), topo.node(d).name.clone())
+            })?;
+            for h in &path.hops {
+                used_links.insert(h.link);
+            }
+            for n in &path.nodes {
+                used_nodes.insert(*n);
+            }
+        }
+    }
+
+    // Induced adjacency over used links.
+    let mut adj: Vec<Vec<LinkId>> = vec![Vec::new(); topo.node_count()];
+    for &l in &used_links {
+        let link = topo.link(l);
+        adj[link.a.index()].push(l);
+        adj[link.b.index()].push(l);
+    }
+
+    // 2. Retained nodes: targets, compute nodes, or network nodes of
+    //    induced degree != 2 (junctions). Degree-2 non-target network
+    //    nodes are pure forwarders and get collapsed.
+    let keep = |n: NodeId| -> bool {
+        target_set.contains(&n)
+            || topo.node(n).kind == NodeKind::Compute
+            || adj[n.index()].len() != 2
+    };
+    let kept: Vec<NodeId> = used_nodes.iter().copied().filter(|&n| keep(n)).collect();
+
+    // Walk chains from each kept node; each chain is emitted once (from
+    // its lexicographically smaller traversal signature).
+    let mut links = Vec::new();
+    let mut visited_first_hop: BTreeSet<(NodeId, LinkId)> = BTreeSet::new();
+    for &start in &kept {
+        for &first in &adj[start.index()] {
+            if visited_first_hop.contains(&(start, first)) {
+                continue;
+            }
+            // Traverse to the next kept node.
+            let mut fwd: Vec<DirLink> = Vec::new();
+            let mut capacity = f64::INFINITY;
+            let mut latency = SimDuration::ZERO;
+            let mut at = start;
+            let mut via = first;
+            loop {
+                let link = topo.link(via);
+                let dir = link.direction_from(at);
+                fwd.push(DirLink { link: via, dir });
+                capacity = capacity.min(link.capacity);
+                latency += link.latency;
+                let next = link.opposite(at);
+                if keep(next) {
+                    // Mark both traversal entries so the chain is not
+                    // emitted again from the far side.
+                    visited_first_hop.insert((start, first));
+                    visited_first_hop.insert((next, via));
+                    let rev: Vec<DirLink> = fwd
+                        .iter()
+                        .rev()
+                        .map(|d| DirLink { link: d.link, dir: d.dir.reverse() })
+                        .collect();
+                    links.push(LogicalLinkSpec {
+                        a: start,
+                        b: next,
+                        capacity,
+                        latency,
+                        phys: [fwd, rev],
+                    });
+                    break;
+                }
+                // Degree-2 forwarder: continue out the other side.
+                let out = adj[next.index()]
+                    .iter()
+                    .copied()
+                    .find(|&l| l != via)
+                    .expect("degree-2 node must have a second used link");
+                at = next;
+                via = out;
+            }
+        }
+    }
+
+    Ok(LogicalStructure { nodes: kept, links })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::{mbps, TopologyBuilder};
+
+    /// h1 - r1 - r2 - r3 - h2, with a spur r2 - h3 and an unused link
+    /// r1 - r4 - r3 (longer, never routed).
+    fn chain_net() -> (Topology, Routing) {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let h3 = b.compute("h3");
+        let r1 = b.network("r1");
+        let r2 = b.network("r2");
+        let r3 = b.network("r3");
+        let r4 = b.network("r4");
+        let lat = SimDuration::from_micros(100);
+        b.link(h1, r1, mbps(100.0), lat).unwrap();
+        b.link(r1, r2, mbps(40.0), lat).unwrap();
+        b.link(r2, r3, mbps(100.0), lat).unwrap();
+        b.link(r3, h2, mbps(100.0), lat).unwrap();
+        b.link(r2, h3, mbps(100.0), lat).unwrap();
+        b.link(r1, r4, mbps(100.0), lat).unwrap();
+        b.link(r4, r3, mbps(100.0), lat).unwrap();
+        let t = b.build().unwrap();
+        let r = Routing::new(&t);
+        (t, r)
+    }
+
+    #[test]
+    fn two_targets_collapse_to_single_link() {
+        let (t, r) = chain_net();
+        let h1 = t.lookup("h1").unwrap();
+        let h2 = t.lookup("h2").unwrap();
+        let s = logicalize(&t, &r, &[h1, h2]).unwrap();
+        // Just the two hosts, joined by one logical link.
+        assert_eq!(s.nodes, vec![h1, h2]);
+        assert_eq!(s.links.len(), 1);
+        let l = &s.links[0];
+        assert_eq!(l.capacity, mbps(40.0)); // min along the chain
+        assert_eq!(l.latency, SimDuration::from_micros(400)); // 4 hops
+        assert_eq!(l.phys[0].len(), 4);
+        assert_eq!(l.phys[1].len(), 4);
+        // Reverse support mirrors forward support.
+        for (f, rv) in l.phys[0].iter().zip(l.phys[1].iter().rev()) {
+            assert_eq!(f.link, rv.link);
+            assert_eq!(f.dir, rv.dir.reverse());
+        }
+    }
+
+    #[test]
+    fn junction_is_retained() {
+        let (t, r) = chain_net();
+        let h1 = t.lookup("h1").unwrap();
+        let h2 = t.lookup("h2").unwrap();
+        let h3 = t.lookup("h3").unwrap();
+        let s = logicalize(&t, &r, &[h1, h2, h3]).unwrap();
+        // r2 is a junction (degree 3 in the induced graph) and survives;
+        // r1 and r3 collapse.
+        let r2 = t.lookup("r2").unwrap();
+        assert!(s.nodes.contains(&r2));
+        assert!(!s.nodes.contains(&t.lookup("r1").unwrap()));
+        assert!(!s.nodes.contains(&t.lookup("r3").unwrap()));
+        assert_eq!(s.nodes.len(), 4); // h1, h2, h3, r2
+        assert_eq!(s.links.len(), 3); // three collapsed spokes
+        // Unused detour r4 is hidden.
+        assert!(s.links.iter().all(|l| {
+            l.phys[0]
+                .iter()
+                .all(|d| t.link(d.link).a != t.lookup("r4").unwrap()
+                    && t.link(d.link).b != t.lookup("r4").unwrap())
+        }));
+    }
+
+    #[test]
+    fn single_target_yields_no_links() {
+        let (t, r) = chain_net();
+        let h1 = t.lookup("h1").unwrap();
+        let s = logicalize(&t, &r, &[h1]).unwrap();
+        assert_eq!(s.nodes, vec![h1]);
+        assert!(s.links.is_empty());
+    }
+
+    #[test]
+    fn empty_targets_rejected() {
+        let (t, r) = chain_net();
+        assert!(matches!(
+            logicalize(&t, &r, &[]),
+            Err(RemosError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_targets_reported() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let t = b.build().unwrap();
+        let r = Routing::new(&t);
+        assert!(matches!(
+            logicalize(&t, &r, &[h1, h2]),
+            Err(RemosError::Disconnected(_, _))
+        ));
+    }
+
+    #[test]
+    fn direct_neighbors_keep_one_physical_hop() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        b.link(h1, h2, mbps(10.0), SimDuration::from_micros(5)).unwrap();
+        let t = b.build().unwrap();
+        let r = Routing::new(&t);
+        let s = logicalize(&t, &r, &[h1, h2]).unwrap();
+        assert_eq!(s.links.len(), 1);
+        assert_eq!(s.links[0].phys[0].len(), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! The Modeler: the application-oriented half of Remos (§5).
+//!
+//! "The Modeler is a library that can be linked with applications. It
+//! satisfies application requests based on the information provided by the
+//! Collector. The primary tasks of the modeler are as follows: generating
+//! a logical topology, associating appropriate static and dynamic
+//! information with each of the network components, and satisfying flow
+//! requests based on the logical topology."
+
+pub mod flowsolve;
+pub mod logical;
+pub mod predict;
+pub mod sharing;
+
+use crate::collector::Collector;
+use crate::error::{CoreResult, RemosError};
+use crate::flows::{FlowGrant, FlowInfoRequest, FlowInfoResponse};
+use crate::graph::{RemosGraph, RemosLink, RemosNode};
+use crate::stats::Quartiles;
+use crate::timeframe::Timeframe;
+use flowsolve::{ResourceModel, SampleSolver, StageFlow};
+use logical::LogicalStructure;
+use predict::{predict, PredictorKind};
+use remos_net::routing::Routing;
+use remos_net::topology::{NodeId, Topology};
+use remos_net::{Bps, SimTime};
+use sharing::SharingPolicy;
+use std::sync::Arc;
+
+/// Modeler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelerConfig {
+    /// Predictor used for `Timeframe::Future` queries.
+    pub predictor: PredictorKind,
+    /// How external traffic competes with queried flows.
+    pub sharing: SharingPolicy,
+}
+
+impl Default for ModelerConfig {
+    fn default() -> Self {
+        ModelerConfig {
+            predictor: PredictorKind::WindowMean,
+            sharing: SharingPolicy::default(),
+        }
+    }
+}
+
+/// The Modeler.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Modeler {
+    /// Configuration.
+    pub cfg: ModelerConfig,
+}
+
+/// A set of per-physical-dirlink utilization samples selected for a query.
+struct SelectedSamples {
+    /// (sample end time, utilization per physical dir-link index).
+    samples: Vec<(SimTime, Vec<Bps>)>,
+}
+
+impl Modeler {
+    /// Modeler with explicit configuration.
+    pub fn new(cfg: ModelerConfig) -> Modeler {
+        Modeler { cfg }
+    }
+
+    fn resolve_names(topo: &Topology, names: &[String]) -> CoreResult<Vec<NodeId>> {
+        names
+            .iter()
+            .map(|n| topo.lookup(n).map_err(|_| RemosError::UnknownNode(n.clone())))
+            .collect()
+    }
+
+    /// Pick (or synthesize) the utilization samples a timeframe refers to.
+    fn select_samples(
+        &self,
+        col: &dyn Collector,
+        n_phys_dirlinks: usize,
+        tf: Timeframe,
+    ) -> CoreResult<SelectedSamples> {
+        let history = col.history();
+        let pad = |u: &[Bps]| -> Vec<Bps> {
+            let mut v = u.to_vec();
+            v.resize(n_phys_dirlinks, 0.0);
+            v
+        };
+        match tf {
+            Timeframe::Current => {
+                let latest = history.latest().ok_or(RemosError::InsufficientHistory {
+                    needed: 1,
+                    available: 0,
+                })?;
+                Ok(SelectedSamples { samples: vec![(latest.t, pad(&latest.util))] })
+            }
+            Timeframe::Window(w) => {
+                let samples: Vec<(SimTime, Vec<Bps>)> =
+                    history.within(w).iter().map(|s| (s.t, pad(&s.util))).collect();
+                if samples.is_empty() {
+                    return Err(RemosError::InsufficientHistory { needed: 1, available: 0 });
+                }
+                Ok(SelectedSamples { samples })
+            }
+            Timeframe::Future(h) => {
+                if history.is_empty() {
+                    return Err(RemosError::InsufficientHistory { needed: 2, available: 0 });
+                }
+                let t_last = history.latest().expect("non-empty").t;
+                let mut util = vec![0.0; n_phys_dirlinks];
+                for (d, u) in util.iter_mut().enumerate() {
+                    let series: Vec<(SimTime, f64)> = history
+                        .all()
+                        .map(|s| (s.t, s.util.get(d).copied().unwrap_or(0.0)))
+                        .collect();
+                    *u = predict(self.cfg.predictor, &series, h);
+                }
+                Ok(SelectedSamples { samples: vec![(t_last + h, util)] })
+            }
+        }
+    }
+
+    /// Per-sample *availability* of one logical direction: the minimum
+    /// over its physical chain of `capacity - utilization`, clamped to 0.
+    fn logical_avail(
+        topo: &Topology,
+        phys: &[remos_net::topology::DirLink],
+        util: &[Bps],
+    ) -> Bps {
+        phys.iter()
+            .map(|d| {
+                let cap = topo.link(d.link).capacity;
+                (cap - util.get(d.index()).copied().unwrap_or(0.0)).max(0.0)
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Build the annotated logical topology for `names` — the
+    /// implementation of `remos_get_graph(nodes, graph, timeframe)`.
+    pub fn get_graph(
+        &self,
+        col: &dyn Collector,
+        names: &[String],
+        tf: Timeframe,
+    ) -> CoreResult<RemosGraph> {
+        let topo = col.topology()?;
+        let targets = Self::resolve_names(&topo, names)?;
+        let routing = Routing::new(&topo);
+        let structure = logical::logicalize(&topo, &routing, &targets)?;
+        let selected = self.select_samples(col, topo.dir_link_count(), tf)?;
+
+        // Node table: retained physical nodes, in order.
+        let mut nodes = Vec::with_capacity(structure.nodes.len());
+        let mut index_of = std::collections::HashMap::new();
+        for (i, &nid) in structure.nodes.iter().enumerate() {
+            let n = topo.node(nid);
+            nodes.push(RemosNode {
+                name: n.name.clone(),
+                kind: n.kind,
+                internal_bw: n.internal_bw,
+                host: col.host_info(&n.name).ok(),
+            });
+            index_of.insert(nid, i);
+        }
+        let mut links = Vec::with_capacity(structure.links.len());
+        for spec in &structure.links {
+            let mut avail = [Quartiles::exact(0.0), Quartiles::exact(0.0)];
+            for (slot, a) in avail.iter_mut().enumerate() {
+                let samples: Vec<Bps> = selected
+                    .samples
+                    .iter()
+                    .map(|(_, util)| Self::logical_avail(&topo, &spec.phys[slot], util))
+                    .collect();
+                *a = Quartiles::from_samples(&samples)
+                    .unwrap_or_else(|| Quartiles::exact(spec.capacity));
+            }
+            links.push(RemosLink {
+                a: index_of[&spec.a],
+                b: index_of[&spec.b],
+                capacity: spec.capacity,
+                latency: spec.latency,
+                avail,
+            });
+        }
+        Ok(RemosGraph::new(nodes, links))
+    }
+
+    /// Answer a flow query — the implementation of
+    /// `remos_flow_info(fixed_flows, variable_flows, independent_flow,
+    /// timeframe)`.
+    pub fn flow_info(
+        &self,
+        col: &dyn Collector,
+        req: &FlowInfoRequest,
+        tf: Timeframe,
+    ) -> CoreResult<FlowInfoResponse> {
+        if req.flow_count() == 0 {
+            return Ok(FlowInfoResponse { fixed: Vec::new(), variable: Vec::new(), independent: None });
+        }
+        for f in &req.fixed {
+            if f.requested <= 0.0 || !f.requested.is_finite() {
+                return Err(RemosError::InvalidQuery(format!(
+                    "fixed flow bandwidth {}",
+                    f.requested
+                )));
+            }
+        }
+        for v in &req.variable {
+            if v.relative_bw <= 0.0 || !v.relative_bw.is_finite() {
+                return Err(RemosError::InvalidQuery(format!(
+                    "variable flow weight {}",
+                    v.relative_bw
+                )));
+            }
+        }
+        // The relevant node set is every endpoint mentioned.
+        let mut names: Vec<String> = req
+            .all_endpoints()
+            .iter()
+            .flat_map(|e| [e.src.clone(), e.dst.clone()])
+            .collect();
+        names.sort();
+        names.dedup();
+        for e in req.all_endpoints() {
+            if e.src == e.dst {
+                return Err(RemosError::InvalidQuery(format!(
+                    "flow with identical endpoints {:?}",
+                    e.src
+                )));
+            }
+        }
+
+        let graph = self.get_graph_structure(col, &names)?;
+        let (topo, structure, logical_graph) = graph;
+        let selected = self.select_samples(col, topo.dir_link_count(), tf)?;
+        let model = ResourceModel::from_graph(&logical_graph);
+
+        // Resolve per-flow paths once (routing is static).
+        let resolve = |src: &str, dst: &str| -> CoreResult<(Vec<usize>, usize, usize)> {
+            let s = logical_graph.index_of(src)?;
+            let d = logical_graph.index_of(dst)?;
+            Ok((model.path_resources(&logical_graph, s, d)?, s, d))
+        };
+        let fixed_paths: Vec<(Vec<usize>, usize, usize)> = req
+            .fixed
+            .iter()
+            .map(|f| resolve(&f.endpoints.src, &f.endpoints.dst))
+            .collect::<CoreResult<_>>()?;
+        let variable_paths: Vec<(Vec<usize>, usize, usize)> = req
+            .variable
+            .iter()
+            .map(|f| resolve(&f.endpoints.src, &f.endpoints.dst))
+            .collect::<CoreResult<_>>()?;
+        let independent_path = req
+            .independent
+            .as_ref()
+            .map(|e| resolve(&e.src, &e.dst))
+            .transpose()?;
+
+        // Solve per sample.
+        let n_flows = req.flow_count();
+        let mut grants: Vec<Vec<Bps>> = vec![Vec::with_capacity(selected.samples.len()); n_flows];
+        for (_, util_phys) in &selected.samples {
+            // Translate physical utilization into resource-space
+            // utilization: util_res = cap_logical - avail_logical.
+            let mut util_res = vec![0.0; model.capacities.len()];
+            for (li, spec) in structure.links.iter().enumerate() {
+                for slot in 0..2 {
+                    let avail = Self::logical_avail(&topo, &spec.phys[slot], util_phys);
+                    util_res[li * 2 + slot] = (spec.capacity - avail).max(0.0);
+                }
+            }
+            let mut solver = SampleSolver::new(&model, &util_res, self.cfg.sharing)?;
+            let mut k = 0;
+            // Stage 1: fixed.
+            let fixed_stage: Vec<StageFlow> = req
+                .fixed
+                .iter()
+                .zip(&fixed_paths)
+                .map(|(f, (res, _, _))| StageFlow {
+                    resources: res.clone(),
+                    weight: 1.0,
+                    cap: Some(f.requested),
+                })
+                .collect();
+            for g in solver.solve_stage(&fixed_stage) {
+                grants[k].push(g);
+                k += 1;
+            }
+            // Stage 2: variable.
+            let var_stage: Vec<StageFlow> = req
+                .variable
+                .iter()
+                .zip(&variable_paths)
+                .map(|(f, (res, _, _))| StageFlow {
+                    resources: res.clone(),
+                    weight: f.relative_bw,
+                    cap: None,
+                })
+                .collect();
+            for g in solver.solve_stage(&var_stage) {
+                grants[k].push(g);
+                k += 1;
+            }
+            // Stage 3: independent.
+            if let Some((res, _, _)) = &independent_path {
+                let stage =
+                    vec![StageFlow { resources: res.clone(), weight: 1.0, cap: None }];
+                grants[k].push(solver.solve_stage(&stage)[0]);
+            }
+        }
+
+        // Summarize.
+        let mut k = 0;
+        let mut grant_for = |endpoints: &crate::flows::FlowEndpoints,
+                             path: &(Vec<usize>, usize, usize),
+                             requested: Option<Bps>|
+         -> CoreResult<FlowGrant> {
+            let bw = Quartiles::from_samples(&grants[k])
+                .unwrap_or_else(|| Quartiles::exact(0.0));
+            k += 1;
+            let latency = logical_graph.path_latency(path.1, path.2)?;
+            let fully = match requested {
+                Some(r) => grants[k - 1].iter().all(|&g| g >= r * (1.0 - 1e-9)),
+                None => true,
+            };
+            Ok(FlowGrant {
+                endpoints: endpoints.clone(),
+                bandwidth: bw,
+                latency,
+                fully_satisfied: fully,
+            })
+        };
+        let fixed = req
+            .fixed
+            .iter()
+            .zip(&fixed_paths)
+            .map(|(f, p)| grant_for(&f.endpoints, p, Some(f.requested)))
+            .collect::<CoreResult<Vec<_>>>()?;
+        let variable = req
+            .variable
+            .iter()
+            .zip(&variable_paths)
+            .map(|(f, p)| grant_for(&f.endpoints, p, None))
+            .collect::<CoreResult<Vec<_>>>()?;
+        let independent = match (&req.independent, &independent_path) {
+            (Some(e), Some(p)) => Some(grant_for(e, p, None)?),
+            _ => None,
+        };
+        Ok(FlowInfoResponse { fixed, variable, independent })
+    }
+
+    /// Shared structural step: logical structure + a bare (statically
+    /// annotated) logical graph whose node table the solver indexes.
+    #[allow(clippy::type_complexity)]
+    fn get_graph_structure(
+        &self,
+        col: &dyn Collector,
+        names: &[String],
+    ) -> CoreResult<(Arc<Topology>, LogicalStructure, RemosGraph)> {
+        let topo = col.topology()?;
+        let targets = Self::resolve_names(&topo, names)?;
+        let routing = Routing::new(&topo);
+        let structure = logical::logicalize(&topo, &routing, &targets)?;
+        let mut nodes = Vec::with_capacity(structure.nodes.len());
+        let mut index_of = std::collections::HashMap::new();
+        for (i, &nid) in structure.nodes.iter().enumerate() {
+            let n = topo.node(nid);
+            nodes.push(RemosNode {
+                name: n.name.clone(),
+                kind: n.kind,
+                internal_bw: n.internal_bw,
+                host: None,
+            });
+            index_of.insert(nid, i);
+        }
+        let links = structure
+            .links
+            .iter()
+            .map(|spec| RemosLink {
+                a: index_of[&spec.a],
+                b: index_of[&spec.b],
+                capacity: spec.capacity,
+                latency: spec.latency,
+                avail: [Quartiles::exact(spec.capacity), Quartiles::exact(spec.capacity)],
+            })
+            .collect();
+        let g = RemosGraph::new(nodes, links);
+        Ok((topo, structure, g))
+    }
+}

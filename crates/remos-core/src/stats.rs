@@ -1,0 +1,276 @@
+//! Statistical measures.
+//!
+//! "Remos reports all quantities as a set of probabilistic quartile
+//! measures along with a measure of estimation accuracy" (§4). Variance is
+//! deliberately avoided: it "is only meaningful when applied to a normally
+//! distributed random variable", and available-bandwidth measurements
+//! under bursty cross-traffic are typically bimodal or otherwise
+//! asymmetric. Quartiles are "the best choice for an unknown data
+//! distribution" [Jain 91].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A five-number quartile summary with mean, sample count and an
+/// estimation-accuracy measure.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Quartiles {
+    /// Minimum observed value.
+    pub min: f64,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Arithmetic mean (supplementary; quartiles are primary).
+    pub mean: f64,
+    /// Number of samples summarized.
+    pub samples: usize,
+    /// Estimation accuracy in [0, 1]: how trustworthy the summary is.
+    /// Derived from sample count and relative dispersion — a single
+    /// measurement, or a wildly spread one, scores low.
+    pub accuracy: f64,
+}
+
+/// Linear-interpolation percentile of a sorted slice (R-7, the spreadsheet
+/// convention).
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    debug_assert!((0.0..=1.0).contains(&p));
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let h = p * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+impl Quartiles {
+    /// Summarize a set of samples. Returns `None` for an empty set.
+    pub fn from_samples(samples: &[f64]) -> Option<Quartiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered non-finite"));
+        let n = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / n as f64;
+        let q = Quartiles {
+            min: sorted[0],
+            q1: percentile_sorted(&sorted, 0.25),
+            median: percentile_sorted(&sorted, 0.50),
+            q3: percentile_sorted(&sorted, 0.75),
+            max: sorted[n - 1],
+            mean,
+            samples: n,
+            accuracy: Self::accuracy_for(&sorted, mean),
+        };
+        Some(q)
+    }
+
+    /// Summary of a single known value (degenerate distribution, e.g. a
+    /// static link capacity or a `Current` timeframe reading).
+    pub fn exact(v: f64) -> Quartiles {
+        Quartiles {
+            min: v,
+            q1: v,
+            median: v,
+            q3: v,
+            max: v,
+            mean: v,
+            samples: 1,
+            accuracy: 1.0,
+        }
+    }
+
+    fn accuracy_for(sorted: &[f64], mean: f64) -> f64 {
+        let n = sorted.len();
+        if n == 1 {
+            // One dynamic measurement: low confidence by construction.
+            return 0.25;
+        }
+        let iqr = percentile_sorted(sorted, 0.75) - percentile_sorted(sorted, 0.25);
+        let scale = mean.abs().max(f64::MIN_POSITIVE);
+        let dispersion = (iqr / scale).min(1.0);
+        // More samples raise confidence; relative dispersion lowers it.
+        let count_term = 1.0 - 1.0 / (n as f64).sqrt();
+        (count_term * (1.0 - 0.5 * dispersion)).clamp(0.0, 1.0)
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Map every quantile through a monotone non-decreasing function
+    /// (e.g. convert utilization to available bandwidth, clamp at zero).
+    pub fn map_monotone(&self, f: impl Fn(f64) -> f64) -> Quartiles {
+        Quartiles {
+            min: f(self.min),
+            q1: f(self.q1),
+            median: f(self.median),
+            q3: f(self.q3),
+            max: f(self.max),
+            mean: f(self.mean),
+            samples: self.samples,
+            accuracy: self.accuracy,
+        }
+    }
+
+    /// Map through a monotone *decreasing* function, flipping the order of
+    /// the quantiles so min stays min.
+    pub fn map_antitone(&self, f: impl Fn(f64) -> f64) -> Quartiles {
+        Quartiles {
+            min: f(self.max),
+            q1: f(self.q3),
+            median: f(self.median),
+            q3: f(self.q1),
+            max: f(self.min),
+            mean: f(self.mean),
+            samples: self.samples,
+            accuracy: self.accuracy,
+        }
+    }
+}
+
+impl fmt::Display for Quartiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:.3e} | {:.3e} | {:.3e} | {:.3e} | {:.3e}] (n={}, acc={:.2})",
+            self.min, self.q1, self.median, self.q3, self.max, self.samples, self.accuracy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_quartiles() {
+        let q = Quartiles::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.min, 1.0);
+        assert_eq!(q.q1, 2.0);
+        assert_eq!(q.median, 3.0);
+        assert_eq!(q.q3, 4.0);
+        assert_eq!(q.max, 5.0);
+        assert_eq!(q.mean, 3.0);
+        assert_eq!(q.samples, 5);
+    }
+
+    #[test]
+    fn unordered_input() {
+        let q = Quartiles::from_samples(&[5.0, 1.0, 3.0, 2.0, 4.0]).unwrap();
+        assert_eq!(q.median, 3.0);
+    }
+
+    #[test]
+    fn empty_and_nonfinite() {
+        assert!(Quartiles::from_samples(&[]).is_none());
+        assert!(Quartiles::from_samples(&[f64::NAN, f64::INFINITY]).is_none());
+        let q = Quartiles::from_samples(&[f64::NAN, 2.0]).unwrap();
+        assert_eq!(q.samples, 1);
+        assert_eq!(q.median, 2.0);
+    }
+
+    #[test]
+    fn single_sample_has_low_accuracy() {
+        let q = Quartiles::from_samples(&[7.0]).unwrap();
+        assert_eq!(q.min, 7.0);
+        assert_eq!(q.max, 7.0);
+        assert!(q.accuracy < 0.5);
+        assert_eq!(Quartiles::exact(7.0).accuracy, 1.0);
+    }
+
+    #[test]
+    fn accuracy_grows_with_samples_and_shrinks_with_spread() {
+        let tight: Vec<f64> = (0..50).map(|i| 100.0 + (i % 3) as f64).collect();
+        let loose: Vec<f64> = (0..50).map(|i| ((i * 37) % 100) as f64 * 2.0).collect();
+        let qa = Quartiles::from_samples(&tight).unwrap();
+        let qb = Quartiles::from_samples(&loose).unwrap();
+        assert!(qa.accuracy > qb.accuracy, "{} vs {}", qa.accuracy, qb.accuracy);
+        let few = Quartiles::from_samples(&tight[..4]).unwrap();
+        assert!(qa.accuracy > few.accuracy);
+    }
+
+    #[test]
+    fn bimodal_distribution_is_captured() {
+        // 50/50 bursty link: 0 or 100 Mbps. Mean says 50; quartiles show
+        // the truth — this is the paper's §4.4 motivating example.
+        let samples: Vec<f64> =
+            (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 100e6 }).collect();
+        let q = Quartiles::from_samples(&samples).unwrap();
+        assert_eq!(q.min, 0.0);
+        assert_eq!(q.max, 100e6);
+        assert_eq!(q.q1, 0.0);
+        assert_eq!(q.q3, 100e6);
+        assert!((q.mean - 50e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn monotone_maps() {
+        let q = Quartiles::from_samples(&[10.0, 20.0, 30.0]).unwrap();
+        let doubled = q.map_monotone(|v| v * 2.0);
+        assert_eq!(doubled.min, 20.0);
+        assert_eq!(doubled.max, 60.0);
+        // available = capacity - utilization is antitone in utilization.
+        let avail = q.map_antitone(|u| 100.0 - u);
+        assert_eq!(avail.min, 70.0);
+        assert_eq!(avail.max, 90.0);
+        assert!(avail.min <= avail.q1 && avail.q1 <= avail.median);
+        assert!(avail.median <= avail.q3 && avail.q3 <= avail.max);
+    }
+
+    #[test]
+    fn iqr() {
+        let q = Quartiles::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(q.iqr(), 2.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn quantiles_are_ordered(samples in prop::collection::vec(-1e9..1e9f64, 1..200)) {
+                let q = Quartiles::from_samples(&samples).unwrap();
+                prop_assert!(q.min <= q.q1);
+                prop_assert!(q.q1 <= q.median);
+                prop_assert!(q.median <= q.q3);
+                prop_assert!(q.q3 <= q.max);
+                prop_assert!(q.min <= q.mean && q.mean <= q.max + 1e-9);
+                prop_assert!((0.0..=1.0).contains(&q.accuracy));
+            }
+
+            #[test]
+            fn permutation_invariant(mut samples in prop::collection::vec(-1e6..1e6f64, 2..50)) {
+                let q1 = Quartiles::from_samples(&samples).unwrap();
+                samples.reverse();
+                let q2 = Quartiles::from_samples(&samples).unwrap();
+                prop_assert_eq!(q1, q2);
+            }
+
+            #[test]
+            fn bounds_are_tight(samples in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+                let q = Quartiles::from_samples(&samples).unwrap();
+                let lo = samples.iter().copied().fold(f64::MAX, f64::min);
+                let hi = samples.iter().copied().fold(f64::MIN, f64::max);
+                prop_assert_eq!(q.min, lo);
+                prop_assert_eq!(q.max, hi);
+            }
+        }
+    }
+}

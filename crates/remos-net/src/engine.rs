@@ -1,0 +1,1040 @@
+//! The fluid flow-level discrete-event simulator.
+//!
+//! Between events every active flow has a constant rate — the weighted
+//! max-min fair allocation over all directed link interfaces and capped
+//! switch backplanes. Events are: a bounded flow finishing its volume, a
+//! scheduled traffic process firing, or the caller's time horizon. Octet
+//! counters (the SNMP agents' data source) advance analytically between
+//! events, so simulating 900 testbed-seconds of Airshed costs only as many
+//! rate recomputations as there are flow arrivals and departures.
+
+use crate::error::{NetError, Result};
+use crate::flow::{FlowParams, FlowRecord, FlowTag};
+use crate::maxmin::{self, FlowSpec};
+use crate::routing::{Path, Routing};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{DirLink, NodeId, NodeKind, Topology};
+use crate::units::Bps;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+
+/// Handle to an active flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowHandle(pub(crate) u64);
+
+/// Identifies a registered traffic process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ProcessId(usize);
+
+/// A scheduled traffic process (on-off sources, arrival generators, ...).
+///
+/// The engine calls [`TrafficProcess::fire`] at each scheduled time; the
+/// process manipulates flows through the [`ProcessCtx`] and returns the next
+/// time it wants to fire (or `None` to finish).
+pub trait TrafficProcess: Send {
+    /// React to the scheduled instant `now`, returning the next fire time.
+    fn fire(&mut self, now: SimTime, ctx: &mut ProcessCtx<'_>) -> Option<SimTime>;
+}
+
+/// The restricted engine API handed to firing traffic processes.
+///
+/// Actions are queued and applied by the engine after the process returns;
+/// flow handles are assigned eagerly so a process can remember the flows it
+/// started and stop them on a later fire.
+pub struct ProcessCtx<'a> {
+    actions: &'a mut Vec<ProcessAction>,
+    next_id: u64,
+}
+
+enum ProcessAction {
+    Start(FlowParams, u64),
+    Stop(FlowHandle),
+    NotifyWhenComplete(Vec<FlowHandle>),
+}
+
+impl ProcessCtx<'_> {
+    /// Queue a flow start; returns the handle the flow will receive.
+    pub fn start_flow(&mut self, params: FlowParams) -> FlowHandle {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.actions.push(ProcessAction::Start(params, id));
+        FlowHandle(id)
+    }
+
+    /// Queue a flow stop.
+    pub fn stop_flow(&mut self, h: FlowHandle) {
+        self.actions.push(ProcessAction::Stop(h));
+    }
+
+    /// Ask the engine to fire this process again once every listed flow
+    /// has finished (completed, been stopped, or been killed by a link
+    /// failure). Lets processes implement synchronous communication
+    /// phases. The process is kept alive even if `fire` returns `None`.
+    pub fn notify_when_complete(&mut self, flows: Vec<FlowHandle>) {
+        self.actions.push(ProcessAction::NotifyWhenComplete(flows));
+    }
+}
+
+struct ActiveFlow {
+    params: FlowParams,
+    /// Resource indices (dir-links, then backplanes) this flow loads.
+    resources: Vec<usize>,
+    path: Path,
+    rate: Bps,
+    remaining: f64, // bytes; f64::INFINITY for persistent flows
+    bytes_sent: f64,
+    started: SimTime,
+    /// Predicted completion given the current rate.
+    eta: SimTime,
+}
+
+/// Per-interface counters; indexed by [`DirLink::index`].
+#[derive(Clone, Debug, Default)]
+pub struct IfaceCounters {
+    /// Exact delivered octets per directed interface.
+    pub octets: Vec<f64>,
+}
+
+/// A link state transition that occurred in the simulation — the source
+/// of SNMP linkDown/linkUp traps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkEvent {
+    /// When the transition happened.
+    pub t: SimTime,
+    /// The affected link.
+    pub link: crate::topology::LinkId,
+    /// New state.
+    pub up: bool,
+}
+
+/// The simulator.
+///
+/// ```
+/// use remos_net::{Simulator, TopologyBuilder, mbps, SimDuration, SimTime};
+/// use remos_net::flow::FlowParams;
+///
+/// let mut b = TopologyBuilder::new();
+/// let h1 = b.compute("h1");
+/// let h2 = b.compute("h2");
+/// b.link(h1, h2, mbps(8.0), SimDuration::from_micros(10)).unwrap();
+/// let mut sim = Simulator::new(b.build().unwrap()).unwrap();
+///
+/// // 1 MB at 8 Mbit/s takes exactly 1 second.
+/// let f = sim.start_flow(FlowParams::bulk(h1, h2, 1_000_000)).unwrap();
+/// let records = sim.run_until_flows_complete(&[f]).unwrap();
+/// assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6);
+/// assert!(records[0].completed);
+/// ```
+pub struct Simulator {
+    topo: Arc<Topology>,
+    routing: Arc<Routing>,
+    now: SimTime,
+    flows: HashMap<u64, ActiveFlow>,
+    next_id: u64,
+    /// capacities of all resources: `dir_link_count()` interfaces followed
+    /// by one entry per capped network node.
+    capacities: Vec<f64>,
+    /// node index -> backplane resource index (only capped network nodes).
+    backplane: HashMap<NodeId, usize>,
+    counters: IfaceCounters,
+    rates_dirty: bool,
+    finished: Vec<FlowRecord>,
+    processes: Vec<Option<Box<dyn TrafficProcess>>>,
+    schedule: BinaryHeap<Reverse<(SimTime, usize)>>,
+    /// Per-link operational state.
+    link_up: Vec<bool>,
+    /// Pending scheduled link transitions.
+    link_schedule: BinaryHeap<Reverse<(SimTime, u32, bool)>>,
+    /// Log of applied transitions (drained by trap sources).
+    link_events: Vec<LinkEvent>,
+    /// Completion watches: when all flows of a set are finished, the
+    /// process fires.
+    watches: Vec<(std::collections::BTreeSet<u64>, usize)>,
+}
+
+impl Simulator {
+    /// Build a simulator over a topology. Routing is computed eagerly.
+    pub fn new(topo: Topology) -> Result<Simulator> {
+        let routing = Routing::new(&topo);
+        let mut capacities = Vec::with_capacity(topo.dir_link_count());
+        for l in topo.link_ids() {
+            let cap = topo.link(l).capacity;
+            capacities.push(cap); // AtoB
+            capacities.push(cap); // BtoA
+        }
+        let mut backplane = HashMap::new();
+        for n in topo.node_ids() {
+            if let Some(bw) = topo.node(n).internal_bw {
+                if topo.node(n).kind == NodeKind::Network {
+                    backplane.insert(n, capacities.len());
+                    capacities.push(bw);
+                }
+            }
+        }
+        let counters = IfaceCounters { octets: vec![0.0; topo.dir_link_count()] };
+        let link_up = vec![true; topo.link_count()];
+        Ok(Simulator {
+            topo: Arc::new(topo),
+            routing: Arc::new(routing),
+            now: SimTime::ZERO,
+            flows: HashMap::new(),
+            next_id: 0,
+            capacities,
+            backplane,
+            counters,
+            rates_dirty: false,
+            finished: Vec::new(),
+            processes: Vec::new(),
+            schedule: BinaryHeap::new(),
+            link_up,
+            link_schedule: BinaryHeap::new(),
+            link_events: Vec::new(),
+            watches: Vec::new(),
+        })
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Shared handle to the topology.
+    pub fn topology_arc(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo)
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &Routing {
+        &self.routing
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of currently active flows.
+    pub fn active_flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn resources_for_path(&self, path: &Path) -> Vec<usize> {
+        let mut res: Vec<usize> = path.hops.iter().map(|h| h.index()).collect();
+        // Interior nodes with capped backplanes are additional resources.
+        for n in &path.nodes[1..path.nodes.len().saturating_sub(1)] {
+            if let Some(&idx) = self.backplane.get(n) {
+                res.push(idx);
+            }
+        }
+        res
+    }
+
+    /// Start a flow. Endpoints must be distinct compute nodes with a route.
+    pub fn start_flow(&mut self, params: FlowParams) -> Result<FlowHandle> {
+        if params.weight <= 0.0 || !params.weight.is_finite() {
+            return Err(NetError::Invalid(format!("flow weight {}", params.weight)));
+        }
+        if let Some(cap) = params.rate_cap {
+            if cap <= 0.0 || !cap.is_finite() {
+                return Err(NetError::Invalid(format!("rate cap {cap}")));
+            }
+        }
+        if params.src == params.dst {
+            return Err(NetError::Invalid("flow src == dst".into()));
+        }
+        let path = self.routing.path(&self.topo, params.src, params.dst)?;
+        let resources = self.resources_for_path(&path);
+        let id = self.next_id;
+        self.next_id += 1;
+        let remaining = params.volume.map_or(f64::INFINITY, |v| v as f64);
+        self.flows.insert(
+            id,
+            ActiveFlow {
+                params,
+                resources,
+                path,
+                rate: 0.0,
+                remaining,
+                bytes_sent: 0.0,
+                started: self.now,
+                eta: SimTime::MAX,
+            },
+        );
+        self.rates_dirty = true;
+        Ok(FlowHandle(id))
+    }
+
+    /// Stop a flow immediately, returning its record.
+    pub fn stop_flow(&mut self, h: FlowHandle) -> Result<FlowRecord> {
+        let f = self.flows.remove(&h.0).ok_or(NetError::UnknownFlow(h.0))?;
+        self.rates_dirty = true;
+        let rec = FlowRecord {
+            id: h.0,
+            src: f.params.src,
+            dst: f.params.dst,
+            tag: f.params.tag,
+            started: f.started,
+            finished: self.now,
+            bytes: f.bytes_sent,
+            completed: false,
+        };
+        self.finished.push(rec.clone());
+        self.settle_watches(&[h.0]);
+        Ok(rec)
+    }
+
+    /// Register a traffic process, firing first at `start`.
+    pub fn add_process(&mut self, start: SimTime, p: Box<dyn TrafficProcess>) -> ProcessId {
+        let id = self.processes.len();
+        self.processes.push(Some(p));
+        self.schedule.push(Reverse((start.max(self.now), id)));
+        ProcessId(id)
+    }
+
+    /// Remove a traffic process (it will not fire again). Flows it started
+    /// keep running; stop them separately if needed.
+    pub fn remove_process(&mut self, id: ProcessId) {
+        if let Some(slot) = self.processes.get_mut(id.0) {
+            *slot = None;
+        }
+    }
+
+    /// Current rate of an active flow, bits/s.
+    pub fn flow_rate(&mut self, h: FlowHandle) -> Result<Bps> {
+        self.recompute_rates_if_dirty();
+        self.flows.get(&h.0).map(|f| f.rate).ok_or(NetError::UnknownFlow(h.0))
+    }
+
+    /// Bytes delivered so far by an active flow.
+    pub fn flow_bytes_sent(&self, h: FlowHandle) -> Result<f64> {
+        self.flows.get(&h.0).map(|f| f.bytes_sent).ok_or(NetError::UnknownFlow(h.0))
+    }
+
+    /// Whether the handle refers to a still-active flow.
+    pub fn flow_is_active(&self, h: FlowHandle) -> bool {
+        self.flows.contains_key(&h.0)
+    }
+
+    /// Drain the records of flows finished (completed or stopped) so far.
+    pub fn take_finished(&mut self) -> Vec<FlowRecord> {
+        std::mem::take(&mut self.finished)
+    }
+
+    /// Operational state of a link.
+    pub fn link_is_up(&self, link: crate::topology::LinkId) -> bool {
+        self.link_up[link.index()]
+    }
+
+    /// Drain the log of link transitions (SNMP trap source).
+    pub fn take_link_events(&mut self) -> Vec<LinkEvent> {
+        std::mem::take(&mut self.link_events)
+    }
+
+    /// Change a link's state *now*: routing is recomputed, every active
+    /// flow is re-pathed onto its new best route (flows left with no route
+    /// terminate with `completed = false`), and the transition is logged.
+    pub fn set_link_state(&mut self, link: crate::topology::LinkId, up: bool) -> Result<()> {
+        self.topo.try_link(link)?;
+        if self.link_up[link.index()] == up {
+            return Ok(());
+        }
+        self.link_up[link.index()] = up;
+        self.link_events.push(LinkEvent { t: self.now, link, up });
+        self.routing = Arc::new(Routing::with_link_state(&self.topo, Some(&self.link_up)));
+        // Re-path every flow deterministically (id order).
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let (src, dst) = {
+                let f = &self.flows[&id];
+                (f.params.src, f.params.dst)
+            };
+            match self.routing.path(&self.topo, src, dst) {
+                Ok(path) => {
+                    let resources = self.resources_for_path(&path);
+                    let f = self.flows.get_mut(&id).expect("flow present");
+                    f.path = path;
+                    f.resources = resources;
+                }
+                Err(_) => {
+                    // Disconnected: the connection breaks.
+                    let f = self.flows.remove(&id).expect("flow present");
+                    self.finished.push(FlowRecord {
+                        id,
+                        src: f.params.src,
+                        dst: f.params.dst,
+                        tag: f.params.tag,
+                        started: f.started,
+                        finished: self.now,
+                        bytes: f.bytes_sent,
+                        completed: false,
+                    });
+                    self.settle_watches(&[id]);
+                }
+            }
+        }
+        self.rates_dirty = true;
+        Ok(())
+    }
+
+    /// Schedule a link transition at a future instant.
+    pub fn schedule_link_state(
+        &mut self,
+        t: SimTime,
+        link: crate::topology::LinkId,
+        up: bool,
+    ) -> Result<()> {
+        self.topo.try_link(link)?;
+        self.link_schedule.push(Reverse((t.max(self.now), link.0, up)));
+        Ok(())
+    }
+
+    fn next_link_change(&self) -> SimTime {
+        self.link_schedule.peek().map_or(SimTime::MAX, |Reverse((t, _, _))| *t)
+    }
+
+    fn apply_due_link_changes(&mut self) {
+        while let Some(&Reverse((t, link, up))) = self.link_schedule.peek() {
+            if t > self.now {
+                break;
+            }
+            self.link_schedule.pop();
+            self.set_link_state(crate::topology::LinkId(link), up)
+                .expect("scheduled link validated at insertion");
+        }
+    }
+
+    /// Exact octets delivered over a directed interface since t=0.
+    pub fn dirlink_octets(&self, d: DirLink) -> f64 {
+        self.counters.octets[d.index()]
+    }
+
+    /// Octets sent *by* `node` onto `link` (the `ifOutOctets` of that
+    /// node's interface on the link).
+    pub fn iface_out_octets(&self, node: NodeId, link: crate::topology::LinkId) -> f64 {
+        let dir = self.topo.link(link).direction_from(node);
+        self.dirlink_octets(DirLink { link, dir })
+    }
+
+    /// Instantaneous aggregate rate over a directed interface, bits/s.
+    pub fn dirlink_rate(&mut self, d: DirLink) -> Bps {
+        self.recompute_rates_if_dirty();
+        self.flows
+            .values()
+            .filter(|f| f.path.hops.contains(&d))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Instantaneous aggregate rate of flows with a given tag over a
+    /// directed interface (oracle view used by tests and ablations).
+    pub fn dirlink_rate_by_tag(&mut self, d: DirLink, tag: FlowTag) -> Bps {
+        self.recompute_rates_if_dirty();
+        self.flows
+            .values()
+            .filter(|f| f.params.tag == tag && f.path.hops.contains(&d))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    fn recompute_rates_if_dirty(&mut self) {
+        if !self.rates_dirty {
+            return;
+        }
+        self.rates_dirty = false;
+        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
+        ids.sort_unstable(); // deterministic order
+        let specs: Vec<FlowSpec> = ids
+            .iter()
+            .map(|id| {
+                let f = &self.flows[id];
+                FlowSpec {
+                    weight: f.params.weight,
+                    cap: f.params.rate_cap,
+                    resources: f.resources.clone(),
+                }
+            })
+            .collect();
+        let alloc = maxmin::solve(&self.capacities, &specs);
+        debug_assert!(
+            maxmin::validate(&self.capacities, &specs, &alloc).is_none(),
+            "engine produced invalid allocation: {:?}",
+            maxmin::validate(&self.capacities, &specs, &alloc)
+        );
+        for (i, id) in ids.iter().enumerate() {
+            let f = self.flows.get_mut(id).unwrap();
+            f.rate = alloc.rates[i];
+            f.eta = if f.remaining.is_finite() && f.rate > 0.0 {
+                self.now + SimDuration::from_secs_f64(f.remaining * 8.0 / f.rate)
+            } else {
+                SimTime::MAX
+            };
+        }
+    }
+
+    /// Advance counters and flow progress by `dt` at current rates.
+    fn advance(&mut self, dt: SimDuration) {
+        if dt.is_zero() {
+            return;
+        }
+        let secs = dt.as_secs_f64();
+        for f in self.flows.values_mut() {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let bytes = f.rate * secs / 8.0;
+            f.bytes_sent += bytes;
+            if f.remaining.is_finite() {
+                f.remaining = (f.remaining - bytes).max(0.0);
+            }
+            for h in &f.path.hops {
+                self.counters.octets[h.index()] += bytes;
+            }
+        }
+        self.now += dt;
+    }
+
+    fn next_completion(&self) -> SimTime {
+        self.flows.values().map(|f| f.eta).min().unwrap_or(SimTime::MAX)
+    }
+
+    fn next_process_fire(&self) -> SimTime {
+        self.schedule.peek().map_or(SimTime::MAX, |Reverse((t, _))| *t)
+    }
+
+    fn complete_due_flows(&mut self) {
+        let due: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.eta <= self.now || f.remaining <= 1e-6)
+            .map(|(&id, _)| id)
+            .collect();
+        for &id in &due {
+            let f = self.flows.remove(&id).unwrap();
+            self.finished.push(FlowRecord {
+                id,
+                src: f.params.src,
+                dst: f.params.dst,
+                tag: f.params.tag,
+                started: f.started,
+                finished: self.now,
+                bytes: f.bytes_sent,
+                completed: true,
+            });
+            self.rates_dirty = true;
+        }
+        self.settle_watches(&due);
+    }
+
+    /// Remove finished flow ids from completion watches; empty watches
+    /// fire their process immediately.
+    fn settle_watches(&mut self, finished: &[u64]) {
+        if self.watches.is_empty() || finished.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut fired = Vec::new();
+        self.watches.retain_mut(|(set, pid)| {
+            for id in finished {
+                set.remove(id);
+            }
+            if set.is_empty() {
+                fired.push(*pid);
+                false
+            } else {
+                true
+            }
+        });
+        for pid in fired {
+            self.schedule.push(Reverse((now, pid)));
+        }
+    }
+
+    fn fire_due_processes(&mut self) {
+        while let Some(&Reverse((t, pid))) = self.schedule.peek() {
+            if t > self.now {
+                break;
+            }
+            self.schedule.pop();
+            let Some(mut proc_) = self.processes[pid].take() else { continue };
+            let mut actions = Vec::new();
+            let next = {
+                let mut ctx = ProcessCtx { actions: &mut actions, next_id: self.next_id };
+                proc_.fire(self.now, &mut ctx)
+            };
+            // Apply queued actions.
+            let mut registered_watch = false;
+            for a in actions {
+                match a {
+                    ProcessAction::Start(params, id) => {
+                        debug_assert_eq!(id, self.next_id, "reserved flow id out of sync");
+                        // Errors from background generators are swallowed by
+                        // design (a generator pointed at an unroutable pair
+                        // simply produces nothing), but the reserved id must
+                        // still be consumed to keep later handles in sync.
+                        if self.start_flow(params).is_err() {
+                            self.next_id = self.next_id.max(id + 1);
+                        }
+                    }
+                    ProcessAction::Stop(h) => {
+                        let _ = self.stop_flow(h);
+                    }
+                    ProcessAction::NotifyWhenComplete(handles) => {
+                        registered_watch = true;
+                        let set: std::collections::BTreeSet<u64> = handles
+                            .iter()
+                            .map(|h| h.0)
+                            .filter(|id| self.flows.contains_key(id))
+                            .collect();
+                        if set.is_empty() {
+                            // Everything already finished: fire right away.
+                            self.schedule.push(Reverse((self.now, pid)));
+                        } else {
+                            self.watches.push((set, pid));
+                        }
+                    }
+                }
+            }
+            if let Some(next_t) = next {
+                let next_t = if next_t <= self.now {
+                    self.now + SimDuration::from_nanos(1)
+                } else {
+                    next_t
+                };
+                self.processes[pid] = Some(proc_);
+                self.schedule.push(Reverse((next_t, pid)));
+            } else if registered_watch {
+                // Kept alive: the completion watch will fire it.
+                self.processes[pid] = Some(proc_);
+            }
+        }
+    }
+
+    /// Run the simulation up to `target` (inclusive).
+    pub fn run_until(&mut self, target: SimTime) -> Result<()> {
+        while self.now < target {
+            self.apply_due_link_changes();
+            self.fire_due_processes();
+            self.recompute_rates_if_dirty();
+            let t_next = self
+                .next_completion()
+                .min(self.next_process_fire())
+                .min(self.next_link_change())
+                .min(target);
+            if t_next > self.now {
+                let dt = t_next.since(self.now);
+                self.advance(dt);
+            }
+            self.complete_due_flows();
+            self.apply_due_link_changes();
+            self.fire_due_processes();
+            if self.now >= target {
+                break;
+            }
+        }
+        // Completions exactly at `target`.
+        self.recompute_rates_if_dirty();
+        self.complete_due_flows();
+        Ok(())
+    }
+
+    /// Run for a span of simulated time.
+    pub fn run_for(&mut self, d: SimDuration) -> Result<()> {
+        let target = self.now + d;
+        self.run_until(target)
+    }
+
+    /// Run until every listed flow has finished; returns their records in
+    /// the same order. Errors with [`NetError::Stalled`] if the listed
+    /// flows can never finish (zero rate and no scheduled process).
+    pub fn run_until_flows_complete(&mut self, handles: &[FlowHandle]) -> Result<Vec<FlowRecord>> {
+        let pending: Vec<u64> = handles.iter().map(|h| h.0).collect();
+        loop {
+            if pending.iter().all(|id| !self.flows.contains_key(id)) {
+                break;
+            }
+            self.apply_due_link_changes();
+            self.fire_due_processes();
+            if pending.iter().all(|id| !self.flows.contains_key(id)) {
+                break; // a link failure may have terminated a waited flow
+            }
+            self.recompute_rates_if_dirty();
+            let t_next = self
+                .next_completion()
+                .min(self.next_process_fire())
+                .min(self.next_link_change());
+            if t_next == SimTime::MAX {
+                return Err(NetError::Stalled);
+            }
+            let dt = t_next.since(self.now);
+            self.advance(dt);
+            self.complete_due_flows();
+            self.apply_due_link_changes();
+            self.fire_due_processes();
+        }
+        // Collect records in request order.
+        let mut out = Vec::with_capacity(pending.len());
+        for id in pending {
+            let rec = self
+                .finished
+                .iter()
+                .rev()
+                .find(|r| r.id == id)
+                .cloned()
+                .ok_or(NetError::UnknownFlow(id))?;
+            out.push(rec);
+        }
+        Ok(out)
+    }
+
+    /// Static capacity of a directed interface, bits/s.
+    pub fn dirlink_capacity(&self, d: DirLink) -> Bps {
+        self.capacities[d.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+    use crate::units::{mbps, mib};
+
+    /// h1 -- r -- h2 and h3 -- r (star), 100 Mbps links.
+    fn star() -> (Simulator, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let h3 = b.compute("h3");
+        let r = b.network("r");
+        for h in [h1, h2, h3] {
+            b.link(h, r, mbps(100.0), SimDuration::from_micros(10)).unwrap();
+        }
+        (Simulator::new(b.build().unwrap()).unwrap(), h1, h2, h3)
+    }
+
+    #[test]
+    fn bulk_transfer_timing() {
+        let (mut sim, h1, h2, _) = star();
+        // 12.5 MB at 100 Mbps = 1.0 s
+        let f = sim.start_flow(FlowParams::bulk(h1, h2, 12_500_000)).unwrap();
+        let recs = sim.run_until_flows_complete(&[f]).unwrap();
+        assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-6, "{}", sim.now());
+        assert!(recs[0].completed);
+        assert!((recs[0].bytes - 12_500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn two_flows_share_receiver_link() {
+        let (mut sim, h1, h2, h3) = star();
+        // Both h1->h2 and h3->h2 converge on h2's downlink: 50 Mbps each.
+        let f1 = sim.start_flow(FlowParams::bulk(h1, h2, 12_500_000)).unwrap();
+        let f2 = sim.start_flow(FlowParams::bulk(h3, h2, 12_500_000)).unwrap();
+        let recs = sim.run_until_flows_complete(&[f1, f2]).unwrap();
+        assert!((sim.now().as_secs_f64() - 2.0).abs() < 1e-6, "{}", sim.now());
+        assert!(recs.iter().all(|r| r.completed));
+    }
+
+    #[test]
+    fn early_finisher_releases_bandwidth() {
+        let (mut sim, h1, h2, h3) = star();
+        // f1 carries half the bytes of f2. Phase 1 (both active): 50 Mbps
+        // each; f1 finishes at t=1. Phase 2: f2 alone at 100 Mbps finishes
+        // the remaining 6.25 MB in 0.5 s => total 1.5 s.
+        let f1 = sim.start_flow(FlowParams::bulk(h1, h2, 6_250_000)).unwrap();
+        let f2 = sim.start_flow(FlowParams::bulk(h3, h2, 12_500_000)).unwrap();
+        sim.run_until_flows_complete(&[f1, f2]).unwrap();
+        assert!((sim.now().as_secs_f64() - 1.5).abs() < 1e-6, "{}", sim.now());
+    }
+
+    #[test]
+    fn cbr_flow_limits_itself() {
+        let (mut sim, h1, h2, _) = star();
+        let f = sim.start_flow(FlowParams::cbr(h1, h2, mbps(10.0))).unwrap();
+        sim.run_for(SimDuration::from_secs(2)).unwrap();
+        let sent = sim.flow_bytes_sent(f).unwrap();
+        assert!((sent - 2.5e6).abs() < 10.0, "sent {sent}");
+    }
+
+    #[test]
+    fn counters_advance() {
+        let (mut sim, h1, h2, _) = star();
+        sim.start_flow(FlowParams::cbr(h1, h2, mbps(80.0))).unwrap();
+        sim.run_for(SimDuration::from_secs(1)).unwrap();
+        // h1's uplink carries 10 MB.
+        let link = sim.topology().neighbors(h1)[0].0;
+        let octets = sim.iface_out_octets(h1, link);
+        assert!((octets - 1e7).abs() < 10.0, "{octets}");
+        // Reverse direction carries nothing.
+        let dir = sim.topology().link(link).direction_from(h1).reverse();
+        assert_eq!(sim.dirlink_octets(DirLink { link, dir }), 0.0);
+    }
+
+    #[test]
+    fn stop_flow_returns_record() {
+        let (mut sim, h1, h2, _) = star();
+        let f = sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        sim.run_for(SimDuration::from_secs(1)).unwrap();
+        let rec = sim.stop_flow(f).unwrap();
+        assert!(!rec.completed);
+        assert!((rec.bytes - 12.5e6).abs() < 10.0);
+        assert!(!sim.flow_is_active(f));
+        assert!(sim.stop_flow(f).is_err());
+    }
+
+    #[test]
+    fn stalled_detection() {
+        let (mut sim, h1, h2, h3) = star();
+        // Saturate h2's downlink with a greedy persistent flow... a greedy
+        // flow still shares, so instead: a flow with zero possible rate
+        // cannot exist here. Use volume flow blocked by nothing => must
+        // complete; the stall test needs an actually-stuck flow, which the
+        // engine only produces with a zero-capacity path. Simplest: wait on
+        // a persistent flow, which never completes.
+        let _ = h3;
+        let f = sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        assert!(matches!(
+            sim.run_until_flows_complete(&[f]),
+            Err(NetError::Stalled)
+        ));
+    }
+
+    #[test]
+    fn weighted_sharing() {
+        let (mut sim, h1, h2, h3) = star();
+        let f1 = sim
+            .start_flow(FlowParams::greedy(h1, h2).with_weight(3.0))
+            .unwrap();
+        let f2 = sim.start_flow(FlowParams::greedy(h3, h2)).unwrap();
+        assert!((sim.flow_rate(f1).unwrap() - mbps(75.0)).abs() < 1.0);
+        assert!((sim.flow_rate(f2).unwrap() - mbps(25.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn backplane_limits_aggregate() {
+        // Fig 1 semantics: a switch with 10 Mbps internal bandwidth caps the
+        // sum of traffic through it even over 100 Mbps links.
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let h3 = b.compute("h3");
+        let h4 = b.compute("h4");
+        let sw = b.network_with_internal_bw("sw", mbps(10.0));
+        for h in [h1, h2, h3, h4] {
+            b.link(h, sw, mbps(100.0), SimDuration::ZERO).unwrap();
+        }
+        let mut sim = Simulator::new(b.build().unwrap()).unwrap();
+        let f1 = sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        let f2 = sim.start_flow(FlowParams::greedy(h3, h4)).unwrap();
+        let r1 = sim.flow_rate(f1).unwrap();
+        let r2 = sim.flow_rate(f2).unwrap();
+        assert!((r1 + r2 - mbps(10.0)).abs() < 1.0, "{r1} + {r2}");
+        assert!((r1 - r2).abs() < 1.0);
+    }
+
+    #[test]
+    fn uncapped_backplane_does_not_limit() {
+        let (mut sim, h1, h2, h3) = star();
+        let f1 = sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        let f2 = sim.start_flow(FlowParams::greedy(h2, h3)).unwrap();
+        // Disjoint directed paths: both get full 100 Mbps.
+        assert!((sim.flow_rate(f1).unwrap() - mbps(100.0)).abs() < 1.0);
+        assert!((sim.flow_rate(f2).unwrap() - mbps(100.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn full_duplex_independence() {
+        let (mut sim, h1, h2, _) = star();
+        let f1 = sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        let f2 = sim.start_flow(FlowParams::greedy(h2, h1)).unwrap();
+        assert!((sim.flow_rate(f1).unwrap() - mbps(100.0)).abs() < 1.0);
+        assert!((sim.flow_rate(f2).unwrap() - mbps(100.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn tag_filtered_rates() {
+        let (mut sim, h1, h2, h3) = star();
+        sim.start_flow(FlowParams::cbr(h1, h2, mbps(30.0)).with_tag(FlowTag::APP))
+            .unwrap();
+        sim.start_flow(
+            FlowParams::cbr(h3, h2, mbps(20.0)).with_tag(FlowTag::BACKGROUND),
+        )
+        .unwrap();
+        let link = sim.topology().neighbors(h2)[0].0;
+        let dir = sim.topology().link(link).direction_from(h2).reverse();
+        let d = DirLink { link, dir };
+        assert!((sim.dirlink_rate(d) - mbps(50.0)).abs() < 1.0);
+        assert!((sim.dirlink_rate_by_tag(d, FlowTag::APP) - mbps(30.0)).abs() < 1.0);
+        assert!(
+            (sim.dirlink_rate_by_tag(d, FlowTag::BACKGROUND) - mbps(20.0)).abs() < 1.0
+        );
+        assert_eq!(sim.dirlink_rate_by_tag(d, FlowTag::PROBE), 0.0);
+        assert_eq!(sim.dirlink_capacity(d), mbps(100.0));
+    }
+
+    #[test]
+    fn run_until_is_idempotent_at_target() {
+        let (mut sim, h1, h2, _) = star();
+        sim.start_flow(FlowParams::cbr(h1, h2, mbps(10.0))).unwrap();
+        sim.run_until(SimTime::from_secs(5)).unwrap();
+        sim.run_until(SimTime::from_secs(5)).unwrap();
+        assert_eq!(sim.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn invalid_flow_params_rejected() {
+        let (mut sim, h1, h2, _) = star();
+        assert!(sim.start_flow(FlowParams::bulk(h1, h1, 10)).is_err());
+        assert!(sim
+            .start_flow(FlowParams::greedy(h1, h2).with_weight(0.0))
+            .is_err());
+        assert!(sim
+            .start_flow(FlowParams::greedy(h1, h2).with_rate_cap(-1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn process_fires_and_creates_flows() {
+        struct Burst {
+            src: NodeId,
+            dst: NodeId,
+            count: usize,
+        }
+        impl TrafficProcess for Burst {
+            fn fire(&mut self, now: SimTime, ctx: &mut ProcessCtx<'_>) -> Option<SimTime> {
+                ctx.start_flow(FlowParams::bulk(self.src, self.dst, mib(1)));
+                self.count -= 1;
+                if self.count > 0 {
+                    Some(now + SimDuration::from_secs(1))
+                } else {
+                    None
+                }
+            }
+        }
+        let (mut sim, h1, h2, _) = star();
+        sim.add_process(
+            SimTime::from_secs(1),
+            Box::new(Burst { src: h1, dst: h2, count: 3 }),
+        );
+        sim.run_until(SimTime::from_secs(10)).unwrap();
+        let finished = sim.take_finished();
+        assert_eq!(finished.len(), 3);
+        assert!(finished.iter().all(|r| r.completed));
+    }
+
+    #[test]
+    fn link_failure_reroutes_flow() {
+        // h1 - r1 - h2 primary, h1 - r2 - r3 - h2 backup (longer).
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let r1 = b.network("r1");
+        let r2 = b.network("r2");
+        let r3 = b.network("r3");
+        let lat = SimDuration::from_micros(10);
+        let primary = b.link(h1, r1, mbps(100.0), lat).unwrap();
+        b.link(r1, h2, mbps(100.0), lat).unwrap();
+        b.link(h1, r2, mbps(50.0), lat).unwrap();
+        b.link(r2, r3, mbps(50.0), lat).unwrap();
+        b.link(r3, h2, mbps(50.0), lat).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).unwrap();
+
+        let f = sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        assert!((sim.flow_rate(f).unwrap() - mbps(100.0)).abs() < 1.0);
+
+        sim.set_link_state(primary, false).unwrap();
+        // Rerouted onto the 50 Mbps backup, bytes preserved.
+        assert!(sim.flow_is_active(f));
+        assert!((sim.flow_rate(f).unwrap() - mbps(50.0)).abs() < 1.0);
+        let events = sim.take_link_events();
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].up);
+
+        // Restoring the link moves the flow back to the best path.
+        sim.set_link_state(primary, true).unwrap();
+        assert!((sim.flow_rate(f).unwrap() - mbps(100.0)).abs() < 1.0);
+        assert!(sim.take_link_events().iter().any(|e| e.up));
+    }
+
+    #[test]
+    fn link_failure_without_backup_kills_flow() {
+        let (mut sim, h1, h2, _) = star();
+        let link = sim.topology().neighbors(h1)[0].0;
+        let f = sim.start_flow(FlowParams::bulk(h1, h2, mib(100))).unwrap();
+        sim.run_for(SimDuration::from_millis(100)).unwrap();
+        sim.set_link_state(link, false).unwrap();
+        assert!(!sim.flow_is_active(f));
+        let rec = sim
+            .take_finished()
+            .into_iter()
+            .find(|r| r.id == 0)
+            .unwrap();
+        assert!(!rec.completed);
+        assert!(rec.bytes > 0.0);
+        // New flows over the dead link are rejected.
+        assert!(matches!(
+            sim.start_flow(FlowParams::greedy(h1, h2)),
+            Err(NetError::NoRoute { .. })
+        ));
+        assert!(!sim.link_is_up(link));
+    }
+
+    #[test]
+    fn scheduled_link_flap_affects_transfer_timing() {
+        // 12.5 MB at 100 Mbps takes 1 s; a 2-second outage in the middle
+        // (no backup path) stalls the flow... with no route the flow dies,
+        // so use a backup topology where the outage halves the rate.
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let r1 = b.network("r1");
+        let r2 = b.network("r2");
+        let lat = SimDuration::from_micros(10);
+        let fast = b.link(h1, r1, mbps(100.0), lat).unwrap();
+        b.link(r1, h2, mbps(100.0), lat).unwrap();
+        b.link(h1, r2, mbps(25.0), lat).unwrap();
+        b.link(r2, h2, mbps(25.0), lat).unwrap();
+        let mut sim = Simulator::new(b.build().unwrap()).unwrap();
+        // Outage of the fast path from t=0.5 s to t=1.5 s.
+        sim.schedule_link_state(SimTime::from_millis(500), fast, false).unwrap();
+        sim.schedule_link_state(SimTime::from_millis(1500), fast, true).unwrap();
+        let f = sim.start_flow(FlowParams::bulk(h1, h2, 12_500_000)).unwrap();
+        sim.run_until_flows_complete(&[f]).unwrap();
+        // 0.5 s at 100 (6.25 MB) + 1.0 s at 25 (3.125 MB) + remaining
+        // 3.125 MB at 100 (0.25 s) = 1.75 s.
+        assert!((sim.now().as_secs_f64() - 1.75).abs() < 1e-3, "{}", sim.now());
+    }
+
+    #[test]
+    fn process_can_stop_its_own_flow() {
+        struct OnOff {
+            src: NodeId,
+            dst: NodeId,
+            active: Option<FlowHandle>,
+            toggles: usize,
+        }
+        impl TrafficProcess for OnOff {
+            fn fire(&mut self, now: SimTime, ctx: &mut ProcessCtx<'_>) -> Option<SimTime> {
+                match self.active.take() {
+                    None => {
+                        self.active =
+                            Some(ctx.start_flow(FlowParams::cbr(self.src, self.dst, mbps(50.0))));
+                    }
+                    Some(h) => ctx.stop_flow(h),
+                }
+                self.toggles -= 1;
+                (self.toggles > 0).then(|| now + SimDuration::from_secs(1))
+            }
+        }
+        let (mut sim, h1, h2, _) = star();
+        sim.add_process(
+            SimTime::ZERO,
+            Box::new(OnOff { src: h1, dst: h2, active: None, toggles: 4 }),
+        );
+        // on @0, off @1, on @2, off @3 => active for 2 of 4 seconds.
+        sim.run_until(SimTime::from_secs(4)).unwrap();
+        let link = sim.topology().neighbors(h1)[0].0;
+        let octets = sim.iface_out_octets(h1, link);
+        assert!((octets - 2.0 * 50e6 / 8.0).abs() < 10.0, "{octets}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the network simulator.
+
+use crate::topology::{LinkId, NodeId};
+use std::fmt;
+
+/// Errors raised by topology construction, routing, and the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A node id does not exist in the topology.
+    UnknownNode(NodeId),
+    /// A link id does not exist in the topology.
+    UnknownLink(LinkId),
+    /// A node name was not found.
+    UnknownName(String),
+    /// Two nodes have no path between them.
+    NoRoute { src: NodeId, dst: NodeId },
+    /// A flow endpoint is not a compute node (only hosts send/receive, §4.3).
+    NotComputeNode(NodeId),
+    /// A flow handle refers to a flow that is not active.
+    UnknownFlow(u64),
+    /// Invalid parameter (negative capacity, zero weight, ...).
+    Invalid(String),
+    /// Duplicate node name in a builder.
+    DuplicateName(String),
+    /// The simulation cannot make progress (e.g. waiting on flows that
+    /// receive zero bandwidth with no scheduled event to change that).
+    Stalled,
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, NetError>;
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            NetError::UnknownLink(l) => write!(f, "unknown link {l:?}"),
+            NetError::UnknownName(s) => write!(f, "unknown node name {s:?}"),
+            NetError::NoRoute { src, dst } => {
+                write!(f, "no route from {src:?} to {dst:?}")
+            }
+            NetError::NotComputeNode(n) => {
+                write!(f, "node {n:?} is a network node; only compute nodes send or receive")
+            }
+            NetError::UnknownFlow(id) => write!(f, "flow {id} is not active"),
+            NetError::Invalid(msg) => write!(f, "invalid parameter: {msg}"),
+            NetError::DuplicateName(s) => write!(f, "duplicate node name {s:?}"),
+            NetError::Stalled => write!(f, "simulation stalled: no event can make progress"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

@@ -1,0 +1,490 @@
+//! Weighted max-min fair bandwidth allocation.
+//!
+//! This is the sharing model the paper adopts (§4.2): "In general Remos
+//! will assume that, all else being equal, the bottleneck link bandwidth
+//! will be shared equally by all flows (not being bottlenecked elsewhere)",
+//! i.e. the max-min fair share policy of Jaffe \[14\], the basis of ATM ABR
+//! flow control \[16\].
+//!
+//! The solver is the classic *progressive filling* (water-filling)
+//! algorithm generalised with per-flow weights (for the paper's *variable*
+//! flows, whose "bandwidths … will share available bandwidth
+//! proportionally") and per-flow rate caps (for *fixed* flows and
+//! application-limited sources):
+//!
+//! 1. All flows' rates rise together, each at speed proportional to its
+//!    weight.
+//! 2. When a resource saturates, every flow crossing it freezes.
+//! 3. When a flow reaches its cap, it freezes.
+//! 4. Repeat with the remaining flows until all are frozen.
+//!
+//! "Resources" are abstract capacities: the engine maps every directed link
+//! interface and every capped switch backplane to one resource, so Fig 1's
+//! internal-bandwidth semantics fall out naturally.
+
+/// A flow to be allocated.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Relative weight (> 0). Variable flows with requested bandwidths
+    /// 3, 4.5, 9 Mbps are expressed as weights 3 : 4.5 : 9 (§4.2 example).
+    pub weight: f64,
+    /// Optional absolute rate cap in bits/s (fixed flows, CBR sources).
+    pub cap: Option<f64>,
+    /// Indices of the resources this flow crosses. An empty path means the
+    /// flow is limited only by its cap (or unbounded).
+    pub resources: Vec<usize>,
+}
+
+impl FlowSpec {
+    /// Unweighted, uncapped flow over the given resources.
+    pub fn greedy(resources: Vec<usize>) -> Self {
+        FlowSpec { weight: 1.0, cap: None, resources }
+    }
+
+    /// Unweighted flow with a rate cap.
+    pub fn capped(resources: Vec<usize>, cap: f64) -> Self {
+        FlowSpec { weight: 1.0, cap: Some(cap), resources }
+    }
+}
+
+/// Outcome of an allocation.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Rate assigned to each flow, same order as the input.
+    pub rates: Vec<f64>,
+    /// Remaining capacity of each resource after allocation.
+    pub residual: Vec<f64>,
+}
+
+/// Relative tolerance used when checking saturation / feasibility.
+pub const EPS: f64 = 1e-9;
+
+/// Solve the weighted max-min fair allocation problem.
+///
+/// `capacities[r]` is the capacity of resource `r` in bits/s; flows index
+/// into this slice. Panics (debug assertions) on non-positive weights or
+/// out-of-range resource indices; release builds treat bad indices as a
+/// logic error via indexing panics.
+pub fn solve(capacities: &[f64], flows: &[FlowSpec]) -> Allocation {
+    let mut rates = vec![0.0_f64; flows.len()];
+    let mut residual: Vec<f64> = capacities.to_vec();
+    if flows.is_empty() {
+        return Allocation { rates, residual };
+    }
+    for f in flows {
+        debug_assert!(f.weight > 0.0, "flow weight must be positive");
+    }
+
+    // Sum of weights of active flows on each resource.
+    let mut weight_on: Vec<f64> = vec![0.0; capacities.len()];
+    let mut active: Vec<bool> = vec![true; flows.len()];
+    let mut n_active = flows.len();
+    for f in flows {
+        for &r in &f.resources {
+            weight_on[r] += f.weight;
+        }
+    }
+    // Uncapped flows that cross no resource would rise forever; treat as
+    // unconstrained and leave them at infinity.
+    for (i, f) in flows.iter().enumerate() {
+        if f.resources.is_empty() && f.cap.is_none() {
+            rates[i] = f64::INFINITY;
+            active[i] = false;
+            n_active -= 1;
+        }
+    }
+
+    // `level` is the common normalised fill level: every active flow i has
+    // rate = weight_i * level.
+    let mut level = 0.0_f64;
+    while n_active > 0 {
+        // Largest increment before some resource saturates.
+        let mut max_dlevel = f64::INFINITY;
+        for (r, &w) in weight_on.iter().enumerate() {
+            if w > EPS {
+                max_dlevel = max_dlevel.min(residual[r] / w);
+            }
+        }
+        // ... or some active flow reaches its cap.
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] {
+                if let Some(cap) = f.cap {
+                    max_dlevel = max_dlevel.min((cap - rates[i]) / f.weight);
+                }
+            }
+        }
+        if !max_dlevel.is_finite() {
+            // No resource constrains the remaining flows and none has a cap:
+            // they are unbounded.
+            for (i, _) in flows.iter().enumerate() {
+                if active[i] {
+                    rates[i] = f64::INFINITY;
+                    active[i] = false;
+                }
+            }
+            break;
+        }
+        let dlevel = max_dlevel.max(0.0);
+        level += dlevel;
+
+        // Apply the increment.
+        for (i, f) in flows.iter().enumerate() {
+            if active[i] {
+                rates[i] += f.weight * dlevel;
+                for &r in &f.resources {
+                    residual[r] -= f.weight * dlevel;
+                }
+            }
+        }
+        let _ = level;
+
+        // Freeze flows at their cap or on saturated resources.
+        for (i, f) in flows.iter().enumerate() {
+            if !active[i] {
+                continue;
+            }
+            let capped = f.cap.is_some_and(|c| rates[i] >= c - c.abs().max(1.0) * EPS);
+            let saturated = f.resources.iter().any(|&r| {
+                residual[r] <= capacities[r].abs().max(1.0) * EPS
+            });
+            if capped || saturated {
+                active[i] = false;
+                n_active -= 1;
+                for &r in &f.resources {
+                    weight_on[r] -= f.weight;
+                }
+            }
+        }
+    }
+
+    // Clamp numerical dust.
+    for r in residual.iter_mut() {
+        if *r < 0.0 {
+            *r = 0.0;
+        }
+    }
+    Allocation { rates, residual }
+}
+
+/// Check the max-min invariants of an allocation; returns a human-readable
+/// violation description, or `None` if the allocation is valid. Used by
+/// property tests and debug assertions in the engine.
+pub fn validate(capacities: &[f64], flows: &[FlowSpec], alloc: &Allocation) -> Option<String> {
+    let n_res = capacities.len();
+    let mut load = vec![0.0_f64; n_res];
+    for (i, f) in flows.iter().enumerate() {
+        let r = alloc.rates[i];
+        if r.is_infinite() {
+            // Only legal for completely unconstrained flows.
+            if !f.resources.is_empty() || f.cap.is_some() {
+                return Some(format!("flow {i} infinite but constrained"));
+            }
+            continue;
+        }
+        if r < -EPS {
+            return Some(format!("flow {i} negative rate {r}"));
+        }
+        if let Some(cap) = f.cap {
+            if r > cap * (1.0 + EPS) + EPS {
+                return Some(format!("flow {i} rate {r} exceeds cap {cap}"));
+            }
+        }
+        for &res in &f.resources {
+            load[res] += r;
+        }
+    }
+    // Feasibility.
+    for res in 0..n_res {
+        if load[res] > capacities[res] * (1.0 + 1e-6) + EPS {
+            return Some(format!(
+                "resource {res} overloaded: {} > {}",
+                load[res], capacities[res]
+            ));
+        }
+    }
+    // Saturation: every flow is capped or crosses a saturated resource.
+    for (i, f) in flows.iter().enumerate() {
+        let r = alloc.rates[i];
+        if r.is_infinite() {
+            continue;
+        }
+        let at_cap = f.cap.is_some_and(|c| r >= c - c.abs().max(1.0) * 1e-6);
+        let bottlenecked = f.resources.iter().any(|&res| {
+            load[res] >= capacities[res] * (1.0 - 1e-6) - EPS
+        });
+        if !at_cap && !bottlenecked {
+            return Some(format!("flow {i} neither capped nor bottlenecked (rate {r})"));
+        }
+    }
+    // Max-min property (weighted): if flow i could gain by taking from a
+    // strictly higher-rate flow on its bottleneck, the allocation is not
+    // max-min. Equivalent check: on every saturated resource, all uncapped
+    // flows whose normalised rate is below the resource's max normalised
+    // rate must be bottlenecked elsewhere at a lower level... The simple
+    // sufficient check used here: for each resource, uncapped flows through
+    // it that are *only* bottlenecked here must share equally (by weight).
+    for res in 0..n_res {
+        if load[res] < capacities[res] * (1.0 - 1e-6) {
+            continue;
+        }
+        let mut here: Vec<(usize, f64)> = Vec::new(); // (flow, normalised rate)
+        for (i, f) in flows.iter().enumerate() {
+            if !f.resources.contains(&res) {
+                continue;
+            }
+            let r = alloc.rates[i];
+            let at_cap = f.cap.is_some_and(|c| r >= c - c.abs().max(1.0) * 1e-6);
+            let elsewhere = f.resources.iter().any(|&o| {
+                o != res && load[o] >= capacities[o] * (1.0 - 1e-6) - EPS
+            });
+            if !at_cap && !elsewhere {
+                here.push((i, r / f.weight));
+            }
+        }
+        if here.len() >= 2 {
+            let max = here.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+            let min = here.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
+            if max - min > max.abs().max(1.0) * 1e-6 {
+                return Some(format!(
+                    "resource {res}: unequal normalised shares {min} vs {max}"
+                ));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::mbps;
+
+    fn assert_valid(caps: &[f64], flows: &[FlowSpec], alloc: &Allocation) {
+        if let Some(msg) = validate(caps, flows, alloc) {
+            panic!("invalid allocation: {msg}\nrates={:?}", alloc.rates);
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_full_link() {
+        let caps = [mbps(100.0)];
+        let flows = [FlowSpec::greedy(vec![0])];
+        let a = solve(&caps, &flows);
+        assert!((a.rates[0] - mbps(100.0)).abs() < 1.0);
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn equal_split_on_shared_bottleneck() {
+        let caps = [mbps(100.0)];
+        let flows = vec![FlowSpec::greedy(vec![0]); 4];
+        let a = solve(&caps, &flows);
+        for r in &a.rates {
+            assert!((r - mbps(25.0)).abs() < 1.0);
+        }
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn paper_variable_flow_example() {
+        // §4.2: "three flows may have bandwidth requirements of 3, 4.5, and
+        // 9 Mbps relative to each other; the result … may be that the flows
+        // will get 1, 1.5 and 3 Mbps respectively" — i.e. a 5.5 Mbps
+        // bottleneck shared proportionally.
+        let caps = [mbps(5.5)];
+        let flows = vec![
+            FlowSpec { weight: 3.0, cap: None, resources: vec![0] },
+            FlowSpec { weight: 4.5, cap: None, resources: vec![0] },
+            FlowSpec { weight: 9.0, cap: None, resources: vec![0] },
+        ];
+        let a = solve(&caps, &flows);
+        assert!((a.rates[0] - mbps(1.0)).abs() < 1.0, "{:?}", a.rates);
+        assert!((a.rates[1] - mbps(1.5)).abs() < 1.0);
+        assert!((a.rates[2] - mbps(3.0)).abs() < 1.0);
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn capped_flow_releases_bandwidth() {
+        // Two flows on a 100 Mbps link, one capped at 10: the other gets 90.
+        let caps = [mbps(100.0)];
+        let flows = vec![
+            FlowSpec::capped(vec![0], mbps(10.0)),
+            FlowSpec::greedy(vec![0]),
+        ];
+        let a = solve(&caps, &flows);
+        assert!((a.rates[0] - mbps(10.0)).abs() < 1.0);
+        assert!((a.rates[1] - mbps(90.0)).abs() < 1.0);
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn classic_three_link_parking_lot() {
+        // Flow 0 crosses links 0,1,2; flows 1,2,3 each cross one link.
+        // Max-min: everyone gets 50 on 100 Mbps links.
+        let caps = [mbps(100.0); 3];
+        let flows = vec![
+            FlowSpec::greedy(vec![0, 1, 2]),
+            FlowSpec::greedy(vec![0]),
+            FlowSpec::greedy(vec![1]),
+            FlowSpec::greedy(vec![2]),
+        ];
+        let a = solve(&caps, &flows);
+        for r in &a.rates {
+            assert!((r - mbps(50.0)).abs() < 1.0, "{:?}", a.rates);
+        }
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn bottleneck_elsewhere_frees_share() {
+        // Link 0: 10 Mbps, link 1: 100 Mbps. Flow A crosses both; flow B
+        // crosses link 1 only. A is limited to 10 by link 0; B picks up 90.
+        let caps = [mbps(10.0), mbps(100.0)];
+        let flows = vec![
+            FlowSpec::greedy(vec![0, 1]),
+            FlowSpec::greedy(vec![1]),
+        ];
+        let a = solve(&caps, &flows);
+        assert!((a.rates[0] - mbps(10.0)).abs() < 1.0);
+        assert!((a.rates[1] - mbps(90.0)).abs() < 1.0);
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn unconstrained_flow_is_infinite() {
+        let caps: [f64; 0] = [];
+        let flows = [FlowSpec::greedy(vec![])];
+        let a = solve(&caps, &flows);
+        assert!(a.rates[0].is_infinite());
+    }
+
+    #[test]
+    fn capped_pathless_flow_gets_cap() {
+        let caps: [f64; 0] = [];
+        let flows = [FlowSpec::capped(vec![], mbps(3.0))];
+        let a = solve(&caps, &flows);
+        assert!((a.rates[0] - mbps(3.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn no_flows() {
+        let caps = [mbps(100.0)];
+        let a = solve(&caps, &[]);
+        assert!(a.rates.is_empty());
+        assert_eq!(a.residual[0], mbps(100.0));
+    }
+
+    #[test]
+    fn zero_capacity_resource() {
+        let caps = [0.0];
+        let flows = [FlowSpec::greedy(vec![0])];
+        let a = solve(&caps, &flows);
+        assert!(a.rates[0].abs() < EPS);
+    }
+
+    #[test]
+    fn repeated_resource_in_path_counts_twice() {
+        // A flow that enters and leaves the same backplane: listing the
+        // resource twice halves its share of that resource.
+        let caps = [mbps(100.0)];
+        let flows = [FlowSpec::greedy(vec![0, 0])];
+        let a = solve(&caps, &flows);
+        assert!((a.rates[0] - mbps(50.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn residual_reported() {
+        let caps = [mbps(100.0)];
+        let flows = [FlowSpec::capped(vec![0], mbps(30.0))];
+        let a = solve(&caps, &flows);
+        assert!((a.residual[0] - mbps(70.0)).abs() < 1.0);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Random problem: up to 8 resources, up to 12 flows.
+        fn arb_problem() -> impl Strategy<Value = (Vec<f64>, Vec<FlowSpec>)> {
+            let caps = prop::collection::vec(1.0e6..1.0e9f64, 1..8);
+            caps.prop_flat_map(|caps| {
+                let n = caps.len();
+                let flow = (
+                    0.1..10.0f64,
+                    prop::option::of(1.0e5..2.0e9f64),
+                    prop::collection::btree_set(0..n, 1..=n.min(4)),
+                )
+                    .prop_map(|(weight, cap, res)| FlowSpec {
+                        weight,
+                        cap,
+                        resources: res.into_iter().collect(),
+                    });
+                (Just(caps), prop::collection::vec(flow, 1..12))
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn solver_output_is_valid((caps, flows) in arb_problem()) {
+                let a = solve(&caps, &flows);
+                prop_assert!(validate(&caps, &flows, &a).is_none(),
+                    "{:?}", validate(&caps, &flows, &a));
+            }
+
+            #[test]
+            fn allocation_is_homogeneous((caps, flows) in arb_problem()) {
+                // Scaling every capacity *and* every cap by k scales the
+                // whole allocation by k. (Note: scaling capacities alone is
+                // NOT monotone for capped flows — freezing order changes —
+                // which is why the stronger property is not asserted.)
+                let k = 3.0;
+                let a1 = solve(&caps, &flows);
+                let caps2: Vec<f64> = caps.iter().map(|c| c * k).collect();
+                let flows2: Vec<FlowSpec> = flows
+                    .iter()
+                    .map(|f| FlowSpec {
+                        weight: f.weight,
+                        cap: f.cap.map(|c| c * k),
+                        resources: f.resources.clone(),
+                    })
+                    .collect();
+                let a2 = solve(&caps2, &flows2);
+                for (r1, r2) in a1.rates.iter().zip(&a2.rates) {
+                    prop_assert!((r2 - k * r1).abs() <= (k * r1).abs().max(1.0) * 1e-6,
+                        "not homogeneous: {r1} vs {r2}");
+                }
+            }
+
+            #[test]
+            fn removal_monotone_on_single_bottleneck(
+                cap in 1.0e6..1.0e9f64,
+                n in 2usize..10,
+            ) {
+                // On a single shared resource, removing an unweighted,
+                // uncapped competitor weakly increases every remaining rate.
+                // (This is FALSE for general multi-link networks — removing
+                // a flow on link L can grow a multi-link flow on L that then
+                // squeezes a third flow elsewhere — so the property is only
+                // asserted in the single-bottleneck setting where it is a
+                // theorem.)
+                let caps = [cap];
+                let flows = vec![FlowSpec::greedy(vec![0]); n];
+                let a_all = solve(&caps, &flows);
+                let a_red = solve(&caps, &flows[1..]);
+                for (i, r) in a_red.rates.iter().enumerate() {
+                    let before = a_all.rates[i + 1];
+                    prop_assert!(*r >= before - before.abs().max(1.0) * 1e-6);
+                }
+            }
+
+            #[test]
+            fn solver_is_deterministic((caps, flows) in arb_problem()) {
+                let a1 = solve(&caps, &flows);
+                let a2 = solve(&caps, &flows);
+                prop_assert_eq!(a1.rates, a2.rates);
+                prop_assert_eq!(a1.residual, a2.residual);
+            }
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! Shortest-path routing.
+//!
+//! Routes are computed per source with a Dijkstra variant that minimises
+//! `(hop count, total latency, tie-break by node id)` — the testbed's
+//! behaviour, where "latency between any pair of nodes is virtually the
+//! same" and hop count dominates. Compute nodes never forward traffic
+//! (§4.3: network nodes are responsible for forwarding), so interior path
+//! nodes must be network nodes.
+//!
+//! The routing table is deterministic, which keeps whole-simulation runs
+//! reproducible.
+
+use crate::error::{NetError, Result};
+use crate::topology::{DirLink, LinkId, NodeId, NodeKind, Topology};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed path between two compute nodes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Path {
+    /// Source compute node.
+    pub src: NodeId,
+    /// Destination compute node.
+    pub dst: NodeId,
+    /// The directed interfaces traversed, in order.
+    pub hops: Vec<DirLink>,
+    /// Every node visited, starting with `src` and ending with `dst`.
+    pub nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Number of links traversed.
+    #[inline]
+    pub fn hop_count(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// Total one-way latency along the path.
+    pub fn latency(&self, topo: &Topology) -> crate::time::SimDuration {
+        let mut total = crate::time::SimDuration::ZERO;
+        for h in &self.hops {
+            total += topo.link(h.link).latency;
+        }
+        total
+    }
+
+    /// The static bottleneck capacity (minimum link capacity on the path).
+    pub fn capacity(&self, topo: &Topology) -> f64 {
+        self.hops
+            .iter()
+            .map(|h| topo.link(h.link).capacity)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapEntry {
+    hops: u32,
+    latency_ns: u64,
+    node: NodeId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the smallest cost pops first.
+        (other.hops, other.latency_ns, other.node)
+            .cmp(&(self.hops, self.latency_ns, self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// All-sources routing table over one topology.
+#[derive(Clone, Debug)]
+pub struct Routing {
+    /// `prev[src][node]` = link taken to reach `node` from its predecessor
+    /// on the best path from `src`.
+    prev: Vec<Vec<Option<LinkId>>>,
+    reachable: Vec<Vec<bool>>,
+}
+
+impl Routing {
+    /// Compute routes for every source node, all links up.
+    pub fn new(topo: &Topology) -> Routing {
+        Self::with_link_state(topo, None)
+    }
+
+    /// Compute routes honoring link state: `up[l]` false means link `l`
+    /// is down and carries no routes. `None` means everything is up.
+    pub fn with_link_state(topo: &Topology, up: Option<&[bool]>) -> Routing {
+        if let Some(up) = up {
+            debug_assert_eq!(up.len(), topo.link_count());
+        }
+        let n = topo.node_count();
+        let mut prev = Vec::with_capacity(n);
+        let mut reachable = Vec::with_capacity(n);
+        for src in topo.node_ids() {
+            let (p, r) = Self::single_source(topo, src, up);
+            prev.push(p);
+            reachable.push(r);
+        }
+        Routing { prev, reachable }
+    }
+
+    fn single_source(
+        topo: &Topology,
+        src: NodeId,
+        up: Option<&[bool]>,
+    ) -> (Vec<Option<LinkId>>, Vec<bool>) {
+        let n = topo.node_count();
+        let mut dist = vec![(u32::MAX, u64::MAX); n];
+        let mut prev: Vec<Option<LinkId>> = vec![None; n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = (0, 0);
+        heap.push(HeapEntry { hops: 0, latency_ns: 0, node: src });
+
+        while let Some(HeapEntry { hops, latency_ns, node }) = heap.pop() {
+            if done[node.index()] {
+                continue;
+            }
+            done[node.index()] = true;
+            // Hosts terminate paths: only the source host and network nodes
+            // may forward.
+            if node != src && topo.node(node).kind == NodeKind::Compute {
+                continue;
+            }
+            for &(link, next) in topo.neighbors(node) {
+                if done[next.index()] {
+                    continue;
+                }
+                if let Some(up) = up {
+                    if !up[link.index()] {
+                        continue;
+                    }
+                }
+                let l = topo.link(link);
+                let cand = (hops + 1, latency_ns + l.latency.as_nanos());
+                if cand < dist[next.index()] {
+                    dist[next.index()] = cand;
+                    prev[next.index()] = Some(link);
+                    heap.push(HeapEntry { hops: cand.0, latency_ns: cand.1, node: next });
+                }
+            }
+        }
+        let reach = dist.iter().map(|&(h, _)| h != u32::MAX).collect();
+        (prev, reach)
+    }
+
+    /// True if `dst` is reachable from `src` (respecting the no-forwarding
+    /// rule for hosts).
+    pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
+        self.reachable[src.index()][dst.index()]
+    }
+
+    /// First hop out of `src` toward `dst`: `(link, next node)`. `None`
+    /// when unreachable or `src == dst`. Works for *any* source node
+    /// (including routers) — the data behind `ipRouteTable` entries.
+    pub fn next_hop(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Option<(LinkId, NodeId)> {
+        if src == dst || !self.reachable(src, dst) {
+            return None;
+        }
+        let mut cur = dst;
+        loop {
+            let link = self.prev[src.index()][cur.index()]?;
+            let from = topo.link(link).opposite(cur);
+            if from == src {
+                return Some((link, cur));
+            }
+            cur = from;
+        }
+    }
+
+    /// The routed path from `src` to `dst`.
+    ///
+    /// Both endpoints must be compute nodes; errors with
+    /// [`NetError::NoRoute`] if disconnected.
+    pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Result<Path> {
+        topo.try_node(src)?;
+        topo.try_node(dst)?;
+        if topo.node(src).kind != NodeKind::Compute {
+            return Err(NetError::NotComputeNode(src));
+        }
+        if topo.node(dst).kind != NodeKind::Compute {
+            return Err(NetError::NotComputeNode(dst));
+        }
+        if src == dst {
+            return Ok(Path { src, dst, hops: Vec::new(), nodes: vec![src] });
+        }
+        if !self.reachable(src, dst) {
+            return Err(NetError::NoRoute { src, dst });
+        }
+        let mut hops_rev = Vec::new();
+        let mut nodes_rev = vec![dst];
+        let mut cur = dst;
+        while cur != src {
+            let link = self.prev[src.index()][cur.index()]
+                .unwrap_or_else(|| panic!("routing table corrupt at {cur:?}"));
+            let l = topo.link(link);
+            let from = l.opposite(cur);
+            hops_rev.push(DirLink { link, dir: l.direction_from(from) });
+            nodes_rev.push(from);
+            cur = from;
+        }
+        hops_rev.reverse();
+        nodes_rev.reverse();
+        Ok(Path { src, dst, hops: hops_rev, nodes: nodes_rev })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use crate::topology::TopologyBuilder;
+    use crate::units::mbps;
+
+    /// Line: h1 - r1 - r2 - h2, plus a slow shortcut h1 - r2.
+    fn line_with_shortcut() -> (Topology, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let r1 = b.network("r1");
+        let r2 = b.network("r2");
+        let lat = SimDuration::from_micros(100);
+        b.link(h1, r1, mbps(100.0), lat).unwrap();
+        b.link(r1, r2, mbps(100.0), lat).unwrap();
+        b.link(r2, h2, mbps(100.0), lat).unwrap();
+        (b.build().unwrap(), h1, h2)
+    }
+
+    #[test]
+    fn shortest_path_line() {
+        let (t, h1, h2) = line_with_shortcut();
+        let r = Routing::new(&t);
+        let p = r.path(&t, h1, h2).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(p.nodes.len(), 4);
+        assert_eq!(p.nodes[0], h1);
+        assert_eq!(*p.nodes.last().unwrap(), h2);
+        assert_eq!(p.latency(&t), SimDuration::from_micros(300));
+        assert_eq!(p.capacity(&t), mbps(100.0));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let (t, h1, _) = line_with_shortcut();
+        let r = Routing::new(&t);
+        let p = r.path(&t, h1, h1).unwrap();
+        assert_eq!(p.hop_count(), 0);
+        assert_eq!(p.nodes, vec![h1]);
+    }
+
+    #[test]
+    fn hosts_do_not_forward() {
+        // h1 - h2 - h3 chain: h1 cannot reach h3 through host h2.
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let h3 = b.compute("h3");
+        b.link(h1, h2, mbps(100.0), SimDuration::ZERO).unwrap();
+        b.link(h2, h3, mbps(100.0), SimDuration::ZERO).unwrap();
+        let t = b.build().unwrap();
+        let r = Routing::new(&t);
+        assert!(r.path(&t, h1, h2).is_ok());
+        assert!(matches!(
+            r.path(&t, h1, h3),
+            Err(NetError::NoRoute { .. })
+        ));
+    }
+
+    #[test]
+    fn network_endpoint_rejected() {
+        let (t, h1, _) = line_with_shortcut();
+        let r = Routing::new(&t);
+        let r1 = t.lookup("r1").unwrap();
+        assert!(matches!(
+            r.path(&t, h1, r1),
+            Err(NetError::NotComputeNode(_))
+        ));
+    }
+
+    #[test]
+    fn prefers_fewer_hops_over_latency() {
+        // Two routes h1->h2: via r1 (2 hops, high latency) or via r2-r3
+        // (3 hops, tiny latency). Hop count wins.
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let r1 = b.network("r1");
+        let r2 = b.network("r2");
+        let r3 = b.network("r3");
+        let slow = SimDuration::from_millis(10);
+        let fast = SimDuration::from_nanos(1);
+        b.link(h1, r1, mbps(100.0), slow).unwrap();
+        b.link(r1, h2, mbps(100.0), slow).unwrap();
+        b.link(h1, r2, mbps(100.0), fast).unwrap();
+        b.link(r2, r3, mbps(100.0), fast).unwrap();
+        b.link(r3, h2, mbps(100.0), fast).unwrap();
+        let t = b.build().unwrap();
+        let routing = Routing::new(&t);
+        let p = routing.path(&t, h1, h2).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert!(p.nodes.contains(&r1));
+    }
+
+    #[test]
+    fn prefers_lower_latency_at_equal_hops() {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let fast = b.network("fast");
+        let slow = b.network("slow");
+        b.link(h1, slow, mbps(100.0), SimDuration::from_millis(5)).unwrap();
+        b.link(slow, h2, mbps(100.0), SimDuration::from_millis(5)).unwrap();
+        b.link(h1, fast, mbps(100.0), SimDuration::from_micros(1)).unwrap();
+        b.link(fast, h2, mbps(100.0), SimDuration::from_micros(1)).unwrap();
+        let t = b.build().unwrap();
+        let routing = Routing::new(&t);
+        let p = routing.path(&t, h1, h2).unwrap();
+        assert!(p.nodes.contains(&fast));
+        assert!(!p.nodes.contains(&slow));
+    }
+
+    #[test]
+    fn next_hop_from_any_node() {
+        let (t, h1, h2) = line_with_shortcut();
+        let r = Routing::new(&t);
+        let r1 = t.lookup("r1").unwrap();
+        let r2 = t.lookup("r2").unwrap();
+        // From the host: first hop is its access link toward r1.
+        let (_, next) = r.next_hop(&t, h1, h2).unwrap();
+        assert_eq!(next, r1);
+        // From a router: toward h2 via r2.
+        let (_, next) = r.next_hop(&t, r1, h2).unwrap();
+        assert_eq!(next, r2);
+        // Direct neighbor.
+        let (_, next) = r.next_hop(&t, r2, h2).unwrap();
+        assert_eq!(next, h2);
+        // Degenerate cases.
+        assert!(r.next_hop(&t, h1, h1).is_none());
+    }
+
+    #[test]
+    fn path_direction_consistency() {
+        let (t, h1, h2) = line_with_shortcut();
+        let r = Routing::new(&t);
+        let p = r.path(&t, h1, h2).unwrap();
+        // Each hop must leave the node we are currently at.
+        let mut at = h1;
+        for hop in &p.hops {
+            let l = t.link(hop.link);
+            assert_eq!(l.tail(hop.dir), at);
+            at = l.head(hop.dir);
+        }
+        assert_eq!(at, h2);
+    }
+
+    #[test]
+    fn link_state_reroutes_and_disconnects() {
+        // h1 - r1 - h2 with a backup path h1 - r2 - r3 - h2.
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        let r1 = b.network("r1");
+        let r2 = b.network("r2");
+        let r3 = b.network("r3");
+        let lat = SimDuration::from_micros(10);
+        let l_a = b.link(h1, r1, mbps(100.0), lat).unwrap();
+        b.link(r1, h2, mbps(100.0), lat).unwrap();
+        b.link(h1, r2, mbps(100.0), lat).unwrap();
+        b.link(r2, r3, mbps(100.0), lat).unwrap();
+        b.link(r3, h2, mbps(100.0), lat).unwrap();
+        let t = b.build().unwrap();
+
+        let mut up = vec![true; t.link_count()];
+        let all_up = Routing::with_link_state(&t, Some(&up));
+        assert_eq!(all_up.path(&t, h1, h2).unwrap().hop_count(), 2);
+
+        // Primary access link down: the 3-hop backup is used.
+        up[l_a.index()] = false;
+        let degraded = Routing::with_link_state(&t, Some(&up));
+        let p = degraded.path(&t, h1, h2).unwrap();
+        assert_eq!(p.hop_count(), 3);
+        assert!(p.nodes.contains(&r2));
+
+        // Backup down too: disconnected.
+        up[2] = false; // h1 - r2
+        let cut = Routing::with_link_state(&t, Some(&up));
+        assert!(matches!(cut.path(&t, h1, h2), Err(NetError::NoRoute { .. })));
+    }
+
+    #[test]
+    fn reverse_path_mirrors_forward() {
+        let (t, h1, h2) = line_with_shortcut();
+        let r = Routing::new(&t);
+        let fwd = r.path(&t, h1, h2).unwrap();
+        let rev = r.path(&t, h2, h1).unwrap();
+        assert_eq!(fwd.hop_count(), rev.hop_count());
+        let mut rn = rev.nodes.clone();
+        rn.reverse();
+        assert_eq!(fwd.nodes, rn);
+    }
+}

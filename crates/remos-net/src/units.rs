@@ -1,0 +1,77 @@
+//! Bandwidth and data-volume units.
+//!
+//! Rates are carried as `f64` bits per second ([`Bps`]); the fluid model is
+//! inherently real-valued. Data volumes are integer bytes.
+
+/// Bandwidth in bits per second.
+pub type Bps = f64;
+
+/// Kilobits per second (10^3 bits/s).
+#[inline]
+pub fn kbps(x: f64) -> Bps {
+    x * 1e3
+}
+
+/// Megabits per second (10^6 bits/s). The paper's testbed links are
+/// `mbps(100.0)` and `mbps(10.0)`.
+#[inline]
+pub fn mbps(x: f64) -> Bps {
+    x * 1e6
+}
+
+/// Gigabits per second (10^9 bits/s).
+#[inline]
+pub fn gbps(x: f64) -> Bps {
+    x * 1e9
+}
+
+/// Bits in `bytes` bytes.
+#[inline]
+pub fn bytes_to_bits(bytes: u64) -> f64 {
+    bytes as f64 * 8.0
+}
+
+/// Seconds needed to move `bytes` bytes at `rate` bits/s.
+/// Returns `f64::INFINITY` when the rate is zero.
+#[inline]
+pub fn transfer_secs(bytes: u64, rate: Bps) -> f64 {
+    if rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        bytes_to_bits(bytes) / rate
+    }
+}
+
+/// Kibibytes (2^10 bytes).
+#[inline]
+pub const fn kib(x: u64) -> u64 {
+    x * 1024
+}
+
+/// Mebibytes (2^20 bytes).
+#[inline]
+pub const fn mib(x: u64) -> u64 {
+    x * 1024 * 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        assert_eq!(mbps(100.0), 100_000_000.0);
+        assert_eq!(kbps(64.0), 64_000.0);
+        assert_eq!(gbps(1.0), 1e9);
+        assert_eq!(mib(4), 4 * 1024 * 1024);
+        assert_eq!(kib(1), 1024);
+    }
+
+    #[test]
+    fn transfer_time() {
+        // 1 MiB over 8 Mbit/s is exactly 2^20 * 8 / 8e6 seconds.
+        let secs = transfer_secs(mib(1), mbps(8.0));
+        assert!((secs - (1024.0 * 1024.0 * 8.0 / 8e6)).abs() < 1e-12);
+        assert!(transfer_secs(1, 0.0).is_infinite());
+    }
+}

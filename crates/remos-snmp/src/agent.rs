@@ -1,0 +1,211 @@
+//! SNMP agents: request handling over a MIB view.
+//!
+//! An [`Agent`] owns a [`MibProvider`] — a source that materializes the
+//! current MIB on demand (the simulator-backed provider reads live octet
+//! counters; see [`crate::sim`]). Requests are authenticated against a
+//! community string and answered per RFC 1905 semantics: GET returns
+//! `noSuchObject` for missing instances, GETNEXT/GETBULK return
+//! `endOfMibView` past the end.
+
+use crate::mib::Mib;
+use crate::oid::Oid;
+use crate::pdu::{ErrorStatus, Pdu, PduType, VarBind};
+use crate::value::Value;
+
+/// Source of an agent's current MIB view.
+pub trait MibProvider: Send {
+    /// Produce the MIB as of "now". Called once per incoming request, so
+    /// all bindings in one response are a consistent snapshot.
+    fn snapshot(&self) -> Mib;
+}
+
+/// A static provider (fixed MIB), useful for tests.
+pub struct StaticMib(pub Mib);
+
+impl MibProvider for StaticMib {
+    fn snapshot(&self) -> Mib {
+        self.0.clone()
+    }
+}
+
+/// Maximum bindings an agent will put in one response before reporting
+/// `tooBig` (keeps GETBULK responses bounded like real agents do).
+pub const MAX_RESPONSE_BINDINGS: usize = 512;
+
+/// An SNMP agent.
+pub struct Agent {
+    name: String,
+    community: String,
+    provider: Box<dyn MibProvider>,
+}
+
+impl Agent {
+    /// Create an agent named `name` (its transport address) that accepts
+    /// requests carrying `community`.
+    pub fn new(name: &str, community: &str, provider: Box<dyn MibProvider>) -> Agent {
+        Agent { name: name.to_string(), community: community.to_string(), provider }
+    }
+
+    /// The agent's transport address.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Handle one request PDU, producing a response, or `None` if the
+    /// community check fails (v2c agents silently drop such requests).
+    pub fn handle(&self, req: &Pdu) -> Option<Pdu> {
+        if req.community != self.community {
+            return None;
+        }
+        let mib = self.provider.snapshot();
+        let resp = match req.pdu_type {
+            PduType::Get => self.do_get(&mib, req),
+            PduType::GetNext => self.do_get_next(&mib, req),
+            PduType::GetBulk => self.do_get_bulk(&mib, req),
+            PduType::Response | PduType::TrapV2 => {
+                Pdu::error_response(req, ErrorStatus::GenErr, 0)
+            }
+        };
+        Some(resp)
+    }
+
+    fn do_get(&self, mib: &Mib, req: &Pdu) -> Pdu {
+        let bindings = req
+            .bindings
+            .iter()
+            .map(|b| VarBind {
+                oid: b.oid.clone(),
+                value: mib.get(&b.oid).cloned().unwrap_or(Value::NoSuchObject),
+            })
+            .collect();
+        Pdu::response(req, bindings)
+    }
+
+    fn do_get_next(&self, mib: &Mib, req: &Pdu) -> Pdu {
+        let bindings = req
+            .bindings
+            .iter()
+            .map(|b| match mib.next(&b.oid) {
+                Some((oid, value)) => VarBind { oid: oid.clone(), value: value.clone() },
+                None => VarBind { oid: b.oid.clone(), value: Value::EndOfMibView },
+            })
+            .collect();
+        Pdu::response(req, bindings)
+    }
+
+    fn do_get_bulk(&self, mib: &Mib, req: &Pdu) -> Pdu {
+        let mut bindings = Vec::new();
+        for b in &req.bindings {
+            let mut cur: Oid = b.oid.clone();
+            for _ in 0..req.max_repetitions {
+                if bindings.len() >= MAX_RESPONSE_BINDINGS {
+                    return Pdu::error_response(req, ErrorStatus::TooBig, 0);
+                }
+                match mib.next(&cur) {
+                    Some((oid, value)) => {
+                        bindings.push(VarBind { oid: oid.clone(), value: value.clone() });
+                        cur = oid.clone();
+                    }
+                    None => {
+                        bindings.push(VarBind { oid: cur.clone(), value: Value::EndOfMibView });
+                        break;
+                    }
+                }
+            }
+        }
+        Pdu::response(req, bindings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mib::SERVICES_ROUTER;
+    use crate::oid::well_known;
+
+    fn agent() -> Agent {
+        let mut m = Mib::new();
+        m.set_system_group("whiteface", "router", 5, SERVICES_ROUTER);
+        m.set_if_number(2);
+        m.set_interface_row(1, "a", 100_000_000, true, 1, 2);
+        m.set_interface_row(2, "b", 100_000_000, true, 3, 4);
+        Agent::new("whiteface", "public", Box::new(StaticMib(m)))
+    }
+
+    #[test]
+    fn get_hits_and_misses() {
+        let a = agent();
+        let req = Pdu::get(
+            "public",
+            1,
+            vec![well_known::sys_name(), Oid::new([9, 9])],
+        );
+        let resp = a.handle(&req).unwrap();
+        assert_eq!(resp.bindings[0].value, Value::text("whiteface"));
+        assert_eq!(resp.bindings[1].value, Value::NoSuchObject);
+        assert_eq!(resp.request_id, 1);
+    }
+
+    #[test]
+    fn wrong_community_dropped() {
+        let a = agent();
+        let req = Pdu::get("private", 1, vec![well_known::sys_name()]);
+        assert!(a.handle(&req).is_none());
+    }
+
+    #[test]
+    fn getnext_advances() {
+        let a = agent();
+        let req = Pdu::get_next("public", 2, vec![well_known::if_in_octets()]);
+        let resp = a.handle(&req).unwrap();
+        assert_eq!(resp.bindings[0].oid, well_known::if_in_octets().child([1]));
+        assert_eq!(resp.bindings[0].value, Value::Counter32(1));
+    }
+
+    #[test]
+    fn getnext_past_end() {
+        let a = agent();
+        let req = Pdu::get_next("public", 3, vec![Oid::new([9])]);
+        let resp = a.handle(&req).unwrap();
+        assert_eq!(resp.bindings[0].value, Value::EndOfMibView);
+    }
+
+    #[test]
+    fn getbulk_collects_column() {
+        let a = agent();
+        let req = Pdu::get_bulk("public", 4, vec![well_known::if_out_octets()], 10);
+        let resp = a.handle(&req).unwrap();
+        // Two rows plus the overshoot into the next subtree (or EoM).
+        assert!(resp.bindings.len() >= 2);
+        assert_eq!(resp.bindings[0].value, Value::Counter32(2));
+        assert_eq!(resp.bindings[1].value, Value::Counter32(4));
+    }
+
+    #[test]
+    fn getbulk_overflow_reports_too_big() {
+        // A MIB with more instances than MAX_RESPONSE_BINDINGS and a
+        // request greedy enough to exceed the cap.
+        let mut m = Mib::new();
+        for i in 0..(MAX_RESPONSE_BINDINGS as u32 + 10) {
+            m.set(Oid::new([1, 3, 6, 1, i]), Value::Integer(i as i64));
+        }
+        let a = Agent::new("big", "public", Box::new(StaticMib(m)));
+        let req = Pdu::get_bulk(
+            "public",
+            9,
+            vec![Oid::new([1]), Oid::new([1]), Oid::new([1])],
+            (MAX_RESPONSE_BINDINGS / 2) as u32,
+        );
+        let resp = a.handle(&req).unwrap();
+        assert_eq!(resp.error_status, ErrorStatus::TooBig);
+    }
+
+    #[test]
+    fn response_pdu_as_request_is_error() {
+        let a = agent();
+        let mut req = Pdu::get("public", 5, vec![]);
+        req.pdu_type = PduType::Response;
+        let resp = a.handle(&req).unwrap();
+        assert_eq!(resp.error_status, ErrorStatus::GenErr);
+    }
+}

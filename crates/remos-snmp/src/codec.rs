@@ -1,0 +1,354 @@
+//! Wire encoding.
+//!
+//! A compact length-prefixed TLV format standing in for BER (the collector
+//! code path is identical; only the byte grammar differs — documented as a
+//! substitution in DESIGN.md). All integers are big-endian. Layout:
+//!
+//! ```text
+//! message   := MAGIC u8=version community:bytes pdu
+//! pdu       := type:u8 request_id:u32 error_status:u8 error_index:u32
+//!              max_repetitions:u32 nbindings:u16 binding*
+//! binding   := oid value
+//! oid       := len:u16 subid:u32*
+//! value     := tag:u8 payload
+//! bytes     := len:u32 byte*
+//! ```
+
+use crate::error::{SnmpError, SnmpResult};
+use crate::oid::Oid;
+use crate::pdu::{ErrorStatus, Pdu, PduType, VarBind};
+use crate::value::Value;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Magic byte opening every message.
+pub const MAGIC: u8 = 0x53; // 'S'
+/// Protocol version carried on the wire.
+pub const VERSION: u8 = 2;
+
+// Value tags.
+const TAG_INTEGER: u8 = 0x02;
+const TAG_OCTET_STRING: u8 = 0x04;
+const TAG_NULL: u8 = 0x05;
+const TAG_OID: u8 = 0x06;
+const TAG_IP_ADDRESS: u8 = 0x40;
+const TAG_COUNTER32: u8 = 0x41;
+const TAG_GAUGE32: u8 = 0x42;
+const TAG_TIMETICKS: u8 = 0x43;
+const TAG_NO_SUCH_OBJECT: u8 = 0x80;
+const TAG_END_OF_MIB_VIEW: u8 = 0x82;
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn put_oid(buf: &mut BytesMut, oid: &Oid) {
+    buf.put_u16(oid.len() as u16);
+    for &p in oid.parts() {
+        buf.put_u32(p);
+    }
+}
+
+fn put_value(buf: &mut BytesMut, v: &Value) {
+    match v {
+        Value::Integer(i) => {
+            buf.put_u8(TAG_INTEGER);
+            buf.put_i64(*i);
+        }
+        Value::OctetString(b) => {
+            buf.put_u8(TAG_OCTET_STRING);
+            put_bytes(buf, b);
+        }
+        Value::ObjectId(o) => {
+            buf.put_u8(TAG_OID);
+            put_oid(buf, o);
+        }
+        Value::Counter32(c) => {
+            buf.put_u8(TAG_COUNTER32);
+            buf.put_u32(*c);
+        }
+        Value::Gauge32(g) => {
+            buf.put_u8(TAG_GAUGE32);
+            buf.put_u32(*g);
+        }
+        Value::TimeTicks(t) => {
+            buf.put_u8(TAG_TIMETICKS);
+            buf.put_u32(*t);
+        }
+        Value::IpAddress(ip) => {
+            buf.put_u8(TAG_IP_ADDRESS);
+            buf.put_slice(ip);
+        }
+        Value::Null => buf.put_u8(TAG_NULL),
+        Value::NoSuchObject => buf.put_u8(TAG_NO_SUCH_OBJECT),
+        Value::EndOfMibView => buf.put_u8(TAG_END_OF_MIB_VIEW),
+    }
+}
+
+/// Encode a message to wire bytes.
+pub fn encode(pdu: &Pdu) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + pdu.bindings.len() * 32);
+    buf.put_u8(MAGIC);
+    buf.put_u8(VERSION);
+    put_bytes(&mut buf, pdu.community.as_bytes());
+    buf.put_u8(pdu.pdu_type.code());
+    buf.put_u32(pdu.request_id);
+    buf.put_u8(pdu.error_status.code());
+    buf.put_u32(pdu.error_index);
+    buf.put_u32(pdu.max_repetitions);
+    buf.put_u16(pdu.bindings.len() as u16);
+    for b in &pdu.bindings {
+        put_oid(&mut buf, &b.oid);
+        put_value(&mut buf, &b.value);
+    }
+    buf.freeze()
+}
+
+fn need(buf: &Bytes, n: usize) -> SnmpResult<()> {
+    if buf.remaining() < n {
+        Err(SnmpError::Decode(format!("truncated: need {n} more bytes")))
+    } else {
+        Ok(())
+    }
+}
+
+fn take_bytes(buf: &mut Bytes) -> SnmpResult<Vec<u8>> {
+    need(buf, 4)?;
+    let len = buf.get_u32() as usize;
+    if len > 1 << 24 {
+        return Err(SnmpError::Decode(format!("unreasonable length {len}")));
+    }
+    need(buf, len)?;
+    let mut v = vec![0u8; len];
+    buf.copy_to_slice(&mut v);
+    Ok(v)
+}
+
+fn take_oid(buf: &mut Bytes) -> SnmpResult<Oid> {
+    need(buf, 2)?;
+    let n = buf.get_u16() as usize;
+    need(buf, n * 4)?;
+    let mut parts = Vec::with_capacity(n);
+    for _ in 0..n {
+        parts.push(buf.get_u32());
+    }
+    Ok(Oid::new(parts))
+}
+
+fn take_value(buf: &mut Bytes) -> SnmpResult<Value> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_INTEGER => {
+            need(buf, 8)?;
+            Value::Integer(buf.get_i64())
+        }
+        TAG_OCTET_STRING => Value::OctetString(take_bytes(buf)?),
+        TAG_OID => Value::ObjectId(take_oid(buf)?),
+        TAG_COUNTER32 => {
+            need(buf, 4)?;
+            Value::Counter32(buf.get_u32())
+        }
+        TAG_GAUGE32 => {
+            need(buf, 4)?;
+            Value::Gauge32(buf.get_u32())
+        }
+        TAG_TIMETICKS => {
+            need(buf, 4)?;
+            Value::TimeTicks(buf.get_u32())
+        }
+        TAG_IP_ADDRESS => {
+            need(buf, 4)?;
+            let mut ip = [0u8; 4];
+            buf.copy_to_slice(&mut ip);
+            Value::IpAddress(ip)
+        }
+        TAG_NULL => Value::Null,
+        TAG_NO_SUCH_OBJECT => Value::NoSuchObject,
+        TAG_END_OF_MIB_VIEW => Value::EndOfMibView,
+        other => return Err(SnmpError::Decode(format!("unknown value tag {other:#x}"))),
+    })
+}
+
+/// Decode a message from wire bytes.
+pub fn decode(mut buf: Bytes) -> SnmpResult<Pdu> {
+    need(&buf, 2)?;
+    let magic = buf.get_u8();
+    if magic != MAGIC {
+        return Err(SnmpError::Decode(format!("bad magic {magic:#x}")));
+    }
+    let version = buf.get_u8();
+    if version != VERSION {
+        return Err(SnmpError::Decode(format!("unsupported version {version}")));
+    }
+    let community = String::from_utf8(take_bytes(&mut buf)?)
+        .map_err(|_| SnmpError::Decode("community not UTF-8".into()))?;
+    need(&buf, 1 + 4 + 1 + 4 + 4 + 2)?;
+    let pdu_type = PduType::from_code(buf.get_u8())
+        .ok_or_else(|| SnmpError::Decode("unknown pdu type".into()))?;
+    let request_id = buf.get_u32();
+    let error_status = ErrorStatus::from_code(buf.get_u8())
+        .ok_or_else(|| SnmpError::Decode("unknown error status".into()))?;
+    let error_index = buf.get_u32();
+    let max_repetitions = buf.get_u32();
+    let n = buf.get_u16() as usize;
+    let mut bindings = Vec::with_capacity(n);
+    for _ in 0..n {
+        let oid = take_oid(&mut buf)?;
+        let value = take_value(&mut buf)?;
+        bindings.push(VarBind { oid, value });
+    }
+    if buf.has_remaining() {
+        return Err(SnmpError::Decode(format!(
+            "{} trailing bytes after message",
+            buf.remaining()
+        )));
+    }
+    Ok(Pdu {
+        community,
+        pdu_type,
+        request_id,
+        error_status,
+        error_index,
+        max_repetitions,
+        bindings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pdu() -> Pdu {
+        Pdu::get_bulk(
+            "public",
+            7,
+            vec!["1.3.6.1.2.1.2.2.1.10".parse().unwrap()],
+            20,
+        )
+    }
+
+    #[test]
+    fn roundtrip_request() {
+        let p = sample_pdu();
+        let bytes = encode(&p);
+        assert_eq!(decode(bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn roundtrip_all_value_kinds() {
+        let req = sample_pdu();
+        let bindings = vec![
+            VarBind { oid: "1.1".parse().unwrap(), value: Value::Integer(-5) },
+            VarBind { oid: "1.2".parse().unwrap(), value: Value::text("timberline") },
+            VarBind {
+                oid: "1.3".parse().unwrap(),
+                value: Value::ObjectId("1.3.6.1".parse().unwrap()),
+            },
+            VarBind { oid: "1.4".parse().unwrap(), value: Value::Counter32(u32::MAX) },
+            VarBind { oid: "1.5".parse().unwrap(), value: Value::Gauge32(100_000_000) },
+            VarBind { oid: "1.6".parse().unwrap(), value: Value::TimeTicks(360000) },
+            VarBind { oid: "1.7".parse().unwrap(), value: Value::Null },
+            VarBind { oid: "1.8".parse().unwrap(), value: Value::NoSuchObject },
+            VarBind { oid: "1.9".parse().unwrap(), value: Value::EndOfMibView },
+        ];
+        let resp = Pdu::response(&req, bindings);
+        let decoded = decode(encode(&resp)).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut b = encode(&sample_pdu()).to_vec();
+        b[0] = 0x00;
+        assert!(matches!(decode(Bytes::from(b)), Err(SnmpError::Decode(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let full = encode(&sample_pdu()).to_vec();
+        for cut in 0..full.len() {
+            let b = Bytes::copy_from_slice(&full[..cut]);
+            assert!(decode(b).is_err(), "decode succeeded on {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut b = encode(&sample_pdu()).to_vec();
+        b.push(0xaa);
+        assert!(decode(Bytes::from(b)).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_oid() -> impl Strategy<Value = Oid> {
+            prop::collection::vec(0u32..1 << 16, 0..12).prop_map(Oid::new)
+        }
+
+        fn arb_value() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                any::<i64>().prop_map(Value::Integer),
+                prop::collection::vec(any::<u8>(), 0..64).prop_map(Value::OctetString),
+                arb_oid().prop_map(Value::ObjectId),
+                any::<u32>().prop_map(Value::Counter32),
+                any::<u32>().prop_map(Value::Gauge32),
+                any::<u32>().prop_map(Value::TimeTicks),
+                any::<[u8; 4]>().prop_map(Value::IpAddress),
+                Just(Value::Null),
+                Just(Value::NoSuchObject),
+                Just(Value::EndOfMibView),
+            ]
+        }
+
+        fn arb_pdu() -> impl Strategy<Value = Pdu> {
+            (
+                "[a-z]{0,12}",
+                prop_oneof![
+                    Just(PduType::Get),
+                    Just(PduType::GetNext),
+                    Just(PduType::GetBulk),
+                    Just(PduType::Response),
+                    Just(PduType::TrapV2)
+                ],
+                any::<u32>(),
+                prop_oneof![
+                    Just(ErrorStatus::NoError),
+                    Just(ErrorStatus::TooBig),
+                    Just(ErrorStatus::GenErr),
+                    Just(ErrorStatus::NoAccess)
+                ],
+                any::<u32>(),
+                any::<u32>(),
+                prop::collection::vec((arb_oid(), arb_value()), 0..8),
+            )
+                .prop_map(|(community, t, rid, es, ei, mr, binds)| Pdu {
+                    community,
+                    pdu_type: t,
+                    request_id: rid,
+                    error_status: es,
+                    error_index: ei,
+                    max_repetitions: mr,
+                    bindings: binds
+                        .into_iter()
+                        .map(|(oid, value)| VarBind { oid, value })
+                        .collect(),
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn encode_decode_roundtrip(pdu in arb_pdu()) {
+                let decoded = decode(encode(&pdu)).unwrap();
+                prop_assert_eq!(decoded, pdu);
+            }
+
+            #[test]
+            fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+                let _ = decode(Bytes::from(bytes));
+            }
+        }
+    }
+}

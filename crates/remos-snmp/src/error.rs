@@ -1,0 +1,39 @@
+//! Error types for the SNMP substrate.
+
+use std::fmt;
+
+/// Errors surfaced to SNMP clients (managers / the Remos collector).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnmpError {
+    /// Malformed wire bytes.
+    Decode(String),
+    /// The target agent does not exist.
+    UnknownAgent(String),
+    /// The request timed out (dropped by the lossy transport).
+    Timeout,
+    /// Authentication failed (wrong community). Real SNMPv2c silently
+    /// drops these; the simulated transport reports them for testability.
+    BadCommunity,
+    /// The agent answered with a non-zero error-status.
+    AgentError(crate::pdu::ErrorStatus),
+    /// Response did not match the request (id or shape).
+    ProtocolMismatch(String),
+}
+
+/// Convenience alias.
+pub type SnmpResult<T> = Result<T, SnmpError>;
+
+impl fmt::Display for SnmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnmpError::Decode(m) => write!(f, "decode error: {m}"),
+            SnmpError::UnknownAgent(a) => write!(f, "unknown agent {a:?}"),
+            SnmpError::Timeout => write!(f, "request timed out"),
+            SnmpError::BadCommunity => write!(f, "bad community string"),
+            SnmpError::AgentError(s) => write!(f, "agent error-status: {s:?}"),
+            SnmpError::ProtocolMismatch(m) => write!(f, "protocol mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SnmpError {}

@@ -1,0 +1,221 @@
+//! Client-side manager: typed get / walk / bulk-walk over a [`Transport`].
+
+use crate::error::{SnmpError, SnmpResult};
+use crate::oid::Oid;
+use crate::pdu::{ErrorStatus, Pdu, VarBind};
+use crate::transport::Transport;
+use crate::value::Value;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Default GETBULK repetition count.
+pub const DEFAULT_MAX_REPETITIONS: u32 = 32;
+
+/// An SNMP manager bound to one transport and community.
+pub struct Manager<T: Transport> {
+    transport: Arc<T>,
+    community: String,
+    next_request_id: AtomicU32,
+    /// Retries per request on timeout (datagram loss).
+    pub retries: u32,
+}
+
+impl<T: Transport> Manager<T> {
+    /// New manager speaking `community`.
+    pub fn new(transport: Arc<T>, community: &str) -> Self {
+        Manager {
+            transport,
+            community: community.to_string(),
+            next_request_id: AtomicU32::new(1),
+            retries: 3,
+        }
+    }
+
+    fn rid(&self) -> u32 {
+        self.next_request_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn send(&self, agent: &str, req: &Pdu) -> SnmpResult<Pdu> {
+        let mut last = SnmpError::Timeout;
+        for _ in 0..=self.retries {
+            match self.transport.request(agent, req) {
+                Ok(resp) => {
+                    if resp.error_status != ErrorStatus::NoError {
+                        return Err(SnmpError::AgentError(resp.error_status));
+                    }
+                    return Ok(resp);
+                }
+                Err(SnmpError::Timeout) => last = SnmpError::Timeout,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+
+    /// GET a single instance.
+    pub fn get(&self, agent: &str, oid: &Oid) -> SnmpResult<Value> {
+        let req = Pdu::get(&self.community, self.rid(), vec![oid.clone()]);
+        let resp = self.send(agent, &req)?;
+        resp.bindings
+            .into_iter()
+            .next()
+            .map(|b| b.value)
+            .ok_or_else(|| SnmpError::ProtocolMismatch("empty response".into()))
+    }
+
+    /// GET several instances in one request.
+    pub fn get_many(&self, agent: &str, oids: &[Oid]) -> SnmpResult<Vec<Value>> {
+        let req = Pdu::get(&self.community, self.rid(), oids.to_vec());
+        let resp = self.send(agent, &req)?;
+        if resp.bindings.len() != oids.len() {
+            return Err(SnmpError::ProtocolMismatch(format!(
+                "asked {} instances, got {}",
+                oids.len(),
+                resp.bindings.len()
+            )));
+        }
+        Ok(resp.bindings.into_iter().map(|b| b.value).collect())
+    }
+
+    /// Walk an entire subtree with repeated GETNEXT.
+    pub fn walk(&self, agent: &str, root: &Oid) -> SnmpResult<Vec<VarBind>> {
+        let mut out = Vec::new();
+        let mut cur = root.clone();
+        loop {
+            let req = Pdu::get_next(&self.community, self.rid(), vec![cur.clone()]);
+            let resp = self.send(agent, &req)?;
+            let Some(b) = resp.bindings.into_iter().next() else { break };
+            if b.value == Value::EndOfMibView || !root.is_prefix_of(&b.oid) {
+                break;
+            }
+            if b.oid <= cur {
+                return Err(SnmpError::ProtocolMismatch("agent did not advance".into()));
+            }
+            cur = b.oid.clone();
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Walk an entire subtree with GETBULK (fewer round trips).
+    pub fn bulk_walk(&self, agent: &str, root: &Oid) -> SnmpResult<Vec<VarBind>> {
+        let mut out: Vec<VarBind> = Vec::new();
+        let mut cur = root.clone();
+        loop {
+            let req = Pdu::get_bulk(
+                &self.community,
+                self.rid(),
+                vec![cur.clone()],
+                DEFAULT_MAX_REPETITIONS,
+            );
+            let resp = self.send(agent, &req)?;
+            if resp.bindings.is_empty() {
+                break;
+            }
+            let mut done = false;
+            for b in resp.bindings {
+                if b.value == Value::EndOfMibView || !root.is_prefix_of(&b.oid) {
+                    done = true;
+                    break;
+                }
+                if b.oid <= cur {
+                    return Err(SnmpError::ProtocolMismatch("agent did not advance".into()));
+                }
+                cur = b.oid.clone();
+                out.push(b);
+            }
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, StaticMib};
+    use crate::mib::{Mib, SERVICES_ROUTER};
+    use crate::oid::well_known;
+    use crate::transport::SimTransport;
+
+    fn setup() -> (Manager<SimTransport>, Arc<SimTransport>) {
+        let t = Arc::new(SimTransport::new());
+        let mut m = Mib::new();
+        m.set_system_group("aspen", "router", 0, SERVICES_ROUTER);
+        m.set_if_number(3);
+        for i in 1..=3 {
+            m.set_interface_row(i, &format!("if{i}"), 100_000_000, true, i * 10, i * 20);
+        }
+        t.register(Agent::new("aspen", "public", Box::new(StaticMib(m))));
+        (Manager::new(Arc::clone(&t), "public"), t)
+    }
+
+    #[test]
+    fn get_and_get_many() {
+        let (mgr, _) = setup();
+        let v = mgr.get("aspen", &well_known::sys_name()).unwrap();
+        assert_eq!(v, Value::text("aspen"));
+        let vs = mgr
+            .get_many(
+                "aspen",
+                &[well_known::if_in_octets().child([1]), well_known::if_in_octets().child([2])],
+            )
+            .unwrap();
+        assert_eq!(vs, vec![Value::Counter32(10), Value::Counter32(20)]);
+    }
+
+    #[test]
+    fn walk_and_bulk_walk_agree() {
+        let (mgr, _) = setup();
+        let a = mgr.walk("aspen", &well_known::interfaces()).unwrap();
+        let b = mgr.bulk_walk("aspen", &well_known::interfaces()).unwrap();
+        assert_eq!(a, b);
+        // ifNumber + 6 columns x 3 rows.
+        assert_eq!(a.len(), 1 + 6 * 3);
+    }
+
+    #[test]
+    fn walk_restricts_to_subtree() {
+        let (mgr, _) = setup();
+        let rows = mgr.walk("aspen", &well_known::if_speed()).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|b| well_known::if_speed().is_prefix_of(&b.oid)));
+    }
+
+    #[test]
+    fn walk_of_missing_subtree_is_empty() {
+        let (mgr, _) = setup();
+        let rows = mgr.walk("aspen", &Oid::new([9, 9, 9])).unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn retries_survive_loss() {
+        let (mgr, t) = setup();
+        t.set_loss(0.2, 99);
+        // Each attempt rolls the drop dice twice (request + response):
+        // p(success/attempt) = 0.8^2 = 0.64, so with 3 retries
+        // p(fail/get) = 0.36^4 ≈ 1.7% — expect ~1 failure in 50 gets.
+        let mut failures = 0;
+        for _ in 0..50 {
+            if mgr.get("aspen", &well_known::sys_name()).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures <= 5, "excessive failures: {failures}");
+    }
+
+    #[test]
+    fn bulk_walk_is_cheaper_than_walk() {
+        let (mgr, t) = setup();
+        t.reset_stats();
+        mgr.walk("aspen", &well_known::interfaces()).unwrap();
+        let walk_msgs = t.stats().requests;
+        t.reset_stats();
+        mgr.bulk_walk("aspen", &well_known::interfaces()).unwrap();
+        let bulk_msgs = t.stats().requests;
+        assert!(bulk_msgs < walk_msgs, "bulk {bulk_msgs} vs walk {walk_msgs}");
+    }
+}

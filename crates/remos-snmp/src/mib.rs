@@ -1,0 +1,216 @@
+//! The management information base: an ordered OID → value map plus
+//! builders for the groups the Remos collector consumes.
+
+use crate::oid::{well_known, Oid};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// `sysServices` value advertising a layer-3 forwarding device.
+pub const SERVICES_ROUTER: i64 = 4;
+/// `sysServices` value advertising an application host.
+pub const SERVICES_HOST: i64 = 72;
+
+/// An ordered MIB view.
+#[derive(Clone, Debug, Default)]
+pub struct Mib {
+    entries: BTreeMap<Oid, Value>,
+}
+
+impl Mib {
+    /// Empty MIB.
+    pub fn new() -> Mib {
+        Mib::default()
+    }
+
+    /// Insert or replace an instance.
+    pub fn set(&mut self, oid: Oid, value: Value) {
+        self.entries.insert(oid, value);
+    }
+
+    /// Exact-instance lookup (GET semantics).
+    pub fn get(&self, oid: &Oid) -> Option<&Value> {
+        self.entries.get(oid)
+    }
+
+    /// First instance strictly after `oid` (GETNEXT semantics).
+    pub fn next(&self, oid: &Oid) -> Option<(&Oid, &Value)> {
+        self.entries
+            .range((Bound::Excluded(oid.clone()), Bound::Unbounded))
+            .next()
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate instances in OID order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Oid, &Value)> {
+        self.entries.iter()
+    }
+
+    /// Populate the `system` group.
+    ///
+    /// `services` should be [`SERVICES_ROUTER`] or [`SERVICES_HOST`]; the
+    /// collector uses it to classify nodes.
+    pub fn set_system_group(&mut self, name: &str, descr: &str, uptime_ticks: u32, services: i64) {
+        self.set(well_known::sys_descr(), Value::text(descr));
+        self.set(well_known::sys_uptime(), Value::TimeTicks(uptime_ticks));
+        self.set(well_known::sys_name(), Value::text(name));
+        self.set(well_known::sys_services(), Value::Integer(services));
+    }
+
+    /// Add one interface row (`ifIndex` is 1-based, per MIB-II convention).
+    #[allow(clippy::too_many_arguments)]
+    pub fn set_interface_row(
+        &mut self,
+        if_index: u32,
+        descr: &str,
+        speed_bps: u32,
+        oper_up: bool,
+        in_octets: u32,
+        out_octets: u32,
+    ) {
+        self.set(well_known::if_index().child([if_index]), Value::Integer(if_index as i64));
+        self.set(well_known::if_descr().child([if_index]), Value::text(descr));
+        self.set(well_known::if_speed().child([if_index]), Value::Gauge32(speed_bps));
+        self.set(
+            well_known::if_oper_status().child([if_index]),
+            Value::Integer(if oper_up { 1 } else { 2 }),
+        );
+        self.set(well_known::if_in_octets().child([if_index]), Value::Counter32(in_octets));
+        self.set(well_known::if_out_octets().child([if_index]), Value::Counter32(out_octets));
+    }
+
+    /// Record `ifNumber`.
+    pub fn set_if_number(&mut self, n: u32) {
+        self.set(well_known::if_number(), Value::Integer(n as i64));
+    }
+
+    /// Populate the host-resources objects (hosts only).
+    pub fn set_host_resources(&mut self, memory_kb: i64, mflops: u32) {
+        self.set(well_known::hr_memory_size(), Value::Integer(memory_kb));
+        self.set(well_known::host_mflops(), Value::Gauge32(mflops));
+    }
+
+    /// Record the node's own IP address (ipAddrTable).
+    pub fn set_own_address(&mut self, ip: [u8; 4]) {
+        self.set(
+            well_known::ip_ad_ent_addr().child(ip.map(u32::from)),
+            Value::IpAddress(ip),
+        );
+    }
+
+    /// Add one ipRouteTable row: traffic to `dest` leaves via interface
+    /// `if_index` toward `next_hop`; `direct` marks a connected route
+    /// (ipRouteType 3) vs a remote one (4).
+    pub fn set_route_row(&mut self, dest: [u8; 4], if_index: u32, next_hop: [u8; 4], direct: bool) {
+        let idx = dest.map(u32::from);
+        self.set(well_known::ip_route_dest().child(idx), Value::IpAddress(dest));
+        self.set(
+            well_known::ip_route_ifindex().child(idx),
+            Value::Integer(if_index as i64),
+        );
+        self.set(well_known::ip_route_nexthop().child(idx), Value::IpAddress(next_hop));
+        self.set(
+            well_known::ip_route_type().child(idx),
+            Value::Integer(if direct { 3 } else { 4 }),
+        );
+    }
+
+    /// Add one LLDP-style neighbor row: interface `if_index` connects to
+    /// `neighbor_name`, arriving on that neighbor's `neighbor_ifindex`.
+    pub fn set_neighbor_row(&mut self, if_index: u32, neighbor_name: &str, neighbor_ifindex: u32) {
+        self.set(
+            well_known::neighbor_name().child([if_index]),
+            Value::text(neighbor_name),
+        );
+        self.set(
+            well_known::neighbor_ifindex().child([if_index]),
+            Value::Integer(neighbor_ifindex as i64),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Mib {
+        let mut m = Mib::new();
+        m.set_system_group("aspen", "NetBSD router", 100, SERVICES_ROUTER);
+        m.set_if_number(2);
+        m.set_interface_row(1, "to-m-1", 100_000_000, true, 10, 20);
+        m.set_interface_row(2, "to-timberline", 100_000_000, true, 30, 40);
+        m.set_neighbor_row(1, "m-1", 1);
+        m.set_neighbor_row(2, "timberline", 1);
+        m
+    }
+
+    #[test]
+    fn get_exact() {
+        let m = sample();
+        assert_eq!(m.get(&well_known::sys_name()), Some(&Value::text("aspen")));
+        assert_eq!(
+            m.get(&well_known::if_out_octets().child([2])),
+            Some(&Value::Counter32(40))
+        );
+        assert_eq!(m.get(&Oid::new([9, 9, 9])), None);
+    }
+
+    #[test]
+    fn getnext_walk_visits_everything_in_order() {
+        let m = sample();
+        let mut cur = Oid::root();
+        let mut seen = Vec::new();
+        while let Some((oid, _)) = m.next(&cur) {
+            seen.push(oid.clone());
+            cur = oid.clone();
+        }
+        assert_eq!(seen.len(), m.len());
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn getnext_within_column() {
+        let m = sample();
+        // Walking the ifOutOctets column yields rows 1 then 2.
+        let col = well_known::if_out_octets();
+        let (o1, v1) = m.next(&col).unwrap();
+        assert_eq!(o1, &col.child([1]));
+        assert_eq!(v1, &Value::Counter32(20));
+        let (o2, v2) = m.next(o1).unwrap();
+        assert_eq!(o2, &col.child([2]));
+        assert_eq!(v2, &Value::Counter32(40));
+        // ifOutOctets (column 16) is the highest-sorting instance in this
+        // sample MIB, so the walk ends here.
+        match m.next(o2) {
+            None => {}
+            Some((o3, _)) => assert!(!col.is_prefix_of(o3)),
+        }
+    }
+
+    #[test]
+    fn services_distinguish_kinds() {
+        let m = sample();
+        assert_eq!(
+            m.get(&well_known::sys_services()),
+            Some(&Value::Integer(SERVICES_ROUTER))
+        );
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut m = sample();
+        m.set(well_known::sys_name(), Value::text("renamed"));
+        assert_eq!(m.get(&well_known::sys_name()), Some(&Value::text("renamed")));
+    }
+}

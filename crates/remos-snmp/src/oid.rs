@@ -1,0 +1,285 @@
+//! Object identifiers.
+//!
+//! An OID is a sequence of unsigned sub-identifiers with the standard
+//! lexicographic total order — the order GETNEXT walks the MIB in.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// An object identifier, e.g. `1.3.6.1.2.1.2.2.1.10.3`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Oid(Vec<u32>);
+
+impl Oid {
+    /// Construct from sub-identifiers.
+    pub fn new(parts: impl Into<Vec<u32>>) -> Self {
+        Oid(parts.into())
+    }
+
+    /// The empty OID (sorts before everything; walking from it visits the
+    /// entire MIB).
+    pub fn root() -> Self {
+        Oid(Vec::new())
+    }
+
+    /// The sub-identifiers.
+    pub fn parts(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// Number of sub-identifiers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty OID.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// `self` extended with `suffix` sub-identifiers.
+    pub fn child(&self, suffix: impl IntoIterator<Item = u32>) -> Oid {
+        let mut v = self.0.clone();
+        v.extend(suffix);
+        Oid(v)
+    }
+
+    /// True if `self` is a prefix of `other` (every MIB subtree walk stops
+    /// when this stops holding).
+    pub fn is_prefix_of(&self, other: &Oid) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The instance suffix of `other` under prefix `self`, if any.
+    pub fn suffix_of<'a>(&self, other: &'a Oid) -> Option<&'a [u32]> {
+        self.is_prefix_of(other).then(|| &other.0[self.0.len()..])
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({self})")
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for p in &self.0 {
+            if !first {
+                write!(f, ".")?;
+            }
+            write!(f, "{p}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing an OID from a dotted-decimal string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOidError(pub String);
+
+impl fmt::Display for ParseOidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid OID: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseOidError {}
+
+impl FromStr for Oid {
+    type Err = ParseOidError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Ok(Oid::root());
+        }
+        s.split('.')
+            .map(|p| p.parse::<u32>().map_err(|_| ParseOidError(s.to_string())))
+            .collect::<Result<Vec<_>, _>>()
+            .map(Oid)
+    }
+}
+
+impl From<&[u32]> for Oid {
+    fn from(v: &[u32]) -> Self {
+        Oid(v.to_vec())
+    }
+}
+
+/// Well-known MIB-II (and LLDP-style) OID constants used by the agents and
+/// the Remos collector.
+pub mod well_known {
+    use super::Oid;
+
+    /// `system` group: 1.3.6.1.2.1.1
+    pub fn system() -> Oid {
+        Oid::new([1, 3, 6, 1, 2, 1, 1])
+    }
+    /// sysDescr.0
+    pub fn sys_descr() -> Oid {
+        system().child([1, 0])
+    }
+    /// sysUpTime.0 (TimeTicks, hundredths of a second)
+    pub fn sys_uptime() -> Oid {
+        system().child([3, 0])
+    }
+    /// sysName.0
+    pub fn sys_name() -> Oid {
+        system().child([5, 0])
+    }
+    /// sysServices.0 (4 = layer-3 router, 72 = application host)
+    pub fn sys_services() -> Oid {
+        system().child([7, 0])
+    }
+
+    /// `interfaces` group: 1.3.6.1.2.1.2
+    pub fn interfaces() -> Oid {
+        Oid::new([1, 3, 6, 1, 2, 1, 2])
+    }
+    /// ifNumber.0
+    pub fn if_number() -> Oid {
+        interfaces().child([1, 0])
+    }
+    /// ifTable entry: 1.3.6.1.2.1.2.2.1
+    pub fn if_entry() -> Oid {
+        interfaces().child([2, 1])
+    }
+    /// ifIndex column
+    pub fn if_index() -> Oid {
+        if_entry().child([1])
+    }
+    /// ifDescr column
+    pub fn if_descr() -> Oid {
+        if_entry().child([2])
+    }
+    /// ifSpeed column (Gauge32, bits per second)
+    pub fn if_speed() -> Oid {
+        if_entry().child([5])
+    }
+    /// ifOperStatus column (1 = up)
+    pub fn if_oper_status() -> Oid {
+        if_entry().child([8])
+    }
+    /// ifInOctets column (Counter32)
+    pub fn if_in_octets() -> Oid {
+        if_entry().child([10])
+    }
+    /// ifOutOctets column (Counter32)
+    pub fn if_out_octets() -> Oid {
+        if_entry().child([16])
+    }
+
+    /// ipAdEntAddr column of ipAddrTable (1.3.6.1.2.1.4.20.1.1): one row
+    /// per local address, indexed by the address itself.
+    pub fn ip_ad_ent_addr() -> Oid {
+        Oid::new([1, 3, 6, 1, 2, 1, 4, 20, 1, 1])
+    }
+
+    /// ipRouteTable entry arc: 1.3.6.1.2.1.4.21.1 (rows indexed by
+    /// destination address).
+    pub fn ip_route_entry() -> Oid {
+        Oid::new([1, 3, 6, 1, 2, 1, 4, 21, 1])
+    }
+    /// ipRouteDest column.
+    pub fn ip_route_dest() -> Oid {
+        ip_route_entry().child([1])
+    }
+    /// ipRouteIfIndex column.
+    pub fn ip_route_ifindex() -> Oid {
+        ip_route_entry().child([2])
+    }
+    /// ipRouteNextHop column.
+    pub fn ip_route_nexthop() -> Oid {
+        ip_route_entry().child([7])
+    }
+    /// ipRouteType column (3 = direct, 4 = indirect).
+    pub fn ip_route_type() -> Oid {
+        ip_route_entry().child([8])
+    }
+
+    /// snmpTrapOID.0 — identifies which trap a notification carries.
+    pub fn snmp_trap_oid() -> Oid {
+        Oid::new([1, 3, 6, 1, 6, 3, 1, 1, 4, 1, 0])
+    }
+
+    /// The linkDown trap identity.
+    pub fn link_down_trap() -> Oid {
+        Oid::new([1, 3, 6, 1, 6, 3, 1, 1, 5, 3])
+    }
+
+    /// The linkUp trap identity.
+    pub fn link_up_trap() -> Oid {
+        Oid::new([1, 3, 6, 1, 6, 3, 1, 1, 5, 4])
+    }
+
+    /// hrMemorySize.0 (Host Resources MIB, KBytes as INTEGER).
+    pub fn hr_memory_size() -> Oid {
+        Oid::new([1, 3, 6, 1, 2, 1, 25, 2, 2, 0])
+    }
+
+    /// Vendor OID advertising host peak compute rate in Mflops (Gauge32).
+    /// The real testbed had no such object; the Remos host-resources
+    /// interface (§2) needs one, so the simulated agents export it under a
+    /// private-enterprise arc.
+    pub fn host_mflops() -> Oid {
+        Oid::new([1, 3, 6, 1, 4, 1, 53535, 1, 0])
+    }
+
+    /// LLDP-style remote-systems table (simplified): `.1.<ifIndex>` holds
+    /// the neighbor's sysName, `.2.<ifIndex>` the neighbor's ifIndex on the
+    /// shared link. Rooted under the IEEE LLDP MIB arc.
+    pub fn neighbor_table() -> Oid {
+        Oid::new([1, 0, 8802, 1, 1, 2, 1, 4, 1, 1])
+    }
+    /// Neighbor sysName column.
+    pub fn neighbor_name() -> Oid {
+        neighbor_table().child([1])
+    }
+    /// Neighbor ifIndex column.
+    pub fn neighbor_ifindex() -> Oid {
+        neighbor_table().child([2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a: Oid = "1.3.6".parse().unwrap();
+        let b: Oid = "1.3.6.1".parse().unwrap();
+        let c: Oid = "1.3.7".parse().unwrap();
+        assert!(a < b);
+        assert!(b < c);
+        assert!(Oid::root() < a);
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["1.3.6.1.2.1.2.2.1.10.3", "1", ""] {
+            let o: Oid = s.parse().unwrap();
+            assert_eq!(o.to_string(), s);
+        }
+        assert!("1.x.3".parse::<Oid>().is_err());
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let table: Oid = "1.3.6.1.2.1.2.2.1".parse().unwrap();
+        let cell = table.child([10, 3]);
+        assert!(table.is_prefix_of(&cell));
+        assert!(!cell.is_prefix_of(&table));
+        assert_eq!(table.suffix_of(&cell), Some(&[10u32, 3][..]));
+        assert!(Oid::root().is_prefix_of(&table));
+    }
+
+    #[test]
+    fn well_known_shapes() {
+        assert_eq!(well_known::if_in_octets().to_string(), "1.3.6.1.2.1.2.2.1.10");
+        assert_eq!(well_known::sys_name().to_string(), "1.3.6.1.2.1.1.5.0");
+        assert!(well_known::interfaces().is_prefix_of(&well_known::if_speed()));
+    }
+}

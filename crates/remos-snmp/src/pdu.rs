@@ -1,0 +1,217 @@
+//! Protocol data units (the SNMPv2c operations of RFC 1905 that the Remos
+//! collector needs).
+
+use crate::oid::Oid;
+use crate::value::Value;
+
+/// PDU operation type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PduType {
+    /// GetRequest
+    Get,
+    /// GetNextRequest
+    GetNext,
+    /// GetBulkRequest (non-repeaters always 0 in this subset).
+    GetBulk,
+    /// Response
+    Response,
+    /// SNMPv2-Trap — unsolicited agent → manager notification.
+    TrapV2,
+}
+
+impl PduType {
+    /// Wire tag.
+    pub fn code(self) -> u8 {
+        match self {
+            PduType::Get => 0xa0,
+            PduType::GetNext => 0xa1,
+            PduType::GetBulk => 0xa5,
+            PduType::Response => 0xa2,
+            PduType::TrapV2 => 0xa7,
+        }
+    }
+
+    /// Inverse of [`PduType::code`].
+    pub fn from_code(c: u8) -> Option<PduType> {
+        match c {
+            0xa0 => Some(PduType::Get),
+            0xa1 => Some(PduType::GetNext),
+            0xa5 => Some(PduType::GetBulk),
+            0xa2 => Some(PduType::Response),
+            0xa7 => Some(PduType::TrapV2),
+            _ => None,
+        }
+    }
+}
+
+/// RFC 1905 error-status codes (subset).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ErrorStatus {
+    /// Success.
+    #[default]
+    NoError,
+    /// Response would exceed a message size limit.
+    TooBig,
+    /// General failure.
+    GenErr,
+    /// Authorization failure.
+    NoAccess,
+}
+
+impl ErrorStatus {
+    /// Wire value.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorStatus::NoError => 0,
+            ErrorStatus::TooBig => 1,
+            ErrorStatus::GenErr => 5,
+            ErrorStatus::NoAccess => 6,
+        }
+    }
+
+    /// Inverse of [`ErrorStatus::code`].
+    pub fn from_code(c: u8) -> Option<ErrorStatus> {
+        match c {
+            0 => Some(ErrorStatus::NoError),
+            1 => Some(ErrorStatus::TooBig),
+            5 => Some(ErrorStatus::GenErr),
+            6 => Some(ErrorStatus::NoAccess),
+            _ => None,
+        }
+    }
+}
+
+/// One OID/value pair.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VarBind {
+    /// The object instance.
+    pub oid: Oid,
+    /// Its value (Null in requests).
+    pub value: Value,
+}
+
+impl VarBind {
+    /// A request binding (Null value).
+    pub fn request(oid: Oid) -> VarBind {
+        VarBind { oid, value: Value::Null }
+    }
+}
+
+/// A complete message: community + PDU.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Pdu {
+    /// Community string (SNMPv2c "authentication").
+    pub community: String,
+    /// Operation.
+    pub pdu_type: PduType,
+    /// Request identifier, echoed in the response.
+    pub request_id: u32,
+    /// Error status (responses only).
+    pub error_status: ErrorStatus,
+    /// Index of the binding that caused the error, 0 if none.
+    pub error_index: u32,
+    /// For GETBULK: max repetitions.
+    pub max_repetitions: u32,
+    /// The variable bindings.
+    pub bindings: Vec<VarBind>,
+}
+
+impl Pdu {
+    /// Build a GET request.
+    pub fn get(community: &str, request_id: u32, oids: Vec<Oid>) -> Pdu {
+        Pdu {
+            community: community.to_string(),
+            pdu_type: PduType::Get,
+            request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            max_repetitions: 0,
+            bindings: oids.into_iter().map(VarBind::request).collect(),
+        }
+    }
+
+    /// Build a GETNEXT request.
+    pub fn get_next(community: &str, request_id: u32, oids: Vec<Oid>) -> Pdu {
+        Pdu { pdu_type: PduType::GetNext, ..Pdu::get(community, request_id, oids) }
+    }
+
+    /// Build a GETBULK request.
+    pub fn get_bulk(community: &str, request_id: u32, oids: Vec<Oid>, max_rep: u32) -> Pdu {
+        Pdu {
+            pdu_type: PduType::GetBulk,
+            max_repetitions: max_rep,
+            ..Pdu::get(community, request_id, oids)
+        }
+    }
+
+    /// Build a response to `req` with the given bindings.
+    pub fn response(req: &Pdu, bindings: Vec<VarBind>) -> Pdu {
+        Pdu {
+            community: req.community.clone(),
+            pdu_type: PduType::Response,
+            request_id: req.request_id,
+            error_status: ErrorStatus::NoError,
+            error_index: 0,
+            max_repetitions: 0,
+            bindings,
+        }
+    }
+
+    /// Build an error response to `req`.
+    pub fn error_response(req: &Pdu, status: ErrorStatus, index: u32) -> Pdu {
+        Pdu {
+            community: req.community.clone(),
+            pdu_type: PduType::Response,
+            request_id: req.request_id,
+            error_status: status,
+            error_index: index,
+            max_repetitions: 0,
+            bindings: req.bindings.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_roundtrip() {
+        for t in [
+            PduType::Get,
+            PduType::GetNext,
+            PduType::GetBulk,
+            PduType::Response,
+            PduType::TrapV2,
+        ] {
+            assert_eq!(PduType::from_code(t.code()), Some(t));
+        }
+        assert_eq!(PduType::from_code(0xff), None);
+    }
+
+    #[test]
+    fn error_codes_roundtrip() {
+        for e in [
+            ErrorStatus::NoError,
+            ErrorStatus::TooBig,
+            ErrorStatus::GenErr,
+            ErrorStatus::NoAccess,
+        ] {
+            assert_eq!(ErrorStatus::from_code(e.code()), Some(e));
+        }
+        assert_eq!(ErrorStatus::from_code(99), None);
+    }
+
+    #[test]
+    fn builders() {
+        let o: Oid = "1.3.6.1.2.1.1.5.0".parse().unwrap();
+        let req = Pdu::get("public", 42, vec![o.clone()]);
+        assert_eq!(req.bindings[0].value, Value::Null);
+        let resp = Pdu::response(&req, vec![VarBind { oid: o, value: Value::text("aspen") }]);
+        assert_eq!(resp.request_id, 42);
+        assert_eq!(resp.pdu_type, PduType::Response);
+        let err = Pdu::error_response(&req, ErrorStatus::GenErr, 1);
+        assert_eq!(err.error_status, ErrorStatus::GenErr);
+        assert_eq!(err.error_index, 1);
+    }
+}

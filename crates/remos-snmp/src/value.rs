@@ -1,0 +1,139 @@
+//! SMI value types.
+
+use crate::oid::Oid;
+use std::fmt;
+
+/// The subset of SNMPv2 SMI types the Remos collector consumes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// INTEGER
+    Integer(i64),
+    /// OCTET STRING (also used for DisplayString).
+    OctetString(Vec<u8>),
+    /// OBJECT IDENTIFIER
+    ObjectId(Oid),
+    /// Counter32 — monotonically increasing, wraps at 2^32.
+    Counter32(u32),
+    /// Gauge32 — non-wrapping unsigned value (e.g. ifSpeed).
+    Gauge32(u32),
+    /// TimeTicks — hundredths of a second.
+    TimeTicks(u32),
+    /// IpAddress — a 4-octet IPv4 address.
+    IpAddress([u8; 4]),
+    /// Null placeholder (requests).
+    Null,
+    /// GETNEXT ran past the end of the MIB view (SNMPv2 exception).
+    EndOfMibView,
+    /// GET on a missing instance (SNMPv2 exception).
+    NoSuchObject,
+}
+
+impl Value {
+    /// Build an OctetString from UTF-8 text.
+    pub fn text(s: &str) -> Value {
+        Value::OctetString(s.as_bytes().to_vec())
+    }
+
+    /// Borrow as text if this is an OctetString holding valid UTF-8.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::OctetString(b) => std::str::from_utf8(b).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view of integer-like variants.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Integer(i) => u64::try_from(*i).ok(),
+            Value::Counter32(c) => Some(*c as u64),
+            Value::Gauge32(g) => Some(*g as u64),
+            Value::TimeTicks(t) => Some(*t as u64),
+            _ => None,
+        }
+    }
+
+    /// Counter32 view.
+    pub fn as_counter32(&self) -> Option<u32> {
+        match self {
+            Value::Counter32(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// IpAddress view.
+    pub fn as_ip(&self) -> Option<[u8; 4]> {
+        match self {
+            Value::IpAddress(ip) => Some(*ip),
+            _ => None,
+        }
+    }
+
+    /// True for the SNMPv2 exception markers.
+    pub fn is_exception(&self) -> bool {
+        matches!(self, Value::EndOfMibView | Value::NoSuchObject)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Integer(i) => write!(f, "INTEGER: {i}"),
+            Value::OctetString(b) => match std::str::from_utf8(b) {
+                Ok(s) => write!(f, "STRING: {s:?}"),
+                Err(_) => write!(f, "HEX: {b:02x?}"),
+            },
+            Value::ObjectId(o) => write!(f, "OID: {o}"),
+            Value::Counter32(c) => write!(f, "Counter32: {c}"),
+            Value::Gauge32(g) => write!(f, "Gauge32: {g}"),
+            Value::TimeTicks(t) => write!(f, "Timeticks: {t}"),
+            Value::IpAddress(ip) => {
+                write!(f, "IpAddress: {}.{}.{}.{}", ip[0], ip[1], ip[2], ip[3])
+            }
+            Value::Null => write!(f, "NULL"),
+            Value::EndOfMibView => write!(f, "endOfMibView"),
+            Value::NoSuchObject => write!(f, "noSuchObject"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_helpers() {
+        let v = Value::text("aspen");
+        assert_eq!(v.as_text(), Some("aspen"));
+        assert_eq!(Value::Integer(3).as_text(), None);
+    }
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::Counter32(7).as_u64(), Some(7));
+        assert_eq!(Value::Gauge32(100_000_000).as_u64(), Some(100_000_000));
+        assert_eq!(Value::Integer(-1).as_u64(), None);
+        assert_eq!(Value::Counter32(9).as_counter32(), Some(9));
+        assert_eq!(Value::Gauge32(9).as_counter32(), None);
+    }
+
+    #[test]
+    fn ip_views() {
+        let v = Value::IpAddress([10, 0, 0, 7]);
+        assert_eq!(v.as_ip(), Some([10, 0, 0, 7]));
+        assert_eq!(v.to_string(), "IpAddress: 10.0.0.7");
+        assert_eq!(Value::Null.as_ip(), None);
+    }
+
+    #[test]
+    fn exceptions() {
+        assert!(Value::EndOfMibView.is_exception());
+        assert!(!Value::Null.is_exception());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::text("x").to_string(), "STRING: \"x\"");
+        assert_eq!(Value::Counter32(5).to_string(), "Counter32: 5");
+    }
+}

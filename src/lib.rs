@@ -1,0 +1,22 @@
+//! # remos — facade crate
+//!
+//! Re-exports the whole Remos reproduction workspace under one roof so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`net`] — the fluid flow-level network simulator (testbed substitute);
+//! * [`snmp`] — the SNMP-like agent/manager substrate;
+//! * [`core`] — the Remos API itself: Collector, Modeler, flow queries,
+//!   logical topology, quartile statistics;
+//! * [`fx`] — the Fx-like data-parallel runtime, clustering, and the
+//!   adaptation module;
+//! * [`apps`] — FFT and Airshed application models, background traffic
+//!   scenarios, and testbed builders.
+//!
+//! See the repository README for a quickstart and DESIGN.md for the full
+//! system inventory.
+
+pub use remos_apps as apps;
+pub use remos_core as core;
+pub use remos_fx as fx;
+pub use remos_net as net;
+pub use remos_snmp as snmp;

@@ -1,0 +1,137 @@
+//! Co-scheduled applications and simultaneous flow queries.
+//!
+//! §3's "internal sharing" point scaled up to whole applications: two
+//! FFTs co-scheduled across the testbed's backbone slow each other down,
+//! and a *simultaneous* Remos flow query predicts the degraded per-flow
+//! bandwidth that individual queries would overestimate — "information on
+//! how much bandwidth is available for each flow in isolation is going to
+//! be overly optimistic" (§4.2).
+
+use remos::apps::fft::fft_program;
+use remos::apps::TestbedHarness;
+use remos::core::{FlowInfoRequest, Timeframe};
+use remos::fx::runtime::{Mapping, RuntimeConfig};
+use remos::fx::{run_concurrent, TaskSpec};
+use remos::net::SimTime;
+
+#[test]
+fn co_scheduled_ffts_slow_each_other_on_the_backbone() {
+    // Solo: FFT(1K) x2 on {m-1, m-4} crosses aspen—timberline alone.
+    let solo = {
+        let h = TestbedHarness::cmu();
+        let reports = run_concurrent(
+            &h.sim,
+            RuntimeConfig::default(),
+            vec![TaskSpec {
+                program: fft_program(1024, 2),
+                mapping: Mapping::of(&["m-1", "m-4"]).unwrap(),
+                start: SimTime::ZERO,
+            }],
+        )
+        .unwrap();
+        reports[0].elapsed
+    };
+    // Duo: a second FFT on {m-2, m-5} shares the same backbone.
+    let duo = {
+        let h = TestbedHarness::cmu();
+        let reports = run_concurrent(
+            &h.sim,
+            RuntimeConfig::default(),
+            vec![
+                TaskSpec {
+                    program: fft_program(1024, 2),
+                    mapping: Mapping::of(&["m-1", "m-4"]).unwrap(),
+                    start: SimTime::ZERO,
+                },
+                TaskSpec {
+                    program: fft_program(1024, 2),
+                    mapping: Mapping::of(&["m-2", "m-5"]).unwrap(),
+                    start: SimTime::ZERO,
+                },
+            ],
+        )
+        .unwrap();
+        assert!((reports[0].elapsed - reports[1].elapsed).abs() < 0.05, "{reports:?}");
+        reports[0].elapsed
+    };
+    // Comm was ~30% of the solo run; halving comm bandwidth stretches it.
+    assert!(duo > solo * 1.15, "duo {duo} vs solo {solo}");
+    assert!(duo < solo * 2.0, "compute does not contend: {duo} vs {solo}");
+}
+
+#[test]
+fn simultaneous_query_predicts_co_application_share() {
+    let mut h = TestbedHarness::cmu();
+    // Both prospective applications would push m-1 -> m-4 and m-2 -> m-5
+    // over the backbone. Queried individually each sees 100 Mbps:
+    let solo_1 = h
+        .adapter
+        .remos_mut()
+        .flow_info(
+            &FlowInfoRequest::new().variable("m-1", "m-4", 1.0),
+            Timeframe::Current,
+        )
+        .unwrap();
+    assert!(solo_1.variable[0].bandwidth.median > 95e6);
+    // Queried simultaneously, the shared backbone halves both:
+    let both = h
+        .adapter
+        .remos_mut()
+        .flow_info(
+            &FlowInfoRequest::new()
+                .variable("m-1", "m-4", 1.0)
+                .variable("m-2", "m-5", 1.0),
+            Timeframe::Current,
+        )
+        .unwrap();
+    for g in &both.variable {
+        assert!(
+            (g.bandwidth.median - 50e6).abs() < 2e6,
+            "{}",
+            g.bandwidth
+        );
+    }
+    // And the simulator agrees: start both greedy flows.
+    let mut s = h.sim.lock();
+    let t = s.topology_arc();
+    let f1 = s
+        .start_flow(remos::net::flow::FlowParams::greedy(
+            t.lookup("m-1").unwrap(),
+            t.lookup("m-4").unwrap(),
+        ))
+        .unwrap();
+    let f2 = s
+        .start_flow(remos::net::flow::FlowParams::greedy(
+            t.lookup("m-2").unwrap(),
+            t.lookup("m-5").unwrap(),
+        ))
+        .unwrap();
+    assert!((s.flow_rate(f1).unwrap() - 50e6).abs() < 1e5);
+    assert!((s.flow_rate(f2).unwrap() - 50e6).abs() < 1e5);
+}
+
+#[test]
+fn three_way_coschedule_with_staggered_arrivals() {
+    let h = TestbedHarness::cmu();
+    let mk = |a: &str, b: &str, start| TaskSpec {
+        program: fft_program(1024, 2),
+        mapping: Mapping::of(&[a, b]).unwrap(),
+        start,
+    };
+    let reports = run_concurrent(
+        &h.sim,
+        RuntimeConfig::default(),
+        vec![
+            mk("m-1", "m-4", SimTime::ZERO),
+            mk("m-2", "m-5", SimTime::from_millis(500)),
+            mk("m-3", "m-6", SimTime::from_secs(1)),
+        ],
+    )
+    .unwrap();
+    // Launch order respected; all complete.
+    assert!(reports[0].started < reports[1].started);
+    assert!(reports[1].started < reports[2].started);
+    for r in &reports {
+        assert!(r.elapsed > 0.0 && r.bytes_sent > 0);
+    }
+}

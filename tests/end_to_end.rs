@@ -1,0 +1,160 @@
+//! End-to-end integration: the full SNMP → Collector → Modeler → API
+//! pipeline against the simulator's ground truth.
+
+use remos::apps::testbed::cmu_testbed;
+use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
+use remos::core::collector::SimClock;
+use remos::core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos::net::flow::FlowParams;
+use remos::net::{mbps, SimDuration, Simulator};
+use remos::snmp::sim::{register_all_agents, share, SharedSim};
+use remos::snmp::SimTransport;
+use std::sync::Arc;
+
+fn stack() -> (Remos, SharedSim) {
+    let sim = share(Simulator::new(cmu_testbed()).unwrap());
+    let transport = Arc::new(SimTransport::new());
+    let agents = register_all_agents(&transport, &sim, "public");
+    let collector = SnmpCollector::new(transport, agents, SnmpCollectorConfig::default());
+    let remos = Remos::new(
+        Box::new(collector),
+        Box::new(SimClock(Arc::clone(&sim))),
+        RemosConfig::default(),
+    );
+    (remos, sim)
+}
+
+#[test]
+fn snmp_discovery_matches_ground_truth() {
+    let (mut remos, sim) = stack();
+    remos.refresh_topology().unwrap();
+    let discovered = remos.collector().topology().unwrap();
+    let truth = sim.lock().topology_arc();
+    assert_eq!(discovered.node_count(), truth.node_count());
+    assert_eq!(discovered.link_count(), truth.link_count());
+    // Every ground-truth edge exists in the discovered view (by names).
+    for l in truth.link_ids() {
+        let link = truth.link(l);
+        let a = truth.node(link.a).name.clone();
+        let b = truth.node(link.b).name.clone();
+        let da = discovered.lookup(&a).unwrap();
+        let db = discovered.lookup(&b).unwrap();
+        assert!(
+            discovered.neighbors(da).iter().any(|&(_, n)| n == db),
+            "missing edge {a} -- {b}"
+        );
+        // Capacity carried through ifSpeed.
+        let (dl, _) = discovered
+            .neighbors(da)
+            .iter()
+            .find(|&&(_, n)| n == db)
+            .copied()
+            .unwrap();
+        assert_eq!(discovered.link(dl).capacity, link.capacity);
+    }
+}
+
+#[test]
+fn flow_grant_predicts_achieved_throughput() {
+    // Remos promises a bandwidth; starting the real flow must deliver it.
+    let (mut remos, sim) = stack();
+    // Background load on the backbone.
+    {
+        let mut s = sim.lock();
+        let topo = s.topology_arc();
+        let m1 = topo.lookup("m-1").unwrap();
+        let m7 = topo.lookup("m-7").unwrap();
+        s.start_flow(FlowParams::cbr(m1, m7, mbps(35.0))).unwrap();
+        s.run_for(SimDuration::from_secs(1)).unwrap();
+    }
+    let req = FlowInfoRequest::new().independent("m-2", "m-8");
+    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let promised = resp.independent.unwrap().bandwidth.median;
+
+    let achieved = {
+        let mut s = sim.lock();
+        let topo = s.topology_arc();
+        let m2 = topo.lookup("m-2").unwrap();
+        let m8 = topo.lookup("m-8").unwrap();
+        let f = s.start_flow(FlowParams::greedy(m2, m8)).unwrap();
+        s.flow_rate(f).unwrap()
+    };
+    // ExternalPinned is conservative: promised <= achieved, and within
+    // ~10% here because the CBR background doesn't yield.
+    assert!(
+        (promised - achieved).abs() < achieved * 0.1,
+        "promised {promised} vs achieved {achieved}"
+    );
+    assert!((promised - mbps(65.0)).abs() < mbps(5.0), "{promised}");
+}
+
+#[test]
+fn counter_wrap_does_not_corrupt_estimates() {
+    // 100 Mbps for 700 s wraps a Counter32 twice over; polling every 60 s
+    // keeps deltas below a single wrap, so estimates stay exact.
+    let (mut remos, sim) = stack();
+    {
+        let mut s = sim.lock();
+        let topo = s.topology_arc();
+        let m4 = topo.lookup("m-4").unwrap();
+        let m5 = topo.lookup("m-5").unwrap();
+        s.start_flow(FlowParams::cbr(m4, m5, mbps(100.0))).unwrap();
+    }
+    for _ in 0..12 {
+        sim.lock().run_for(SimDuration::from_secs(60)).unwrap();
+        // poll through the public API: a Current graph query.
+        let g = remos.get_graph(&["m-4", "m-5"], Timeframe::Current).unwrap();
+        let a = g.index_of("m-4").unwrap();
+        let b = g.index_of("m-5").unwrap();
+        let avail = g.path_avail_bw(a, b).unwrap();
+        assert!(avail < mbps(2.0), "wrap corrupted the estimate: avail {avail}");
+    }
+    assert!(sim.lock().now().as_secs_f64() > 700.0);
+}
+
+#[test]
+fn simultaneous_query_matches_simulated_sharing() {
+    // Two app flows converging on m-3: Remos (queried simultaneously)
+    // must predict the 50/50 split the simulator actually produces.
+    let (mut remos, sim) = stack();
+    let req = FlowInfoRequest::new()
+        .variable("m-1", "m-3", 1.0)
+        .variable("m-2", "m-3", 1.0);
+    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    for g in &resp.variable {
+        assert!((g.bandwidth.median - mbps(50.0)).abs() < mbps(2.0));
+    }
+    let mut s = sim.lock();
+    let topo = s.topology_arc();
+    let m1 = topo.lookup("m-1").unwrap();
+    let m2 = topo.lookup("m-2").unwrap();
+    let m3 = topo.lookup("m-3").unwrap();
+    let f1 = s.start_flow(FlowParams::greedy(m1, m3)).unwrap();
+    let f2 = s.start_flow(FlowParams::greedy(m2, m3)).unwrap();
+    assert!((s.flow_rate(f1).unwrap() - mbps(50.0)).abs() < 1.0);
+    assert!((s.flow_rate(f2).unwrap() - mbps(50.0)).abs() < 1.0);
+}
+
+#[test]
+fn windowed_quartiles_capture_burstiness() {
+    let (mut remos, sim) = stack();
+    remos::apps::synthetic::add_bursty_traffic(
+        &sim,
+        "m-6",
+        "m-8",
+        SimDuration::from_secs(2),
+        SimDuration::from_secs(2),
+        17,
+    )
+    .unwrap();
+    sim.lock().run_for(SimDuration::from_secs(5)).unwrap();
+    let g = remos
+        .get_graph(&["m-6", "m-8"], Timeframe::Window(SimDuration::from_secs(40)))
+        .unwrap();
+    let a = g.index_of("m-6").unwrap();
+    let link = &g.links[g.neighbors(a)[0].0];
+    let q = link.avail_from(a);
+    // On/off traffic: the spread between min and max must be large.
+    assert!(q.max - q.min > mbps(50.0), "quartiles too tight: {q}");
+    assert!(q.samples >= 2);
+}

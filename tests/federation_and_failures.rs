@@ -1,0 +1,222 @@
+//! Integration tests for cooperating collectors and failure injection:
+//! datagram loss, partial agent coverage, and wrong communities.
+
+use remos::apps::testbed::cmu_testbed;
+use remos::core::collector::multi::MultiCollector;
+use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
+use remos::core::collector::{Collector, SimClock};
+use remos::core::{Remos, RemosConfig, RemosError, Timeframe};
+use remos::net::flow::FlowParams;
+use remos::net::{mbps, SimDuration, Simulator};
+use remos::snmp::sim::{register_all_agents, share, SharedSim};
+use remos::snmp::SimTransport;
+use std::sync::Arc;
+
+fn base() -> (Arc<SimTransport>, SharedSim, Vec<String>) {
+    let sim = share(Simulator::new(cmu_testbed()).unwrap());
+    let transport = Arc::new(SimTransport::new());
+    let agents = register_all_agents(&transport, &sim, "public");
+    (transport, sim, agents)
+}
+
+#[test]
+fn federated_collectors_match_single_collector() {
+    let (transport, sim, agents) = base();
+    // Region split: aspen side vs timberline/whiteface side. The border
+    // link (aspen—timberline) is visible to both children.
+    let west: Vec<String> = agents
+        .iter()
+        .filter(|a| ["m-1", "m-2", "m-3", "aspen", "timberline"].contains(&a.as_str()))
+        .cloned()
+        .collect();
+    let east: Vec<String> = agents
+        .iter()
+        .filter(|a| {
+            ["m-4", "m-5", "m-6", "m-7", "m-8", "timberline", "whiteface", "aspen"]
+                .contains(&a.as_str())
+        })
+        .cloned()
+        .collect();
+    let mk = |set: Vec<String>| {
+        Box::new(SnmpCollector::new(
+            Arc::clone(&transport),
+            set,
+            SnmpCollectorConfig::default(),
+        )) as Box<dyn Collector>
+    };
+    let mut multi = MultiCollector::new(vec![mk(west), mk(east)]);
+    multi.refresh_topology().unwrap();
+    let merged = multi.topology().unwrap();
+
+    let mut single =
+        SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
+    single.refresh_topology().unwrap();
+    let truth = single.topology().unwrap();
+
+    assert_eq!(merged.node_count(), truth.node_count());
+    assert_eq!(merged.link_count(), truth.link_count());
+
+    // Utilization seen through the federation matches too.
+    {
+        let mut s = sim.lock();
+        let topo = s.topology_arc();
+        let m1 = topo.lookup("m-1").unwrap();
+        let m8 = topo.lookup("m-8").unwrap();
+        s.start_flow(FlowParams::cbr(m1, m8, mbps(40.0))).unwrap();
+    }
+    multi.poll().unwrap();
+    sim.lock().run_for(SimDuration::from_secs(2)).unwrap();
+    assert!(multi.poll().unwrap());
+    let snap = multi.history().latest().unwrap();
+    let max_util = snap.util.iter().cloned().fold(0.0, f64::max);
+    assert!((max_util - mbps(40.0)).abs() < mbps(1.0), "{max_util}");
+    // Host info resolves through the federation.
+    assert!(multi.host_info("m-1").is_ok());
+    assert!(multi.host_info("aspen").is_err());
+}
+
+#[test]
+fn collector_survives_datagram_loss() {
+    let (transport, sim, agents) = base();
+    // 5% loss: with 3 retries and two drop-rolls per attempt, a single
+    // request fails with p = (1 - 0.95^2)^4 ≈ 9e-5, so the hundreds of
+    // datagrams behind these queries still succeed reliably.
+    transport.set_loss(0.05, 2024);
+    let collector =
+        SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
+    let mut remos = Remos::new(
+        Box::new(collector),
+        Box::new(SimClock(Arc::clone(&sim))),
+        RemosConfig::default(),
+    );
+    // Discovery plus several polls: manager retries absorb the loss.
+    for _ in 0..5 {
+        let g = remos.get_graph(&["m-1", "m-8"], Timeframe::Current).unwrap();
+        assert_eq!(g.links.len(), 1);
+    }
+    assert!(transport.stats().drops > 0, "loss injection did nothing");
+}
+
+#[test]
+fn partial_agent_coverage_still_measures() {
+    // Routers-only SNMP (the realistic case: hosts often run no agent).
+    // Utilization on host links must come from the router side's
+    // ifInOctets fallback.
+    let (transport, sim, _) = base();
+    let routers: Vec<String> =
+        ["aspen", "timberline", "whiteface"].iter().map(|s| s.to_string()).collect();
+    let mut collector =
+        SnmpCollector::new(Arc::clone(&transport), routers, SnmpCollectorConfig::default());
+    collector.refresh_topology().unwrap();
+    let topo = collector.topology().unwrap();
+    // Hosts appear as neighbor-only compute nodes.
+    assert_eq!(topo.node_count(), 11);
+    assert_eq!(topo.compute_nodes().len(), 8);
+
+    {
+        let mut s = sim.lock();
+        let t = s.topology_arc();
+        let m4 = t.lookup("m-4").unwrap();
+        let m5 = t.lookup("m-5").unwrap();
+        s.start_flow(FlowParams::cbr(m4, m5, mbps(30.0))).unwrap();
+    }
+    collector.poll().unwrap();
+    sim.lock().run_for(SimDuration::from_secs(2)).unwrap();
+    assert!(collector.poll().unwrap());
+    let snap = collector.history().latest().unwrap();
+    // m-4's uplink utilization is observable via timberline's ifInOctets.
+    let max_util = snap.util.iter().cloned().fold(0.0, f64::max);
+    assert!((max_util - mbps(30.0)).abs() < mbps(1.0), "{max_util}");
+    // But host resources are not (no host agents).
+    assert!(matches!(
+        collector.host_info("m-4"),
+        Err(RemosError::UnknownNode(_))
+    ));
+}
+
+#[test]
+fn route_table_discovery_matches_neighbor_table() {
+    // The paper's collector walked ipRouteTable; the LLDP path is the
+    // modern equivalent. Both must reconstruct the identical topology.
+    use remos::core::collector::snmp::DiscoveryMode;
+    let (transport, _sim, agents) = base();
+    let discover = |mode: DiscoveryMode| {
+        let mut c = SnmpCollector::new(
+            Arc::clone(&transport),
+            agents.clone(),
+            SnmpCollectorConfig { discovery: mode, ..Default::default() },
+        );
+        c.refresh_topology().unwrap();
+        c.topology().unwrap()
+    };
+    let lldp = discover(DiscoveryMode::NeighborTable);
+    let routes = discover(DiscoveryMode::RouteTable);
+    assert_eq!(lldp.node_count(), routes.node_count());
+    assert_eq!(lldp.link_count(), routes.link_count());
+    for n in lldp.node_ids() {
+        let name = &lldp.node(n).name;
+        let rn = routes.lookup(name).unwrap();
+        assert_eq!(lldp.node(n).kind, routes.node(rn).kind, "{name}");
+        assert_eq!(lldp.degree(n), routes.degree(rn), "{name}");
+    }
+}
+
+#[test]
+fn route_table_discovery_with_routers_only() {
+    // Without host agents, direct routes still reveal the host links;
+    // unresolved addresses become ip-10-0-0-x placeholder hosts.
+    use remos::core::collector::snmp::DiscoveryMode;
+    let (transport, _sim, _) = base();
+    let routers: Vec<String> =
+        ["aspen", "timberline", "whiteface"].iter().map(|s| s.to_string()).collect();
+    let mut c = SnmpCollector::new(
+        Arc::clone(&transport),
+        routers,
+        SnmpCollectorConfig { discovery: DiscoveryMode::RouteTable, ..Default::default() },
+    );
+    c.refresh_topology().unwrap();
+    let topo = c.topology().unwrap();
+    assert_eq!(topo.node_count(), 11);
+    assert_eq!(topo.link_count(), 10);
+    // Host names are unknown to a routers-only walk: they surface as
+    // synthetic ip-… names.
+    let placeholders = topo
+        .compute_nodes()
+        .iter()
+        .filter(|&&n| topo.node(n).name.starts_with("ip-"))
+        .count();
+    assert_eq!(placeholders, 8);
+}
+
+#[test]
+fn wrong_community_fails_loudly() {
+    let sim = share(Simulator::new(cmu_testbed()).unwrap());
+    let transport = Arc::new(SimTransport::new());
+    register_all_agents(&transport, &sim, "secret");
+    let mut collector = SnmpCollector::new(
+        Arc::clone(&transport),
+        vec!["aspen".into()],
+        SnmpCollectorConfig::default(), // community "public" ≠ "secret"
+    );
+    assert!(collector.refresh_topology().is_err());
+}
+
+#[test]
+fn rediscovery_after_loss_burst() {
+    // A collector that hits a hard error can re-discover and continue.
+    let (transport, sim, agents) = base();
+    let mut collector =
+        SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
+    collector.refresh_topology().unwrap();
+    collector.poll().unwrap();
+    sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    collector.poll().unwrap();
+    assert_eq!(collector.history().len(), 1);
+    // Re-discovery clears history (indices may change meaning).
+    collector.refresh_topology().unwrap();
+    assert_eq!(collector.history().len(), 0);
+    sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    collector.poll().unwrap();
+    sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    assert!(collector.poll().unwrap());
+}

@@ -1,0 +1,150 @@
+//! Integration tests for dynamic topology: link failures, SNMP traps,
+//! collector re-discovery, and application-level reaction — "The topology
+//! and behavior of networks will change from application invocation to
+//! invocation and may even change during execution" (§10).
+
+use remos::apps::airshed::airshed_program_iters;
+use remos::apps::testbed::{cmu_testbed, TESTBED_HOSTS};
+use remos::apps::TestbedHarness;
+use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
+use remos::core::collector::Collector;
+use remos::core::RemosError;
+use remos::net::{SimDuration, SimTime, Simulator};
+use remos::snmp::sim::{register_all_agents, share, SimTrapSource};
+use remos::snmp::SimTransport;
+use std::sync::Arc;
+
+fn link_between(sim: &remos::snmp::sim::SharedSim, a: &str, b: &str) -> remos::net::LinkId {
+    let s = sim.lock();
+    let topo = s.topology_arc();
+    let na = topo.lookup(a).unwrap();
+    let nb = topo.lookup(b).unwrap();
+    topo.neighbors(na)
+        .iter()
+        .find(|&&(_, n)| n == nb)
+        .map(|&(l, _)| l)
+        .expect("adjacent")
+}
+
+#[test]
+fn trap_triggers_rediscovery() {
+    let sim = share(Simulator::new(cmu_testbed()).unwrap());
+    let transport = Arc::new(SimTransport::new());
+    let agents = register_all_agents(&transport, &sim, "public");
+    let mut collector =
+        SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
+    collector.set_trap_source(Box::new(SimTrapSource::new(Arc::clone(&sim), "public")));
+
+    collector.refresh_topology().unwrap();
+    assert_eq!(collector.topology().unwrap().link_count(), 10);
+
+    // Take the timberline—whiteface backbone down.
+    let backbone = link_between(&sim, "timberline", "whiteface");
+    sim.lock().set_link_state(backbone, false).unwrap();
+
+    // The next poll sees the trap and re-discovers a 9-link topology.
+    collector.poll().unwrap();
+    let topo = collector.topology().unwrap();
+    assert_eq!(topo.link_count(), 9);
+    // whiteface and its hosts are now a disconnected island.
+    assert!(!topo.is_connected());
+
+    // Restoration is also trap-driven.
+    sim.lock().set_link_state(backbone, true).unwrap();
+    collector.poll().unwrap();
+    assert_eq!(collector.topology().unwrap().link_count(), 10);
+}
+
+#[test]
+fn graph_query_fails_across_partition() {
+    let mut h = TestbedHarness::cmu();
+    // Prime discovery.
+    h.adapter
+        .remos_mut()
+        .get_graph(&["m-1", "m-8"], remos::core::Timeframe::Current)
+        .unwrap();
+    let backbone = link_between(&h.sim, "timberline", "whiteface");
+    h.sim.lock().set_link_state(backbone, false).unwrap();
+    // m-8 is unreachable: the query must report the disconnection.
+    let res = h
+        .adapter
+        .remos_mut()
+        .get_graph(&["m-1", "m-8"], remos::core::Timeframe::Current);
+    assert!(
+        matches!(res, Err(RemosError::Disconnected(_, _))),
+        "{res:?}"
+    );
+    // Queries within the surviving region still work.
+    let g = h
+        .adapter
+        .remos_mut()
+        .get_graph(&["m-1", "m-4"], remos::core::Timeframe::Current)
+        .unwrap();
+    assert_eq!(g.compute_names().len(), 2);
+}
+
+#[test]
+fn adaptive_program_evacuates_failed_region() {
+    let mut h = TestbedHarness::cmu();
+    // whiteface loses its uplink at t = 30 s, stranding m-7 and m-8.
+    let backbone = link_between(&h.sim, "timberline", "whiteface");
+    h.sim
+        .lock()
+        .schedule_link_state(SimTime::from_secs(30), backbone, false)
+        .unwrap();
+
+    // 5-node Airshed starting with two nodes in the doomed region. The
+    // adaptation pool excludes the stranded hosts after the failure
+    // because the collector's re-discovered topology disconnects them —
+    // consider_migration must route around.
+    let prog = airshed_program_iters(5, 8);
+    let rep = h.run_adaptive(&prog, &TESTBED_HOSTS, &["m-4", "m-5", "m-6", "m-7", "m-8"]);
+    // Either the run migrated off the island in time, or the partition hit
+    // mid-communication. Both are legitimate outcomes of a partition; what
+    // must NOT happen is a hang. Accept success-with-migration or a
+    // disconnection error.
+    match rep {
+        Ok(rep) => {
+            assert!(
+                !rep.final_mapping.iter().any(|n| n == "m-7" || n == "m-8"),
+                "{:?}",
+                rep.final_mapping
+            );
+            assert!(!rep.migrations.is_empty());
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(
+                msg.contains("no path") || msg.contains("no route") || msg.contains("stalled"),
+                "unexpected error: {msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flows_survive_failover_between_parallel_paths() {
+    // Build a diamond: h1 -[r1]- h2 and h1 -[r2]- h2.
+    let mut b = remos::net::TopologyBuilder::new();
+    let h1 = b.compute("h1");
+    let h2 = b.compute("h2");
+    let r1 = b.network("r1");
+    let r2 = b.network("r2");
+    let lat = SimDuration::from_micros(10);
+    let p1 = b.link(h1, r1, remos::net::mbps(100.0), lat).unwrap();
+    b.link(r1, h2, remos::net::mbps(100.0), lat).unwrap();
+    b.link(h1, r2, remos::net::mbps(100.0), lat).unwrap();
+    b.link(r2, h2, remos::net::mbps(100.0), lat).unwrap();
+    let mut sim = Simulator::new(b.build().unwrap()).unwrap();
+
+    // A transfer that outlives two failovers.
+    sim.schedule_link_state(SimTime::from_millis(300), p1, false).unwrap();
+    sim.schedule_link_state(SimTime::from_millis(600), p1, true).unwrap();
+    let f = sim
+        .start_flow(remos::net::flow::FlowParams::bulk(h1, h2, 12_500_000))
+        .unwrap();
+    let recs = sim.run_until_flows_complete(&[f]).unwrap();
+    assert!(recs[0].completed);
+    // Full rate throughout (the backup has equal capacity): exactly 1 s.
+    assert!((sim.now().as_secs_f64() - 1.0).abs() < 1e-3, "{}", sim.now());
+}

@@ -1,0 +1,160 @@
+//! Smoke-test versions of the paper's experiments: short runs asserting
+//! the qualitative claims of Tables 1–3 and Figure 4. The full-length
+//! regenerations live in `crates/bench/src/bin/`.
+
+use remos::apps::airshed::airshed_program_iters;
+use remos::apps::fft::fft_program;
+use remos::apps::synthetic::{install_scenario, TrafficScenario};
+use remos::apps::testbed::TESTBED_HOSTS;
+use remos::apps::TestbedHarness;
+use remos::fx::SelfTraffic;
+use remos::net::SimDuration;
+
+fn loaded_harness() -> TestbedHarness {
+    let mut h = TestbedHarness::cmu();
+    install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+    h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    let _ = &mut h;
+    h
+}
+
+#[test]
+fn table1_fft_times_near_paper() {
+    // Unloaded FFT(512) on {m-4, m-5}: paper 0.462 s; the calibrated
+    // model must land within 15%.
+    let mut h = TestbedHarness::cmu();
+    let rep = h.run_fixed(&fft_program(512, 2), &["m-4", "m-5"]).unwrap();
+    assert!((rep.elapsed - 0.462).abs() < 0.462 * 0.15, "{}", rep.elapsed);
+    // And 4 nodes must beat 2 nodes (paper: 0.266 vs 0.462).
+    let rep4 = h
+        .run_fixed(&fft_program(512, 4), &["m-4", "m-5", "m-6", "m-7"])
+        .unwrap();
+    assert!(rep4.elapsed < rep.elapsed, "{} !< {}", rep4.elapsed, rep.elapsed);
+}
+
+#[test]
+fn table1_airshed_scaling() {
+    // Paper: Airshed 908 s on 3 nodes, 650 s on 5. Short 10-iteration
+    // runs must preserve the ordering and per-iteration magnitude.
+    let mut h = TestbedHarness::cmu();
+    let t3 = h
+        .run_fixed(&airshed_program_iters(3, 10), &["m-4", "m-5", "m-6"])
+        .unwrap()
+        .elapsed;
+    let t5 = h
+        .run_fixed(
+            &airshed_program_iters(5, 10),
+            &["m-4", "m-5", "m-6", "m-7", "m-8"],
+        )
+        .unwrap()
+        .elapsed;
+    assert!(t5 < t3, "5 nodes must beat 3: {t5} !< {t3}");
+    // Per-iteration times ~8.9 s and ~7.4 s in the calibrated model.
+    assert!((t3 / 10.0 - 8.9).abs() < 1.5, "{t3}");
+    assert!((t5 / 10.0 - 7.4).abs() < 1.5, "{t5}");
+}
+
+#[test]
+fn fig4_selection_under_traffic() {
+    let mut h = loaded_harness();
+    let mut sel = h.select_nodes(&TESTBED_HOSTS, "m-4", 4).unwrap();
+    sel.sort();
+    assert_eq!(sel, vec!["m-1", "m-2", "m-4", "m-5"]);
+}
+
+#[test]
+fn table2_static_selection_pays_dearly() {
+    // Dynamic vs static under the m-6 -> m-8 traffic, FFT(512) x4.
+    let prog = fft_program(512, 4);
+    let mut h = loaded_harness();
+    let sel = h.select_nodes(&TESTBED_HOSTS, "m-4", 4).unwrap();
+    let refs: Vec<&str> = sel.iter().map(String::as_str).collect();
+    let dynamic = h.run_fixed(&prog, &refs).unwrap().elapsed;
+
+    let mut h2 = loaded_harness();
+    let static_t = h2
+        .run_fixed(&prog, &["m-4", "m-5", "m-6", "m-7"])
+        .unwrap()
+        .elapsed;
+    // Paper: +79..194% across rows. Accept anything clearly > 40%.
+    assert!(
+        static_t > dynamic * 1.4,
+        "static {static_t} not >> dynamic {dynamic}"
+    );
+}
+
+#[test]
+fn table3_adaptive_beats_fixed_under_interference() {
+    let prog = airshed_program_iters(8, 8);
+    let active = ["m-4", "m-5", "m-6", "m-7", "m-8"];
+
+    let mut fixed_h = loaded_harness();
+    let fixed = fixed_h.run_fixed(&prog, &active).unwrap();
+
+    let mut adaptive_h = loaded_harness();
+    let adaptive = adaptive_h.run_adaptive(&prog, &TESTBED_HOSTS, &active).unwrap();
+
+    assert!(
+        adaptive.elapsed < fixed.elapsed,
+        "adaptive {} !< fixed {}",
+        adaptive.elapsed,
+        fixed.elapsed
+    );
+    assert!(!adaptive.migrations.is_empty());
+    // It must end up away from the loaded m-6/m-8 links.
+    assert!(!adaptive.final_mapping.iter().any(|n| n == "m-6" || n == "m-8"));
+}
+
+#[test]
+fn table3_adaptation_overhead_without_traffic() {
+    // With no traffic, adaptation can only cost time (paper: 941 vs 862).
+    let prog = airshed_program_iters(8, 6);
+    let active = ["m-4", "m-5", "m-6", "m-7", "m-8"];
+    let mut h1 = TestbedHarness::cmu();
+    let fixed = h1.run_fixed(&prog, &active).unwrap();
+    let mut h2 = TestbedHarness::cmu();
+    let adaptive = h2.run_adaptive(&prog, &TESTBED_HOSTS, &active).unwrap();
+    assert!(adaptive.elapsed >= fixed.elapsed);
+    // But the overhead stays moderate (paper: +9%; allow up to +30%).
+    assert!(
+        adaptive.elapsed < fixed.elapsed * 1.3,
+        "overhead too large: {} vs {}",
+        adaptive.elapsed,
+        fixed.elapsed
+    );
+}
+
+#[test]
+fn self_traffic_fix_prevents_spurious_migration() {
+    let prog = airshed_program_iters(8, 6);
+    let active = ["m-4", "m-5", "m-6", "m-7", "m-8"];
+
+    let mut naive = TestbedHarness::cmu();
+    naive.adapter.cfg.self_traffic = SelfTraffic::Ignore;
+    let naive_rep = naive.run_adaptive(&prog, &TESTBED_HOSTS, &active).unwrap();
+
+    let mut fixed = TestbedHarness::cmu();
+    fixed.adapter.cfg.self_traffic = SelfTraffic::Subtract;
+    let fixed_rep = fixed.run_adaptive(&prog, &TESTBED_HOSTS, &active).unwrap();
+
+    assert!(
+        fixed_rep.migrations.len() < naive_rep.migrations.len(),
+        "subtract {} !< ignore {}",
+        fixed_rep.migrations.len(),
+        naive_rep.migrations.len()
+    );
+    assert_eq!(fixed_rep.migrations.len(), 0, "{:?}", fixed_rep.migrations);
+}
+
+#[test]
+fn compiled_for_8_run_on_5_overhead() {
+    // The paper's 862-vs-650 imbalance artifact: same work, 8 ranks on 5
+    // nodes is slower than 5 ranks on 5 nodes.
+    let mut h = TestbedHarness::cmu();
+    let active = ["m-4", "m-5", "m-6", "m-7", "m-8"];
+    let t5 = h.run_fixed(&airshed_program_iters(5, 5), &active).unwrap().elapsed;
+    let t8on5 = h.run_fixed(&airshed_program_iters(8, 5), &active).unwrap().elapsed;
+    let ratio = t8on5 / t5;
+    // Paper: 862/650 = 1.33. Accept 1.15..1.6.
+    assert!((1.15..1.6).contains(&ratio), "imbalance ratio {ratio}");
+}
