@@ -11,7 +11,8 @@ use remos_core::{CoreResult, Remos, RemosConfig};
 use remos_fx::runtime::{ExecutionReport, FxResult, FxRuntime, Mapping, RuntimeConfig};
 use remos_fx::{AdaptConfig, Adapter, Program};
 use remos_net::{Simulator, Topology};
-use remos_snmp::sim::{register_all_agents, share, SharedSim};
+use remos_snmp::fault::FaultDirector;
+use remos_snmp::sim::{register_all_agents, register_all_agents_with_faults, share, SharedSim};
 use remos_snmp::SimTransport;
 use std::sync::Arc;
 
@@ -71,6 +72,36 @@ impl TestbedHarness {
     /// The paper's testbed (Fig 3) with default configurations.
     pub fn cmu() -> TestbedHarness {
         Self::new(crate::testbed::cmu_testbed())
+    }
+
+    /// The paper's testbed with fault-scriptable agents: every agent
+    /// honors `director`'s crash/freeze/flaky plans (the transport clock
+    /// tracks the shared simulator, restarts reset sysUpTime and wipe
+    /// counters), and the collector runs with `collector_cfg` so tests can
+    /// tighten health/staleness thresholds.
+    pub fn cmu_with_faults(
+        director: &Arc<FaultDirector>,
+        collector_cfg: SnmpCollectorConfig,
+    ) -> TestbedHarness {
+        let sim = share(
+            Simulator::new(crate::testbed::cmu_testbed()).expect("topology is valid"),
+        );
+        let transport = Arc::new(SimTransport::new());
+        let agents = register_all_agents_with_faults(&transport, &sim, "public", director);
+        let mut collector =
+            SnmpCollector::new(Arc::clone(&transport), agents, collector_cfg);
+        collector.set_trap_source(Box::new(remos_snmp::sim::SimTrapSource::new(
+            Arc::clone(&sim),
+            "public",
+        )));
+        let remos = Remos::new(
+            Box::new(collector),
+            Box::new(SimClock(Arc::clone(&sim))),
+            RemosConfig::default(),
+        );
+        let adapter = Adapter::new(remos, AdaptConfig::default());
+        let runtime = FxRuntime::new(Arc::clone(&sim), RuntimeConfig::default());
+        TestbedHarness { sim, transport, runtime, adapter }
     }
 
     /// Remos-driven node selection (§7.3): query, cluster, return names.

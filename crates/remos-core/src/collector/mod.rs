@@ -22,13 +22,16 @@ pub mod snmp;
 
 use crate::error::{CoreResult, RemosError};
 use crate::graph::HostInfo;
+use crate::quality::DataQuality;
 use remos_net::topology::{DirLink, Topology};
 use remos_net::{Bps, SimDuration, SimTime};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One utilization sample: per-directed-interface traffic rates observed
-/// over the interval ending at `t`.
+/// over the interval ending at `t`, each tagged with the [`DataQuality`]
+/// of its measurement (fresh, carried forward from an earlier interval, or
+/// missing entirely).
 #[derive(Clone, Debug)]
 pub struct Snapshot {
     /// End of the measurement interval.
@@ -38,12 +41,27 @@ pub struct Snapshot {
     /// Utilization in bits/s, indexed by [`DirLink::index`] of the
     /// collector's topology.
     pub util: Box<[Bps]>,
+    /// Per-directed-interface measurement quality, parallel to `util`.
+    pub quality: Box<[DataQuality]>,
 }
 
 impl Snapshot {
+    /// A snapshot whose every entry was freshly measured (the common case
+    /// for fault-free collectors).
+    pub fn fresh(t: SimTime, interval: SimDuration, util: Box<[Bps]>) -> Snapshot {
+        let quality = vec![DataQuality::Fresh; util.len()].into_boxed_slice();
+        Snapshot { t, interval, util, quality }
+    }
+
     /// Utilization of one directed interface.
     pub fn util_of(&self, d: DirLink) -> Bps {
         self.util[d.index()]
+    }
+
+    /// Measurement quality of one directed interface; indices beyond the
+    /// snapshot (topology drift) read as [`DataQuality::Missing`].
+    pub fn quality_of(&self, d: DirLink) -> DataQuality {
+        self.quality.get(d.index()).copied().unwrap_or(DataQuality::Missing)
     }
 }
 
@@ -196,11 +214,11 @@ mod tests {
     use super::*;
 
     fn snap(t_secs: u64, util: &[f64]) -> Snapshot {
-        Snapshot {
-            t: SimTime::from_secs(t_secs),
-            interval: SimDuration::from_secs(1),
-            util: util.to_vec().into_boxed_slice(),
-        }
+        Snapshot::fresh(
+            SimTime::from_secs(t_secs),
+            SimDuration::from_secs(1),
+            util.to_vec().into_boxed_slice(),
+        )
     }
 
     #[test]

@@ -11,18 +11,40 @@
 //! unified by name, links by endpoint-name pair (border links observed by
 //! two children are deduplicated, utilization merged by maximum), and
 //! snapshots are re-indexed into the merged topology.
+//!
+//! The federation is also the failover layer: a child whose region stops
+//! answering keeps contributing its *last* sample, aged into
+//! [`DataQuality::Stale`] and eventually [`DataQuality::Missing`], while
+//! the surviving children's regions stay [`DataQuality::Fresh`]. Polling
+//! and re-discovery succeed as long as at least one child does.
 
 use crate::collector::{Collector, SampleHistory, Snapshot};
 use crate::error::{CoreResult, RemosError};
 use crate::graph::HostInfo;
+use crate::quality::DataQuality;
 use remos_net::topology::{DirLink, NodeKind, Topology, TopologyBuilder};
-use remos_net::SimTime;
+use remos_net::{SimDuration, SimTime};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Configuration of a [`MultiCollector`].
+#[derive(Clone, Debug)]
+pub struct MultiCollectorConfig {
+    /// Child samples older than this (relative to the newest child sample)
+    /// are reported as [`DataQuality::Missing`] instead of `Stale`.
+    pub missing_after: SimDuration,
+}
+
+impl Default for MultiCollectorConfig {
+    fn default() -> Self {
+        MultiCollectorConfig { missing_after: SimDuration::from_secs(30) }
+    }
+}
 
 /// A federation of collectors presenting one merged view.
 pub struct MultiCollector {
     children: Vec<Box<dyn Collector>>,
+    cfg: MultiCollectorConfig,
     merged: Option<Merged>,
     history: SampleHistory,
 }
@@ -36,21 +58,31 @@ struct Merged {
 impl MultiCollector {
     /// Federate the given children. At least one is required.
     pub fn new(children: Vec<Box<dyn Collector>>) -> Self {
-        MultiCollector { children, merged: None, history: SampleHistory::default() }
+        Self::with_config(children, MultiCollectorConfig::default())
+    }
+
+    /// Federate with an explicit configuration.
+    pub fn with_config(children: Vec<Box<dyn Collector>>, cfg: MultiCollectorConfig) -> Self {
+        MultiCollector { children, cfg, merged: None, history: SampleHistory::default() }
     }
 
     fn merge(&mut self) -> CoreResult<Merged> {
         if self.children.is_empty() {
             return Err(RemosError::Collector("no child collectors".into()));
         }
-        let topos: Vec<Arc<Topology>> =
-            self.children.iter().map(|c| c.topology()).collect::<CoreResult<_>>()?;
+        // Children without a discovered view (their whole region is down)
+        // simply contribute nothing to the merge.
+        let topos: Vec<Option<Arc<Topology>>> =
+            self.children.iter().map(|c| c.topology().ok()).collect();
+        if topos.iter().all(|t| t.is_none()) {
+            return Err(RemosError::Collector("no child has a discovered topology".into()));
+        }
 
         // Union of nodes by name. Network kind wins on conflict (a border
         // router may look like an opaque endpoint to a benchmark child).
         let mut kinds: BTreeMap<String, NodeKind> = BTreeMap::new();
         let mut speeds: HashMap<String, (f64, u64)> = HashMap::new();
-        for t in &topos {
+        for t in topos.iter().flatten() {
             for n in t.node_ids() {
                 let node = t.node(n);
                 let e = kinds.entry(node.name.clone()).or_insert(node.kind);
@@ -64,7 +96,7 @@ impl MultiCollector {
         }
         // Union of links by ordered name pair.
         let mut edges: BTreeMap<(String, String), (f64, remos_net::SimDuration)> = BTreeMap::new();
-        for t in &topos {
+        for t in topos.iter().flatten() {
             for l in t.link_ids() {
                 let link = t.link(l);
                 let (an, bn) = (t.node(link.a).name.clone(), t.node(link.b).name.clone());
@@ -98,6 +130,10 @@ impl MultiCollector {
         // Per-child dir-link remap.
         let mut remap = Vec::with_capacity(topos.len());
         for t in &topos {
+            let Some(t) = t else {
+                remap.push(Vec::new());
+                continue;
+            };
             let mut m = vec![usize::MAX; t.dir_link_count()];
             for l in t.link_ids() {
                 let link = t.link(l);
@@ -127,8 +163,22 @@ impl MultiCollector {
 
 impl Collector for MultiCollector {
     fn refresh_topology(&mut self) -> CoreResult<()> {
+        // Failover: children whose region cannot be discovered right now
+        // are tolerated as long as at least one child succeeds.
+        let mut ok = 0usize;
+        let mut first_err = None;
         for c in &mut self.children {
-            c.refresh_topology()?;
+            match c.refresh_topology() {
+                Ok(()) => ok += 1,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if ok == 0 {
+            return Err(first_err.expect("at least one child must have been tried"));
         }
         self.merged = Some(self.merge()?);
         self.history.clear();
@@ -155,33 +205,71 @@ impl Collector for MultiCollector {
         if self.merged.is_none() {
             self.refresh_topology()?;
         }
+        // Poll every child; a failing child only degrades its own region.
+        // The poll as a whole errors only when *every* child errors.
         let mut any = false;
+        let mut errors = 0usize;
+        let mut first_err = None;
         for c in &mut self.children {
-            any |= c.poll()?;
+            match c.poll() {
+                Ok(produced) => any |= produced,
+                Err(e) => {
+                    errors += 1;
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        if errors == self.children.len() {
+            return Err(first_err.expect("children is non-empty here"));
         }
         if !any {
             return Ok(false);
         }
         let merged = self.merged.as_ref().expect("just ensured");
-        let mut util = vec![0.0f64; merged.topo.dir_link_count()];
-        let mut t = SimTime::ZERO;
+        let n = merged.topo.dir_link_count();
+        let mut util = vec![0.0f64; n];
+        let mut quality = vec![DataQuality::Missing; n];
         let mut interval = remos_net::SimDuration::ZERO;
-        let mut have_any_sample = false;
+        // Merged time is the newest child sample; older child samples age
+        // into Stale/Missing relative to it.
+        let t = self
+            .children
+            .iter()
+            .filter_map(|c| c.history().latest().map(|s| s.t))
+            .max();
+        let Some(t) = t else { return Ok(false) };
         for (ci, c) in self.children.iter().enumerate() {
             let Some(snap) = c.history().latest() else { continue };
-            have_any_sample = true;
-            t = t.max(snap.t);
+            let age = t.saturating_since(snap.t);
             interval = interval.max(snap.interval);
             for (child_idx, &merged_idx) in merged.remap[ci].iter().enumerate() {
-                if merged_idx != usize::MAX && child_idx < snap.util.len() {
-                    util[merged_idx] = util[merged_idx].max(snap.util[child_idx]);
+                if merged_idx == usize::MAX || child_idx >= snap.util.len() {
+                    continue;
                 }
+                let mut q = snap.quality.get(child_idx).copied().unwrap_or(DataQuality::Missing);
+                // Age the child's quality by how far it lags the merge.
+                if age > SimDuration::ZERO {
+                    q = q.worst(DataQuality::Stale { age });
+                }
+                if let Some(total_age) = q.age() {
+                    if total_age > self.cfg.missing_after {
+                        q = DataQuality::Missing;
+                    }
+                }
+                // Border links observed twice: keep the larger utilization
+                // and the better-quality observation.
+                util[merged_idx] = util[merged_idx].max(snap.util[child_idx]);
+                quality[merged_idx] = quality[merged_idx].better(q);
             }
         }
-        if !have_any_sample {
-            return Ok(false);
-        }
-        self.history.push(Snapshot { t, interval, util: util.into_boxed_slice() });
+        self.history.push(Snapshot {
+            t,
+            interval,
+            util: util.into_boxed_slice(),
+            quality: quality.into_boxed_slice(),
+        });
         Ok(true)
     }
 
@@ -190,9 +278,20 @@ impl Collector for MultiCollector {
     }
 
     fn now(&self) -> CoreResult<SimTime> {
-        self.children
-            .first()
-            .ok_or_else(|| RemosError::Collector("no child collectors".into()))?
-            .now()
+        // First child that can tell the time wins (each child is already
+        // robust to its own agents restarting).
+        let mut first_err = None;
+        for c in &self.children {
+            match c.now() {
+                Ok(t) => return Ok(t),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(first_err
+            .unwrap_or_else(|| RemosError::Collector("no child collectors".into())))
     }
 }

@@ -62,7 +62,7 @@ impl Collector for OracleCollector {
             None => remos_net::SimDuration::ZERO,
         };
         self.last_rates = Some(t);
-        self.history.push(Snapshot { t, interval, util: util.into_boxed_slice() });
+        self.history.push(Snapshot::fresh(t, interval, util.into_boxed_slice()));
         Ok(true)
     }
 

@@ -10,16 +10,32 @@
 //! Latency uses a fixed per-hop delay, exactly as the paper's collector
 //! does ("For latency, the Collector currently assumes a fixed per-hop
 //! delay. (A reasonable approximation as long as we use a LAN testbed.)").
+//!
+//! ## Degraded mode
+//!
+//! Polling is per-agent fault-isolated: an agent that times out or answers
+//! garbage only degrades *its* interfaces, never the whole poll. Each agent
+//! runs a Healthy → Degraded → Down state machine ([`AgentHealth`]); once
+//! Down, the collector stops paying full-retry query costs and sends a
+//! single cheap recovery probe per poll instead. Counter discontinuities
+//! are detected via `sysUpTime` regression (the agent restarted, so its
+//! counters restarted from zero): the poisoned interval is discarded and
+//! re-baselined rather than differenced into a bogus utilization spike.
+//! Every snapshot entry carries a [`DataQuality`] — `Fresh` when measured
+//! this interval, `Stale { age }` while the collector carries an old value
+//! forward, and `Missing` once it is older than
+//! [`SnmpCollectorConfig::missing_after`] (or was never measured).
 
 use crate::collector::{Collector, SampleHistory, Snapshot};
 use crate::error::{CoreResult, RemosError};
 use crate::graph::HostInfo;
+use crate::quality::DataQuality;
 use remos_net::counters::rate_from_readings;
 use remos_net::topology::{DirLink, NodeId, Topology, TopologyBuilder};
 use remos_net::{SimDuration, SimTime};
 use remos_snmp::oid::well_known;
 use remos_snmp::transport::Transport;
-use remos_snmp::{Manager, Value};
+use remos_snmp::{Manager, RetryPolicy, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -49,6 +65,14 @@ pub struct SnmpCollectorConfig {
     pub history_len: usize,
     /// Topology discovery mechanism.
     pub discovery: DiscoveryMode,
+    /// Consecutive poll failures after which an agent counts as Degraded.
+    pub degraded_after: u32,
+    /// Consecutive poll failures after which an agent counts as Down (the
+    /// collector switches from full-retry reads to single recovery probes).
+    pub down_after: u32,
+    /// Carried-forward (stale) data older than this is reported as
+    /// [`DataQuality::Missing`].
+    pub missing_after: SimDuration,
 }
 
 impl Default for SnmpCollectorConfig {
@@ -58,8 +82,39 @@ impl Default for SnmpCollectorConfig {
             per_hop_latency: SimDuration::from_micros(100),
             history_len: crate::collector::DEFAULT_HISTORY_LEN,
             discovery: DiscoveryMode::default(),
+            degraded_after: 1,
+            down_after: 3,
+            missing_after: SimDuration::from_secs(30),
         }
     }
+}
+
+/// Liveness classification of one polled agent.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AgentState {
+    /// Answering normally.
+    #[default]
+    Healthy,
+    /// Missed at least [`SnmpCollectorConfig::degraded_after`] consecutive
+    /// polls; still queried with full retries.
+    Degraded,
+    /// Missed at least [`SnmpCollectorConfig::down_after`] consecutive
+    /// polls; only probed with single datagrams until it answers again.
+    Down,
+}
+
+/// Per-agent health record maintained across polls.
+#[derive(Clone, Debug, Default)]
+pub struct AgentHealth {
+    /// Current liveness classification.
+    pub state: AgentState,
+    /// Consecutive polls the agent failed to answer.
+    pub consecutive_failures: u32,
+    /// Collector time of the last successful read.
+    pub last_ok: Option<SimTime>,
+    /// `sysUpTime` ticks at the last successful read (regression here is
+    /// the restart/discontinuity signal).
+    pub last_uptime_ticks: Option<u64>,
 }
 
 /// Where a directed interface's traffic counter lives.
@@ -71,7 +126,7 @@ enum CounterSource {
     /// agent).
     In { agent: usize, if_index: u32 },
     /// Neither endpoint runs an agent; utilization is unobservable and
-    /// reported as zero (optimistically, like a dark link).
+    /// reported as zero with [`DataQuality::Missing`].
     None,
 }
 
@@ -80,19 +135,32 @@ struct View {
     /// Per dir-link index: where to read its counter.
     sources: Vec<CounterSource>,
     hosts: HashMap<String, HostInfo>,
-    /// Last raw counter reading per dir-link (None where unobservable),
-    /// with its timestamp.
-    baseline: Option<(SimTime, Vec<Option<u32>>)>,
+    /// Per dir-link: last good raw counter reading with its timestamp.
+    baseline: Vec<Option<(SimTime, u32)>>,
+    /// Per dir-link: last freshly measured rate (carried forward while
+    /// stale).
+    last_util: Vec<f64>,
+    /// Per dir-link: when the rate was last freshly measured.
+    last_fresh: Vec<Option<SimTime>>,
+    /// The first poll after discovery only establishes baselines.
+    primed: bool,
 }
 
 /// The SNMP-based collector.
 pub struct SnmpCollector<T: Transport> {
     manager: Manager<T>,
+    /// Single-attempt manager used to probe Down agents cheaply.
+    probe: Manager<T>,
     /// Agent addresses this collector is responsible for.
     agents: Vec<String>,
+    /// Health state machine, parallel to `agents`.
+    health: Vec<AgentHealth>,
     cfg: SnmpCollectorConfig,
     view: Option<View>,
     history: SampleHistory,
+    /// Collector time at the end of the last poll, advanced by agent
+    /// uptime deltas (robust to any one agent's clock resetting).
+    last_t: Option<SimTime>,
     trap_source: Option<Box<dyn crate::collector::TrapSource>>,
 }
 
@@ -107,21 +175,77 @@ struct AgentScan {
     own_ip: Option<[u8; 4]>,
 }
 
+/// One agent's per-poll readings.
+struct AgentRead {
+    ticks: u64,
+    out_col: Option<BTreeMap<u32, u32>>,
+    in_col: Option<BTreeMap<u32, u32>>,
+}
+
+/// Carried-forward value and quality for a directed link with no fresh
+/// measurement at collector time `t`.
+fn carry_forward(
+    t: SimTime,
+    last_fresh: Option<SimTime>,
+    last_util: f64,
+    missing_after: SimDuration,
+) -> (f64, DataQuality) {
+    match last_fresh {
+        Some(tf) => {
+            let age = t.saturating_since(tf);
+            if age > missing_after {
+                (0.0, DataQuality::Missing)
+            } else {
+                (last_util, DataQuality::Stale { age })
+            }
+        }
+        None => (0.0, DataQuality::Missing),
+    }
+}
+
 impl<T: Transport + Sync> SnmpCollector<T> {
     /// New collector over `agents` (addresses of the SNMP agents to use).
     pub fn new(transport: Arc<T>, agents: Vec<String>, cfg: SnmpCollectorConfig) -> Self {
         let history = SampleHistory::new(cfg.history_len);
-        let manager = Manager::new(transport, &cfg.community);
+        let manager = Manager::new(Arc::clone(&transport), &cfg.community);
+        let probe = Manager::with_policy(transport, &cfg.community, RetryPolicy::no_retries());
         let mut agents = agents;
         agents.sort();
         agents.dedup();
-        SnmpCollector { manager, agents, cfg, view: None, history, trap_source: None }
+        let health = vec![AgentHealth::default(); agents.len()];
+        SnmpCollector {
+            manager,
+            probe,
+            agents,
+            health,
+            cfg,
+            view: None,
+            history,
+            last_t: None,
+            trap_source: None,
+        }
     }
 
     /// Attach a trap source; linkDown/linkUp traps trigger re-discovery
     /// on the next poll.
     pub fn set_trap_source(&mut self, source: Box<dyn crate::collector::TrapSource>) {
         self.trap_source = Some(source);
+    }
+
+    /// Health records, parallel to [`SnmpCollector::agent_names`].
+    pub fn agent_health(&self) -> &[AgentHealth] {
+        &self.health
+    }
+
+    /// The agent addresses this collector polls (sorted).
+    pub fn agent_names(&self) -> &[String] {
+        &self.agents
+    }
+
+    /// Liveness of one agent by address.
+    pub fn agent_state(&self, agent: &str) -> Option<AgentState> {
+        let i = self.agents.iter().position(|a| a == agent)?;
+        Some(self.health[i].state)
     }
 
     fn scan_agent(&self, addr: &str) -> CoreResult<AgentScan> {
@@ -344,56 +468,47 @@ impl<T: Transport + Sync> SnmpCollector<T> {
                 }
             }
         }
-        Ok(View { topo, sources, hosts, baseline: None })
+        let n = sources.len();
+        Ok(View {
+            topo,
+            sources,
+            hosts,
+            baseline: vec![None; n],
+            last_util: vec![0.0; n],
+            last_fresh: vec![None; n],
+            primed: false,
+        })
     }
 
-    fn read_time(&self) -> CoreResult<SimTime> {
-        let v = self.manager.get(&self.agents[0], &well_known::sys_uptime())?;
-        let ticks = v
-            .as_u64()
-            .ok_or_else(|| RemosError::Collector("sysUpTime not numeric".into()))?;
-        Ok(SimTime::from_millis(ticks * 10))
-    }
-
-    /// Read all counters. Returns (time, per-dirlink reading).
-    fn read_counters(&self, view: &View) -> CoreResult<(SimTime, Vec<Option<u32>>)> {
-        let t = self.read_time()?;
-        // One bulk walk of each needed column per agent.
-        let mut out_cols: Vec<Option<BTreeMap<u32, u32>>> = vec![None; self.agents.len()];
-        let mut in_cols: Vec<Option<BTreeMap<u32, u32>>> = vec![None; self.agents.len()];
-        let fetch = |agent: usize,
-                         col: &remos_snmp::Oid,
-                         cache: &mut Vec<Option<BTreeMap<u32, u32>>>|
-         -> CoreResult<()> {
-            if cache[agent].is_none() {
-                let rows = self.manager.bulk_walk(&self.agents[agent], col)?;
-                let mut m = BTreeMap::new();
-                for b in rows {
-                    if let (Some([idx]), Some(c)) =
-                        (col.suffix_of(&b.oid), b.value.as_counter32())
-                    {
-                        m.insert(*idx, c);
-                    }
-                }
-                cache[agent] = Some(m);
-            }
-            Ok(())
-        };
-        let mut readings = vec![None; view.sources.len()];
-        for (i, src) in view.sources.iter().enumerate() {
-            readings[i] = match src {
-                CounterSource::Out { agent, if_index } => {
-                    fetch(*agent, &well_known::if_out_octets(), &mut out_cols)?;
-                    out_cols[*agent].as_ref().unwrap().get(if_index).copied()
-                }
-                CounterSource::In { agent, if_index } => {
-                    fetch(*agent, &well_known::if_in_octets(), &mut in_cols)?;
-                    in_cols[*agent].as_ref().unwrap().get(if_index).copied()
-                }
-                CounterSource::None => None,
-            };
+    /// Read one agent's uptime and the counter columns it serves. Any
+    /// failure returns `None` — the caller degrades just this agent.
+    /// `down` agents get a single-datagram recovery probe first; full reads
+    /// (and their retry costs) resume only once the probe answers.
+    fn read_agent(
+        &self,
+        ai: usize,
+        needs_out: bool,
+        needs_in: bool,
+        down: bool,
+    ) -> Option<AgentRead> {
+        let addr = &self.agents[ai];
+        if down && self.probe.get(addr, &well_known::sys_uptime()).is_err() {
+            return None;
         }
-        Ok((t, readings))
+        let ticks = self.manager.get(addr, &well_known::sys_uptime()).ok()?.as_u64()?;
+        let col = |root: &remos_snmp::Oid| -> Option<BTreeMap<u32, u32>> {
+            let rows = self.manager.bulk_walk(addr, root).ok()?;
+            let mut m = BTreeMap::new();
+            for b in rows {
+                if let (Some([idx]), Some(c)) = (root.suffix_of(&b.oid), b.value.as_counter32()) {
+                    m.insert(*idx, c);
+                }
+            }
+            Some(m)
+        };
+        let out_col = if needs_out { Some(col(&well_known::if_out_octets())?) } else { None };
+        let in_col = if needs_in { Some(col(&well_known::if_in_octets())?) } else { None };
+        Some(AgentRead { ticks, out_col, in_col })
     }
 }
 
@@ -432,42 +547,234 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
                 .iter()
                 .any(|(_, pdu)| crate::collector::is_link_state_trap(pdu))
             {
-                self.refresh_topology()?;
+                match self.refresh_topology() {
+                    Ok(()) => {}
+                    // Degraded mode: discovery needs every agent, so keep
+                    // serving the stale view if we have one; per-link
+                    // quality flags already tell the consumer.
+                    Err(_) if self.view.is_some() => {}
+                    Err(e) => return Err(e),
+                }
             }
         }
         if self.view.is_none() {
             self.refresh_topology()?;
         }
-        let (t, readings) = {
+
+        // Which counter columns each agent must serve.
+        let needs: Vec<(bool, bool)> = {
             let view = self.view.as_ref().expect("just ensured");
-            self.read_counters(view)?
-        };
-        let view = self.view.as_mut().expect("just ensured");
-        let produced = if let Some((t0, prev)) = &view.baseline {
-            let dt = t.saturating_since(*t0).as_secs_f64();
-            if dt <= 0.0 {
-                false
-            } else {
-                let util: Vec<f64> = prev
-                    .iter()
-                    .zip(&readings)
-                    .map(|(p, c)| match (p, c) {
-                        (Some(p), Some(c)) => rate_from_readings(*p, *c, dt),
-                        _ => 0.0,
-                    })
-                    .collect();
-                self.history.push(Snapshot {
-                    t,
-                    interval: t.saturating_since(*t0),
-                    util: util.into_boxed_slice(),
-                });
-                true
+            let mut needs = vec![(false, false); self.agents.len()];
+            for src in &view.sources {
+                match src {
+                    CounterSource::Out { agent, .. } => needs[*agent].0 = true,
+                    CounterSource::In { agent, .. } => needs[*agent].1 = true,
+                    CounterSource::None => {}
+                }
             }
-        } else {
-            false
+            needs
         };
-        view.baseline = Some((t, readings));
-        Ok(produced)
+
+        // Fault-isolated per-agent reads.
+        let down: Vec<bool> = self.health.iter().map(|h| h.state == AgentState::Down).collect();
+        let reads: Vec<Option<AgentRead>> = (0..self.agents.len())
+            .map(|ai| self.read_agent(ai, needs[ai].0, needs[ai].1, down[ai]))
+            .collect();
+
+        let prev_ticks: Vec<Option<u64>> = self.health.iter().map(|h| h.last_uptime_ticks).collect();
+        // sysUpTime regression marks a restart: that agent's counters
+        // restarted from zero and the interval since the last reading is
+        // poisoned.
+        let disc: Vec<bool> = reads
+            .iter()
+            .zip(&prev_ticks)
+            .map(|(r, p)| match (r, p) {
+                (Some(r), Some(l)) => r.ticks < *l,
+                _ => false,
+            })
+            .collect();
+
+        // Collector time advances by the largest uptime delta among agents
+        // whose clock did not regress — robust to any subset crashing.
+        let delta_ticks = reads
+            .iter()
+            .zip(&prev_ticks)
+            .zip(&disc)
+            .filter_map(|((r, p), d)| match (r, p) {
+                (Some(r), Some(l)) if !*d => Some(r.ticks.saturating_sub(*l)),
+                _ => None,
+            })
+            .max();
+        let t = match self.last_t {
+            Some(t0) => Some(t0 + SimDuration::from_millis(delta_ticks.unwrap_or(0) * 10)),
+            None => reads
+                .iter()
+                .flatten()
+                .map(|r| r.ticks)
+                .max()
+                .map(|ticks| SimTime::from_millis(ticks * 10)),
+        };
+
+        // Health transitions.
+        for (ai, read) in reads.iter().enumerate() {
+            let h = &mut self.health[ai];
+            match read {
+                Some(r) => {
+                    h.consecutive_failures = 0;
+                    h.state = AgentState::Healthy;
+                    h.last_ok = t.or(h.last_ok);
+                    h.last_uptime_ticks = Some(r.ticks);
+                }
+                None => {
+                    h.consecutive_failures += 1;
+                    h.state = if h.consecutive_failures >= self.cfg.down_after {
+                        AgentState::Down
+                    } else if h.consecutive_failures >= self.cfg.degraded_after {
+                        AgentState::Degraded
+                    } else {
+                        AgentState::Healthy
+                    };
+                }
+            }
+        }
+
+        // Nothing answered: time cannot advance and there is nothing to
+        // record. Not an error — a federated parent may still be covered
+        // by its other collectors.
+        let Some(t) = t else { return Ok(false) };
+        if reads.iter().all(|r| r.is_none()) {
+            return Ok(false);
+        }
+
+        let missing_after = self.cfg.missing_after;
+        let view = self.view.as_mut().expect("just ensured");
+        let n = view.sources.len();
+
+        // Per-directed-link readings from whichever agent serves each.
+        let readings: Vec<Option<u32>> = view
+            .sources
+            .iter()
+            .map(|src| match src {
+                CounterSource::Out { agent, if_index } => reads[*agent]
+                    .as_ref()
+                    .and_then(|r| r.out_col.as_ref())
+                    .and_then(|m| m.get(if_index))
+                    .copied(),
+                CounterSource::In { agent, if_index } => reads[*agent]
+                    .as_ref()
+                    .and_then(|r| r.in_col.as_ref())
+                    .and_then(|m| m.get(if_index))
+                    .copied(),
+                CounterSource::None => None,
+            })
+            .collect();
+        let poisoned: Vec<bool> = view
+            .sources
+            .iter()
+            .map(|src| match src {
+                CounterSource::Out { agent, .. } | CounterSource::In { agent, .. } => disc[*agent],
+                CounterSource::None => false,
+            })
+            .collect();
+
+        if !view.primed {
+            // First poll after discovery: establish baselines only.
+            for i in 0..n {
+                if let Some(c) = readings[i] {
+                    view.baseline[i] = Some((t, c));
+                }
+            }
+            view.primed = true;
+            self.last_t = Some(t);
+            return Ok(false);
+        }
+
+        let advanced = self.last_t.is_none_or(|t0| t > t0);
+        if !advanced {
+            // No measured time elapsed; just baseline newly observable
+            // links.
+            for i in 0..n {
+                if view.baseline[i].is_none() {
+                    if let Some(c) = readings[i] {
+                        view.baseline[i] = Some((t, c));
+                    }
+                }
+            }
+            return Ok(false);
+        }
+
+        let mut util = vec![0.0; n];
+        let mut quality = vec![DataQuality::Missing; n];
+        let mut interval = SimDuration::ZERO;
+        for i in 0..n {
+            match readings[i] {
+                Some(c) if poisoned[i] => {
+                    // Discard the poisoned interval: the counter restarted
+                    // somewhere inside it, so differencing would produce a
+                    // huge bogus delta. Re-baseline on the post-restart
+                    // value and carry the last good rate forward.
+                    view.baseline[i] = Some((t, c));
+                    let (u, q) =
+                        carry_forward(t, view.last_fresh[i], view.last_util[i], missing_after);
+                    util[i] = u;
+                    quality[i] = q;
+                }
+                Some(c) => match view.baseline[i] {
+                    Some((t0, p)) => {
+                        let dt = t.saturating_since(t0);
+                        if dt > SimDuration::ZERO {
+                            let rate = rate_from_readings(p, c, dt.as_secs_f64());
+                            util[i] = rate;
+                            quality[i] = DataQuality::Fresh;
+                            view.last_util[i] = rate;
+                            view.last_fresh[i] = Some(t);
+                            view.baseline[i] = Some((t, c));
+                            interval = interval.max(dt);
+                        } else {
+                            let (u, q) = carry_forward(
+                                t,
+                                view.last_fresh[i],
+                                view.last_util[i],
+                                missing_after,
+                            );
+                            util[i] = u;
+                            quality[i] = q;
+                        }
+                    }
+                    None => {
+                        // First observation of this link: baseline it; a
+                        // rate needs the next interval.
+                        view.baseline[i] = Some((t, c));
+                        let (u, q) =
+                            carry_forward(t, view.last_fresh[i], view.last_util[i], missing_after);
+                        util[i] = u;
+                        quality[i] = q;
+                    }
+                },
+                // Unobservable this poll (dark link, or its agent failed):
+                // keep the old baseline — counters are monotonic, so when
+                // the agent comes back the longer interval still averages
+                // correctly (a restart in between is caught by the uptime
+                // regression instead).
+                None => {
+                    let (u, q) =
+                        carry_forward(t, view.last_fresh[i], view.last_util[i], missing_after);
+                    util[i] = u;
+                    quality[i] = q;
+                }
+            }
+        }
+        if interval == SimDuration::ZERO {
+            interval = t.saturating_since(self.last_t.unwrap_or(t));
+        }
+        self.history.push(Snapshot {
+            t,
+            interval,
+            util: util.into_boxed_slice(),
+            quality: quality.into_boxed_slice(),
+        });
+        self.last_t = Some(t);
+        Ok(true)
     }
 
     fn history(&self) -> &SampleHistory {
@@ -475,6 +782,17 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
     }
 
     fn now(&self) -> CoreResult<SimTime> {
-        self.read_time()
+        // First answering agent wins; a freshly restarted agent's small
+        // uptime is floored by the collector's own clock.
+        for a in &self.agents {
+            if let Ok(v) = self.manager.get(a, &well_known::sys_uptime()) {
+                if let Some(ticks) = v.as_u64() {
+                    let t = SimTime::from_millis(ticks * 10);
+                    return Ok(self.last_t.map_or(t, |t0| t0.max(t)));
+                }
+            }
+        }
+        self.last_t
+            .ok_or_else(|| RemosError::Collector("no agent reachable for time".into()))
     }
 }

@@ -11,6 +11,7 @@
 //! as "particularly important for parallel applications that use
 //! collective communication".
 
+use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use remos_net::{Bps, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -118,6 +119,11 @@ pub struct FlowGrant {
     /// For fixed flows: whether the full request was satisfiable in every
     /// sampled network state.
     pub fully_satisfied: bool,
+    /// Quality of the measurements this estimate is derived from: the
+    /// worst quality of any directed link on the flow's path. Non-`Fresh`
+    /// grants have their `bandwidth` spread widened accordingly.
+    #[serde(default)]
+    pub estimate_quality: DataQuality,
 }
 
 /// The complete answer to a [`FlowInfoRequest`].

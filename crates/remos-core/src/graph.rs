@@ -9,6 +9,7 @@
 //! internal bandwidth (Fig 1).
 
 use crate::error::{CoreResult, RemosError};
+use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use remos_net::topology::NodeKind;
 use remos_net::{Bps, SimDuration};
@@ -52,6 +53,16 @@ pub struct RemosLink {
     pub latency: SimDuration,
     /// Available bandwidth statistics: `[a→b, b→a]`.
     pub avail: [Quartiles; 2],
+    /// Quality of the measurements behind `avail`: `[a→b, b→a]`. A link
+    /// whose underlying counters could not be read recently is `Stale` or
+    /// `Missing`; its `avail` is then a carried-forward (and widened)
+    /// estimate rather than a current observation.
+    #[serde(default = "fresh_pair")]
+    pub quality: [DataQuality; 2],
+}
+
+fn fresh_pair() -> [DataQuality; 2] {
+    [DataQuality::Fresh; 2]
 }
 
 impl RemosLink {
@@ -63,6 +74,17 @@ impl RemosLink {
         } else {
             debug_assert_eq!(from, self.b);
             &self.avail[1]
+        }
+    }
+
+    /// Measurement quality in the direction leaving `from` (node-table
+    /// index).
+    pub fn quality_from(&self, from: usize) -> DataQuality {
+        if from == self.a {
+            self.quality[0]
+        } else {
+            debug_assert_eq!(from, self.b);
+            self.quality[1]
         }
     }
 }
@@ -201,6 +223,19 @@ impl RemosGraph {
         Ok(bw)
     }
 
+    /// Measurement quality along the routed path `src → dst`: the worst
+    /// quality of any directed link on the path. An application that wants
+    /// only trustworthy data checks this before acting on
+    /// [`RemosGraph::path_avail_bw`].
+    pub fn path_quality(&self, src: usize, dst: usize) -> CoreResult<DataQuality> {
+        let steps = self.path(src, dst)?;
+        let mut q = DataQuality::Fresh;
+        for &(li, from, _) in &steps {
+            q = q.worst(self.links[li].quality_from(from));
+        }
+        Ok(q)
+    }
+
     /// One-way latency along the routed path.
     pub fn path_latency(&self, src: usize, dst: usize) -> CoreResult<SimDuration> {
         let steps = self.path(src, dst)?;
@@ -334,6 +369,7 @@ mod tests {
             capacity: cap,
             latency: SimDuration::from_micros(50),
             avail: [Quartiles::exact(av), Quartiles::exact(av)],
+            quality: [DataQuality::Fresh; 2],
         };
         for h in 0..4 {
             links.push(mk(h, 8, mbps(10.0), avail.min(mbps(10.0))));
@@ -385,6 +421,7 @@ mod tests {
             capacity: mbps(10.0),
             latency: SimDuration::ZERO,
             avail: [Quartiles::exact(mbps(10.0)), Quartiles::exact(mbps(10.0))],
+            quality: [DataQuality::Fresh; 2],
         };
         let g = RemosGraph::new(nodes, vec![l(0, 1), l(1, 2)]);
         assert!(g.path(0, 1).is_ok());
@@ -479,6 +516,26 @@ mod tests {
         );
         assert_eq!(back.nodes.len(), g.nodes.len());
         assert!(back.node_by_name("A").unwrap().kind == NodeKind::Network);
+    }
+
+    #[test]
+    fn path_quality_is_worst_link_quality() {
+        let mut g = two_switch_graph(None, mbps(10.0));
+        let h0 = g.index_of("h0").unwrap();
+        let h5 = g.index_of("h5").unwrap();
+        assert_eq!(g.path_quality(h0, h5).unwrap(), DataQuality::Fresh);
+        // Degrade the backbone in the A->B direction only.
+        let backbone = g.links.len() - 1;
+        let stale = DataQuality::Stale { age: SimDuration::from_secs(7) };
+        g.links[backbone].quality = [stale, DataQuality::Fresh];
+        g.rebuild_indices();
+        assert_eq!(g.path_quality(h0, h5).unwrap(), stale);
+        assert_eq!(g.path_quality(h5, h0).unwrap(), DataQuality::Fresh);
+        // Old serialized graphs (no quality field) deserialize as Fresh.
+        let mut v = serde_json::to_value(&g.links[backbone]).unwrap();
+        v.as_object_mut().unwrap().remove("quality");
+        let back: RemosLink = serde_json::from_value(v).unwrap();
+        assert_eq!(back.quality, [DataQuality::Fresh; 2]);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod error;
 pub mod flows;
 pub mod graph;
 pub mod modeler;
+pub mod quality;
 pub mod stats;
 pub mod timeframe;
 
@@ -72,5 +73,6 @@ pub use error::{CoreResult, RemosError};
 pub use flows::{FlowEndpoints, FlowInfoRequest, FlowInfoResponse};
 pub use graph::{HostInfo, RemosGraph, RemosLink, RemosNode};
 pub use modeler::{Modeler, ModelerConfig};
+pub use quality::DataQuality;
 pub use stats::Quartiles;
 pub use timeframe::Timeframe;

@@ -216,6 +216,7 @@ mod tests {
                 capacity: mbps(100.0),
                 latency: SimDuration::from_micros(50),
                 avail: [Quartiles::exact(mbps(100.0)), Quartiles::exact(mbps(100.0))],
+                quality: [crate::quality::DataQuality::Fresh; 2],
             })
             .collect();
         RemosGraph::new(nodes, links)

@@ -16,6 +16,7 @@ use crate::collector::Collector;
 use crate::error::{CoreResult, RemosError};
 use crate::flows::{FlowGrant, FlowInfoRequest, FlowInfoResponse};
 use crate::graph::{RemosGraph, RemosLink, RemosNode};
+use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use crate::timeframe::Timeframe;
 use flowsolve::{ResourceModel, SampleSolver, StageFlow};
@@ -56,6 +57,36 @@ pub struct Modeler {
 struct SelectedSamples {
     /// (sample end time, utilization per physical dir-link index).
     samples: Vec<(SimTime, Vec<Bps>)>,
+    /// Per physical dir-link: the worst measurement quality among the
+    /// selected samples (entries the collector never measured are
+    /// `Missing`).
+    quality: Vec<DataQuality>,
+}
+
+/// How much to widen an estimate derived from data `age` old: grows
+/// linearly (10 s of staleness doubles the spread) and saturates at 4×.
+fn stale_widen_factor(age: remos_net::SimDuration) -> f64 {
+    (1.0 + age.as_secs_f64() / 10.0).min(4.0)
+}
+
+/// Degrade a quantity's summary according to the quality of the data it
+/// was derived from: fresh passes through, stale widens the spread with
+/// age, missing yields total uncertainty over `[0, ceiling]`.
+fn degrade(q: &Quartiles, quality: DataQuality, ceiling: Bps) -> Quartiles {
+    match quality {
+        DataQuality::Fresh => *q,
+        DataQuality::Stale { age } => q.widen(stale_widen_factor(age)),
+        DataQuality::Missing => Quartiles {
+            min: 0.0,
+            q1: 0.0,
+            median: q.median.clamp(0.0, ceiling),
+            q3: ceiling,
+            max: ceiling,
+            mean: q.mean.clamp(0.0, ceiling),
+            samples: q.samples,
+            accuracy: 0.0,
+        },
+    }
 }
 
 impl Modeler {
@@ -84,27 +115,48 @@ impl Modeler {
             v.resize(n_phys_dirlinks, 0.0);
             v
         };
+        let pad_q = |q: &[DataQuality]| -> Vec<DataQuality> {
+            let mut v = q.to_vec();
+            v.resize(n_phys_dirlinks, DataQuality::Missing);
+            v
+        };
         match tf {
             Timeframe::Current => {
                 let latest = history.latest().ok_or(RemosError::InsufficientHistory {
                     needed: 1,
                     available: 0,
                 })?;
-                Ok(SelectedSamples { samples: vec![(latest.t, pad(&latest.util))] })
+                Ok(SelectedSamples {
+                    samples: vec![(latest.t, pad(&latest.util))],
+                    quality: pad_q(&latest.quality),
+                })
             }
             Timeframe::Window(w) => {
-                let samples: Vec<(SimTime, Vec<Bps>)> =
-                    history.within(w).iter().map(|s| (s.t, pad(&s.util))).collect();
-                if samples.is_empty() {
+                let selected = history.within(w);
+                if selected.is_empty() {
                     return Err(RemosError::InsufficientHistory { needed: 1, available: 0 });
                 }
-                Ok(SelectedSamples { samples })
+                // An estimate over a window is only as good as its worst
+                // constituent sample, per dir-link.
+                let mut quality = vec![DataQuality::Fresh; n_phys_dirlinks];
+                for s in &selected {
+                    for (d, q) in pad_q(&s.quality).into_iter().enumerate() {
+                        quality[d] = quality[d].worst(q);
+                    }
+                }
+                let samples: Vec<(SimTime, Vec<Bps>)> =
+                    selected.iter().map(|s| (s.t, pad(&s.util))).collect();
+                Ok(SelectedSamples { samples, quality })
             }
             Timeframe::Future(h) => {
                 if history.is_empty() {
                     return Err(RemosError::InsufficientHistory { needed: 2, available: 0 });
                 }
-                let t_last = history.latest().expect("non-empty").t;
+                let latest = history.latest().expect("non-empty");
+                let t_last = latest.t;
+                // A prediction inherits the quality of the newest data it
+                // extrapolates from.
+                let quality = pad_q(&latest.quality);
                 let mut util = vec![0.0; n_phys_dirlinks];
                 for (d, u) in util.iter_mut().enumerate() {
                     let series: Vec<(SimTime, f64)> = history
@@ -113,9 +165,19 @@ impl Modeler {
                         .collect();
                     *u = predict(self.cfg.predictor, &series, h);
                 }
-                Ok(SelectedSamples { samples: vec![(t_last + h, util)] })
+                Ok(SelectedSamples { samples: vec![(t_last + h, util)], quality })
             }
         }
+    }
+
+    /// Worst quality over one logical direction's physical chain.
+    fn logical_quality(
+        phys: &[remos_net::topology::DirLink],
+        quality: &[DataQuality],
+    ) -> DataQuality {
+        phys.iter()
+            .map(|d| quality.get(d.index()).copied().unwrap_or(DataQuality::Missing))
+            .fold(DataQuality::Fresh, DataQuality::worst)
     }
 
     /// Per-sample *availability* of one logical direction: the minimum
@@ -163,14 +225,20 @@ impl Modeler {
         let mut links = Vec::with_capacity(structure.links.len());
         for spec in &structure.links {
             let mut avail = [Quartiles::exact(0.0), Quartiles::exact(0.0)];
+            let mut quality = [DataQuality::Fresh; 2];
             for (slot, a) in avail.iter_mut().enumerate() {
                 let samples: Vec<Bps> = selected
                     .samples
                     .iter()
                     .map(|(_, util)| Self::logical_avail(&topo, &spec.phys[slot], util))
                     .collect();
-                *a = Quartiles::from_samples(&samples)
+                let raw = Quartiles::from_samples(&samples)
                     .unwrap_or_else(|| Quartiles::exact(spec.capacity));
+                // Degraded measurements show through the annotation: stale
+                // data widens the reported spread, missing data collapses
+                // to total uncertainty over [0, capacity].
+                quality[slot] = Self::logical_quality(&spec.phys[slot], &selected.quality);
+                *a = degrade(&raw, quality[slot], spec.capacity);
             }
             links.push(RemosLink {
                 a: index_of[&spec.a],
@@ -178,6 +246,7 @@ impl Modeler {
                 capacity: spec.capacity,
                 latency: spec.latency,
                 avail,
+                quality,
             });
         }
         Ok(RemosGraph::new(nodes, links))
@@ -232,6 +301,16 @@ impl Modeler {
         let (topo, structure, logical_graph) = graph;
         let selected = self.select_samples(col, topo.dir_link_count(), tf)?;
         let model = ResourceModel::from_graph(&logical_graph);
+
+        // Per-resource measurement quality (link resources come from the
+        // collector; node resources are structural and always fresh).
+        let mut res_quality = vec![DataQuality::Fresh; model.capacities.len()];
+        for (li, spec) in structure.links.iter().enumerate() {
+            for slot in 0..2 {
+                res_quality[li * 2 + slot] =
+                    Self::logical_quality(&spec.phys[slot], &selected.quality);
+            }
+        }
 
         // Resolve per-flow paths once (routing is static).
         let resolve = |src: &str, dst: &str| -> CoreResult<(Vec<usize>, usize, usize)> {
@@ -322,11 +401,26 @@ impl Modeler {
                 Some(r) => grants[k - 1].iter().all(|&g| g >= r * (1.0 - 1e-9)),
                 None => true,
             };
+            // The grant is only as trustworthy as the worst-measured
+            // resource its path crosses; widen the estimate to match.
+            let estimate_quality = path
+                .0
+                .iter()
+                .map(|&r| res_quality[r])
+                .fold(DataQuality::Fresh, DataQuality::worst);
+            let ceiling = path
+                .0
+                .iter()
+                .map(|&r| model.capacities[r])
+                .fold(f64::INFINITY, f64::min)
+                .max(bw.max);
+            let bw = degrade(&bw, estimate_quality, ceiling);
             Ok(FlowGrant {
                 endpoints: endpoints.clone(),
                 bandwidth: bw,
                 latency,
                 fully_satisfied: fully,
+                estimate_quality,
             })
         };
         let fixed = req
@@ -381,6 +475,7 @@ impl Modeler {
                 capacity: spec.capacity,
                 latency: spec.latency,
                 avail: [Quartiles::exact(spec.capacity), Quartiles::exact(spec.capacity)],
+                quality: [DataQuality::Fresh; 2],
             })
             .collect();
         let g = RemosGraph::new(nodes, links);

@@ -128,6 +128,43 @@ impl Quartiles {
         }
     }
 
+    /// Widen the summary about its median by `factor` (≥ 1), clamping at
+    /// zero, and reduce the accuracy correspondingly. Used when an estimate
+    /// is derived from stale data: the quantities were right *once*, so the
+    /// center is kept but the plausible spread grows with the data's age.
+    pub fn widen(&self, factor: f64) -> Quartiles {
+        debug_assert!(factor >= 1.0);
+        let c = self.median;
+        if self.max - self.min <= 0.0 {
+            // Degenerate summary (e.g. a single Current reading): there is
+            // no spread to scale, so fabricate one proportional to the
+            // value itself — a stale 10 Mbps reading means "somewhere
+            // around 10 Mbps by now".
+            let pad = c.abs() * (factor - 1.0) * 0.5;
+            return Quartiles {
+                min: (c - pad).max(0.0),
+                q1: (c - pad * 0.5).max(0.0),
+                median: c.max(0.0),
+                q3: c + pad * 0.5,
+                max: c + pad,
+                mean: self.mean.max(0.0),
+                samples: self.samples,
+                accuracy: (self.accuracy / factor).clamp(0.0, 1.0),
+            };
+        }
+        let w = |v: f64| (c + (v - c) * factor).max(0.0);
+        Quartiles {
+            min: w(self.min),
+            q1: w(self.q1),
+            median: c.max(0.0),
+            q3: w(self.q3),
+            max: w(self.max),
+            mean: w(self.mean),
+            samples: self.samples,
+            accuracy: (self.accuracy / factor).clamp(0.0, 1.0),
+        }
+    }
+
     /// Map through a monotone *decreasing* function, flipping the order of
     /// the quantiles so min stays min.
     pub fn map_antitone(&self, f: impl Fn(f64) -> f64) -> Quartiles {
@@ -237,6 +274,24 @@ mod tests {
     fn iqr() {
         let q = Quartiles::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(q.iqr(), 2.0);
+    }
+
+    #[test]
+    fn widen_scales_spread_and_cuts_accuracy() {
+        let q = Quartiles::from_samples(&[10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        let w = q.widen(2.0);
+        assert_eq!(w.median, q.median);
+        assert_eq!(w.iqr(), 2.0 * q.iqr());
+        assert!(w.min <= w.q1 && w.q1 <= w.median && w.median <= w.q3 && w.q3 <= w.max);
+        assert!(w.accuracy < q.accuracy);
+        assert_eq!(q.widen(1.0), q);
+        // Large factors clamp at zero rather than going negative.
+        assert_eq!(q.widen(100.0).min, 0.0);
+        // Degenerate summaries gain a spread proportional to the value.
+        let e = Quartiles::exact(10.0).widen(2.0);
+        assert_eq!(e.median, 10.0);
+        assert!(e.max > e.min, "{e}");
+        assert!(e.min >= 0.0 && e.accuracy < 1.0);
     }
 
     mod properties {

@@ -30,7 +30,7 @@ pub mod concurrent;
 pub mod program;
 pub mod runtime;
 
-pub use adapt::{AdaptConfig, Adapter, SelfTraffic};
+pub use adapt::{AdaptConfig, Adapter, QualityPolicy, SelfTraffic};
 pub use cluster::{exhaustive_cluster, greedy_cluster, set_comm_cost};
 pub use concurrent::{run_concurrent, TaskReport, TaskSpec};
 pub use program::{CommPattern, Phase, Program};

@@ -349,6 +349,36 @@ mod tests {
             fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
                 let _ = decode(Bytes::from(bytes));
             }
+
+            #[test]
+            fn truncated_encodings_error_without_panicking(
+                pdu in arb_pdu(),
+                frac in 0.0f64..1.0,
+            ) {
+                // Every strict prefix of a valid message must fail cleanly:
+                // the parse runs out of bytes mid-field and the `need` guards
+                // turn that into a Decode error, never a panic or over-read.
+                let full = encode(&pdu);
+                let cut = ((full.len() as f64) * frac) as usize;
+                prop_assert!(cut < full.len());
+                prop_assert!(decode(full.slice(..cut)).is_err());
+            }
+
+            #[test]
+            fn bit_flipped_encodings_never_panic(
+                pdu in arb_pdu(),
+                pos in any::<prop::sample::Index>(),
+                bit in 0u8..8,
+            ) {
+                // A single flipped bit may corrupt a tag, a length, or a
+                // payload byte. Decoding may legitimately succeed (payload
+                // flip) or fail, but must never panic or read past the
+                // buffer.
+                let mut bytes = encode(&pdu).to_vec();
+                let i = pos.index(bytes.len());
+                bytes[i] ^= 1 << bit;
+                let _ = decode(Bytes::from(bytes));
+            }
         }
     }
 }

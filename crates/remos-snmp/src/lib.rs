@@ -14,9 +14,13 @@
 //!   authentication; [`sim`] materializes agents from a shared
 //!   [`remos_net::Simulator`] (interface speeds and wrapped Counter32
 //!   octet counters straight from the fluid model);
-//! * [`manager`] — client-side get/walk/bulk-walk helpers;
+//! * [`manager`] — client-side get/walk/bulk-walk helpers with exponential
+//!   backoff, seeded jitter, and a per-request deadline budget;
 //! * [`transport`] — a simulated UDP transport that routes encoded
-//!   messages to agents, with drop injection and byte accounting.
+//!   messages to agents, with drop injection and byte accounting;
+//! * [`fault`] — scriptable per-agent fault plans (crash/restart with
+//!   counter and `sysUpTime` resets, freezes, flaky loss windows) applied
+//!   by the transport and the simulated agents.
 //!
 //! The protocol surface is deliberately a *subset* of SNMPv2c with a
 //! non-BER wire encoding: the Remos collector only needs table walks and
@@ -25,6 +29,7 @@
 pub mod agent;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod manager;
 pub mod mib;
 pub mod oid;
@@ -35,9 +40,10 @@ pub mod value;
 
 pub use agent::Agent;
 pub use error::{SnmpError, SnmpResult};
-pub use manager::Manager;
+pub use fault::{Fault, FaultDirector, FaultPlan};
+pub use manager::{Manager, RetryPolicy};
 pub use mib::Mib;
 pub use oid::Oid;
 pub use pdu::{ErrorStatus, Pdu, PduType, VarBind};
-pub use transport::{SimTransport, Transport};
+pub use transport::{SimTransport, Transport, TransportStats};
 pub use value::Value;

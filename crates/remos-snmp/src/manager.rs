@@ -1,33 +1,94 @@
 //! Client-side manager: typed get / walk / bulk-walk over a [`Transport`].
+//!
+//! Lost datagrams are retried under a [`RetryPolicy`]: exponential backoff
+//! with seeded full jitter, bounded by a per-request deadline budget. Only
+//! timeouts are retryable — authentication failures, decode errors, and
+//! agent errors surface immediately, because retrying them can never
+//! succeed and only hides the fault from the caller.
 
 use crate::error::{SnmpError, SnmpResult};
 use crate::oid::Oid;
 use crate::pdu::{ErrorStatus, Pdu, VarBind};
 use crate::transport::Transport;
 use crate::value::Value;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default GETBULK repetition count.
 pub const DEFAULT_MAX_REPETITIONS: u32 = 32;
+
+/// Retry/backoff behavior of a [`Manager`].
+///
+/// Durations here are *virtual*: the simulated transport answers (or times
+/// out) instantly, so the manager charges each timed-out attempt
+/// `attempt_timeout` and each backoff its delay against `deadline` without
+/// ever sleeping. A request stops retrying when its next attempt could not
+/// finish inside the remaining budget.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (so `max_retries + 1` attempts total).
+    pub max_retries: u32,
+    /// Virtual cost of one timed-out attempt.
+    pub attempt_timeout: Duration,
+    /// First backoff; doubles per retry (exponential).
+    pub base_backoff: Duration,
+    /// Backoff growth cap.
+    pub max_backoff: Duration,
+    /// Total per-request budget across attempts and backoffs.
+    pub deadline: Duration,
+    /// Seed for the full-jitter RNG (deterministic backoff sequences).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            attempt_timeout: Duration::from_millis(200),
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            deadline: Duration::from_secs(5),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy that never retries (single attempt per request).
+    pub fn no_retries() -> RetryPolicy {
+        RetryPolicy { max_retries: 0, ..RetryPolicy::default() }
+    }
+}
 
 /// An SNMP manager bound to one transport and community.
 pub struct Manager<T: Transport> {
     transport: Arc<T>,
     community: String,
     next_request_id: AtomicU32,
-    /// Retries per request on timeout (datagram loss).
-    pub retries: u32,
+    /// Retry/backoff policy for lost datagrams.
+    pub policy: RetryPolicy,
+    jitter: Mutex<StdRng>,
 }
 
 impl<T: Transport> Manager<T> {
-    /// New manager speaking `community`.
+    /// New manager speaking `community` with the default [`RetryPolicy`].
     pub fn new(transport: Arc<T>, community: &str) -> Self {
+        Self::with_policy(transport, community, RetryPolicy::default())
+    }
+
+    /// New manager with an explicit retry policy.
+    pub fn with_policy(transport: Arc<T>, community: &str, policy: RetryPolicy) -> Self {
+        let jitter = Mutex::new(StdRng::seed_from_u64(policy.jitter_seed));
         Manager {
             transport,
             community: community.to_string(),
             next_request_id: AtomicU32::new(1),
-            retries: 3,
+            policy,
+            jitter,
         }
     }
 
@@ -35,9 +96,25 @@ impl<T: Transport> Manager<T> {
         self.next_request_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// Full-jitter delay for retry number `attempt` (1-based): uniform in
+    /// `[0, min(base * 2^(attempt-1), max_backoff)]`.
+    fn backoff_delay(&self, attempt: u32) -> Duration {
+        let cap = self
+            .policy
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(attempt.saturating_sub(1)))
+            .min(self.policy.max_backoff);
+        if cap.is_zero() {
+            return Duration::ZERO;
+        }
+        cap.mul_f64(self.jitter.lock().gen::<f64>())
+    }
+
     fn send(&self, agent: &str, req: &Pdu) -> SnmpResult<Pdu> {
-        let mut last = SnmpError::Timeout;
-        for _ in 0..=self.retries {
+        let p = &self.policy;
+        let mut spent = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
             match self.transport.request(agent, req) {
                 Ok(resp) => {
                     if resp.error_status != ErrorStatus::NoError {
@@ -45,11 +122,24 @@ impl<T: Transport> Manager<T> {
                     }
                     return Ok(resp);
                 }
-                Err(SnmpError::Timeout) => last = SnmpError::Timeout,
+                Err(SnmpError::Timeout) => {
+                    spent = spent.saturating_add(p.attempt_timeout);
+                    attempt += 1;
+                    if attempt > p.max_retries {
+                        return Err(SnmpError::Timeout);
+                    }
+                    let delay = self.backoff_delay(attempt);
+                    // Would the next attempt blow the deadline budget?
+                    if spent.saturating_add(delay).saturating_add(p.attempt_timeout) > p.deadline {
+                        return Err(SnmpError::Timeout);
+                    }
+                    spent = spent.saturating_add(delay);
+                }
+                // Anything else is non-retryable: an agent that rejected the
+                // community or returned garbage will do so again.
                 Err(e) => return Err(e),
             }
         }
-        Err(last)
     }
 
     /// GET a single instance.
@@ -136,9 +226,11 @@ impl<T: Transport> Manager<T> {
 mod tests {
     use super::*;
     use crate::agent::{Agent, StaticMib};
+    use crate::fault::{FaultDirector, FaultPlan};
     use crate::mib::{Mib, SERVICES_ROUTER};
     use crate::oid::well_known;
     use crate::transport::SimTransport;
+    use remos_net::{SimDuration, SimTime};
 
     fn setup() -> (Manager<SimTransport>, Arc<SimTransport>) {
         let t = Arc::new(SimTransport::new());
@@ -198,6 +290,8 @@ mod tests {
         // Each attempt rolls the drop dice twice (request + response):
         // p(success/attempt) = 0.8^2 = 0.64, so with 3 retries
         // p(fail/get) = 0.36^4 ≈ 1.7% — expect ~1 failure in 50 gets.
+        // (The default policy's deadline never truncates 4 attempts: worst
+        // case costs 4×200 ms + 50+100+200 ms backoff ≈ 1.15 s < 5 s.)
         let mut failures = 0;
         for _ in 0..50 {
             if mgr.get("aspen", &well_known::sys_name()).is_err() {
@@ -205,6 +299,82 @@ mod tests {
             }
         }
         assert!(failures <= 5, "excessive failures: {failures}");
+    }
+
+    #[test]
+    fn non_timeout_errors_are_not_retried() {
+        let (_, t) = setup();
+        let mgr = Manager::new(Arc::clone(&t), "wrong-community");
+        t.reset_stats();
+        let err = mgr.get("aspen", &well_known::sys_name()).unwrap_err();
+        assert!(matches!(err, SnmpError::BadCommunity));
+        // Exactly one request on the wire — no blind retry of a fault that
+        // can never succeed.
+        assert_eq!(t.stats().requests, 1);
+        t.reset_stats();
+        let err = mgr.get("no-such-agent", &well_known::sys_name()).unwrap_err();
+        assert!(matches!(err, SnmpError::UnknownAgent(_)));
+        assert_eq!(t.stats().requests, 1);
+    }
+
+    #[test]
+    fn deadline_budget_truncates_retries() {
+        let (_, t) = setup();
+        // Agent down for the whole run (no clock installed: now is ZERO).
+        let d = FaultDirector::new();
+        d.set_plan(
+            "aspen",
+            FaultPlan::new().crash(SimTime::ZERO, SimDuration::from_secs(3600)),
+            1,
+        );
+        t.set_fault_director(d);
+        // A deadline of 300 ms fits exactly one 200 ms attempt: the first
+        // retry (200 ms spent + backoff + 200 ms next attempt) would exceed
+        // it, so the manager gives up after a single datagram.
+        let policy = RetryPolicy {
+            max_retries: 10,
+            attempt_timeout: Duration::from_millis(200),
+            deadline: Duration::from_millis(300),
+            ..RetryPolicy::default()
+        };
+        let mgr = Manager::with_policy(Arc::clone(&t), "public", policy);
+        t.reset_stats();
+        let err = mgr.get("aspen", &well_known::sys_name()).unwrap_err();
+        assert!(matches!(err, SnmpError::Timeout));
+        assert_eq!(t.stats().requests, 1);
+    }
+
+    #[test]
+    fn max_retries_bounds_attempts() {
+        let (_, t) = setup();
+        let d = FaultDirector::new();
+        d.set_plan(
+            "aspen",
+            FaultPlan::new().crash(SimTime::ZERO, SimDuration::from_secs(3600)),
+            1,
+        );
+        t.set_fault_director(d);
+        let mgr = Manager::with_policy(
+            Arc::clone(&t),
+            "public",
+            RetryPolicy { max_retries: 2, ..RetryPolicy::default() },
+        );
+        t.reset_stats();
+        assert!(mgr.get("aspen", &well_known::sys_name()).is_err());
+        // One initial attempt + two retries.
+        assert_eq!(t.stats().requests, 3);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_under_the_cap() {
+        let (mgr, _) = setup();
+        // Full jitter draws uniformly in [0, cap]; caps double per retry
+        // until max_backoff clamps them.
+        for _ in 0..100 {
+            assert!(mgr.backoff_delay(1) <= mgr.policy.base_backoff);
+            assert!(mgr.backoff_delay(3) <= mgr.policy.base_backoff * 4);
+            assert!(mgr.backoff_delay(30) <= mgr.policy.max_backoff);
+        }
     }
 
     #[test]

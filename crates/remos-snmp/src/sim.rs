@@ -9,12 +9,13 @@
 //! collector's topology queries.
 
 use crate::agent::{Agent, MibProvider};
+use crate::fault::FaultDirector;
 use crate::mib::{Mib, SERVICES_HOST, SERVICES_ROUTER};
 use crate::transport::SimTransport;
 use parking_lot::Mutex;
 use remos_net::counters::to_counter32;
 use remos_net::topology::{DirLink, NodeId, NodeKind};
-use remos_net::Simulator;
+use remos_net::{SimTime, Simulator};
 use std::sync::Arc;
 
 /// Shared handle to the simulated network.
@@ -33,15 +34,34 @@ pub fn share(sim: Simulator) -> SharedSim {
 }
 
 /// [`MibProvider`] reading one node's state from the shared simulator.
+///
+/// With a [`FaultDirector`] attached, the provider renders the MIB exactly
+/// as a crashed-and-restarted agent would: `sysUpTime` counts from the
+/// latest restart and octet counters restart from zero (the baselines are
+/// captured lazily on first read after the restart).
 pub struct SimMibProvider {
     sim: SharedSim,
     node: NodeId,
+    faults: Option<Arc<FaultDirector>>,
 }
 
 impl SimMibProvider {
     /// Provider for `node`.
     pub fn new(sim: SharedSim, node: NodeId) -> Self {
-        SimMibProvider { sim, node }
+        SimMibProvider { sim, node, faults: None }
+    }
+
+    /// Attach a fault director (crash semantics for uptime and counters).
+    pub fn with_faults(mut self, director: Arc<FaultDirector>) -> Self {
+        self.faults = Some(director);
+        self
+    }
+
+    fn octets(&self, name: &str, now: SimTime, dl: DirLink, raw: f64) -> f64 {
+        match &self.faults {
+            Some(d) => d.adjust_octets(name, now, dl.index() as u64, raw),
+            None => raw,
+        }
     }
 }
 
@@ -55,7 +75,12 @@ impl MibProvider for SimMibProvider {
             NodeKind::Network => SERVICES_ROUTER,
             NodeKind::Compute => SERVICES_HOST,
         };
-        let uptime_ticks = (sim.now().as_secs_f64() * 100.0) as u32;
+        let now = sim.now();
+        let uptime_secs = match self.faults.as_ref().and_then(|d| d.uptime_base(&node.name, now)) {
+            Some(base) => now.saturating_since(base).as_secs_f64(),
+            None => now.as_secs_f64(),
+        };
+        let uptime_ticks = (uptime_secs * 100.0) as u32;
         let descr = match node.kind {
             NodeKind::Network => "remos-sim router",
             NodeKind::Compute => "remos-sim host",
@@ -96,8 +121,10 @@ impl MibProvider for SimMibProvider {
             let link = topo.link(link_id);
             let up = sim.link_is_up(link_id);
             let out_dir = link.direction_from(self.node);
-            let out = sim.dirlink_octets(DirLink { link: link_id, dir: out_dir });
-            let inn = sim.dirlink_octets(DirLink { link: link_id, dir: out_dir.reverse() });
+            let out_dl = DirLink { link: link_id, dir: out_dir };
+            let in_dl = DirLink { link: link_id, dir: out_dir.reverse() };
+            let out = self.octets(&node.name, now, out_dl, sim.dirlink_octets(out_dl));
+            let inn = self.octets(&node.name, now, in_dl, sim.dirlink_octets(in_dl));
             let peer_name = &topo.node(peer).name;
             // ifSpeed is a Gauge32; 100 Mbps fits, faster links saturate the
             // gauge exactly like real MIB-II (ifHighSpeed exists for that,
@@ -210,6 +237,30 @@ pub fn register_all_agents(transport: &SimTransport, sim: &SharedSim, community:
     names
 }
 
+/// Like [`register_all_agents`], but every agent honors the fault
+/// director's scripted crash/freeze/flaky plans: the transport gets a
+/// simulated-time clock (so fault windows track the shared simulator) and
+/// each MIB provider rewrites uptime/counters across restarts.
+pub fn register_all_agents_with_faults(
+    transport: &SimTransport,
+    sim: &SharedSim,
+    community: &str,
+    director: &Arc<FaultDirector>,
+) -> Vec<String> {
+    let clock_sim = Arc::clone(sim);
+    transport.set_clock(Box::new(move || clock_sim.lock().now()));
+    transport.set_fault_director(Arc::clone(director));
+    let topo = sim.lock().topology_arc();
+    let mut names = Vec::new();
+    for n in topo.node_ids() {
+        let name = topo.node(n).name.clone();
+        let provider = SimMibProvider::new(Arc::clone(sim), n).with_faults(Arc::clone(director));
+        transport.register(Agent::new(&name, community, Box::new(provider)));
+        names.push(name);
+    }
+    names
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -309,5 +360,62 @@ mod tests {
         let req = Pdu::get("public", 6, vec![well_known::sys_uptime()]);
         let resp = t.request("aspen", &req).unwrap();
         assert_eq!(resp.bindings[0].value, Value::TimeTicks(300));
+    }
+
+    #[test]
+    fn crash_resets_uptime_and_counters() {
+        use crate::error::SnmpError;
+        use crate::fault::{FaultDirector, FaultPlan};
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("m-1");
+        let h2 = b.compute("m-2");
+        let r = b.network("aspen");
+        b.link(h1, r, mbps(100.0), SimDuration::from_micros(50)).unwrap();
+        b.link(r, h2, mbps(100.0), SimDuration::from_micros(50)).unwrap();
+        let sim = share(Simulator::new(b.build().unwrap()).unwrap());
+        let t = SimTransport::new();
+        let director = FaultDirector::new();
+        register_all_agents_with_faults(&t, &sim, "public", &director);
+        // aspen crashes at t=2 s for 1 s.
+        director.set_plan(
+            "aspen",
+            FaultPlan::new().crash(SimTime::from_secs(2), SimDuration::from_secs(1)),
+            21,
+        );
+        {
+            let mut s = sim.lock();
+            s.start_flow(FlowParams::cbr(h1, h2, mbps(80.0))).unwrap();
+            s.run_for(SimDuration::from_secs(1)).unwrap();
+        }
+        let get = |rid, oid| Pdu::get("public", rid, vec![oid]);
+        // Before the crash: uptime tracks the sim clock, counters are raw.
+        let resp = t.request("aspen", &get(1, well_known::sys_uptime())).unwrap();
+        assert_eq!(resp.bindings[0].value, Value::TimeTicks(100));
+        let resp = t.request("aspen", &get(2, well_known::if_in_octets().child([1]))).unwrap();
+        let before = resp.bindings[0].value.as_counter32().unwrap();
+        assert!(before > 0);
+        // During the crash (t=2.5 s): unreachable.
+        sim.lock().run_for(SimDuration::from_millis(1500)).unwrap();
+        assert!(matches!(
+            t.request("aspen", &get(3, well_known::sys_uptime())),
+            Err(SnmpError::Timeout)
+        ));
+        // After restart (t=4 s): uptime restarted, counters read near zero
+        // even though the flow pushed ~40 MB through by now.
+        sim.lock().run_for(SimDuration::from_millis(1500)).unwrap();
+        let resp = t.request("aspen", &get(4, well_known::sys_uptime())).unwrap();
+        let ticks = match resp.bindings[0].value {
+            Value::TimeTicks(v) => v,
+            ref v => panic!("expected TimeTicks, got {v:?}"),
+        };
+        assert_eq!(ticks, 100, "uptime counts from the restart at t=3 s");
+        let resp = t.request("aspen", &get(5, well_known::if_in_octets().child([1]))).unwrap();
+        let after = resp.bindings[0].value.as_counter32().unwrap();
+        assert_eq!(after, 0, "first post-restart read is the baseline");
+        // The next read advances by exactly the traffic since the baseline.
+        sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+        let resp = t.request("aspen", &get(6, well_known::if_in_octets().child([1]))).unwrap();
+        let delta = resp.bindings[0].value.as_counter32().unwrap();
+        assert!((delta as f64 - 1e7).abs() < 32.0, "{delta}");
     }
 }

@@ -94,7 +94,7 @@ fn collector_survives_datagram_loss() {
         let g = remos.get_graph(&["m-1", "m-8"], Timeframe::Current).unwrap();
         assert_eq!(g.links.len(), 1);
     }
-    assert!(transport.stats().drops > 0, "loss injection did nothing");
+    assert!(transport.stats().drops() > 0, "loss injection did nothing");
 }
 
 #[test]
