@@ -1,0 +1,119 @@
+//! Audit driver: lint every workspace crate's library sources.
+//!
+//! ```text
+//! cargo run -p remos-audit            # audit from the workspace root
+//! cargo run -p remos-audit -- <root>  # audit an explicit checkout
+//! ```
+//!
+//! Exit status is non-zero when any violation is not covered by the
+//! checked-in `audit.allow` file, or when the allowlist contains stale
+//! entries (so waivers cannot outlive the code they excuse).
+
+use remos_audit::{
+    apply_allowlist, check_tokens, lex, parse_allowlist, rust_files, scope_for, Filtered,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(find_workspace_root);
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        eprintln!("remos-audit: no `crates/` directory under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+
+    let allow_path = root.join("audit.allow");
+    let allow = match std::fs::read_to_string(&allow_path) {
+        Ok(text) => parse_allowlist(&text),
+        Err(_) => Vec::new(),
+    };
+
+    let files = match rust_files(&crates_dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("remos-audit: cannot walk {}: {e}", crates_dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    let mut sources: BTreeMap<PathBuf, Vec<String>> = BTreeMap::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        let scope = scope_for(rel);
+        if !(scope.nondet || scope.float_eq || scope.panic || scope.wall_clock) {
+            continue;
+        }
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("remos-audit: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        scanned += 1;
+        let toks = lex(&src);
+        violations.extend(check_tokens(rel, &toks, scope));
+        sources.insert(rel.to_path_buf(), src.lines().map(str::to_string).collect());
+    }
+
+    let Filtered { rejected, waived, stale_entries } =
+        apply_allowlist(violations, &allow, |file, line| {
+            sources
+                .get(file)
+                .and_then(|lines| lines.get(line as usize - 1))
+                .cloned()
+                .unwrap_or_default()
+        });
+
+    for v in &rejected {
+        println!("{v}");
+    }
+    for idx in &stale_entries {
+        let a = &allow[*idx];
+        println!(
+            "{}:{}: [stale-allow] entry `{} {} {}` matched no violation; remove it",
+            allow_path.display(),
+            a.line,
+            a.rule,
+            a.path,
+            a.needle
+        );
+    }
+    println!(
+        "remos-audit: {} files scanned, {} violations ({} waived by {}), {} stale allowlist entries",
+        scanned,
+        rejected.len(),
+        waived.len(),
+        allow_path.file_name().and_then(|n| n.to_str()).unwrap_or("audit.allow"),
+        stale_entries.len()
+    );
+    if rejected.is_empty() && stale_entries.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` that
+/// declares `[workspace]`; fall back to `.`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}

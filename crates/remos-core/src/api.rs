@@ -99,18 +99,30 @@ impl Remos {
 
     /// `remos_get_graph(nodes, graph, timeframe)`: the logical topology
     /// relevant to `nodes`, annotated for `timeframe`.
+    ///
+    /// Malformed queries (empty node set) are rejected before any
+    /// measurement time is consumed.
     pub fn get_graph(&mut self, nodes: &[&str], tf: Timeframe) -> CoreResult<RemosGraph> {
+        if nodes.is_empty() {
+            return Err(RemosError::InvalidQuery("empty node set".into()));
+        }
         let names: Vec<String> = nodes.iter().map(|s| s.to_string()).collect();
         self.ensure_samples(tf)?;
         self.modeler.get_graph(&*self.collector, &names, tf)
     }
 
     /// `remos_flow_info(fixed, variable, independent, timeframe)`.
+    ///
+    /// An empty request (no fixed, variable, or independent flows) is
+    /// rejected before any measurement time is consumed.
     pub fn flow_info(
         &mut self,
         req: &FlowInfoRequest,
         tf: Timeframe,
     ) -> CoreResult<FlowInfoResponse> {
+        if req.fixed.is_empty() && req.variable.is_empty() && req.independent.is_none() {
+            return Err(RemosError::InvalidQuery("empty flow_info request".into()));
+        }
         self.ensure_samples(tf)?;
         self.modeler.flow_info(&*self.collector, req, tf)
     }
@@ -468,6 +480,22 @@ mod tests {
             remos.get_graph(&["m-1", "nope"], Timeframe::Current),
             Err(RemosError::UnknownNode(_))
         ));
+    }
+
+    #[test]
+    fn malformed_queries_fail_fast() {
+        let (mut remos, sim) = full_stack();
+        let t0 = sim.lock().now();
+        assert!(matches!(
+            remos.get_graph(&[], Timeframe::Current),
+            Err(RemosError::InvalidQuery(_))
+        ));
+        assert!(matches!(
+            remos.flow_info(&FlowInfoRequest::new(), Timeframe::Current),
+            Err(RemosError::InvalidQuery(_))
+        ));
+        // Rejected before sampling: no measurement time consumed.
+        assert_eq!(sim.lock().now(), t0);
     }
 
     #[test]

@@ -178,7 +178,9 @@ impl Collector for MultiCollector {
             }
         }
         if ok == 0 {
-            return Err(first_err.expect("at least one child must have been tried"));
+            return Err(first_err.unwrap_or_else(|| {
+                RemosError::Collector("multi-collector has no children".into())
+            }));
         }
         self.merged = Some(self.merge()?);
         self.history.clear();
@@ -222,12 +224,17 @@ impl Collector for MultiCollector {
             }
         }
         if errors == self.children.len() {
-            return Err(first_err.expect("children is non-empty here"));
+            return Err(first_err.unwrap_or_else(|| {
+                RemosError::Collector("multi-collector has no children".into())
+            }));
         }
         if !any {
             return Ok(false);
         }
-        let merged = self.merged.as_ref().expect("just ensured");
+        let merged = self
+            .merged
+            .as_ref()
+            .ok_or_else(|| RemosError::Collector("topology not discovered yet".into()))?;
         let n = merged.topo.dir_link_count();
         let mut util = vec![0.0f64; n];
         let mut quality = vec![DataQuality::Missing; n];

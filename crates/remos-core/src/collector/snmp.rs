@@ -563,7 +563,10 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
 
         // Which counter columns each agent must serve.
         let needs: Vec<(bool, bool)> = {
-            let view = self.view.as_ref().expect("just ensured");
+            let view = self
+                .view
+                .as_ref()
+                .ok_or_else(|| RemosError::Collector("topology not discovered yet".into()))?;
             let mut needs = vec![(false, false); self.agents.len()];
             for src in &view.sources {
                 match src {
@@ -647,7 +650,10 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
         }
 
         let missing_after = self.cfg.missing_after;
-        let view = self.view.as_mut().expect("just ensured");
+        let view = self
+            .view
+            .as_mut()
+            .ok_or_else(|| RemosError::Collector("topology not discovered yet".into()))?;
         let n = view.sources.len();
 
         // Per-directed-link readings from whichever agent serves each.

@@ -24,6 +24,10 @@ pub enum RemosError {
     },
     /// Two queried nodes have no connecting path.
     Disconnected(String, String),
+    /// An internal invariant was broken (corrupt graph, inconsistent
+    /// modeler state, ...). Reaching this is a bug; it is surfaced as an
+    /// error rather than a panic so callers degrade instead of aborting.
+    Internal(String),
 }
 
 /// Convenience alias.
@@ -42,6 +46,7 @@ impl fmt::Display for RemosError {
                 "insufficient history: need {needed} samples, have {available}"
             ),
             RemosError::Disconnected(a, b) => write!(f, "no path between {a:?} and {b:?}"),
+            RemosError::Internal(m) => write!(f, "internal invariant broken: {m}"),
         }
     }
 }

@@ -198,7 +198,9 @@ impl RemosGraph {
         let mut steps = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let (li, from) = prev[cur].expect("dijkstra parent chain broken");
+            let (li, from) = prev[cur].ok_or_else(|| {
+                RemosError::Internal(format!("dijkstra parent chain broken at node {cur}"))
+            })?;
             steps.push((li, from, cur));
             cur = from;
         }

@@ -150,7 +150,11 @@ pub fn logicalize(
                     .iter()
                     .copied()
                     .find(|&l| l != via)
-                    .expect("degree-2 node must have a second used link");
+                    .ok_or_else(|| {
+                        RemosError::Internal(format!(
+                            "degree-2 node {next:?} lacks a second used link"
+                        ))
+                    })?;
                 at = next;
                 via = out;
             }

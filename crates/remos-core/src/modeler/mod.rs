@@ -152,7 +152,10 @@ impl Modeler {
                 if history.is_empty() {
                     return Err(RemosError::InsufficientHistory { needed: 2, available: 0 });
                 }
-                let latest = history.latest().expect("non-empty");
+                let latest = history.latest().ok_or(RemosError::InsufficientHistory {
+                    needed: 2,
+                    available: 0,
+                })?;
                 let t_last = latest.t;
                 // A prediction inherits the quality of the newest data it
                 // extrapolates from.
@@ -211,7 +214,7 @@ impl Modeler {
 
         // Node table: retained physical nodes, in order.
         let mut nodes = Vec::with_capacity(structure.nodes.len());
-        let mut index_of = std::collections::HashMap::new();
+        let mut index_of = std::collections::BTreeMap::new();
         for (i, &nid) in structure.nodes.iter().enumerate() {
             let n = topo.node(nid);
             nodes.push(RemosNode {
@@ -455,7 +458,7 @@ impl Modeler {
         let routing = Routing::new(&topo);
         let structure = logical::logicalize(&topo, &routing, &targets)?;
         let mut nodes = Vec::with_capacity(structure.nodes.len());
-        let mut index_of = std::collections::HashMap::new();
+        let mut index_of = std::collections::BTreeMap::new();
         for (i, &nid) in structure.nodes.iter().enumerate() {
             let n = topo.node(nid);
             nodes.push(RemosNode {

@@ -63,7 +63,7 @@ impl Quartiles {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("filtered non-finite"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let q = Quartiles {

@@ -8,6 +8,8 @@
 //! events, so simulating 900 testbed-seconds of Airshed costs only as many
 //! rate recomputations as there are flow arrivals and departures.
 
+use crate::audit::{AuditViolation, MaxMinAudit};
+use crate::digest::EventDigest;
 use crate::error::{NetError, Result};
 use crate::flow::{FlowParams, FlowRecord, FlowTag};
 use crate::maxmin::{self, FlowSpec};
@@ -16,7 +18,10 @@ use crate::time::{SimDuration, SimTime};
 use crate::topology::{DirLink, NodeId, NodeKind, Topology};
 use crate::units::Bps;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+// Result-affecting maps are BTreeMaps: the rate solver, the completion
+// scan, and the event log all iterate them, so ordering must be a
+// property of the data, not of a hash seed (audited by remos-audit).
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 /// Handle to an active flow.
@@ -130,13 +135,13 @@ pub struct Simulator {
     topo: Arc<Topology>,
     routing: Arc<Routing>,
     now: SimTime,
-    flows: HashMap<u64, ActiveFlow>,
+    flows: BTreeMap<u64, ActiveFlow>,
     next_id: u64,
     /// capacities of all resources: `dir_link_count()` interfaces followed
     /// by one entry per capped network node.
     capacities: Vec<f64>,
     /// node index -> backplane resource index (only capped network nodes).
-    backplane: HashMap<NodeId, usize>,
+    backplane: BTreeMap<NodeId, usize>,
     counters: IfaceCounters,
     rates_dirty: bool,
     finished: Vec<FlowRecord>,
@@ -151,6 +156,14 @@ pub struct Simulator {
     /// Completion watches: when all flows of a set are finished, the
     /// process fires.
     watches: Vec<(std::collections::BTreeSet<u64>, usize)>,
+    /// Order-sensitive digest of every flow/link event so far.
+    digest: EventDigest,
+    /// When set, every rate recomputation is checked against the max-min
+    /// invariants and violations are collected (always asserted in debug
+    /// builds regardless).
+    audit: Option<MaxMinAudit>,
+    /// Violations collected while auditing (see [`Simulator::enable_audit`]).
+    audit_violations: Vec<AuditViolation>,
 }
 
 impl Simulator {
@@ -163,7 +176,7 @@ impl Simulator {
             capacities.push(cap); // AtoB
             capacities.push(cap); // BtoA
         }
-        let mut backplane = HashMap::new();
+        let mut backplane = BTreeMap::new();
         for n in topo.node_ids() {
             if let Some(bw) = topo.node(n).internal_bw {
                 if topo.node(n).kind == NodeKind::Network {
@@ -178,7 +191,7 @@ impl Simulator {
             topo: Arc::new(topo),
             routing: Arc::new(routing),
             now: SimTime::ZERO,
-            flows: HashMap::new(),
+            flows: BTreeMap::new(),
             next_id: 0,
             capacities,
             backplane,
@@ -191,7 +204,39 @@ impl Simulator {
             link_schedule: BinaryHeap::new(),
             link_events: Vec::new(),
             watches: Vec::new(),
+            digest: EventDigest::new(),
+            audit: None,
+            audit_violations: Vec::new(),
         })
+    }
+
+    /// Turn on the runtime max-min audit: after every rate recomputation
+    /// the allocation is checked against the invariants in
+    /// [`MaxMinAudit`]; violations accumulate in
+    /// [`Simulator::audit_violations`]. (Debug builds assert the same
+    /// invariants unconditionally.)
+    pub fn enable_audit(&mut self) {
+        self.audit = Some(MaxMinAudit::default());
+    }
+
+    /// Violations collected since the audit was enabled (empty when the
+    /// audit is off or every recomputation was valid).
+    pub fn audit_violations(&self) -> &[AuditViolation] {
+        &self.audit_violations
+    }
+
+    /// Order-sensitive digest over every flow start, flow finish, and link
+    /// transition so far, combined with the current clock and the exact
+    /// per-interface octet counters. Two runs of the same scenario with
+    /// the same seeds must produce equal digests; see
+    /// `docs/DETERMINISM.md`.
+    pub fn event_digest(&self) -> u64 {
+        let mut d = self.digest;
+        d.write_u64(self.now.as_nanos());
+        for &o in &self.counters.octets {
+            d.write_f64(o);
+        }
+        d.value()
     }
 
     /// The topology being simulated.
@@ -245,6 +290,7 @@ impl Simulator {
         }
         let path = self.routing.path(&self.topo, params.src, params.dst)?;
         let resources = self.resources_for_path(&path);
+        let (src, dst) = (params.src.0, params.dst.0);
         let id = self.next_id;
         self.next_id += 1;
         let remaining = params.volume.map_or(f64::INFINITY, |v| v as f64);
@@ -261,6 +307,7 @@ impl Simulator {
                 eta: SimTime::MAX,
             },
         );
+        self.digest.record_start(id, src, dst, self.now.as_nanos());
         self.rates_dirty = true;
         Ok(FlowHandle(id))
     }
@@ -279,6 +326,7 @@ impl Simulator {
             bytes: f.bytes_sent,
             completed: false,
         };
+        self.digest.record_finish(&rec);
         self.finished.push(rec.clone());
         self.settle_watches(&[h.0]);
         Ok(rec)
@@ -340,27 +388,27 @@ impl Simulator {
             return Ok(());
         }
         self.link_up[link.index()] = up;
-        self.link_events.push(LinkEvent { t: self.now, link, up });
+        let ev = LinkEvent { t: self.now, link, up };
+        self.digest.record_link(&ev);
+        self.link_events.push(ev);
         self.routing = Arc::new(Routing::with_link_state(&self.topo, Some(&self.link_up)));
-        // Re-path every flow deterministically (id order).
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable();
+        // Re-path every flow; BTreeMap iteration is already id order, so
+        // re-pathing is deterministic without an explicit sort.
+        let ids: Vec<u64> = self.flows.keys().copied().collect();
         for id in ids {
-            let (src, dst) = {
-                let f = &self.flows[&id];
-                (f.params.src, f.params.dst)
-            };
+            let Some(f) = self.flows.get(&id) else { continue };
+            let (src, dst) = (f.params.src, f.params.dst);
             match self.routing.path(&self.topo, src, dst) {
                 Ok(path) => {
                     let resources = self.resources_for_path(&path);
-                    let f = self.flows.get_mut(&id).expect("flow present");
+                    let Some(f) = self.flows.get_mut(&id) else { continue };
                     f.path = path;
                     f.resources = resources;
                 }
                 Err(_) => {
                     // Disconnected: the connection breaks.
-                    let f = self.flows.remove(&id).expect("flow present");
-                    self.finished.push(FlowRecord {
+                    let Some(f) = self.flows.remove(&id) else { continue };
+                    let rec = FlowRecord {
                         id,
                         src: f.params.src,
                         dst: f.params.dst,
@@ -369,7 +417,9 @@ impl Simulator {
                         finished: self.now,
                         bytes: f.bytes_sent,
                         completed: false,
-                    });
+                    };
+                    self.digest.record_finish(&rec);
+                    self.finished.push(rec);
                     self.settle_watches(&[id]);
                 }
             }
@@ -394,15 +444,17 @@ impl Simulator {
         self.link_schedule.peek().map_or(SimTime::MAX, |Reverse((t, _, _))| *t)
     }
 
-    fn apply_due_link_changes(&mut self) {
+    fn apply_due_link_changes(&mut self) -> Result<()> {
         while let Some(&Reverse((t, link, up))) = self.link_schedule.peek() {
             if t > self.now {
                 break;
             }
             self.link_schedule.pop();
-            self.set_link_state(crate::topology::LinkId(link), up)
-                .expect("scheduled link validated at insertion");
+            // Validated at insertion; re-propagate rather than panic in
+            // case the invariant is ever broken.
+            self.set_link_state(crate::topology::LinkId(link), up)?;
         }
+        Ok(())
     }
 
     /// Exact octets delivered over a directed interface since t=0.
@@ -443,17 +495,15 @@ impl Simulator {
             return;
         }
         self.rates_dirty = false;
-        let mut ids: Vec<u64> = self.flows.keys().copied().collect();
-        ids.sort_unstable(); // deterministic order
-        let specs: Vec<FlowSpec> = ids
-            .iter()
-            .map(|id| {
-                let f = &self.flows[id];
-                FlowSpec {
-                    weight: f.params.weight,
-                    cap: f.params.rate_cap,
-                    resources: f.resources.clone(),
-                }
+        // BTreeMap iteration is id order, so the solver sees flows in a
+        // deterministic sequence without an explicit sort.
+        let specs: Vec<FlowSpec> = self
+            .flows
+            .values()
+            .map(|f| FlowSpec {
+                weight: f.params.weight,
+                cap: f.params.rate_cap,
+                resources: f.resources.clone(),
             })
             .collect();
         let alloc = maxmin::solve(&self.capacities, &specs);
@@ -462,11 +512,15 @@ impl Simulator {
             "engine produced invalid allocation: {:?}",
             maxmin::validate(&self.capacities, &specs, &alloc)
         );
-        for (i, id) in ids.iter().enumerate() {
-            let f = self.flows.get_mut(id).unwrap();
-            f.rate = alloc.rates[i];
+        if let Some(audit) = self.audit {
+            self.audit_violations
+                .extend(audit.check(&self.capacities, &specs, &alloc));
+        }
+        let now = self.now;
+        for (f, &rate) in self.flows.values_mut().zip(alloc.rates.iter()) {
+            f.rate = rate;
             f.eta = if f.remaining.is_finite() && f.rate > 0.0 {
-                self.now + SimDuration::from_secs_f64(f.remaining * 8.0 / f.rate)
+                now + SimDuration::from_secs_f64(f.remaining * 8.0 / f.rate)
             } else {
                 SimTime::MAX
             };
@@ -492,7 +546,17 @@ impl Simulator {
                 self.counters.octets[h.index()] += bytes;
             }
         }
+        // DES monotonic-clock audit: `now` may only stand still or move
+        // forward. Impossible to violate today (unsigned add), but the
+        // tripwire survives refactors that change how time is stepped.
+        let before = self.now;
         self.now += dt;
+        debug_assert!(self.now >= before, "simulation clock moved backwards");
+        if let Some(audit) = self.audit {
+            if let Some(v) = audit.check_clock(before, self.now) {
+                self.audit_violations.push(v);
+            }
+        }
     }
 
     fn next_completion(&self) -> SimTime {
@@ -504,6 +568,10 @@ impl Simulator {
     }
 
     fn complete_due_flows(&mut self) {
+        // BTreeMap iteration yields due flows in id order, so records of
+        // simultaneous completions land in the `finished` log (and the
+        // event digest) in a deterministic order. With the old HashMap the
+        // order depended on the hash seed and differed between runs.
         let due: Vec<u64> = self
             .flows
             .iter()
@@ -511,8 +579,8 @@ impl Simulator {
             .map(|(&id, _)| id)
             .collect();
         for &id in &due {
-            let f = self.flows.remove(&id).unwrap();
-            self.finished.push(FlowRecord {
+            let Some(f) = self.flows.remove(&id) else { continue };
+            let rec = FlowRecord {
                 id,
                 src: f.params.src,
                 dst: f.params.dst,
@@ -521,7 +589,9 @@ impl Simulator {
                 finished: self.now,
                 bytes: f.bytes_sent,
                 completed: true,
-            });
+            };
+            self.digest.record_finish(&rec);
+            self.finished.push(rec);
             self.rates_dirty = true;
         }
         self.settle_watches(&due);
@@ -614,7 +684,7 @@ impl Simulator {
     /// Run the simulation up to `target` (inclusive).
     pub fn run_until(&mut self, target: SimTime) -> Result<()> {
         while self.now < target {
-            self.apply_due_link_changes();
+            self.apply_due_link_changes()?;
             self.fire_due_processes();
             self.recompute_rates_if_dirty();
             let t_next = self
@@ -627,7 +697,7 @@ impl Simulator {
                 self.advance(dt);
             }
             self.complete_due_flows();
-            self.apply_due_link_changes();
+            self.apply_due_link_changes()?;
             self.fire_due_processes();
             if self.now >= target {
                 break;
@@ -654,7 +724,7 @@ impl Simulator {
             if pending.iter().all(|id| !self.flows.contains_key(id)) {
                 break;
             }
-            self.apply_due_link_changes();
+            self.apply_due_link_changes()?;
             self.fire_due_processes();
             if pending.iter().all(|id| !self.flows.contains_key(id)) {
                 break; // a link failure may have terminated a waited flow
@@ -670,7 +740,7 @@ impl Simulator {
             let dt = t_next.since(self.now);
             self.advance(dt);
             self.complete_due_flows();
-            self.apply_due_link_changes();
+            self.apply_due_link_changes()?;
             self.fire_due_processes();
         }
         // Collect records in request order.
@@ -920,6 +990,47 @@ mod tests {
         let finished = sim.take_finished();
         assert_eq!(finished.len(), 3);
         assert!(finished.iter().all(|r| r.completed));
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_digests() {
+        let run = || {
+            let (mut sim, h1, h2, h3) = star();
+            sim.enable_audit();
+            let f1 = sim.start_flow(FlowParams::bulk(h1, h2, 12_500_000)).unwrap();
+            let f2 = sim.start_flow(FlowParams::bulk(h3, h2, 12_500_000)).unwrap();
+            sim.run_until_flows_complete(&[f1, f2]).unwrap();
+            assert!(sim.audit_violations().is_empty(), "{:?}", sim.audit_violations());
+            sim.event_digest()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn simultaneous_completions_finish_in_id_order() {
+        // Two identical flows complete at the same instant; their records
+        // must land in the finished log in id order every run (this was
+        // hash-map dependent before the BTreeMap migration).
+        let (mut sim, h1, h2, h3) = star();
+        let f1 = sim.start_flow(FlowParams::bulk(h1, h2, 12_500_000)).unwrap();
+        let f2 = sim.start_flow(FlowParams::bulk(h3, h2, 12_500_000)).unwrap();
+        sim.run_until_flows_complete(&[f1, f2]).unwrap();
+        let finished = sim.take_finished();
+        let ids: Vec<u64> = finished.iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 1]);
+        assert_eq!(finished[0].finished, finished[1].finished);
+    }
+
+    #[test]
+    fn audit_runs_clean_across_link_flaps() {
+        let (mut sim, h1, h2, h3) = star();
+        sim.enable_audit();
+        let link = sim.topology().neighbors(h3)[0].0;
+        sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        sim.schedule_link_state(SimTime::from_millis(200), link, false).unwrap();
+        sim.schedule_link_state(SimTime::from_millis(700), link, true).unwrap();
+        sim.run_until(SimTime::from_secs(1)).unwrap();
+        assert!(sim.audit_violations().is_empty(), "{:?}", sim.audit_violations());
     }
 
     #[test]

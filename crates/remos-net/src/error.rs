@@ -25,6 +25,10 @@ pub enum NetError {
     /// The simulation cannot make progress (e.g. waiting on flows that
     /// receive zero bandwidth with no scheduled event to change that).
     Stalled,
+    /// An internal invariant was broken (corrupt routing table, ...).
+    /// Reaching this is a bug; it is surfaced as an error rather than a
+    /// panic so callers degrade instead of aborting.
+    Internal(String),
 }
 
 /// Convenience alias.
@@ -46,6 +50,7 @@ impl fmt::Display for NetError {
             NetError::Invalid(msg) => write!(f, "invalid parameter: {msg}"),
             NetError::DuplicateName(s) => write!(f, "duplicate node name {s:?}"),
             NetError::Stalled => write!(f, "simulation stalled: no event can make progress"),
+            NetError::Internal(msg) => write!(f, "internal invariant broken: {msg}"),
         }
     }
 }

@@ -23,8 +23,12 @@
 //!   per-interface octet counters (the data source for the SNMP substrate).
 //! * [`maxmin`] — the stand-alone weighted max-min fair solver.
 //! * [`traffic`] — background traffic generators (CBR, on-off, bulk pools).
+//! * [`audit`] / [`digest`] — runtime max-min invariant checking and
+//!   event-log digests for determinism tests (`docs/DETERMINISM.md`).
 
+pub mod audit;
 pub mod counters;
+pub mod digest;
 pub mod engine;
 pub mod error;
 pub mod flow;
@@ -35,8 +39,10 @@ pub mod topology;
 pub mod traffic;
 pub mod units;
 
+pub use audit::{AuditViolation, MaxMinAudit};
+pub use digest::EventDigest;
 pub use engine::{FlowHandle, Simulator};
 pub use error::{NetError, Result};
 pub use time::{SimDuration, SimTime};
-pub use topology::{Direction, LinkId, NodeId, NodeKind, Topology, TopologyBuilder};
+pub use topology::{DirLink, Direction, LinkId, NodeId, NodeKind, Topology, TopologyBuilder};
 pub use units::{gbps, kbps, mbps, Bps};

@@ -169,89 +169,16 @@ pub fn solve(capacities: &[f64], flows: &[FlowSpec]) -> Allocation {
 /// Check the max-min invariants of an allocation; returns a human-readable
 /// violation description, or `None` if the allocation is valid. Used by
 /// property tests and debug assertions in the engine.
+///
+/// This is a thin wrapper over [`MaxMinAudit`](crate::audit::MaxMinAudit),
+/// which performs the full typed check (feasibility, bottleneck
+/// saturation, equal weighted shares, residual conservation); the first
+/// violation is rendered as a string.
 pub fn validate(capacities: &[f64], flows: &[FlowSpec], alloc: &Allocation) -> Option<String> {
-    let n_res = capacities.len();
-    let mut load = vec![0.0_f64; n_res];
-    for (i, f) in flows.iter().enumerate() {
-        let r = alloc.rates[i];
-        if r.is_infinite() {
-            // Only legal for completely unconstrained flows.
-            if !f.resources.is_empty() || f.cap.is_some() {
-                return Some(format!("flow {i} infinite but constrained"));
-            }
-            continue;
-        }
-        if r < -EPS {
-            return Some(format!("flow {i} negative rate {r}"));
-        }
-        if let Some(cap) = f.cap {
-            if r > cap * (1.0 + EPS) + EPS {
-                return Some(format!("flow {i} rate {r} exceeds cap {cap}"));
-            }
-        }
-        for &res in &f.resources {
-            load[res] += r;
-        }
-    }
-    // Feasibility.
-    for res in 0..n_res {
-        if load[res] > capacities[res] * (1.0 + 1e-6) + EPS {
-            return Some(format!(
-                "resource {res} overloaded: {} > {}",
-                load[res], capacities[res]
-            ));
-        }
-    }
-    // Saturation: every flow is capped or crosses a saturated resource.
-    for (i, f) in flows.iter().enumerate() {
-        let r = alloc.rates[i];
-        if r.is_infinite() {
-            continue;
-        }
-        let at_cap = f.cap.is_some_and(|c| r >= c - c.abs().max(1.0) * 1e-6);
-        let bottlenecked = f.resources.iter().any(|&res| {
-            load[res] >= capacities[res] * (1.0 - 1e-6) - EPS
-        });
-        if !at_cap && !bottlenecked {
-            return Some(format!("flow {i} neither capped nor bottlenecked (rate {r})"));
-        }
-    }
-    // Max-min property (weighted): if flow i could gain by taking from a
-    // strictly higher-rate flow on its bottleneck, the allocation is not
-    // max-min. Equivalent check: on every saturated resource, all uncapped
-    // flows whose normalised rate is below the resource's max normalised
-    // rate must be bottlenecked elsewhere at a lower level... The simple
-    // sufficient check used here: for each resource, uncapped flows through
-    // it that are *only* bottlenecked here must share equally (by weight).
-    for res in 0..n_res {
-        if load[res] < capacities[res] * (1.0 - 1e-6) {
-            continue;
-        }
-        let mut here: Vec<(usize, f64)> = Vec::new(); // (flow, normalised rate)
-        for (i, f) in flows.iter().enumerate() {
-            if !f.resources.contains(&res) {
-                continue;
-            }
-            let r = alloc.rates[i];
-            let at_cap = f.cap.is_some_and(|c| r >= c - c.abs().max(1.0) * 1e-6);
-            let elsewhere = f.resources.iter().any(|&o| {
-                o != res && load[o] >= capacities[o] * (1.0 - 1e-6) - EPS
-            });
-            if !at_cap && !elsewhere {
-                here.push((i, r / f.weight));
-            }
-        }
-        if here.len() >= 2 {
-            let max = here.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
-            let min = here.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min);
-            if max - min > max.abs().max(1.0) * 1e-6 {
-                return Some(format!(
-                    "resource {res}: unequal normalised shares {min} vs {max}"
-                ));
-            }
-        }
-    }
-    None
+    crate::audit::MaxMinAudit::default()
+        .check(capacities, flows, alloc)
+        .first()
+        .map(|v| v.to_string())
 }
 
 #[cfg(test)]

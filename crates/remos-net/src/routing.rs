@@ -199,7 +199,7 @@ impl Routing {
         let mut cur = dst;
         while cur != src {
             let link = self.prev[src.index()][cur.index()]
-                .unwrap_or_else(|| panic!("routing table corrupt at {cur:?}"));
+                .ok_or_else(|| NetError::Internal(format!("routing table corrupt at {cur:?}")))?;
             let l = topo.link(link);
             let from = l.opposite(cur);
             hops_rev.push(DirLink { link, dir: l.direction_from(from) });

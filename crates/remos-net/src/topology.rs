@@ -14,7 +14,7 @@ use crate::error::{NetError, Result};
 use crate::time::SimDuration;
 use crate::units::Bps;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies a node within one [`Topology`].
@@ -201,7 +201,7 @@ pub struct Topology {
     links: Vec<Link>,
     /// adjacency: for each node, the (link, neighbor) pairs.
     adj: Vec<Vec<(LinkId, NodeId)>>,
-    names: HashMap<String, NodeId>,
+    names: BTreeMap<String, NodeId>,
 }
 
 impl Topology {
@@ -330,7 +330,7 @@ impl Topology {
 pub struct TopologyBuilder {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    names: HashMap<String, NodeId>,
+    names: BTreeMap<String, NodeId>,
     errors: Vec<NetError>,
 }
 

@@ -109,7 +109,9 @@ impl SimTransport {
     /// Enable random datagram loss with the given probability.
     pub fn set_loss(&self, probability: f64, seed: u64) {
         assert!((0.0..1.0).contains(&probability), "loss probability {probability}");
-        *self.loss.lock() = if probability == 0.0 {
+        // `<=` rather than float `==`: any non-positive probability means
+        // "loss disabled" (audited by remos-audit's float-eq rule).
+        *self.loss.lock() = if probability <= 0.0 {
             None
         } else {
             Some(LossModel { probability, rng: StdRng::seed_from_u64(seed) })

@@ -91,7 +91,9 @@ fn chaos_scenario(seed: u64) {
     // needs every agent once; after that, degraded mode carries on).
     h.select_nodes(&TESTBED_HOSTS, "m-4", 2).unwrap();
 
-    let prog = airshed_program_iters(4, 4);
+    // 5 ranks to match the 5 initial nodes: the runtime rejects mappings
+    // with more nodes than ranks.
+    let prog = airshed_program_iters(5, 4);
     let rep = h
         .run_adaptive(&prog, &TESTBED_HOSTS, &["m-4", "m-5", "m-6", "m-7", "m-8"])
         .unwrap_or_else(|e| panic!("seed {seed:#x}: adaptive run failed: {e}"));

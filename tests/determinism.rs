@@ -1,0 +1,158 @@
+//! Determinism harness: every paper scenario, run twice with the same
+//! seed, must replay the exact same event stream.
+//!
+//! Each run records a 64-bit FNV-1a digest of every simulator event
+//! (flow starts, completions, link state changes — including bit-exact
+//! allocated rates) plus the final clock and per-interface octet
+//! counters. Two runs of the same scenario disagreeing on a single
+//! event order, timestamp, or allocated byte produce different digests.
+//!
+//! The runtime [`MaxMinAudit`] is switched on for every run, so these
+//! tests double as end-to-end checks that the bandwidth allocator never
+//! violates feasibility, bottleneck, or conservation invariants during
+//! real workloads. See docs/DETERMINISM.md for the reproducibility
+//! contract.
+
+use remos::apps::airshed::airshed_program_iters;
+use remos::apps::fft::fft_program;
+use remos::apps::harness::TestbedHarness;
+use remos::apps::synthetic::{install_scenario, TrafficScenario};
+use remos::apps::testbed::TESTBED_HOSTS;
+use remos::core::collector::snmp::SnmpCollectorConfig;
+use remos::net::{SimDuration, SimTime};
+use remos::snmp::fault::{FaultDirector, FaultPlan};
+
+/// Digest and audit outcome of one scenario run.
+struct RunTrace {
+    digest: u64,
+    violations: Vec<String>,
+}
+
+/// Run `scenario` on a fresh audited harness and capture its trace.
+fn trace<F: FnOnce(&mut TestbedHarness)>(h: &mut TestbedHarness, scenario: F) -> RunTrace {
+    h.sim.lock().enable_audit();
+    scenario(h);
+    let sim = h.sim.lock();
+    RunTrace {
+        digest: sim.event_digest(),
+        violations: sim.audit_violations().iter().map(|v| v.to_string()).collect(),
+    }
+}
+
+/// Two independent executions must agree bit-for-bit and audit clean.
+fn assert_deterministic<F: Fn(&mut TestbedHarness)>(
+    name: &str,
+    mk: impl Fn() -> TestbedHarness,
+    scenario: F,
+) {
+    let mut first = mk();
+    let a = trace(&mut first, &scenario);
+    let mut second = mk();
+    let b = trace(&mut second, &scenario);
+    assert!(
+        a.violations.is_empty(),
+        "{name}: max-min audit violations: {:?}",
+        a.violations
+    );
+    assert_eq!(
+        a.digest, b.digest,
+        "{name}: two runs with identical seeds diverged"
+    );
+}
+
+#[test]
+fn fft_run_is_deterministic() {
+    assert_deterministic(
+        "fft",
+        TestbedHarness::cmu,
+        |h| {
+            install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+            h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+            h.run_fixed(&fft_program(512, 4), &["m-4", "m-5", "m-6", "m-7"]).unwrap();
+        },
+    );
+}
+
+#[test]
+fn airshed_run_is_deterministic() {
+    assert_deterministic(
+        "airshed",
+        TestbedHarness::cmu,
+        |h| {
+            install_scenario(&h.sim, TrafficScenario::Interfering2).unwrap();
+            h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+            h.run_fixed(&airshed_program_iters(4, 6), &["m-4", "m-5", "m-6", "m-7"]).unwrap();
+        },
+    );
+}
+
+#[test]
+fn node_selection_is_deterministic() {
+    assert_deterministic(
+        "selection",
+        TestbedHarness::cmu,
+        |h| {
+            install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+            h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+            let sel_a = h.select_nodes(&TESTBED_HOSTS, "m-4", 4).unwrap();
+            let sel_b = h.select_nodes(&TESTBED_HOSTS, "m-4", 4).unwrap();
+            // Selection itself must also be stable within a run (modulo
+            // measurement time passing between the two queries).
+            assert_eq!(sel_a.len(), sel_b.len());
+        },
+    );
+}
+
+/// Chaos runs: an adaptive program under a seeded fault schedule. The
+/// schedule (crash + freeze windows) and all datagram-loss draws derive
+/// from the seed, so the whole degraded-mode pipeline must replay.
+fn chaos_run(seed: u64) {
+    let mk = || {
+        let director = FaultDirector::new();
+        director.set_plan(
+            "m-6",
+            FaultPlan::new().crash(
+                SimTime::ZERO + SimDuration::from_secs(3),
+                SimDuration::from_secs(2),
+            ),
+            seed,
+        );
+        director.set_plan(
+            "timberline",
+            FaultPlan::new()
+                .freeze(
+                    SimTime::ZERO + SimDuration::from_secs(4),
+                    SimTime::ZERO + SimDuration::from_secs(5),
+                )
+                .flaky(
+                    SimTime::ZERO + SimDuration::from_secs(6),
+                    SimTime::ZERO + SimDuration::from_secs(7),
+                    0.3,
+                ),
+            seed ^ 1,
+        );
+        TestbedHarness::cmu_with_faults(&director, SnmpCollectorConfig::default())
+    };
+    assert_deterministic(
+        &format!("chaos seed {seed:#x}"),
+        mk,
+        |h| {
+            install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+            h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+            h.select_nodes(&TESTBED_HOSTS, "m-4", 2).unwrap();
+            let prog = airshed_program_iters(5, 3);
+            h.run_adaptive(&prog, &TESTBED_HOSTS, &["m-4", "m-5", "m-6", "m-7", "m-8"])
+                .unwrap();
+        },
+    );
+}
+
+#[test]
+fn chaos_seed_c0ffee_is_deterministic() {
+    chaos_run(0xC0FFEE);
+}
+
+#[test]
+fn chaos_seed_1998_is_deterministic() {
+    chaos_run(1998);
+}
