@@ -3,9 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use remos_apps::testbed::random_network;
+use remos_bench::churn::ChurnBench;
 use remos_net::flow::FlowParams;
 use remos_net::traffic::PoissonTransfers;
-use remos_net::{SimDuration, SimTime, Simulator};
+use remos_net::{SimDuration, SimTime, Simulator, SolverMode};
 
 fn bench_engine(c: &mut Criterion) {
     c.bench_function("engine/bulk_transfer_roundtrip", |b| {
@@ -46,6 +47,25 @@ fn bench_engine(c: &mut Criterion) {
                 }
                 sim.run_until(SimTime::from_secs(60)).unwrap();
                 sim.take_finished().len()
+            })
+        });
+    }
+    g.finish();
+
+    // Steady-state churn with 1000 concurrent flows (100 pods x 10): the
+    // engine hot path this PR optimises. One iteration = one departure +
+    // one arrival + one rate recomputation. The full mode re-solves every
+    // flow; incremental only the affected pod (see remos_bench::churn and
+    // the bench_engine binary for the recorded BENCH_engine.json numbers).
+    let mut g = c.benchmark_group("engine/churn_1k_flows");
+    g.sample_size(20);
+    for (label, mode) in [("full", SolverMode::Full), ("incremental", SolverMode::Incremental)] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            let mut bench = ChurnBench::new(100, 4, 10, mode);
+            let mut i = 0usize;
+            b.iter(|| {
+                bench.step(i);
+                i += 1;
             })
         });
     }

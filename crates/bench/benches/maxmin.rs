@@ -5,7 +5,7 @@
 //! simulation throughput and Modeler query latency.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use remos_net::maxmin::{solve, FlowSpec};
+use remos_net::maxmin::{solve, solve_scoped, FlowSpec};
 
 fn problem(n_resources: usize, n_flows: usize) -> (Vec<f64>, Vec<FlowSpec>) {
     let capacities: Vec<f64> = (0..n_resources)
@@ -35,6 +35,30 @@ fn bench_maxmin(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("{r}res_{f}flows")),
             &(caps, flows),
             |b, (caps, flows)| b.iter(|| solve(caps, flows)),
+        );
+    }
+    g.finish();
+
+    // Scoped re-solve after retuning one flow, against the full re-solve
+    // of the identical problem: the per-event contrast the engine's
+    // incremental mode exploits.
+    let mut g = c.benchmark_group("maxmin/rescope_one_flow");
+    for &(r, f) in &[(100usize, 1000usize), (500, 5000)] {
+        let (caps, mut flows) = problem(r, f);
+        let prev = solve(&caps, &flows);
+        flows[0].weight += 1.0;
+        let touched = flows[0].resources.clone();
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("full_{r}res_{f}flows")),
+            &(caps.clone(), flows.clone()),
+            |b, (caps, flows)| b.iter(|| solve(caps, flows)),
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("scoped_{r}res_{f}flows")),
+            &(caps, flows, touched, prev),
+            |b, (caps, flows, touched, prev)| {
+                b.iter(|| solve_scoped(caps, flows, touched, prev))
+            },
         );
     }
     g.finish();

@@ -685,8 +685,8 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
 
         if !view.primed {
             // First poll after discovery: establish baselines only.
-            for i in 0..n {
-                if let Some(c) = readings[i] {
+            for (i, reading) in readings.iter().enumerate() {
+                if let Some(c) = *reading {
                     view.baseline[i] = Some((t, c));
                 }
             }
@@ -699,9 +699,9 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
         if !advanced {
             // No measured time elapsed; just baseline newly observable
             // links.
-            for i in 0..n {
+            for (i, reading) in readings.iter().enumerate() {
                 if view.baseline[i].is_none() {
-                    if let Some(c) = readings[i] {
+                    if let Some(c) = *reading {
                         view.baseline[i] = Some((t, c));
                     }
                 }

@@ -10,7 +10,7 @@
 use crate::error::{CoreResult, RemosError};
 use crate::graph::RemosGraph;
 use crate::modeler::sharing::SharingPolicy;
-use remos_net::maxmin::{self, FlowSpec};
+use remos_net::maxmin::{self, FlowRef};
 use remos_net::Bps;
 
 /// The static resource model extracted from a logical graph: per-resource
@@ -95,6 +95,12 @@ pub struct SampleSolver {
     /// External elastic competitors' remaining caps per resource
     /// (fair-share policy only).
     external_caps: Option<Vec<Bps>>,
+    /// Reused fill solver; scratch buffers persist across stages.
+    solver: maxmin::Solver,
+    /// Identity table `ext_ids[r] == r`, so each external competitor's
+    /// single-resource path can be borrowed as `&ext_ids[r..=r]` instead
+    /// of allocating a one-element `Vec` per resource per stage.
+    ext_ids: Vec<usize>,
 }
 
 impl SampleSolver {
@@ -114,6 +120,7 @@ impl SampleSolver {
             )));
         }
         let take = |r: usize| -> Bps { util.get(r).copied().unwrap_or(0.0) };
+        let ext_ids: Vec<usize> = (0..model.capacities.len()).collect();
         match policy {
             SharingPolicy::ExternalPinned => {
                 // External traffic is subtracted up front.
@@ -123,7 +130,12 @@ impl SampleSolver {
                     .enumerate()
                     .map(|(r, &c)| (c - take(r)).max(0.0))
                     .collect();
-                Ok(SampleSolver { residual, external_caps: None })
+                Ok(SampleSolver {
+                    residual,
+                    external_caps: None,
+                    solver: maxmin::Solver::new(),
+                    ext_ids,
+                })
             }
             SharingPolicy::ExternalFairShare => {
                 let external =
@@ -131,6 +143,8 @@ impl SampleSolver {
                 Ok(SampleSolver {
                     residual: model.capacities.clone(),
                     external_caps: Some(external),
+                    solver: maxmin::Solver::new(),
+                    ext_ids,
                 })
             }
         }
@@ -138,25 +152,34 @@ impl SampleSolver {
 
     /// Solve one stage simultaneously, consuming capacity. Returns the
     /// granted rate per flow, in input order.
+    ///
+    /// Flows are handed to the solver as borrowed [`FlowRef`]s — each
+    /// stage used to clone every flow's resource list (and allocate a
+    /// fresh one-element `Vec` per external competitor); now nothing is
+    /// copied and the solver's scratch buffers are reused across stages.
     pub fn solve_stage(&mut self, flows: &[StageFlow]) -> Vec<Bps> {
         if flows.is_empty() {
             return Vec::new();
         }
-        let mut specs: Vec<FlowSpec> = flows
+        let mut refs: Vec<FlowRef<'_>> = flows
             .iter()
-            .map(|f| FlowSpec { weight: f.weight, cap: f.cap, resources: f.resources.clone() })
+            .map(|f| FlowRef { weight: f.weight, cap: f.cap, resources: &f.resources })
             .collect();
-        let n_query = specs.len();
+        let n_query = refs.len();
         // Under fair sharing, external aggregates compete in every stage
         // but can only shrink (their cap is last round's grant).
         if let Some(ext) = &self.external_caps {
             for (r, &cap) in ext.iter().enumerate() {
                 if cap > 0.0 {
-                    specs.push(FlowSpec { weight: 1.0, cap: Some(cap), resources: vec![r] });
+                    refs.push(FlowRef {
+                        weight: 1.0,
+                        cap: Some(cap),
+                        resources: &self.ext_ids[r..=r],
+                    });
                 }
             }
         }
-        let alloc = maxmin::solve(&self.residual, &specs);
+        let alloc = self.solver.solve_refs(&self.residual, &refs);
         // Update external caps to their granted rates.
         if let Some(ext) = &mut self.external_caps {
             let mut k = n_query;

@@ -87,6 +87,17 @@ pub enum AuditViolation {
         /// The earlier time the clock attempted to move to.
         to: SimTime,
     },
+    /// The incremental solver's rate for a flow disagrees bit-for-bit with
+    /// a shadow full solve of the same problem — the scoping invariant
+    /// (see docs/PERFORMANCE.md) was broken.
+    SolverDivergence {
+        /// Engine flow id.
+        flow: u64,
+        /// Rate the incremental solver kept or computed (bits/s).
+        incremental: f64,
+        /// Rate the shadow full solve produced (bits/s).
+        full: f64,
+    },
 }
 
 impl fmt::Display for AuditViolation {
@@ -118,6 +129,12 @@ impl fmt::Display for AuditViolation {
             }
             AuditViolation::ClockRegression { from, to } => {
                 write!(f, "simulation clock moved backwards: {from} -> {to}")
+            }
+            AuditViolation::SolverDivergence { flow, incremental, full } => {
+                write!(
+                    f,
+                    "flow {flow}: incremental rate {incremental} diverges from full solve {full}"
+                )
             }
         }
     }
@@ -393,6 +410,11 @@ mod tests {
     fn violations_render_readably() {
         let v = AuditViolation::Overload { resource: 3, load: 2.0, capacity: 1.0 };
         assert_eq!(v.to_string(), "resource 3 overloaded: 2 > 1");
+        let v = AuditViolation::SolverDivergence { flow: 7, incremental: 2.0, full: 1.0 };
+        assert_eq!(
+            v.to_string(),
+            "flow 7: incremental rate 2 diverges from full solve 1"
+        );
     }
 
     mod properties {

@@ -85,6 +85,16 @@ impl EventDigest {
         self.write_u64(u64::from(ev.link.0));
         self.write_u64(u64::from(ev.up));
     }
+
+    /// Fold one flow's bit-exact allocated rate. Used by the engine's
+    /// mode-agnostic allocation digest: hashing `(id, rate)` pairs in id
+    /// order lets the equivalence tests compare the full and incremental
+    /// solvers' outputs with a single value per instant.
+    pub fn record_rate(&mut self, id: u64, rate: f64) {
+        self.write_u64(0x04);
+        self.write_u64(id);
+        self.write_f64(rate);
+    }
 }
 
 #[cfg(test)]

@@ -15,18 +15,26 @@ use crate::flow::{FlowParams, FlowRecord, FlowTag};
 use crate::maxmin::{self, FlowSpec};
 use crate::routing::{Path, Routing};
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{DirLink, NodeId, NodeKind, Topology};
+use crate::topology::{DirLink, NodeId, Topology};
 use crate::units::Bps;
 use std::cmp::Reverse;
 // Result-affecting maps are BTreeMaps: the rate solver, the completion
 // scan, and the event log all iterate them, so ordering must be a
 // property of the data, not of a hash seed (audited by remos-audit).
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
 
 /// Handle to an active flow.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct FlowHandle(pub(crate) u64);
+
+impl FlowHandle {
+    /// The flow's simulator-assigned id (ascending in start order; the
+    /// id recorded in [`crate::flow::FlowRecord`] and the digests).
+    pub fn id(&self) -> u64 {
+        self.0
+    }
+}
 
 /// Identifies a registered traffic process.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -94,6 +102,86 @@ struct ActiveFlow {
     eta: SimTime,
 }
 
+/// Which rate-recomputation strategy the engine uses.
+///
+/// Both modes produce **bit-identical** allocations, event digests, and
+/// completion orders — the determinism tests assert it — so the choice is
+/// purely a performance knob. See `docs/PERFORMANCE.md` for the invariants
+/// that make the equivalence hold.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SolverMode {
+    /// Rebuild the whole flow set and re-solve every component on each
+    /// recomputation (the historical behaviour; kept as the oracle the
+    /// audit's shadow solve compares against).
+    Full,
+    /// Re-solve only the connected components of flows transitively
+    /// sharing a resource with whatever changed since the last
+    /// recomputation; every other flow keeps its frozen rate. The default.
+    #[default]
+    Incremental,
+}
+
+/// What changed since the last rate recomputation.
+enum DirtyRates {
+    /// Nothing: the cached rates are valid.
+    Clean,
+    /// Only flows transitively sharing these resources may change.
+    Touched(BTreeSet<usize>),
+    /// Everything must be recomputed (mode switches).
+    All,
+}
+
+/// Record `resources` as touched since the last recomputation.
+fn touch(dirty: &mut DirtyRates, resources: &[usize]) {
+    match dirty {
+        DirtyRates::All => {}
+        DirtyRates::Touched(set) => set.extend(resources.iter().copied()),
+        DirtyRates::Clean => {
+            *dirty = DirtyRates::Touched(resources.iter().copied().collect());
+        }
+    }
+}
+
+/// Insert `id` into the membership list of each resource (sorted, deduped;
+/// a flow crossing a resource twice is listed once).
+fn members_insert(members: &mut [Vec<u64>], id: u64, resources: &[usize]) {
+    for &r in resources {
+        let v = &mut members[r];
+        if let Err(pos) = v.binary_search(&id) {
+            v.insert(pos, id);
+        }
+    }
+}
+
+/// Remove `id` from the membership list of each resource.
+fn members_remove(members: &mut [Vec<u64>], id: u64, resources: &[usize]) {
+    for &r in resources {
+        let v = &mut members[r];
+        if let Ok(pos) = v.binary_search(&id) {
+            v.remove(pos);
+        }
+    }
+}
+
+/// Install a freshly solved rate on a flow. The ETA is re-derived **only
+/// when the rate actually changed** (bitwise): an unchanged rate means the
+/// flow's linear trajectory is unchanged, so recomputing the ETA from
+/// `now + remaining/rate` would only inject float round-off. Both solver
+/// modes share this rule — it is what keeps completion timestamps (and so
+/// event digests) bit-identical between them, since the incremental mode
+/// never even visits flows outside the affected components.
+fn apply_rate(f: &mut ActiveFlow, rate: Bps, now: SimTime) {
+    if rate.to_bits() == f.rate.to_bits() {
+        return;
+    }
+    f.rate = rate;
+    f.eta = if f.remaining.is_finite() && f.rate > 0.0 {
+        now + SimDuration::from_secs_f64(f.remaining * 8.0 / f.rate)
+    } else {
+        SimTime::MAX
+    };
+}
+
 /// Per-interface counters; indexed by [`DirLink::index`].
 #[derive(Clone, Debug, Default)]
 pub struct IfaceCounters {
@@ -143,7 +231,25 @@ pub struct Simulator {
     /// node index -> backplane resource index (only capped network nodes).
     backplane: BTreeMap<NodeId, usize>,
     counters: IfaceCounters,
-    rates_dirty: bool,
+    /// What changed since the last rate recomputation.
+    dirty: DirtyRates,
+    /// Recomputation strategy; see [`SolverMode`].
+    mode: SolverMode,
+    /// Residual capacity per resource, maintained across recomputations
+    /// (scoped solves only overwrite the affected components' entries).
+    residual: Vec<f64>,
+    /// Per-resource sorted list of the active flow ids crossing it — the
+    /// adjacency the scoped solver walks to find affected components.
+    members: Vec<Vec<u64>>,
+    /// Persistent solver scratch (CSR buffers, interning marks) so
+    /// steady-state recomputations allocate nothing.
+    solver: maxmin::Solver,
+    /// Scratch marks for component discovery, cleared after each use.
+    res_seen: Vec<bool>,
+    /// Statistics: full / scoped solver invocations and routing rebuilds.
+    full_recomputes: u64,
+    scoped_recomputes: u64,
+    routing_rebuilds: u64,
     finished: Vec<FlowRecord>,
     processes: Vec<Option<Box<dyn TrafficProcess>>>,
     schedule: BinaryHeap<Reverse<(SimTime, usize)>>,
@@ -170,23 +276,20 @@ impl Simulator {
     /// Build a simulator over a topology. Routing is computed eagerly.
     pub fn new(topo: Topology) -> Result<Simulator> {
         let routing = Routing::new(&topo);
-        let mut capacities = Vec::with_capacity(topo.dir_link_count());
-        for l in topo.link_ids() {
-            let cap = topo.link(l).capacity;
-            capacities.push(cap); // AtoB
-            capacities.push(cap); // BtoA
-        }
+        // Resource vector layout: the stable dir-link prefix (indexed by
+        // `DirLink::index`), then one entry per capped backplane in node-id
+        // order. Indices never move, so dirty-tracking can key on them.
+        let mut capacities = topo.dir_link_capacities();
         let mut backplane = BTreeMap::new();
-        for n in topo.node_ids() {
-            if let Some(bw) = topo.node(n).internal_bw {
-                if topo.node(n).kind == NodeKind::Network {
-                    backplane.insert(n, capacities.len());
-                    capacities.push(bw);
-                }
-            }
+        for (n, bw) in topo.capped_network_nodes() {
+            backplane.insert(n, capacities.len());
+            capacities.push(bw);
         }
         let counters = IfaceCounters { octets: vec![0.0; topo.dir_link_count()] };
         let link_up = vec![true; topo.link_count()];
+        let residual = capacities.clone();
+        let members = vec![Vec::new(); capacities.len()];
+        let res_seen = vec![false; capacities.len()];
         Ok(Simulator {
             topo: Arc::new(topo),
             routing: Arc::new(routing),
@@ -196,7 +299,15 @@ impl Simulator {
             capacities,
             backplane,
             counters,
-            rates_dirty: false,
+            dirty: DirtyRates::Clean,
+            mode: SolverMode::default(),
+            residual,
+            members,
+            solver: maxmin::Solver::new(),
+            res_seen,
+            full_recomputes: 0,
+            scoped_recomputes: 0,
+            routing_rebuilds: 0,
             finished: Vec::new(),
             processes: Vec::new(),
             schedule: BinaryHeap::new(),
@@ -223,6 +334,52 @@ impl Simulator {
     /// audit is off or every recomputation was valid).
     pub fn audit_violations(&self) -> &[AuditViolation] {
         &self.audit_violations
+    }
+
+    /// Select the rate-recomputation strategy. Switching marks the rates
+    /// fully dirty so the next recomputation resynchronises under the new
+    /// mode (a no-op in practice: both modes are bit-identical).
+    pub fn set_solver_mode(&mut self, mode: SolverMode) {
+        if self.mode != mode {
+            self.mode = mode;
+            if !self.flows.is_empty() {
+                self.dirty = DirtyRates::All;
+            }
+        }
+    }
+
+    /// The active rate-recomputation strategy.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.mode
+    }
+
+    /// Number of full (all-component) solver runs so far.
+    pub fn full_recomputes(&self) -> u64 {
+        self.full_recomputes
+    }
+
+    /// Number of scoped (affected-component-only) solver runs so far.
+    pub fn scoped_recomputes(&self) -> u64 {
+        self.scoped_recomputes
+    }
+
+    /// Number of times routing was rebuilt after link transitions. All
+    /// transitions due at one instant are coalesced into a single rebuild.
+    pub fn routing_rebuilds(&self) -> u64 {
+        self.routing_rebuilds
+    }
+
+    /// Mode-agnostic digest of the current allocation: every active flow's
+    /// id and bit-exact rate, in id order. Two simulators in different
+    /// [`SolverMode`]s driven through the same scenario must agree on this
+    /// at every instant — the verification hook the equivalence tests use.
+    pub fn rates_digest(&mut self) -> u64 {
+        self.recompute_rates_if_dirty();
+        let mut d = EventDigest::new();
+        for (id, f) in &self.flows {
+            d.record_rate(*id, f.rate);
+        }
+        d.value()
     }
 
     /// Order-sensitive digest over every flow start, flow finish, and link
@@ -265,9 +422,9 @@ impl Simulator {
     }
 
     fn resources_for_path(&self, path: &Path) -> Vec<usize> {
-        let mut res: Vec<usize> = path.hops.iter().map(|h| h.index()).collect();
+        let mut res: Vec<usize> = path.dirlink_indices().collect();
         // Interior nodes with capped backplanes are additional resources.
-        for n in &path.nodes[1..path.nodes.len().saturating_sub(1)] {
+        for n in path.interior_nodes() {
             if let Some(&idx) = self.backplane.get(n) {
                 res.push(idx);
             }
@@ -294,6 +451,8 @@ impl Simulator {
         let id = self.next_id;
         self.next_id += 1;
         let remaining = params.volume.map_or(f64::INFINITY, |v| v as f64);
+        members_insert(&mut self.members, id, &resources);
+        touch(&mut self.dirty, &resources);
         self.flows.insert(
             id,
             ActiveFlow {
@@ -308,14 +467,14 @@ impl Simulator {
             },
         );
         self.digest.record_start(id, src, dst, self.now.as_nanos());
-        self.rates_dirty = true;
         Ok(FlowHandle(id))
     }
 
     /// Stop a flow immediately, returning its record.
     pub fn stop_flow(&mut self, h: FlowHandle) -> Result<FlowRecord> {
         let f = self.flows.remove(&h.0).ok_or(NetError::UnknownFlow(h.0))?;
-        self.rates_dirty = true;
+        members_remove(&mut self.members, h.0, &f.resources);
+        touch(&mut self.dirty, &f.resources);
         let rec = FlowRecord {
             id: h.0,
             src: f.params.src,
@@ -383,31 +542,61 @@ impl Simulator {
     /// flow is re-pathed onto its new best route (flows left with no route
     /// terminate with `completed = false`), and the transition is logged.
     pub fn set_link_state(&mut self, link: crate::topology::LinkId, up: bool) -> Result<()> {
-        self.topo.try_link(link)?;
-        if self.link_up[link.index()] == up {
+        self.apply_link_transitions(&[(link, up)])
+    }
+
+    /// Apply a batch of link transitions as one event: all flips are
+    /// recorded first, then routing is rebuilt **once** and every flow is
+    /// re-pathed once against the final state. Coalescing simultaneous
+    /// transitions this way means a link that goes down and comes back up
+    /// at the same instant never strands the flows crossing it.
+    fn apply_link_transitions(&mut self, batch: &[(crate::topology::LinkId, bool)]) -> Result<()> {
+        let mut changed = false;
+        for &(link, up) in batch {
+            self.topo.try_link(link)?;
+            if self.link_up[link.index()] == up {
+                continue;
+            }
+            self.link_up[link.index()] = up;
+            let ev = LinkEvent { t: self.now, link, up };
+            self.digest.record_link(&ev);
+            self.link_events.push(ev);
+            changed = true;
+        }
+        if !changed {
             return Ok(());
         }
-        self.link_up[link.index()] = up;
-        let ev = LinkEvent { t: self.now, link, up };
-        self.digest.record_link(&ev);
-        self.link_events.push(ev);
         self.routing = Arc::new(Routing::with_link_state(&self.topo, Some(&self.link_up)));
+        self.routing_rebuilds += 1;
         // Re-path every flow; BTreeMap iteration is already id order, so
-        // re-pathing is deterministic without an explicit sort.
+        // re-pathing is deterministic without an explicit sort. Flows whose
+        // best path is unchanged are skipped entirely — they stay outside
+        // the dirty set, so a faraway flap costs them nothing.
         let ids: Vec<u64> = self.flows.keys().copied().collect();
         for id in ids {
             let Some(f) = self.flows.get(&id) else { continue };
             let (src, dst) = (f.params.src, f.params.dst);
             match self.routing.path(&self.topo, src, dst) {
                 Ok(path) => {
+                    if self.flows.get(&id).is_some_and(|f| f.path.hops == path.hops) {
+                        continue;
+                    }
                     let resources = self.resources_for_path(&path);
                     let Some(f) = self.flows.get_mut(&id) else { continue };
                     f.path = path;
-                    f.resources = resources;
+                    let old = std::mem::replace(&mut f.resources, resources);
+                    members_remove(&mut self.members, id, &old);
+                    touch(&mut self.dirty, &old);
+                    if let Some(f) = self.flows.get(&id) {
+                        members_insert(&mut self.members, id, &f.resources);
+                        touch(&mut self.dirty, &f.resources);
+                    }
                 }
                 Err(_) => {
                     // Disconnected: the connection breaks.
                     let Some(f) = self.flows.remove(&id) else { continue };
+                    members_remove(&mut self.members, id, &f.resources);
+                    touch(&mut self.dirty, &f.resources);
                     let rec = FlowRecord {
                         id,
                         src: f.params.src,
@@ -424,7 +613,6 @@ impl Simulator {
                 }
             }
         }
-        self.rates_dirty = true;
         Ok(())
     }
 
@@ -445,16 +633,24 @@ impl Simulator {
     }
 
     fn apply_due_link_changes(&mut self) -> Result<()> {
+        // Coalesce every transition due at or before `now` into one batch:
+        // one routing rebuild and one re-path pass regardless of how many
+        // links flip together. Pop order — (time, link, down-before-up) —
+        // fixes the digest order of the recorded events.
+        let mut batch: Vec<(crate::topology::LinkId, bool)> = Vec::new();
         while let Some(&Reverse((t, link, up))) = self.link_schedule.peek() {
             if t > self.now {
                 break;
             }
             self.link_schedule.pop();
-            // Validated at insertion; re-propagate rather than panic in
-            // case the invariant is ever broken.
-            self.set_link_state(crate::topology::LinkId(link), up)?;
+            batch.push((crate::topology::LinkId(link), up));
         }
-        Ok(())
+        if batch.is_empty() {
+            return Ok(());
+        }
+        // Validated at insertion; re-propagate rather than panic in case
+        // the invariant is ever broken.
+        self.apply_link_transitions(&batch)
     }
 
     /// Exact octets delivered over a directed interface since t=0.
@@ -491,10 +687,19 @@ impl Simulator {
     }
 
     fn recompute_rates_if_dirty(&mut self) {
-        if !self.rates_dirty {
-            return;
+        let dirty = std::mem::replace(&mut self.dirty, DirtyRates::Clean);
+        match (self.mode, dirty) {
+            (_, DirtyRates::Clean) => {}
+            (SolverMode::Full, _) | (_, DirtyRates::All) => self.recompute_full(),
+            (SolverMode::Incremental, DirtyRates::Touched(touched)) => {
+                self.recompute_scoped(&touched);
+            }
         }
-        self.rates_dirty = false;
+    }
+
+    /// Rebuild the whole problem and solve every component from scratch.
+    fn recompute_full(&mut self) {
+        self.full_recomputes += 1;
         // BTreeMap iteration is id order, so the solver sees flows in a
         // deterministic sequence without an explicit sort.
         let specs: Vec<FlowSpec> = self
@@ -507,6 +712,133 @@ impl Simulator {
             })
             .collect();
         let alloc = maxmin::solve(&self.capacities, &specs);
+        self.residual = alloc.residual;
+        let now = self.now;
+        for (f, &rate) in self.flows.values_mut().zip(alloc.rates.iter()) {
+            apply_rate(f, rate, now);
+        }
+        self.check_allocation();
+    }
+
+    /// Re-solve only the connected components of flows transitively
+    /// sharing a resource with the `touched` set; all other flows keep
+    /// their frozen rates and ETAs, and untouched resources keep their
+    /// residuals. Bit-identical to [`recompute_full`](Self::recompute_full)
+    /// because the solver fills each component in isolation anyway, always
+    /// iterating its flows in ascending id order.
+    fn recompute_scoped(&mut self, touched: &BTreeSet<usize>) {
+        self.scoped_recomputes += 1;
+        // Closure: every resource and flow reachable from the touched set
+        // through the membership lists.
+        let mut comp_res: Vec<usize> = Vec::new();
+        let mut comp_flows: BTreeSet<u64> = BTreeSet::new();
+        for &r in touched {
+            if !self.res_seen[r] {
+                self.res_seen[r] = true;
+                comp_res.push(r);
+            }
+        }
+        let mut head = 0;
+        while head < comp_res.len() {
+            let r = comp_res[head];
+            head += 1;
+            for &fid in &self.members[r] {
+                if comp_flows.insert(fid) {
+                    if let Some(f) = self.flows.get(&fid) {
+                        for &r2 in &f.resources {
+                            if !self.res_seen[r2] {
+                                self.res_seen[r2] = true;
+                                comp_res.push(r2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for &r in &comp_res {
+            self.res_seen[r] = false;
+            if self.members[r].is_empty() {
+                // Vacated resource (its last flow departed): the residual
+                // reverts to full capacity, clamped exactly as the full
+                // solver clamps its output.
+                self.residual[r] = self.capacities[r];
+                if self.residual[r] < 0.0 {
+                    self.residual[r] = 0.0;
+                }
+            }
+        }
+        // The closure may span several *disjoint* components (e.g. a
+        // departed flow used to bridge them). Fill each separately, lowest
+        // flow id first, so the arithmetic matches the full solver's
+        // canonical per-component fills.
+        let now = self.now;
+        let mut remaining = comp_flows;
+        let mut sub: Vec<u64> = Vec::new();
+        let mut fstack: Vec<u64> = Vec::new();
+        while let Some(first) = remaining.pop_first() {
+            sub.clear();
+            fstack.clear();
+            sub.push(first);
+            fstack.push(first);
+            while let Some(fid) = fstack.pop() {
+                if let Some(f) = self.flows.get(&fid) {
+                    for &r in &f.resources {
+                        for &other in &self.members[r] {
+                            if remaining.remove(&other) {
+                                sub.push(other);
+                                fstack.push(other);
+                            }
+                        }
+                    }
+                }
+            }
+            sub.sort_unstable();
+            self.solver.begin_component(self.capacities.len());
+            let mut pushed = 0usize;
+            for &fid in &sub {
+                let Some(f) = self.flows.get(&fid) else { continue };
+                self.solver
+                    .push_flow(f.params.weight, f.params.rate_cap, &f.resources, &self.capacities);
+                pushed += 1;
+            }
+            debug_assert_eq!(pushed, sub.len(), "flow membership out of sync");
+            self.solver.run_fill();
+            for (k, &fid) in sub.iter().enumerate() {
+                let rate = self.solver.component_rates()[k];
+                if let Some(f) = self.flows.get_mut(&fid) {
+                    apply_rate(f, rate, now);
+                }
+            }
+            for (r, resid) in self.solver.component_residuals() {
+                self.residual[r] = resid;
+            }
+        }
+        self.check_allocation();
+    }
+
+    /// Debug/audit hook run after every recomputation. In debug builds the
+    /// current allocation (rates + maintained residuals) is asserted
+    /// against the max-min invariants; with the audit enabled, violations
+    /// are collected instead, and in incremental mode a shadow full solve
+    /// cross-checks every rate bit-for-bit (divergence is reported as
+    /// [`AuditViolation::SolverDivergence`]).
+    fn check_allocation(&mut self) {
+        if self.audit.is_none() && !cfg!(debug_assertions) {
+            return;
+        }
+        let specs: Vec<FlowSpec> = self
+            .flows
+            .values()
+            .map(|f| FlowSpec {
+                weight: f.params.weight,
+                cap: f.params.rate_cap,
+                resources: f.resources.clone(),
+            })
+            .collect();
+        let alloc = maxmin::Allocation {
+            rates: self.flows.values().map(|f| f.rate).collect(),
+            residual: self.residual.clone(),
+        };
         debug_assert!(
             maxmin::validate(&self.capacities, &specs, &alloc).is_none(),
             "engine produced invalid allocation: {:?}",
@@ -515,15 +847,18 @@ impl Simulator {
         if let Some(audit) = self.audit {
             self.audit_violations
                 .extend(audit.check(&self.capacities, &specs, &alloc));
-        }
-        let now = self.now;
-        for (f, &rate) in self.flows.values_mut().zip(alloc.rates.iter()) {
-            f.rate = rate;
-            f.eta = if f.remaining.is_finite() && f.rate > 0.0 {
-                now + SimDuration::from_secs_f64(f.remaining * 8.0 / f.rate)
-            } else {
-                SimTime::MAX
-            };
+            if self.mode == SolverMode::Incremental {
+                let full = maxmin::solve(&self.capacities, &specs);
+                for ((&id, f), &want) in self.flows.iter().zip(full.rates.iter()) {
+                    if f.rate.to_bits() != want.to_bits() {
+                        self.audit_violations.push(AuditViolation::SolverDivergence {
+                            flow: id,
+                            incremental: f.rate,
+                            full: want,
+                        });
+                    }
+                }
+            }
         }
     }
 
@@ -580,6 +915,8 @@ impl Simulator {
             .collect();
         for &id in &due {
             let Some(f) = self.flows.remove(&id) else { continue };
+            members_remove(&mut self.members, id, &f.resources);
+            touch(&mut self.dirty, &f.resources);
             let rec = FlowRecord {
                 id,
                 src: f.params.src,
@@ -592,7 +929,6 @@ impl Simulator {
             };
             self.digest.record_finish(&rec);
             self.finished.push(rec);
-            self.rates_dirty = true;
         }
         self.settle_watches(&due);
     }
@@ -1147,5 +1483,110 @@ mod tests {
         let link = sim.topology().neighbors(h1)[0].0;
         let octets = sim.iface_out_octets(h1, link);
         assert!((octets - 2.0 * 50e6 / 8.0).abs() < 10.0, "{octets}");
+    }
+
+    #[test]
+    fn coalesced_link_transitions_rebuild_routing_once() {
+        // Five spokes; the flow uses h0->h1. Three other spokes flap down
+        // at the same instant: one routing rebuild, three logged
+        // transitions, and the flow is untouched.
+        let mut b = TopologyBuilder::new();
+        let hs: Vec<NodeId> = (0..5).map(|i| b.compute(&format!("h{i}"))).collect();
+        let r = b.network("r");
+        let links: Vec<_> = hs
+            .iter()
+            .map(|&h| b.link(h, r, mbps(100.0), SimDuration::from_micros(10)).unwrap())
+            .collect();
+        let mut sim = Simulator::new(b.build().unwrap()).unwrap();
+        let f = sim.start_flow(FlowParams::cbr(hs[0], hs[1], mbps(10.0))).unwrap();
+        for &l in &links[2..] {
+            sim.schedule_link_state(SimTime::from_secs(1), l, false).unwrap();
+        }
+        sim.run_until(SimTime::from_secs(2)).unwrap();
+        assert_eq!(sim.routing_rebuilds(), 1);
+        assert_eq!(sim.take_link_events().len(), 3);
+        assert!(sim.flow_is_active(f));
+    }
+
+    #[test]
+    fn simultaneous_down_up_keeps_flow_alive() {
+        // h1's only link goes down *and* comes back up at the same
+        // instant. The coalesced batch applies both flips before
+        // re-pathing, so the flow never sees a routeless network; both
+        // transitions still land in the event log, down first.
+        let (mut sim, h1, h2, _) = star();
+        let link = sim.topology().neighbors(h1)[0].0;
+        let f = sim.start_flow(FlowParams::cbr(h1, h2, mbps(10.0))).unwrap();
+        sim.schedule_link_state(SimTime::from_secs(1), link, true).unwrap();
+        sim.schedule_link_state(SimTime::from_secs(1), link, false).unwrap();
+        sim.run_until(SimTime::from_secs(2)).unwrap();
+        assert!(sim.flow_is_active(f));
+        let events = sim.take_link_events();
+        assert_eq!(events.len(), 2);
+        assert!(!events[0].up);
+        assert!(events[1].up);
+        assert_eq!(sim.routing_rebuilds(), 1);
+    }
+
+    #[test]
+    fn incremental_matches_full_rates_and_digest() {
+        // The acceptance bar for the scoped solver: the same scenario —
+        // arrivals, departures, completions, a mid-run link flap — must
+        // produce bit-identical rate digests at every checkpoint and an
+        // identical event digest at the end, in both solver modes.
+        let run = |mode: SolverMode| {
+            let (mut sim, h1, h2, h3) = star();
+            sim.set_solver_mode(mode);
+            sim.enable_audit();
+            let link3 = sim.topology().neighbors(h3)[0].0;
+            sim.start_flow(FlowParams::bulk(h1, h2, 12_500_000)).unwrap();
+            sim.start_flow(FlowParams::bulk(h3, h2, 6_250_000)).unwrap();
+            sim.start_flow(FlowParams::cbr(h2, h1, mbps(30.0))).unwrap();
+            sim.schedule_link_state(SimTime::from_millis(400), link3, false).unwrap();
+            sim.schedule_link_state(SimTime::from_millis(900), link3, true).unwrap();
+            let mut digests = Vec::new();
+            for ms in [100u64, 500, 1000, 2500] {
+                sim.run_until(SimTime::from_millis(ms)).unwrap();
+                digests.push(sim.rates_digest());
+            }
+            assert!(
+                sim.audit_violations().is_empty(),
+                "{mode:?}: {:?}",
+                sim.audit_violations()
+            );
+            (digests, sim.event_digest())
+        };
+        assert_eq!(run(SolverMode::Full), run(SolverMode::Incremental));
+    }
+
+    #[test]
+    fn solver_mode_selects_recompute_path() {
+        let (mut sim, h1, h2, _) = star();
+        assert_eq!(sim.solver_mode(), SolverMode::Incremental);
+        let f = sim.start_flow(FlowParams::cbr(h1, h2, mbps(10.0))).unwrap();
+        let _ = sim.flow_rate(f).unwrap();
+        assert!(sim.scoped_recomputes() > 0);
+        assert_eq!(sim.full_recomputes(), 0);
+
+        sim.set_solver_mode(SolverMode::Full);
+        let f2 = sim.start_flow(FlowParams::cbr(h2, h1, mbps(10.0))).unwrap();
+        let _ = sim.flow_rate(f2).unwrap();
+        assert!(sim.full_recomputes() > 0);
+    }
+
+    #[test]
+    fn unaffected_flap_skips_rate_recomputation() {
+        // A flap on a link no flow crosses rebuilds routing but leaves
+        // every path unchanged, so the rates never go dirty and the
+        // solver is not re-run at all.
+        let (mut sim, h1, h2, h3) = star();
+        let f = sim.start_flow(FlowParams::cbr(h1, h2, mbps(10.0))).unwrap();
+        let _ = sim.flow_rate(f).unwrap(); // settle the initial recompute
+        let before = sim.scoped_recomputes();
+        let l3 = sim.topology().neighbors(h3)[0].0;
+        sim.set_link_state(l3, false).unwrap();
+        let _ = sim.flow_rate(f).unwrap();
+        assert_eq!(sim.scoped_recomputes(), before);
+        assert_eq!(sim.routing_rebuilds(), 1);
     }
 }

@@ -41,7 +41,7 @@ pub mod units;
 
 pub use audit::{AuditViolation, MaxMinAudit};
 pub use digest::EventDigest;
-pub use engine::{FlowHandle, Simulator};
+pub use engine::{FlowHandle, Simulator, SolverMode};
 pub use error::{NetError, Result};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DirLink, Direction, LinkId, NodeId, NodeKind, Topology, TopologyBuilder};

@@ -21,6 +21,31 @@
 //! "Resources" are abstract capacities: the engine maps every directed link
 //! interface and every capped switch backplane to one resource, so Fig 1's
 //! internal-bandwidth semantics fall out naturally.
+//!
+//! ## Component decomposition and incremental solving
+//!
+//! The max-min problem decomposes exactly over the *connected components*
+//! of the flow/resource sharing graph: two flows interact only if they
+//! transitively share a resource, so filling each component in isolation
+//! yields the same allocation as filling the whole problem at once. The
+//! solver exploits this in two ways:
+//!
+//! * [`solve`] (and [`Solver::solve_refs`]) fills each component
+//!   independently, always iterating a component's flows in ascending
+//!   input order. Because the arithmetic performed on a component depends
+//!   only on that component's flows and resources, the result for a
+//!   component is **bit-identical** no matter which other components exist.
+//! * [`solve_scoped`] re-solves only the components reachable from a set
+//!   of *touched* resources, copying every other flow's rate and every
+//!   other resource's residual verbatim from a previous allocation. As
+//!   long as the untouched components are genuinely unchanged, the result
+//!   is bit-identical to a full [`solve`] — the property the engine's
+//!   incremental mode and the determinism digests rely on, and which the
+//!   property tests below pin down with [`f64::to_bits`].
+//!
+//! [`Solver`] owns reusable scratch buffers (CSR resource lists, interning
+//! marks, active-flow worklists) so steady-state re-solves allocate
+//! nothing; the engine keeps one `Solver` alive for the whole simulation.
 
 /// A flow to be allocated.
 #[derive(Clone, Debug)]
@@ -45,6 +70,24 @@ impl FlowSpec {
     pub fn capped(resources: Vec<usize>, cap: f64) -> Self {
         FlowSpec { weight: 1.0, cap: Some(cap), resources }
     }
+
+    /// Borrowed view of this flow, for allocation-free callers.
+    pub fn as_ref(&self) -> FlowRef<'_> {
+        FlowRef { weight: self.weight, cap: self.cap, resources: &self.resources }
+    }
+}
+
+/// Borrowed view of one flow. The incremental engine and the modeler keep
+/// flows in their own long-lived structures; `FlowRef` lets them hand the
+/// solver a window onto those without cloning each resource list per solve.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowRef<'a> {
+    /// Relative weight (> 0).
+    pub weight: f64,
+    /// Optional absolute rate cap in bits/s.
+    pub cap: Option<f64>,
+    /// Indices of the resources this flow crosses.
+    pub resources: &'a [usize],
 }
 
 /// Outcome of an allocation.
@@ -66,104 +109,426 @@ pub const EPS: f64 = 1e-9;
 /// out-of-range resource indices; release builds treat bad indices as a
 /// logic error via indexing panics.
 pub fn solve(capacities: &[f64], flows: &[FlowSpec]) -> Allocation {
-    let mut rates = vec![0.0_f64; flows.len()];
-    let mut residual: Vec<f64> = capacities.to_vec();
-    if flows.is_empty() {
-        return Allocation { rates, residual };
-    }
-    for f in flows {
-        debug_assert!(f.weight > 0.0, "flow weight must be positive");
+    let refs: Vec<FlowRef<'_>> = flows.iter().map(FlowSpec::as_ref).collect();
+    Solver::new().solve_refs(capacities, &refs)
+}
+
+/// Re-solve only the part of the problem reachable from `touched` resources,
+/// carrying every other rate and residual over from `prev` verbatim.
+///
+/// `prev` must be an allocation of a problem that differs from
+/// `(capacities, flows)` only inside the components reachable from
+/// `touched`: every flow whose weight, cap, or resource list changed (and
+/// the old resources of any rerouted or removed flow) must be covered by
+/// `touched`, and `prev.rates` must already be aligned with `flows` (the
+/// caller inserts a placeholder for a new flow and drops the entry of a
+/// removed one). Pathless flows are always recomputed — they are not
+/// reachable through any resource. Under those conditions the result is
+/// bit-identical to `solve(capacities, flows)`; the property tests assert
+/// this with `to_bits`.
+///
+/// This entry point rebuilds the resource-membership index from scratch
+/// (O(total path length)), so it is the *reference* incremental solver used
+/// by tests and one-shot callers; the engine maintains its membership
+/// incrementally and drives [`Solver`] directly on the affected component.
+pub fn solve_scoped(
+    capacities: &[f64],
+    flows: &[FlowSpec],
+    touched: &[usize],
+    prev: &Allocation,
+) -> Allocation {
+    let refs: Vec<FlowRef<'_>> = flows.iter().map(FlowSpec::as_ref).collect();
+    Solver::new().solve_scoped_refs(capacities, &refs, touched, prev)
+}
+
+/// Reusable water-filling solver.
+///
+/// Holds every scratch buffer the fill loop needs (CSR flow→resource lists,
+/// resource interning marks, active worklists), so repeated solves against
+/// the same `Solver` stop allocating once the buffers have grown to the
+/// working-set size. The low-level component API
+/// ([`begin_component`](Solver::begin_component) /
+/// [`push_flow`](Solver::push_flow) / [`run_fill`](Solver::run_fill)) is
+/// what the engine's incremental path drives; [`solve_refs`](Solver::solve_refs)
+/// and [`solve_scoped_refs`](Solver::solve_scoped_refs) are the batch
+/// entry points layered on top of it.
+#[derive(Debug, Default)]
+pub struct Solver {
+    // --- current component (local index space) ---
+    /// Per-flow weight.
+    weights: Vec<f64>,
+    /// Per-flow cap; `f64::INFINITY` encodes "uncapped".
+    caps: Vec<f64>,
+    /// CSR offsets into `ridx`, length `flows + 1`.
+    roff: Vec<usize>,
+    /// Concatenated local resource indices of every flow's path.
+    ridx: Vec<usize>,
+    /// Global resource id of each local resource, in first-touch order.
+    lres: Vec<usize>,
+    /// Capacity of each local resource.
+    lcap: Vec<f64>,
+    /// Residual capacity of each local resource (output).
+    lresid: Vec<f64>,
+    /// Allocated rate of each local flow (output).
+    lrates: Vec<f64>,
+    // --- fill scratch ---
+    weight_on: Vec<f64>,
+    is_active: Vec<bool>,
+    active: Vec<usize>,
+    capped: Vec<usize>,
+    // --- resource interning (global index space) ---
+    res_mark: Vec<u64>,
+    res_local: Vec<usize>,
+    generation: u64,
+}
+
+impl Solver {
+    /// Fresh solver with empty scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    // Sum of weights of active flows on each resource.
-    let mut weight_on: Vec<f64> = vec![0.0; capacities.len()];
-    let mut active: Vec<bool> = vec![true; flows.len()];
-    let mut n_active = flows.len();
-    for f in flows {
-        for &r in &f.resources {
-            weight_on[r] += f.weight;
+    /// Start a new component. `n_resources` is the size of the *global*
+    /// capacity vector (used to size the interning marks).
+    pub fn begin_component(&mut self, n_resources: usize) {
+        self.generation += 1;
+        if self.res_mark.len() < n_resources {
+            self.res_mark.resize(n_resources, 0);
+            self.res_local.resize(n_resources, 0);
         }
-    }
-    // Uncapped flows that cross no resource would rise forever; treat as
-    // unconstrained and leave them at infinity.
-    for (i, f) in flows.iter().enumerate() {
-        if f.resources.is_empty() && f.cap.is_none() {
-            rates[i] = f64::INFINITY;
-            active[i] = false;
-            n_active -= 1;
-        }
+        self.weights.clear();
+        self.caps.clear();
+        self.roff.clear();
+        self.roff.push(0);
+        self.ridx.clear();
+        self.lres.clear();
+        self.lcap.clear();
+        self.lresid.clear();
+        self.lrates.clear();
     }
 
-    // `level` is the common normalised fill level: every active flow i has
-    // rate = weight_i * level.
-    let mut level = 0.0_f64;
-    while n_active > 0 {
-        // Largest increment before some resource saturates.
-        let mut max_dlevel = f64::INFINITY;
-        for (r, &w) in weight_on.iter().enumerate() {
-            if w > EPS {
-                max_dlevel = max_dlevel.min(residual[r] / w);
+    /// Add one flow to the current component. Callers must push a
+    /// component's flows in **ascending global order** — the fill's
+    /// floating-point accumulation order (and hence bit-exact
+    /// reproducibility between full and scoped solves) depends on it.
+    pub fn push_flow(
+        &mut self,
+        weight: f64,
+        cap: Option<f64>,
+        resources: &[usize],
+        capacities: &[f64],
+    ) {
+        debug_assert!(weight > 0.0, "flow weight must be positive");
+        self.weights.push(weight);
+        self.caps.push(cap.unwrap_or(f64::INFINITY));
+        for &r in resources {
+            debug_assert!(r < capacities.len(), "resource index out of range");
+            let local = if self.res_mark[r] == self.generation {
+                self.res_local[r]
+            } else {
+                let l = self.lres.len();
+                self.res_mark[r] = self.generation;
+                self.res_local[r] = l;
+                self.lres.push(r);
+                self.lcap.push(capacities[r]);
+                self.lresid.push(capacities[r]);
+                l
+            };
+            self.ridx.push(local);
+        }
+        self.roff.push(self.ridx.len());
+    }
+
+    /// Run progressive filling on the current component. Results are read
+    /// back through [`component_rates`](Solver::component_rates) and
+    /// [`component_residuals`](Solver::component_residuals).
+    ///
+    /// Each round scans only the component's resources and the still-active
+    /// capped flows (a compact worklist, not the whole flow set), so frozen
+    /// flows cost nothing after they freeze.
+    pub fn run_fill(&mut self) {
+        let nf = self.weights.len();
+        self.lrates.clear();
+        self.lrates.resize(nf, 0.0);
+        self.is_active.clear();
+        self.is_active.resize(nf, true);
+        self.active.clear();
+        self.capped.clear();
+        for i in 0..nf {
+            self.active.push(i);
+            if self.caps[i].is_finite() {
+                self.capped.push(i);
             }
         }
-        // ... or some active flow reaches its cap.
+        self.weight_on.clear();
+        self.weight_on.resize(self.lres.len(), 0.0);
+        for i in 0..nf {
+            for k in self.roff[i]..self.roff[i + 1] {
+                self.weight_on[self.ridx[k]] += self.weights[i];
+            }
+        }
+
+        while !self.active.is_empty() {
+            // Largest increment before some resource saturates...
+            let mut max_dlevel = f64::INFINITY;
+            for (r, &w) in self.weight_on.iter().enumerate() {
+                if w > EPS {
+                    max_dlevel = max_dlevel.min(self.lresid[r] / w);
+                }
+            }
+            // ... or some still-active capped flow reaches its cap.
+            for &i in &self.capped {
+                max_dlevel = max_dlevel.min((self.caps[i] - self.lrates[i]) / self.weights[i]);
+            }
+            if !max_dlevel.is_finite() {
+                // No resource constrains the remaining flows and none has a
+                // cap: they are unbounded.
+                for &i in &self.active {
+                    self.lrates[i] = f64::INFINITY;
+                    self.is_active[i] = false;
+                }
+                self.active.clear();
+                break;
+            }
+            let dlevel = max_dlevel.max(0.0);
+
+            // Apply the increment to every active flow, in ascending order.
+            for &i in &self.active {
+                self.lrates[i] += self.weights[i] * dlevel;
+                for k in self.roff[i]..self.roff[i + 1] {
+                    self.lresid[self.ridx[k]] -= self.weights[i] * dlevel;
+                }
+            }
+
+            // Freeze flows at their cap or on saturated resources. `retain`
+            // keeps ascending order, so later rounds accumulate in the same
+            // order as a from-scratch solve.
+            let mut active = std::mem::take(&mut self.active);
+            active.retain(|&i| {
+                let c = self.caps[i];
+                let capped = c.is_finite() && self.lrates[i] >= c - c.abs().max(1.0) * EPS;
+                let saturated = (self.roff[i]..self.roff[i + 1]).any(|k| {
+                    let r = self.ridx[k];
+                    self.lresid[r] <= self.lcap[r].abs().max(1.0) * EPS
+                });
+                if capped || saturated {
+                    self.is_active[i] = false;
+                    for k in self.roff[i]..self.roff[i + 1] {
+                        self.weight_on[self.ridx[k]] -= self.weights[i];
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            self.active = active;
+            let mut capped = std::mem::take(&mut self.capped);
+            capped.retain(|&i| self.is_active[i]);
+            self.capped = capped;
+        }
+
+        // Clamp numerical dust.
+        for r in self.lresid.iter_mut() {
+            if *r < 0.0 {
+                *r = 0.0;
+            }
+        }
+    }
+
+    /// Rates of the current component's flows, in push order.
+    pub fn component_rates(&self) -> &[f64] {
+        &self.lrates
+    }
+
+    /// `(global resource id, residual capacity)` of every resource the
+    /// current component touches.
+    pub fn component_residuals(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.lres.iter().copied().zip(self.lresid.iter().copied())
+    }
+
+    /// Full solve over borrowed flows; see [`solve`].
+    pub fn solve_refs(&mut self, capacities: &[f64], flows: &[FlowRef<'_>]) -> Allocation {
+        let mut rates = vec![0.0_f64; flows.len()];
+        let mut residual: Vec<f64> = capacities.to_vec();
+        for f in flows {
+            debug_assert!(f.weight > 0.0, "flow weight must be positive");
+        }
+        // Pathless flows never interact with anything: an uncapped one is
+        // unbounded, a capped one sits exactly at its cap.
         for (i, f) in flows.iter().enumerate() {
-            if active[i] {
-                if let Some(cap) = f.cap {
-                    max_dlevel = max_dlevel.min((cap - rates[i]) / f.weight);
+            if f.resources.is_empty() {
+                rates[i] = f.cap.unwrap_or(f64::INFINITY);
+            }
+        }
+        if !flows.is_empty() {
+            let (off, memb) = resource_members(capacities.len(), flows);
+            let mut seen = vec![false; flows.len()];
+            let mut res_seen = vec![false; capacities.len()];
+            let mut stack = Vec::new();
+            let mut comp = Vec::new();
+            for i0 in 0..flows.len() {
+                if seen[i0] || flows[i0].resources.is_empty() {
+                    continue;
+                }
+                collect_component(
+                    i0, flows, &off, &memb, &mut seen, &mut res_seen, &mut stack, &mut comp,
+                );
+                self.fill_sorted_component(capacities, flows, &comp);
+                for (k, &i) in comp.iter().enumerate() {
+                    rates[i] = self.lrates[k];
+                }
+                for (r, resid) in self.component_residuals() {
+                    residual[r] = resid;
                 }
             }
         }
-        if !max_dlevel.is_finite() {
-            // No resource constrains the remaining flows and none has a cap:
-            // they are unbounded.
-            for (i, _) in flows.iter().enumerate() {
-                if active[i] {
-                    rates[i] = f64::INFINITY;
-                    active[i] = false;
-                }
-            }
-            break;
-        }
-        let dlevel = max_dlevel.max(0.0);
-        level += dlevel;
-
-        // Apply the increment.
-        for (i, f) in flows.iter().enumerate() {
-            if active[i] {
-                rates[i] += f.weight * dlevel;
-                for &r in &f.resources {
-                    residual[r] -= f.weight * dlevel;
-                }
+        // Clamp numerical dust (matches the per-component clamp; also
+        // normalises untouched negative capacities, as the historical
+        // solver did).
+        for r in residual.iter_mut() {
+            if *r < 0.0 {
+                *r = 0.0;
             }
         }
-        let _ = level;
+        Allocation { rates, residual }
+    }
 
-        // Freeze flows at their cap or on saturated resources.
+    /// Scoped solve over borrowed flows; see [`solve_scoped`].
+    pub fn solve_scoped_refs(
+        &mut self,
+        capacities: &[f64],
+        flows: &[FlowRef<'_>],
+        touched: &[usize],
+        prev: &Allocation,
+    ) -> Allocation {
+        debug_assert_eq!(
+            prev.rates.len(),
+            flows.len(),
+            "prev allocation must be aligned with the flow list"
+        );
+        let mut rates = prev.rates.clone();
+        let mut residual = prev.residual.clone();
+        residual.resize(capacities.len(), 0.0);
+        // Pathless flows are unreachable through any resource; always
+        // recompute them (cheap and exact).
         for (i, f) in flows.iter().enumerate() {
-            if !active[i] {
+            if f.resources.is_empty() {
+                rates[i] = f.cap.unwrap_or(f64::INFINITY);
+            }
+        }
+        let (off, memb) = resource_members(capacities.len(), flows);
+        let mut seen = vec![false; flows.len()];
+        let mut res_seen = vec![false; capacities.len()];
+        let mut stack = Vec::new();
+        let mut comp = Vec::new();
+        for &r0 in touched {
+            debug_assert!(r0 < capacities.len(), "touched resource out of range");
+            if off[r0] == off[r0 + 1] {
+                // No flow crosses this resource any more (e.g. the last
+                // flow on it departed): its residual reverts to capacity,
+                // clamped exactly like the full solver's output.
+                residual[r0] = capacities[r0];
+                if residual[r0] < 0.0 {
+                    residual[r0] = 0.0;
+                }
                 continue;
             }
-            let capped = f.cap.is_some_and(|c| rates[i] >= c - c.abs().max(1.0) * EPS);
-            let saturated = f.resources.iter().any(|&r| {
-                residual[r] <= capacities[r].abs().max(1.0) * EPS
-            });
-            if capped || saturated {
-                active[i] = false;
-                n_active -= 1;
-                for &r in &f.resources {
-                    weight_on[r] -= f.weight;
+            for k in off[r0]..off[r0 + 1] {
+                let f0 = memb[k];
+                if seen[f0] {
+                    continue;
+                }
+                collect_component(
+                    f0, flows, &off, &memb, &mut seen, &mut res_seen, &mut stack, &mut comp,
+                );
+                self.fill_sorted_component(capacities, flows, &comp);
+                for (j, &i) in comp.iter().enumerate() {
+                    rates[i] = self.lrates[j];
+                }
+                for (r, resid) in self.component_residuals() {
+                    residual[r] = resid;
+                }
+            }
+        }
+        Allocation { rates, residual }
+    }
+
+    /// Fill one already-collected component (flow indices sorted ascending).
+    fn fill_sorted_component(
+        &mut self,
+        capacities: &[f64],
+        flows: &[FlowRef<'_>],
+        comp: &[usize],
+    ) {
+        self.begin_component(capacities.len());
+        for &i in comp {
+            let f = flows[i];
+            self.push_flow(f.weight, f.cap, f.resources, capacities);
+        }
+        self.run_fill();
+    }
+}
+
+/// Build a CSR resource→flows membership index: `off` has length
+/// `n_resources + 1`, and `memb[off[r]..off[r+1]]` lists the (ascending)
+/// indices of the flows crossing resource `r`.
+fn resource_members(n_resources: usize, flows: &[FlowRef<'_>]) -> (Vec<usize>, Vec<usize>) {
+    let mut off = vec![0usize; n_resources + 1];
+    for f in flows {
+        for &r in f.resources {
+            off[r + 1] += 1;
+        }
+    }
+    for r in 0..n_resources {
+        off[r + 1] += off[r];
+    }
+    let mut memb = vec![0usize; off[n_resources]];
+    let mut cur = off.clone();
+    for (i, f) in flows.iter().enumerate() {
+        for &r in f.resources {
+            memb[cur[r]] = i;
+            cur[r] += 1;
+        }
+    }
+    (off, memb)
+}
+
+/// Collect into `comp` the connected component containing flow `start`
+/// (flows transitively linked through shared resources), marking `seen` /
+/// `res_seen` along the way. The component is sorted ascending so callers
+/// can feed it to [`Solver::push_flow`] in the canonical order.
+#[allow(clippy::too_many_arguments)]
+fn collect_component(
+    start: usize,
+    flows: &[FlowRef<'_>],
+    off: &[usize],
+    memb: &[usize],
+    seen: &mut [bool],
+    res_seen: &mut [bool],
+    stack: &mut Vec<usize>,
+    comp: &mut Vec<usize>,
+) {
+    comp.clear();
+    stack.clear();
+    seen[start] = true;
+    stack.push(start);
+    comp.push(start);
+    while let Some(i) = stack.pop() {
+        for &r in flows[i].resources {
+            if res_seen[r] {
+                continue;
+            }
+            res_seen[r] = true;
+            for &j in &memb[off[r]..off[r + 1]] {
+                if !seen[j] {
+                    seen[j] = true;
+                    stack.push(j);
+                    comp.push(j);
                 }
             }
         }
     }
-
-    // Clamp numerical dust.
-    for r in residual.iter_mut() {
-        if *r < 0.0 {
-            *r = 0.0;
-        }
-    }
-    Allocation { rates, residual }
+    comp.sort_unstable();
 }
 
 /// Check the max-min invariants of an allocation; returns a human-readable
@@ -328,6 +693,79 @@ mod tests {
         assert!((a.residual[0] - mbps(70.0)).abs() < 1.0);
     }
 
+    #[test]
+    fn independent_components_solve_independently() {
+        // Two disjoint bottlenecks. The rates on one must be bit-identical
+        // to solving it alone — the property scoped re-solves depend on.
+        let caps = [mbps(100.0), mbps(40.0)];
+        let flows = vec![
+            FlowSpec::greedy(vec![0]),
+            FlowSpec { weight: 2.5, cap: None, resources: vec![1] },
+            FlowSpec::greedy(vec![0]),
+            FlowSpec::capped(vec![1], mbps(7.0)),
+        ];
+        let a = solve(&caps, &flows);
+        let left_only = solve(&caps, &[flows[0].clone(), flows[2].clone()]);
+        assert_eq!(a.rates[0].to_bits(), left_only.rates[0].to_bits());
+        assert_eq!(a.rates[2].to_bits(), left_only.rates[1].to_bits());
+        assert_eq!(a.residual[0].to_bits(), left_only.residual[0].to_bits());
+        assert_valid(&caps, &flows, &a);
+    }
+
+    #[test]
+    fn scoped_resolve_after_departure_matches_full() {
+        // Three flows over two links; remove the middle one and re-solve
+        // only its component. Bit-exact agreement with a full solve.
+        let caps = [mbps(100.0), mbps(55.0), mbps(80.0)];
+        let flows = vec![
+            FlowSpec::greedy(vec![0, 1]),
+            FlowSpec { weight: 3.0, cap: Some(mbps(20.0)), resources: vec![1] },
+            FlowSpec::greedy(vec![2]),
+        ];
+        let base = solve(&caps, &flows);
+        let removed = flows[1].clone();
+        let flows2 = vec![flows[0].clone(), flows[2].clone()];
+        let prev = Allocation {
+            rates: vec![base.rates[0], base.rates[2]],
+            residual: base.residual.clone(),
+        };
+        let scoped = solve_scoped(&caps, &flows2, &removed.resources, &prev);
+        let full = solve(&caps, &flows2);
+        for (a, b) in scoped.rates.iter().zip(&full.rates) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in scoped.residual.iter().zip(&full.residual) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scoped_resolve_with_empty_touched_is_identity() {
+        let caps = [mbps(100.0)];
+        let flows = vec![FlowSpec::greedy(vec![0]), FlowSpec::greedy(vec![0])];
+        let base = solve(&caps, &flows);
+        let scoped = solve_scoped(&caps, &flows, &[], &base);
+        for (a, b) in scoped.rates.iter().zip(&base.rates) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scoped_resolve_resets_vacated_resource() {
+        // Last flow on resource 1 departs; touched residual must revert to
+        // full capacity even though no remaining flow crosses it.
+        let caps = [mbps(100.0), mbps(10.0)];
+        let flows = vec![FlowSpec::greedy(vec![0]), FlowSpec::greedy(vec![1])];
+        let base = solve(&caps, &flows);
+        let flows2 = vec![flows[0].clone()];
+        let prev = Allocation {
+            rates: vec![base.rates[0]],
+            residual: base.residual.clone(),
+        };
+        let scoped = solve_scoped(&caps, &flows2, &[1], &prev);
+        assert_eq!(scoped.residual[1].to_bits(), mbps(10.0).to_bits());
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -349,6 +787,81 @@ mod tests {
                     });
                 (Just(caps), prop::collection::vec(flow, 1..12))
             })
+        }
+
+        /// A delta applied to a base problem, plus the touched-resource set
+        /// a caller of `solve_scoped` would derive from it.
+        #[derive(Clone, Debug)]
+        enum Delta {
+            Remove(usize),
+            Add(FlowSpec),
+            Retune { idx: usize, weight: f64, cap: Option<f64> },
+            Reroute { idx: usize, resources: Vec<usize> },
+        }
+
+        fn arb_mutated() -> impl Strategy<Value = (Vec<f64>, Vec<FlowSpec>, Delta)> {
+            arb_problem().prop_flat_map(|(caps, flows)| {
+                let n = caps.len();
+                let nf = flows.len();
+                let new_flow = (
+                    0.1..10.0f64,
+                    prop::option::of(1.0e5..2.0e9f64),
+                    prop::collection::btree_set(0..n, 1..=n.min(4)),
+                )
+                    .prop_map(|(weight, cap, res)| FlowSpec {
+                        weight,
+                        cap,
+                        resources: res.into_iter().collect(),
+                    });
+                let delta = prop_oneof![
+                    (0..nf).prop_map(Delta::Remove),
+                    new_flow.prop_map(Delta::Add),
+                    (0..nf, 0.1..10.0f64, prop::option::of(1.0e5..2.0e9f64))
+                        .prop_map(|(idx, weight, cap)| Delta::Retune { idx, weight, cap }),
+                    (0..nf, prop::collection::btree_set(0..n, 1..=n.min(4)))
+                        .prop_map(|(idx, res)| Delta::Reroute {
+                            idx,
+                            resources: res.into_iter().collect(),
+                        }),
+                ];
+                (Just(caps), Just(flows), delta)
+            })
+        }
+
+        /// Apply `delta`, returning the new flow list, the prev allocation
+        /// aligned with it, and the touched resources.
+        fn apply_delta(
+            flows: &[FlowSpec],
+            base: &Allocation,
+            delta: &Delta,
+        ) -> (Vec<FlowSpec>, Allocation, Vec<usize>) {
+            let mut flows2 = flows.to_vec();
+            let mut rates = base.rates.clone();
+            let touched;
+            match delta {
+                Delta::Remove(i) => {
+                    touched = flows2.remove(*i).resources;
+                    rates.remove(*i);
+                }
+                Delta::Add(f) => {
+                    touched = f.resources.clone();
+                    flows2.push(f.clone());
+                    rates.push(0.0);
+                }
+                Delta::Retune { idx, weight, cap } => {
+                    flows2[*idx].weight = *weight;
+                    flows2[*idx].cap = *cap;
+                    touched = flows2[*idx].resources.clone();
+                }
+                Delta::Reroute { idx, resources } => {
+                    let mut t = flows2[*idx].resources.clone();
+                    t.extend_from_slice(resources);
+                    flows2[*idx].resources = resources.clone();
+                    touched = t;
+                }
+            }
+            let prev = Allocation { rates, residual: base.residual.clone() };
+            (flows2, prev, touched)
         }
 
         proptest! {
@@ -411,6 +924,44 @@ mod tests {
                 let a2 = solve(&caps, &flows);
                 prop_assert_eq!(a1.rates, a2.rates);
                 prop_assert_eq!(a1.residual, a2.residual);
+            }
+
+            #[test]
+            fn reusing_a_solver_is_bit_stable((caps, flows) in arb_problem()) {
+                // The same Solver instance re-used across problems must not
+                // leak state between solves: scratch reuse is invisible.
+                let refs: Vec<FlowRef<'_>> = flows.iter().map(FlowSpec::as_ref).collect();
+                let mut solver = Solver::new();
+                let a1 = solver.solve_refs(&caps, &refs);
+                let a2 = solver.solve_refs(&caps, &refs);
+                for (x, y) in a1.rates.iter().zip(&a2.rates) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (x, y) in a1.residual.iter().zip(&a2.residual) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+
+            #[test]
+            fn scoped_solve_matches_full_bitwise(
+                (caps, flows, delta) in arb_mutated()
+            ) {
+                // THE incremental-solve contract: after any single delta
+                // (arrival, departure, retune, reroute), re-solving only the
+                // touched components on top of the previous allocation is
+                // bit-identical to a from-scratch solve of the new problem.
+                let base = solve(&caps, &flows);
+                let (flows2, prev, touched) = apply_delta(&flows, &base, &delta);
+                let full = solve(&caps, &flows2);
+                let scoped = solve_scoped(&caps, &flows2, &touched, &prev);
+                for (i, (a, b)) in scoped.rates.iter().zip(&full.rates).enumerate() {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "rate {} diverged: scoped {} vs full {} ({:?})", i, a, b, delta);
+                }
+                for (r, (a, b)) in scoped.residual.iter().zip(&full.residual).enumerate() {
+                    prop_assert_eq!(a.to_bits(), b.to_bits(),
+                        "residual {} diverged: scoped {} vs full {} ({:?})", r, a, b, delta);
+                }
             }
         }
     }

@@ -51,6 +51,23 @@ impl Path {
             .map(|h| topo.link(h.link).capacity)
             .fold(f64::INFINITY, f64::min)
     }
+
+    /// Stable resource indices of the directed interfaces traversed, in
+    /// hop order (see [`DirLink::index`]). These index the leading prefix
+    /// of the simulator's capacity vector.
+    pub fn dirlink_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.hops.iter().map(|h| h.index())
+    }
+
+    /// Interior (forwarding) nodes of the path — every node except the two
+    /// endpoints. These are the nodes whose backplanes, when capped,
+    /// contribute extra capacity resources.
+    pub fn interior_nodes(&self) -> &[NodeId] {
+        match self.nodes.len() {
+            0..=2 => &[],
+            n => &self.nodes[1..n - 1],
+        }
+    }
 }
 
 #[derive(PartialEq, Eq)]

@@ -289,6 +289,34 @@ impl Topology {
             .collect()
     }
 
+    /// Per-direction link capacities indexed by [`DirLink::index`]: entry
+    /// `2*l + d` is the capacity of link `l` in direction `d`. This is the
+    /// leading, stable prefix of the simulator's resource vector — indices
+    /// never move while the topology is alive, which is what lets the
+    /// incremental solver key dirty-tracking on resource indices.
+    pub fn dir_link_capacities(&self) -> Vec<Bps> {
+        let mut caps = Vec::with_capacity(self.dir_link_count());
+        for l in &self.links {
+            caps.push(l.capacity); // AtoB
+            caps.push(l.capacity); // BtoA
+        }
+        caps
+    }
+
+    /// Network nodes with a capped backplane, in node-id order, paired
+    /// with the cap. The simulator appends one capacity resource per entry
+    /// after the dir-link prefix, in exactly this order, so backplane
+    /// resource indices are stable for the lifetime of the topology too.
+    pub fn capped_network_nodes(&self) -> impl Iterator<Item = (NodeId, Bps)> + '_ {
+        self.node_ids().filter_map(|n| {
+            let node = self.node(n);
+            match (node.kind, node.internal_bw) {
+                (NodeKind::Network, Some(bw)) => Some((n, bw)),
+                _ => None,
+            }
+        })
+    }
+
     /// True if every node can reach every other node.
     pub fn is_connected(&self) -> bool {
         if self.nodes.is_empty() {

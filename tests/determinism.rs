@@ -19,7 +19,7 @@ use remos::apps::harness::TestbedHarness;
 use remos::apps::synthetic::{install_scenario, TrafficScenario};
 use remos::apps::testbed::TESTBED_HOSTS;
 use remos::core::collector::snmp::SnmpCollectorConfig;
-use remos::net::{SimDuration, SimTime};
+use remos::net::{SimDuration, SimTime, SolverMode};
 use remos::snmp::fault::{FaultDirector, FaultPlan};
 
 /// Digest and audit outcome of one scenario run.
@@ -29,8 +29,16 @@ struct RunTrace {
 }
 
 /// Run `scenario` on a fresh audited harness and capture its trace.
-fn trace<F: FnOnce(&mut TestbedHarness)>(h: &mut TestbedHarness, scenario: F) -> RunTrace {
-    h.sim.lock().enable_audit();
+fn trace<F: FnOnce(&mut TestbedHarness)>(
+    h: &mut TestbedHarness,
+    mode: SolverMode,
+    scenario: F,
+) -> RunTrace {
+    {
+        let mut sim = h.sim.lock();
+        sim.enable_audit();
+        sim.set_solver_mode(mode);
+    }
     scenario(h);
     let sim = h.sim.lock();
     RunTrace {
@@ -39,24 +47,40 @@ fn trace<F: FnOnce(&mut TestbedHarness)>(h: &mut TestbedHarness, scenario: F) ->
     }
 }
 
-/// Two independent executions must agree bit-for-bit and audit clean.
+/// Three executions — incremental twice, full once — must agree
+/// bit-for-bit and audit clean. The incremental runs prove replay
+/// determinism; the full run proves the scoped solver is equivalent to
+/// re-solving everything (under audit, incremental runs additionally
+/// shadow-solve every recomputation and report any rate divergence as a
+/// violation, so the audit check covers both solvers' invariants).
 fn assert_deterministic<F: Fn(&mut TestbedHarness)>(
     name: &str,
     mk: impl Fn() -> TestbedHarness,
     scenario: F,
 ) {
     let mut first = mk();
-    let a = trace(&mut first, &scenario);
+    let a = trace(&mut first, SolverMode::Incremental, &scenario);
     let mut second = mk();
-    let b = trace(&mut second, &scenario);
+    let b = trace(&mut second, SolverMode::Incremental, &scenario);
+    let mut full = mk();
+    let c = trace(&mut full, SolverMode::Full, &scenario);
     assert!(
         a.violations.is_empty(),
-        "{name}: max-min audit violations: {:?}",
+        "{name}: max-min audit violations (incremental): {:?}",
         a.violations
+    );
+    assert!(
+        c.violations.is_empty(),
+        "{name}: max-min audit violations (full): {:?}",
+        c.violations
     );
     assert_eq!(
         a.digest, b.digest,
         "{name}: two runs with identical seeds diverged"
+    );
+    assert_eq!(
+        a.digest, c.digest,
+        "{name}: incremental and full solver modes diverged"
     );
 }
 

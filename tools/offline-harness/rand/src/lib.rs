@@ -1,0 +1,147 @@
+//! Minimal rand facade for the offline typecheck harness: just enough
+//! surface for StdRng::seed_from_u64 + gen/gen_bool/gen_range calls.
+//! Sequences differ from the real crate, but are deterministic per seed
+//! and genuinely pseudo-random (splitmix64), so seed-sensitivity and
+//! distribution-shaped tests behave sanely.
+
+pub mod rngs {
+    #[derive(Clone, Debug)]
+    pub struct StdRng(pub(crate) u64);
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        rngs::StdRng(state ^ 0x9e37_79b9_7f4a_7c15)
+    }
+}
+
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform in [0, 1).
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn gen_range<T: FromU64>(&mut self, range: impl SampleRange<T>) -> T {
+        range.sample(self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.unit_f64() < p
+    }
+
+    fn gen<T: FromU64>(&mut self) -> T {
+        T::from_u64(self.next_u64())
+    }
+}
+
+impl Rng for rngs::StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Range forms accepted by `gen_range`, mirroring rand's `SampleRange`.
+pub trait SampleRange<T> {
+    fn sample(self, v: u64) -> T;
+}
+
+impl<T: FromU64> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, v: u64) -> T {
+        T::in_range(self, v)
+    }
+}
+
+impl<T: FromU64 + IncStep> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, v: u64) -> T {
+        let (lo, hi) = self.into_inner();
+        T::in_range(lo..hi.inc(), v)
+    }
+}
+
+/// One-past-the-end for inclusive upper bounds (integers only).
+pub trait IncStep {
+    fn inc(self) -> Self;
+}
+
+macro_rules! inc_step {
+    ($($t:ty),*) => {$(
+        impl IncStep for $t {
+            fn inc(self) -> $t {
+                self + 1
+            }
+        }
+    )*};
+}
+inc_step!(u32, u64, usize, i32, i64);
+
+/// Helper bound standing in for rand's distribution machinery.
+pub trait FromU64 {
+    fn from_u64(v: u64) -> Self;
+    fn in_range(range: core::ops::Range<Self>, v: u64) -> Self
+    where
+        Self: Sized;
+}
+
+impl FromU64 for f64 {
+    fn from_u64(v: u64) -> f64 {
+        (v >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn in_range(range: core::ops::Range<f64>, v: u64) -> f64 {
+        range.start + f64::from_u64(v) * (range.end - range.start)
+    }
+}
+
+impl FromU64 for u64 {
+    fn from_u64(v: u64) -> u64 {
+        v
+    }
+    fn in_range(range: core::ops::Range<u64>, v: u64) -> u64 {
+        range.start + v % (range.end - range.start)
+    }
+}
+
+impl FromU64 for usize {
+    fn from_u64(v: u64) -> usize {
+        v as usize
+    }
+    fn in_range(range: core::ops::Range<usize>, v: u64) -> usize {
+        range.start + (v % (range.end - range.start) as u64) as usize
+    }
+}
+
+impl FromU64 for u32 {
+    fn from_u64(v: u64) -> u32 {
+        v as u32
+    }
+    fn in_range(range: core::ops::Range<u32>, v: u64) -> u32 {
+        range.start + (v % (range.end - range.start) as u64) as u32
+    }
+}
+
+impl FromU64 for i32 {
+    fn from_u64(v: u64) -> i32 {
+        v as i32
+    }
+    fn in_range(range: core::ops::Range<i32>, v: u64) -> i32 {
+        range.start + (v % (range.end - range.start) as i64 as u64) as i32
+    }
+}
+
+impl FromU64 for i64 {
+    fn from_u64(v: u64) -> i64 {
+        v as i64
+    }
+    fn in_range(range: core::ops::Range<i64>, v: u64) -> i64 {
+        range.start + (v % (range.end - range.start) as u64) as i64
+    }
+}

@@ -1,0 +1,21 @@
+//! Minimal rayon facade for the offline harness: the parallel iterator
+//! entry points the repo uses, executed sequentially. Results are
+//! identical (the workloads are embarrassingly parallel); only wall-clock
+//! parallelism is lost, which the harness does not measure.
+
+pub mod prelude {
+    pub trait ParSliceExt<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParSliceExt<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, n: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(n)
+        }
+    }
+}

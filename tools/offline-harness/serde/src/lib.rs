@@ -1,0 +1,5 @@
+//! Minimal serde facade for the offline typecheck harness.
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+pub trait Deserialize<'de>: Sized {}

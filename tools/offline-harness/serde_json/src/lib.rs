@@ -1,0 +1,208 @@
+//! Minimal serde_json facade for the offline harness.
+//!
+//! `Value` + `json!` are real (enough to build and pretty-print the
+//! documents the bench binaries emit). The derive-driven entry points
+//! (`to_string`, `from_str`, …) are stubs that fail at runtime, because
+//! the harness's no-op serde derive emits no impls — tests that need
+//! real roundtrips must be skipped offline.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stubbed out in offline harness")
+    }
+}
+
+pub type Map = BTreeMap<String, Value>;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+impl Value {
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! value_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+    )*};
+}
+value_from_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\t' => f.write_str("\\t")?,
+            '\r' => f.write_str("\\r")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_value(f: &mut fmt::Formatter<'_>, v: &Value, pretty: bool, depth: usize) -> fmt::Result {
+    let pad = |f: &mut fmt::Formatter<'_>, d: usize| -> fmt::Result {
+        if pretty {
+            f.write_str("\n")?;
+            for _ in 0..d {
+                f.write_str("  ")?;
+            }
+        }
+        Ok(())
+    };
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Number(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                write!(f, "{}", *n as i64)
+            } else {
+                write!(f, "{n}")
+            }
+        }
+        Value::String(s) => write_escaped(f, s),
+        Value::Array(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                pad(f, depth + 1)?;
+                write_value(f, item, pretty, depth + 1)?;
+            }
+            if !items.is_empty() {
+                pad(f, depth)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(map) => {
+            f.write_str("{")?;
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                pad(f, depth + 1)?;
+                write_escaped(f, k)?;
+                f.write_str(if pretty { ": " } else { ":" })?;
+                write_value(f, item, pretty, depth + 1)?;
+            }
+            if !map.is_empty() {
+                pad(f, depth)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, f.alternate(), 0)
+    }
+}
+
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::Value::from($item)),* ])
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_entries!(map; $($body)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Object-body muncher for `json!` — handles nested `{…}` values, which
+/// a plain `$val:expr` matcher cannot (a brace literal is not an expr).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_entries {
+    ($map:ident;) => {};
+    ($map:ident; $key:tt : { $($nested:tt)* } , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!({ $($nested)* }));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:tt : { $($nested:tt)* } $(,)?) => {
+        $map.insert($key.to_string(), $crate::json!({ $($nested)* }));
+    };
+    ($map:ident; $key:tt : $val:expr , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::Value::from($val));
+        $crate::json_entries!($map; $($rest)*);
+    };
+    ($map:ident; $key:tt : $val:expr) => {
+        $map.insert($key.to_string(), $crate::Value::from($val));
+    };
+}
+
+pub fn to_string<T: ?Sized>(_v: &T) -> Result<String, Error> {
+    Err(Error)
+}
+
+pub fn to_string_pretty<T: ?Sized>(_v: &T) -> Result<String, Error> {
+    Err(Error)
+}
+
+pub fn from_str<T>(_s: &str) -> Result<T, Error> {
+    Err(Error)
+}
+
+pub fn to_value<T: ?Sized>(_v: &T) -> Result<Value, Error> {
+    Err(Error)
+}
+
+pub fn from_value<T>(_v: Value) -> Result<T, Error> {
+    Err(Error)
+}
