@@ -21,7 +21,7 @@ use remos_bench::fresh_harness;
 use remos_core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos_core::collector::SimClock;
 use remos_core::modeler::predict::{predict, PredictorKind};
-use remos_core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos_core::{FlowInfoRequest, Query, Remos, RemosConfig};
 use remos_fx::{exhaustive_cluster, greedy_cluster, set_comm_cost, SelfTraffic};
 use remos_net::topology::DirLink;
 use remos_net::{SimDuration, SimTime, Simulator};
@@ -46,10 +46,9 @@ fn ablation_graph_vs_flow_queries() {
     );
 
     // Warm up discovery, then measure marginal query costs.
-    let refs: Vec<&str> = TESTBED_HOSTS.to_vec();
-    remos.get_graph(&refs, Timeframe::Current).expect("warmup");
+    remos.run(Query::graph(TESTBED_HOSTS)).expect("warmup");
     transport.reset_stats();
-    remos.get_graph(&refs, Timeframe::Current).expect("graph query");
+    remos.run(Query::graph(TESTBED_HOSTS)).expect("graph query");
     let graph_stats = transport.stats();
 
     transport.reset_stats();
@@ -57,7 +56,7 @@ fn ablation_graph_vs_flow_queries() {
     for (i, a) in TESTBED_HOSTS.iter().enumerate() {
         for b in TESTBED_HOSTS.iter().skip(i + 1) {
             let req = FlowInfoRequest::new().independent(a, b);
-            remos.flow_info(&req, Timeframe::Current).expect("flow query");
+            remos.run(Query::flows(req)).expect("flow query");
             pair_queries += 1;
         }
     }

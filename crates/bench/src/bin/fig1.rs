@@ -18,7 +18,7 @@
 
 use remos_core::collector::oracle::OracleCollector;
 use remos_core::collector::SimClock;
-use remos_core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos_core::{FlowInfoRequest, Query, Remos, RemosConfig};
 use remos_apps::testbed::fig1_network;
 use remos_net::flow::FlowParams;
 use remos_net::{mbps, Simulator};
@@ -54,8 +54,7 @@ fn print_case(label: &str, internal_bw: Option<f64>) {
 
     // The logical topology as an application sees it.
     let nodes: Vec<String> = (1..=8).map(|i| format!("n{i}")).collect();
-    let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
-    let g = remos.get_graph(&refs, Timeframe::Current).expect("graph query");
+    let g = remos.run(Query::graph(nodes)).expect("graph query").into_graph().expect("graph");
     println!(
         "  graph: {} nodes ({} hosts), {} links",
         g.nodes.len(),
@@ -70,7 +69,11 @@ fn print_case(label: &str, internal_bw: Option<f64>) {
     );
 
     // Simultaneous flow query through switch A.
-    let resp = remos.flow_info(&four_flow_query(), Timeframe::Current).expect("flow query");
+    let resp = remos
+        .run(Query::flows(four_flow_query()))
+        .expect("flow query")
+        .into_flows()
+        .expect("flows");
     print!("  4 simultaneous A-switch flows:");
     for grant in &resp.variable {
         print!(

@@ -10,7 +10,7 @@
 use remos_apps::synthetic::{install_scenario, TrafficScenario};
 use remos_apps::testbed::{TESTBED_HOSTS, TESTBED_ROUTERS};
 use remos_bench::fresh_harness;
-use remos_core::Timeframe;
+use remos_core::Query;
 use remos_net::SimDuration;
 
 fn main() {
@@ -18,11 +18,11 @@ fn main() {
     let mut h = fresh_harness();
 
     // Fig 3: print the discovered topology through Remos itself.
-    let refs: Vec<&str> = TESTBED_HOSTS.to_vec();
     let g = h
         .adapter
         .remos_mut()
-        .get_graph(&refs, Timeframe::Current)
+        .run(Query::graph(TESTBED_HOSTS))
+        .and_then(remos_core::QueryResult::into_graph)
         .expect("graph query");
     println!("Testbed (as discovered via SNMP):");
     for l in &g.links {

@@ -19,15 +19,19 @@ use remos_apps::synthetic::add_greedy_traffic;
 use remos_apps::testbed::star;
 use remos_apps::video::{VideoConfig, VideoStream};
 use remos_apps::TestbedHarness;
-use remos_core::Timeframe;
+use remos_core::Query;
 use remos_net::{NodeId, SimDuration, SimTime};
 
 fn broadcast_demo() {
     println!("== Optimization of communication: broadcast strategy ==");
     let mut h = TestbedHarness::new(star(8));
     let members: Vec<String> = (0..8).map(|i| format!("h{i}")).collect();
-    let refs: Vec<&str> = members.iter().map(String::as_str).collect();
-    let g = h.adapter.remos_mut().get_graph(&refs, Timeframe::Current).expect("graph");
+    let g = h
+        .adapter
+        .remos_mut()
+        .run(Query::graph(members.iter().cloned()))
+        .and_then(remos_core::QueryResult::into_graph)
+        .expect("graph");
     let bytes = 1_250_000u64;
     let ids: Vec<NodeId> = {
         let s = h.sim.lock();

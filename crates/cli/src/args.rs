@@ -18,11 +18,11 @@ pub struct Parsed {
 const VALUED: &[&str] = &[
     "--scenario", "--nodes", "--window", "--future", "--warmup", "--fixed", "--variable",
     "--independent", "--pool", "--start", "-k", "--app", "--pair", "--interval",
-    "--duration",
+    "--duration", "--format",
 ];
 
 /// Bare flags.
-const FLAGS: &[&str] = &["--json", "--adaptive", "--dot"];
+const FLAGS: &[&str] = &["--json", "--adaptive", "--dot", "--trace"];
 
 impl Parsed {
     /// Parse `argv` (without the program name).

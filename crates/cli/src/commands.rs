@@ -3,7 +3,7 @@
 use crate::args::{parse_pair, parse_pair_value, Parsed};
 use remos_apps::scenario::{Scenario, TrafficSpec};
 use remos_apps::TestbedHarness;
-use remos_core::{FlowInfoRequest, Timeframe};
+use remos_core::{FlowInfoRequest, Query, QueryResult, Timeframe};
 use remos_net::{mbps, SimDuration};
 use std::io::Write;
 
@@ -94,9 +94,13 @@ pub fn topology(p: &Parsed, out: &mut dyn Write) -> CmdResult {
 pub fn graph(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     let mut h = harness(p)?;
     let nodes = p.get_list("--nodes")?;
-    let refs: Vec<&str> = nodes.iter().map(String::as_str).collect();
     let tf = timeframe(p)?;
-    let g = h.adapter.remos_mut().get_graph(&refs, tf).map_err(|e| e.to_string())?;
+    let g = h
+        .adapter
+        .remos_mut()
+        .run(Query::graph(nodes.iter().cloned()).timeframe(tf))
+        .and_then(QueryResult::into_graph)
+        .map_err(|e| e.to_string())?;
     if p.flag("--dot") {
         write!(out, "{}", g.to_dot()).map_err(io_err)?;
         return Ok(());
@@ -108,6 +112,14 @@ pub fn graph(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     }
     writeln!(out, "logical topology ({} nodes, {} links):", g.nodes.len(), g.links.len())
         .map_err(io_err)?;
+    if let Some(prov) = &g.provenance {
+        writeln!(
+            out,
+            "  provenance: {} snapshot(s), worst quality {:?}, solver {}",
+            prov.snapshots, prov.worst_quality, prov.solver
+        )
+        .map_err(io_err)?;
+    }
     for l in &g.links {
         writeln!(
             out,
@@ -167,7 +179,12 @@ pub fn flows(p: &Parsed, out: &mut dyn Write) -> CmdResult {
         return Err("no flows given (use --fixed/--variable/--independent)".into());
     }
     let tf = timeframe(p)?;
-    let resp = h.adapter.remos_mut().flow_info(&req, tf).map_err(|e| e.to_string())?;
+    let resp = h
+        .adapter
+        .remos_mut()
+        .run(Query::flows(req).timeframe(tf))
+        .and_then(QueryResult::into_flows)
+        .map_err(|e| e.to_string())?;
     for g in &resp.fixed {
         writeln!(
             out,
@@ -317,7 +334,8 @@ pub fn watch(p: &Parsed, out: &mut dyn Write) -> CmdResult {
         let g = h
             .adapter
             .remos_mut()
-            .get_graph(&[&src, &dst], Timeframe::Current)
+            .run(Query::graph([src.as_str(), dst.as_str()]))
+            .and_then(QueryResult::into_graph)
             .map_err(|e| e.to_string())?;
         let a = g.index_of(&src).map_err(|e| e.to_string())?;
         let b = g.index_of(&dst).map_err(|e| e.to_string())?;
@@ -331,7 +349,9 @@ pub fn watch(p: &Parsed, out: &mut dyn Write) -> CmdResult {
                 let gw = h
                     .adapter
                     .remos_mut()
-                    .get_graph(&[&src, &dst], Timeframe::Window(w))
+                    .run(Query::graph([src.as_str(), dst.as_str()])
+                        .timeframe(Timeframe::Window(w)))
+                    .and_then(QueryResult::into_graph)
                     .map_err(|e| e.to_string())?;
                 let a = gw.index_of(&src).map_err(|e| e.to_string())?;
                 // The two-node logical graph is a single link; summarize
@@ -350,6 +370,48 @@ pub fn watch(p: &Parsed, out: &mut dyn Write) -> CmdResult {
                 )
                 .map_err(io_err)?;
             }
+        }
+    }
+    Ok(())
+}
+
+/// `remos-sim obs`
+///
+/// Exercise the stack (warmup plus an optional graph query over
+/// `--nodes`), then dump the shared observability state: the metrics
+/// registry as JSON (default) or Prometheus text, and with `--trace`
+/// the structured trace digest and records.
+pub fn obs(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    if p.get("--nodes").is_some() {
+        let nodes = p.get_list("--nodes")?;
+        let tf = timeframe(p)?;
+        h.adapter
+            .remos_mut()
+            .run(Query::graph(nodes.iter().cloned()).timeframe(tf))
+            .map_err(|e| e.to_string())?;
+    }
+    let snap = h.obs.metrics_snapshot();
+    match p.get("--format").unwrap_or("json") {
+        "json" => writeln!(out, "{}", snap.to_json()).map_err(io_err)?,
+        "prometheus" | "prom" => {
+            write!(out, "{}", snap.render_prometheus()).map_err(io_err)?
+        }
+        other => return Err(format!("--format: expected json or prometheus, got {other:?}")),
+    }
+    if p.flag("--trace") {
+        writeln!(
+            out,
+            "# trace digest={:016x} recorded={}",
+            h.obs.trace_digest(),
+            h.obs.trace_recorded()
+        )
+        .map_err(io_err)?;
+        for r in h.obs.trace_records() {
+            let attrs: Vec<String> =
+                r.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            writeln!(out, "# {:?} {} t={}ns {}", r.kind, r.name, r.t_nanos, attrs.join(" "))
+                .map_err(io_err)?;
         }
     }
     Ok(())

@@ -11,6 +11,7 @@
 //! remos-sim run      --scenario cmu --app fft:512:4 --nodes m-4,m-5,m-6,m-7
 //! remos-sim run      --scenario fig4 --app airshed:8:10 --nodes m-4,m-5,m-6,m-7,m-8 --adaptive
 //! remos-sim watch    --scenario fig4 --pair m-4:m-8 --interval 1 --duration 10
+//! remos-sim obs      --scenario cmu --nodes m-1,m-8 --format prometheus --trace
 //! remos-sim example  > my-scenario.json   # then: --scenario my-scenario.json
 //! ```
 //!
@@ -35,6 +36,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "select" => commands::select(&parsed, out),
         "run" => commands::run_app(&parsed, out),
         "watch" => commands::watch(&parsed, out),
+        "obs" => commands::obs(&parsed, out),
         "example" => commands::example(out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", HELP).map_err(|e| e.to_string())
@@ -56,6 +58,7 @@ COMMANDS:
   select    Remos-driven node selection (greedy clustering, §7.2)
   run       execute an application model on chosen nodes
   watch     sample available bandwidth of a pair over time
+  obs       dump observability state (metrics, optionally traces)
   example   print an example scenario JSON to stdout
   help      this text
 
@@ -73,6 +76,7 @@ COMMAND OPTIONS:
   run:     --app fft:N:P | airshed:P[:ITERS]
            --nodes a,b,...          [--adaptive [--pool a,b,...]]
   watch:   --pair src:dst --interval S --duration S [--window S]
+  obs:     [--nodes a,b,...] [--format json|prometheus] [--trace]
 ";
 
 #[cfg(test)]
@@ -240,6 +244,26 @@ mod tests {
         assert!(out.contains("[min|q1|median|q3|max]"), "{out}");
         let quartile_lines = out.lines().filter(|l| l.contains("] n=")).count();
         assert!(quartile_lines >= 4, "{out}");
+    }
+
+    #[test]
+    fn obs_metrics_json() {
+        let out = call(&["obs", "--scenario", "cmu", "--nodes", "m-1,m-8"]).unwrap();
+        // The graph query bumps the facade counter; collector polls ran.
+        assert!(out.contains("\"remos_graph_queries_total\""), "{out}");
+        assert!(out.contains("\"collector_polls_total\""), "{out}");
+    }
+
+    #[test]
+    fn obs_metrics_prometheus_and_trace() {
+        let out = call(&[
+            "obs", "--scenario", "cmu", "--nodes", "m-1,m-8", "--format", "prometheus",
+            "--trace",
+        ])
+        .unwrap();
+        assert!(out.contains("# TYPE remos_graph_queries_total counter"), "{out}");
+        assert!(out.contains("# trace digest="), "{out}");
+        assert!(call(&["obs", "--scenario", "cmu", "--format", "xml"]).is_err());
     }
 
     #[test]

@@ -214,11 +214,16 @@ mod tests {
     #[test]
     fn selection_via_remos_graph() {
         use crate::TestbedHarness;
-        use remos_core::Timeframe;
+        use remos_core::Query;
         let mut h = TestbedHarness::new(star(8));
         let members: Vec<String> = (0..8).map(|i| format!("h{i}")).collect();
-        let refs: Vec<&str> = members.iter().map(String::as_str).collect();
-        let g = h.adapter.remos_mut().get_graph(&refs, Timeframe::Current).unwrap();
+        let g = h
+            .adapter
+            .remos_mut()
+            .run(Query::graph(members.iter().cloned()))
+            .unwrap()
+            .into_graph()
+            .unwrap();
         let (best, t) = select_strategy(&g, &members, 1_250_000).unwrap();
         assert_eq!(best, BroadcastStrategy::BinomialTree);
         assert!((t - 0.3).abs() < 0.05, "{t}");

@@ -11,6 +11,7 @@ use remos_core::{CoreResult, Remos, RemosConfig};
 use remos_fx::runtime::{ExecutionReport, FxResult, FxRuntime, Mapping, RuntimeConfig};
 use remos_fx::{AdaptConfig, Adapter, Program};
 use remos_net::{Simulator, Topology};
+use remos_obs::Obs;
 use remos_snmp::fault::FaultDirector;
 use remos_snmp::sim::{register_all_agents, register_all_agents_with_faults, share, SharedSim};
 use remos_snmp::SimTransport;
@@ -26,6 +27,9 @@ pub struct TestbedHarness {
     pub runtime: FxRuntime,
     /// The adaptation module (owns the Remos instance).
     pub adapter: Adapter,
+    /// Shared observability handle: every layer (simulator engine, SNMP
+    /// manager, collector, Remos facade, adapter) reports into it.
+    pub obs: Obs,
 }
 
 impl TestbedHarness {
@@ -46,7 +50,10 @@ impl TestbedHarness {
         adapt_cfg: AdaptConfig,
         remos_cfg: RemosConfig,
     ) -> TestbedHarness {
-        let sim = share(Simulator::new(topo).expect("topology is valid"));
+        let obs = Obs::new();
+        let mut simulator = Simulator::new(topo).expect("topology is valid");
+        simulator.set_obs(obs.clone());
+        let sim = share(simulator);
         let transport = Arc::new(SimTransport::new());
         let agents = register_all_agents(&transport, &sim, "public");
         let mut collector = SnmpCollector::new(
@@ -59,14 +66,16 @@ impl TestbedHarness {
             Arc::clone(&sim),
             "public",
         )));
-        let remos = Remos::new(
+        let mut remos = Remos::new(
             Box::new(collector),
             Box::new(SimClock(Arc::clone(&sim))),
             remos_cfg,
         );
-        let adapter = Adapter::new(remos, adapt_cfg);
+        remos.set_obs(obs.clone());
+        let mut adapter = Adapter::new(remos, adapt_cfg);
+        adapter.set_obs(&obs);
         let runtime = FxRuntime::new(Arc::clone(&sim), runtime_cfg);
-        TestbedHarness { sim, transport, runtime, adapter }
+        TestbedHarness { sim, transport, runtime, adapter, obs }
     }
 
     /// The paper's testbed (Fig 3) with default configurations.
@@ -83,9 +92,11 @@ impl TestbedHarness {
         director: &Arc<FaultDirector>,
         collector_cfg: SnmpCollectorConfig,
     ) -> TestbedHarness {
-        let sim = share(
-            Simulator::new(crate::testbed::cmu_testbed()).expect("topology is valid"),
-        );
+        let obs = Obs::new();
+        let mut simulator =
+            Simulator::new(crate::testbed::cmu_testbed()).expect("topology is valid");
+        simulator.set_obs(obs.clone());
+        let sim = share(simulator);
         let transport = Arc::new(SimTransport::new());
         let agents = register_all_agents_with_faults(&transport, &sim, "public", director);
         let mut collector =
@@ -94,14 +105,16 @@ impl TestbedHarness {
             Arc::clone(&sim),
             "public",
         )));
-        let remos = Remos::new(
+        let mut remos = Remos::new(
             Box::new(collector),
             Box::new(SimClock(Arc::clone(&sim))),
             RemosConfig::default(),
         );
-        let adapter = Adapter::new(remos, AdaptConfig::default());
+        remos.set_obs(obs.clone());
+        let mut adapter = Adapter::new(remos, AdaptConfig::default());
+        adapter.set_obs(&obs);
         let runtime = FxRuntime::new(Arc::clone(&sim), RuntimeConfig::default());
-        TestbedHarness { sim, transport, runtime, adapter }
+        TestbedHarness { sim, transport, runtime, adapter, obs }
     }
 
     /// Remos-driven node selection (§7.3): query, cluster, return names.

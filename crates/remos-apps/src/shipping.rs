@@ -11,7 +11,8 @@
 //! bandwidth via a flow query), and [`execute`] carries the decision out
 //! against the simulator so the prediction can be validated.
 
-use remos_core::{CoreResult, FlowInfoRequest, Remos, Timeframe};
+use remos_core::prelude::*;
+use remos_core::Remos;
 use remos_net::flow::FlowParams;
 use remos_snmp::sim::SharedSim;
 use serde::{Deserialize, Serialize};
@@ -56,7 +57,7 @@ pub fn decide(
     let req = FlowInfoRequest::new()
         .variable(client, server, 1.0)
         .variable(server, client, 1.0);
-    let resp = remos.flow_info(&req, Timeframe::Current)?;
+    let resp = remos.run(Query::flows(req))?.into_flows()?;
     let up = resp.variable[0].bandwidth.median;
     let down = resp.variable[1].bandwidth.median;
     let up_lat = resp.variable[0].latency.as_secs_f64();

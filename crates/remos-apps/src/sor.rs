@@ -17,7 +17,8 @@
 //! seconds at measured bandwidth, and `o` the per-step overhead (barrier +
 //! path latency). The optimum is near `d* = sqrt((P-1)(C+X)/o)`.
 
-use remos_core::{CoreResult, Remos, Timeframe};
+use remos_core::prelude::*;
+use remos_core::Remos;
 use remos_net::flow::FlowParams;
 use remos_net::{NodeId, SimDuration};
 use remos_snmp::sim::SharedSim;
@@ -69,8 +70,7 @@ pub fn select_depth(
     cfg: &SorConfig,
 ) -> CoreResult<(usize, f64)> {
     assert!(chain.len() >= 2, "pipeline needs at least 2 stages");
-    let refs: Vec<&str> = chain.iter().map(String::as_str).collect();
-    let graph = remos.get_graph(&refs, Timeframe::Current)?;
+    let graph = remos.run(Query::graph(chain.iter().cloned()))?.into_graph()?;
     // Slowest hop gates every step.
     let mut worst_bw = f64::INFINITY;
     let mut worst_lat = 0.0f64;

@@ -14,7 +14,8 @@
 //! §4.2 use of fixed flows: "for a fixed flow, an application may be
 //! primarily interested in whether the network can support it."
 
-use remos_core::{CoreResult, FlowInfoRequest, Remos, Timeframe};
+use remos_core::prelude::*;
+use remos_core::Remos;
 use remos_net::flow::{FlowParams, FlowTag};
 use remos_net::{Bps, SimDuration};
 use remos_snmp::sim::SharedSim;
@@ -83,7 +84,7 @@ impl VideoStream {
     fn supports(&self, remos: &mut Remos, fps: f64, margin: f64) -> CoreResult<bool> {
         let need = self.rate_bps(fps) * margin;
         let req = FlowInfoRequest::new().fixed(&self.src, &self.dst, need);
-        let resp = remos.flow_info(&req, Timeframe::Current)?;
+        let resp = remos.run(Query::flows(req))?.into_flows()?;
         Ok(resp.fixed[0].fully_satisfied)
     }
 

@@ -21,7 +21,8 @@
 //! | `nondet-collection` | solver/simulation paths (`remos-net`, `remos-core/src/modeler`, `remos-snmp/src/sim.rs`) | `HashMap` / `HashSet` tokens — iteration order can leak into results; use `BTreeMap` / `BTreeSet` or sorted iteration |
 //! | `float-eq` | all library crates | `==` / `!=` with a float literal (or `f32`/`f64` path) operand |
 //! | `panic-site` | library (non-test) code of `remos-core`, `remos-net`, `remos-snmp` | `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
-//! | `wall-clock` | all library crates | `std::time::Instant` / `SystemTime` in simulated-time code |
+//! | `wall-clock` | all library crates (except `remos-obs/src/clock.rs`, the one sanctioned wall-clock source) | `std::time::Instant` / `SystemTime` in simulated-time code |
+//! | `deprecated-shim` | every library source except `remos-core/src/api.rs` | `.get_graph(` / `.flow_info(` / `.reachable_peers(` — the positional Remos API is deprecated; build a `Query` and call `Remos::run` |
 //!
 //! Violations inside `#[cfg(test)]` modules, doc comments, strings, and
 //! `src/bin` / `main.rs` targets are not reported. Justified sites are
@@ -451,6 +452,8 @@ pub struct RuleScope {
     pub panic: bool,
     /// `wall-clock` applies (simulated-time code).
     pub wall_clock: bool,
+    /// `deprecated-shim` applies (everywhere but the shims' home).
+    pub deprecated_shim: bool,
 }
 
 /// Classify a workspace-relative path (`crates/remos-net/src/engine.rs`).
@@ -464,17 +467,25 @@ pub fn scope_for(rel: &Path) -> RuleScope {
     let lib_crate = p.starts_with("crates/remos-core/")
         || p.starts_with("crates/remos-net/")
         || p.starts_with("crates/remos-snmp/");
-    let five_crates = lib_crate
+    let audited_crates = lib_crate
         || p.starts_with("crates/remos-fx/")
-        || p.starts_with("crates/remos-apps/");
+        || p.starts_with("crates/remos-apps/")
+        || p.starts_with("crates/remos-obs/");
     let solver_path = p.starts_with("crates/remos-net/src/")
         || p.starts_with("crates/remos-core/src/modeler/")
         || p == "crates/remos-snmp/src/sim.rs";
+    // remos-obs/src/clock.rs is the one sanctioned wall-clock source: it
+    // exists to *plug* a clock into Obs, and SimTime-stamped tracing in
+    // simulated code never routes through it.
+    let sanctioned_clock = p == "crates/remos-obs/src/clock.rs";
     RuleScope {
         nondet: solver_path,
-        float_eq: five_crates,
+        float_eq: audited_crates,
         panic: lib_crate,
-        wall_clock: five_crates,
+        wall_clock: audited_crates && !sanctioned_clock,
+        // The positional query shims live (and are tested) in api.rs;
+        // every other library source must use the QuerySpec builder.
+        deprecated_shim: p != "crates/remos-core/src/api.rs",
     }
 }
 
@@ -524,6 +535,23 @@ pub fn check_tokens(file: &Path, toks: &[Token], scope: RuleScope) -> Vec<Violat
                             format!(
                                 "{name} in simulated-time code: wall-clock reads make runs \
                                  irreproducible; thread SimTime through instead"
+                            ),
+                        ));
+                    }
+                }
+                if scope.deprecated_shim
+                    && matches!(name, "get_graph" | "flow_info" | "reachable_peers")
+                {
+                    let is_method = k >= 1 && toks[k - 1].text == ".";
+                    let is_call = k + 1 < toks.len() && toks[k + 1].text == "(";
+                    if is_method && is_call {
+                        out.push(mk(
+                            "deprecated-shim",
+                            t.line,
+                            name,
+                            format!(
+                                ".{name}() is a deprecated positional shim: build the query \
+                                 with `Query::..` and execute it with `Remos::run`"
                             ),
                         ));
                     }
@@ -700,7 +728,13 @@ mod tests {
     }
 
     fn all_scope() -> RuleScope {
-        RuleScope { nondet: true, float_eq: true, panic: true, wall_clock: true }
+        RuleScope {
+            nondet: true,
+            float_eq: true,
+            panic: true,
+            wall_clock: true,
+            deprecated_shim: true,
+        }
     }
 
     fn check(src: &str) -> Vec<Violation> {
@@ -817,16 +851,39 @@ mod tests {
         assert!(s.nondet && s.panic && s.float_eq && s.wall_clock);
         let s = scope_for(Path::new("crates/remos-core/src/api.rs"));
         assert!(!s.nondet && s.panic);
+        // The shims live in api.rs; only there may they be called.
+        assert!(!s.deprecated_shim);
         let s = scope_for(Path::new("crates/remos-core/src/modeler/mod.rs"));
-        assert!(s.nondet);
+        assert!(s.nondet && s.deprecated_shim);
         let s = scope_for(Path::new("crates/remos-snmp/src/sim.rs"));
         assert!(s.nondet);
         let s = scope_for(Path::new("crates/remos-fx/src/adapt.rs"));
-        assert!(!s.nondet && !s.panic && s.float_eq);
+        assert!(!s.nondet && !s.panic && s.float_eq && s.deprecated_shim);
+        let s = scope_for(Path::new("crates/cli/src/commands.rs"));
+        assert!(!s.float_eq && !s.panic && s.deprecated_shim);
         let s = scope_for(Path::new("crates/cli/src/main.rs"));
-        assert!(!s.float_eq && !s.panic);
+        assert!(!s.float_eq && !s.panic && !s.deprecated_shim);
         let s = scope_for(Path::new("crates/bench/src/bin/fig4.rs"));
-        assert!(!s.float_eq && !s.panic);
+        assert!(!s.float_eq && !s.panic && !s.deprecated_shim);
+        // remos-obs is audited like the other library crates, except its
+        // clock module, which is the sanctioned wall-clock source.
+        let s = scope_for(Path::new("crates/remos-obs/src/metrics.rs"));
+        assert!(s.float_eq && s.wall_clock && !s.panic);
+        let s = scope_for(Path::new("crates/remos-obs/src/clock.rs"));
+        assert!(s.float_eq && !s.wall_clock);
+    }
+
+    #[test]
+    fn deprecated_shim_calls_flagged() {
+        let v = check("fn f() { remos.get_graph(&refs, tf); r.flow_info(&req, tf); }");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "deprecated-shim"));
+        // Definitions and path references are not calls.
+        let v = check("pub fn get_graph(&mut self) {} fn g() { Modeler::flow_info; }");
+        assert!(v.is_empty(), "{v:?}");
+        // Migrated call sites pass.
+        let v = check("fn f() { remos.run(Query::graph([\"a\"])).unwrap(); }");
+        assert!(v.iter().all(|v| v.rule != "deprecated-shim"), "{v:?}");
     }
 
     #[test]

@@ -47,7 +47,12 @@ fn main() -> ExitCode {
     for path in &files {
         let rel = path.strip_prefix(&root).unwrap_or(path);
         let scope = scope_for(rel);
-        if !(scope.nondet || scope.float_eq || scope.panic || scope.wall_clock) {
+        if !(scope.nondet
+            || scope.float_eq
+            || scope.panic
+            || scope.wall_clock
+            || scope.deprecated_shim)
+        {
             continue;
         }
         let src = match std::fs::read_to_string(path) {

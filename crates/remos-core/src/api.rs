@@ -7,14 +7,20 @@
 //! paper attributes to Remos ("the cost that an application pays in terms
 //! of runtime overhead is low and directly related to the depth and
 //! frequency of its requests").
+//!
+//! Queries are built with [`Query`](crate::query::Query) and executed by
+//! [`Remos::run`]; the positional `get_graph`/`flow_info`/
+//! `reachable_peers` methods remain as deprecated shims.
 
 use crate::collector::{Clock, Collector};
-use crate::error::{CoreResult, RemosError};
+use crate::error::{CoreResult, InvalidQueryKind, RemosError};
 use crate::flows::{FlowInfoRequest, FlowInfoResponse};
 use crate::graph::{HostInfo, RemosGraph};
 use crate::modeler::{Modeler, ModelerConfig};
+use crate::query::{Query, QueryResult, QuerySpec};
 use crate::timeframe::Timeframe;
 use remos_net::SimDuration;
+use remos_obs::{Counter, Obs};
 
 /// Remos configuration.
 #[derive(Clone, Copy, Debug)]
@@ -35,19 +41,54 @@ impl Default for RemosConfig {
     }
 }
 
+/// Cached counter handles for the facade's hot path.
+struct RemosMetrics {
+    graph_queries: Counter,
+    flow_queries: Counter,
+    rejected_queries: Counter,
+}
+
+impl RemosMetrics {
+    fn new(obs: &Obs) -> RemosMetrics {
+        RemosMetrics {
+            graph_queries: obs.counter("remos_graph_queries_total"),
+            flow_queries: obs.counter("remos_flow_queries_total"),
+            rejected_queries: obs.counter("remos_rejected_queries_total"),
+        }
+    }
+}
+
 /// The Remos query interface.
 pub struct Remos {
     collector: Box<dyn Collector>,
     clock: Box<dyn Clock>,
     modeler: Modeler,
     cfg: RemosConfig,
+    obs: Obs,
+    obs_metrics: RemosMetrics,
 }
 
 impl Remos {
     /// Assemble the system. The collector's topology is discovered lazily
     /// on first use (or call [`Remos::refresh_topology`]).
     pub fn new(collector: Box<dyn Collector>, clock: Box<dyn Clock>, cfg: RemosConfig) -> Remos {
-        Remos { collector, clock, modeler: Modeler::new(cfg.modeler), cfg }
+        let obs = Obs::new();
+        let obs_metrics = RemosMetrics::new(&obs);
+        Remos { collector, clock, modeler: Modeler::new(cfg.modeler), cfg, obs, obs_metrics }
+    }
+
+    /// Report into a shared observability handle: facade query counters,
+    /// plus everything the collector underneath reports (polls, agent
+    /// health, SNMP fault paths).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.collector.set_obs(&obs);
+        self.obs_metrics = RemosMetrics::new(&obs);
+        self.obs = obs;
+    }
+
+    /// The observability handle this facade reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Re-discover the network topology (clears measurement history).
@@ -97,34 +138,107 @@ impl Remos {
         Ok(())
     }
 
+    /// Execute a typed query built with [`Query`].
+    ///
+    /// Malformed queries (empty node or flow sets) are rejected before any
+    /// measurement time is consumed; answers that miss a requested
+    /// [`min_quality`](crate::query::GraphQuery::min_quality) floor fail
+    /// with [`RemosError::QualityTooLow`] after measurement.
+    pub fn run(&mut self, spec: impl Into<QuerySpec>) -> CoreResult<QueryResult> {
+        let res = self.dispatch(spec.into());
+        if res.is_err() {
+            self.obs_metrics.rejected_queries.inc();
+        }
+        res
+    }
+
+    fn dispatch(&mut self, spec: QuerySpec) -> CoreResult<QueryResult> {
+        match spec {
+            QuerySpec::Graph(q) => {
+                self.obs_metrics.graph_queries.inc();
+                if q.nodes.is_empty() {
+                    return Err(InvalidQueryKind::EmptyNodeSet.into());
+                }
+                self.ensure_samples(q.timeframe)?;
+                let mut g =
+                    self.modeler.get_graph(&*self.collector, &q.nodes, q.timeframe)?;
+                if let Some(required) = q.min_quality {
+                    let actual = g.worst_quality();
+                    if !actual.meets(required) {
+                        return Err(RemosError::QualityTooLow { required, actual });
+                    }
+                }
+                if !q.provenance {
+                    g.provenance = None;
+                }
+                Ok(QueryResult::Graph(g))
+            }
+            QuerySpec::Flows(q) => {
+                self.obs_metrics.flow_queries.inc();
+                if q.request.flow_count() == 0 {
+                    return Err(InvalidQueryKind::EmptyFlowRequest.into());
+                }
+                self.ensure_samples(q.timeframe)?;
+                let mut resp =
+                    self.modeler.flow_info(&*self.collector, &q.request, q.timeframe)?;
+                if let Some(required) = q.min_quality {
+                    let actual = resp.worst_quality();
+                    if !actual.meets(required) {
+                        return Err(RemosError::QualityTooLow { required, actual });
+                    }
+                }
+                if !q.provenance {
+                    for g in resp
+                        .fixed
+                        .iter_mut()
+                        .chain(resp.variable.iter_mut())
+                        .chain(resp.independent.iter_mut())
+                    {
+                        g.provenance = None;
+                    }
+                }
+                Ok(QueryResult::Flows(resp))
+            }
+            QuerySpec::Reachable(q) => {
+                if self.collector.topology().is_err() {
+                    self.collector.refresh_topology()?;
+                }
+                let topo = self.collector.topology()?;
+                let a = topo
+                    .lookup(&q.anchor)
+                    .map_err(|_| RemosError::UnknownNode(q.anchor.clone()))?;
+                let routing = remos_net::routing::Routing::new(&topo);
+                Ok(QueryResult::Peers(
+                    q.candidates
+                        .iter()
+                        .filter(|c| {
+                            topo.lookup(c)
+                                .map(|id| id == a || routing.path(&topo, a, id).is_ok())
+                                .unwrap_or(false)
+                        })
+                        .cloned()
+                        .collect(),
+                ))
+            }
+        }
+    }
+
     /// `remos_get_graph(nodes, graph, timeframe)`: the logical topology
     /// relevant to `nodes`, annotated for `timeframe`.
-    ///
-    /// Malformed queries (empty node set) are rejected before any
-    /// measurement time is consumed.
+    #[deprecated(note = "build the query with `Query::graph(..)` and execute it with `Remos::run`")]
     pub fn get_graph(&mut self, nodes: &[&str], tf: Timeframe) -> CoreResult<RemosGraph> {
-        if nodes.is_empty() {
-            return Err(RemosError::InvalidQuery("empty node set".into()));
-        }
-        let names: Vec<String> = nodes.iter().map(|s| s.to_string()).collect();
-        self.ensure_samples(tf)?;
-        self.modeler.get_graph(&*self.collector, &names, tf)
+        self.run(Query::graph(nodes.iter().copied()).timeframe(tf))?
+            .into_graph()
     }
 
     /// `remos_flow_info(fixed, variable, independent, timeframe)`.
-    ///
-    /// An empty request (no fixed, variable, or independent flows) is
-    /// rejected before any measurement time is consumed.
+    #[deprecated(note = "build the query with `Query::flows(..)` and execute it with `Remos::run`")]
     pub fn flow_info(
         &mut self,
         req: &FlowInfoRequest,
         tf: Timeframe,
     ) -> CoreResult<FlowInfoResponse> {
-        if req.fixed.is_empty() && req.variable.is_empty() && req.independent.is_none() {
-            return Err(RemosError::InvalidQuery("empty flow_info request".into()));
-        }
-        self.ensure_samples(tf)?;
-        self.modeler.flow_info(&*self.collector, req, tf)
+        self.run(Query::flows(req.clone()).timeframe(tf))?.into_flows()
     }
 
     /// The simple host compute/memory interface (§2).
@@ -139,28 +253,16 @@ impl Remos {
     /// (per the collector's latest discovered view). Lets adaptation
     /// modules shrink their node pool when the network partitions instead
     /// of failing their graph queries.
+    #[deprecated(
+        note = "build the query with `Query::reachable(..)` and execute it with `Remos::run`"
+    )]
     pub fn reachable_peers(
         &mut self,
         anchor: &str,
         candidates: &[String],
     ) -> CoreResult<Vec<String>> {
-        if self.collector.topology().is_err() {
-            self.collector.refresh_topology()?;
-        }
-        let topo = self.collector.topology()?;
-        let a = topo
-            .lookup(anchor)
-            .map_err(|_| RemosError::UnknownNode(anchor.to_string()))?;
-        let routing = remos_net::routing::Routing::new(&topo);
-        Ok(candidates
-            .iter()
-            .filter(|c| {
-                topo.lookup(c)
-                    .map(|id| id == a || routing.path(&topo, a, id).is_ok())
-                    .unwrap_or(false)
-            })
-            .cloned()
-            .collect())
+        self.run(Query::reachable(anchor, candidates.iter().cloned()))?
+            .into_peers()
     }
 }
 
@@ -208,7 +310,9 @@ mod tests {
     fn graph_query_discovers_logical_topology() {
         let (mut remos, _sim) = full_stack();
         let g = remos
-            .get_graph(&["m-1", "m-2", "m-3", "m-4"], Timeframe::Current)
+            .run(Query::graph(["m-1", "m-2", "m-3", "m-4"]))
+            .unwrap()
+            .into_graph()
             .unwrap();
         // Logical view keeps the two junction routers.
         assert_eq!(g.nodes.len(), 6);
@@ -223,7 +327,7 @@ mod tests {
     #[test]
     fn two_host_query_collapses_backbone() {
         let (mut remos, _sim) = full_stack();
-        let g = remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+        let g = remos.run(Query::graph(["m-1", "m-3"])).unwrap().into_graph().unwrap();
         // Logical topology for two hosts: one collapsed link.
         assert_eq!(g.nodes.len(), 2);
         assert_eq!(g.links.len(), 1);
@@ -241,7 +345,7 @@ mod tests {
             s.start_flow(FlowParams::cbr(m1, m3, mbps(60.0))).unwrap();
             s.run_for(SimDuration::from_secs(1)).unwrap();
         }
-        let g = remos.get_graph(&["m-2", "m-4"], Timeframe::Current).unwrap();
+        let g = remos.run(Query::graph(["m-2", "m-4"])).unwrap().into_graph().unwrap();
         let m2 = g.index_of("m-2").unwrap();
         let m4 = g.index_of("m-4").unwrap();
         // The m-2 -> m-4 path shares the backbone with the 60 Mbps flow.
@@ -261,7 +365,7 @@ mod tests {
         let req = FlowInfoRequest::new()
             .variable("m-1", "m-3", 1.0)
             .variable("m-2", "m-3", 1.0);
-        let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+        let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
         for g in &resp.variable {
             assert!(
                 (g.bandwidth.median - mbps(50.0)).abs() < mbps(2.0),
@@ -271,7 +375,7 @@ mod tests {
         }
         // Queried individually, each flow would (misleadingly) see 100.
         let alone = FlowInfoRequest::new().variable("m-1", "m-3", 1.0);
-        let r = remos.flow_info(&alone, Timeframe::Current).unwrap();
+        let r = remos.run(Query::flows(alone)).unwrap().into_flows().unwrap();
         assert!(r.variable[0].bandwidth.median > mbps(95.0));
     }
 
@@ -282,7 +386,7 @@ mod tests {
             .fixed("m-1", "m-3", mbps(20.0))
             .variable("m-1", "m-3", 1.0)
             .independent("m-2", "m-3");
-        let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+        let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
         let f = &resp.fixed[0];
         assert!(f.fully_satisfied);
         assert!((f.bandwidth.median - mbps(20.0)).abs() < mbps(1.0));
@@ -299,7 +403,10 @@ mod tests {
     fn window_query_accumulates_history() {
         let (mut remos, _sim) = full_stack();
         let g = remos
-            .get_graph(&["m-1", "m-3"], Timeframe::Window(SimDuration::from_secs(2)))
+            .run(Query::graph(["m-1", "m-3"])
+                .timeframe(Timeframe::Window(SimDuration::from_secs(2))))
+            .unwrap()
+            .into_graph()
             .unwrap();
         assert!(g.links[0].avail[0].samples >= 2, "{}", g.links[0].avail[0].samples);
     }
@@ -309,10 +416,14 @@ mod tests {
         let (mut remos, _sim) = full_stack();
         // Prime some history first.
         remos
-            .get_graph(&["m-1", "m-3"], Timeframe::Window(SimDuration::from_secs(1)))
+            .run(Query::graph(["m-1", "m-3"])
+                .timeframe(Timeframe::Window(SimDuration::from_secs(1))))
             .unwrap();
         let g = remos
-            .get_graph(&["m-1", "m-3"], Timeframe::Future(SimDuration::from_secs(5)))
+            .run(Query::graph(["m-1", "m-3"])
+                .timeframe(Timeframe::Future(SimDuration::from_secs(5))))
+            .unwrap()
+            .into_graph()
             .unwrap();
         // Idle history predicts an idle future.
         assert!(g.links[0].avail[0].median > mbps(95.0));
@@ -343,7 +454,9 @@ mod tests {
         }
         let req = FlowInfoRequest::new().independent("m-2", "m-3");
         let resp = remos
-            .flow_info(&req, Timeframe::Window(SimDuration::from_secs(30)))
+            .run(Query::flows(req).timeframe(Timeframe::Window(SimDuration::from_secs(30))))
+            .unwrap()
+            .into_flows()
             .unwrap();
         let q = resp.independent.unwrap().bandwidth;
         assert!(q.samples >= 4, "{q}");
@@ -391,14 +504,18 @@ mod tests {
                 s.run_for(SimDuration::from_secs(1)).unwrap();
             }
             // Sample each step so history records the ramp.
-            remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+            remos.run(Query::graph(["m-1", "m-3"])).unwrap();
             let _ = k;
         }
         // Current sees ~80 Mbps used; a trend forecast 4 s out must
         // predict *less* available than now (load is rising).
-        let g_now = remos.get_graph(&["m-2", "m-4"], Timeframe::Current).unwrap();
+        let g_now =
+            remos.run(Query::graph(["m-2", "m-4"])).unwrap().into_graph().unwrap();
         let g_future = remos
-            .get_graph(&["m-2", "m-4"], Timeframe::Future(SimDuration::from_secs(4)))
+            .run(Query::graph(["m-2", "m-4"])
+                .timeframe(Timeframe::Future(SimDuration::from_secs(4))))
+            .unwrap()
+            .into_graph()
             .unwrap();
         let a = g_now.index_of("m-2").unwrap();
         let b = g_now.index_of("m-4").unwrap();
@@ -451,7 +568,7 @@ mod tests {
                 s.run_for(SimDuration::from_secs(1)).unwrap();
             }
             let req = FlowInfoRequest::new().independent("m-2", "m-3");
-            let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+            let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
             resp.independent.unwrap().bandwidth.median
         };
         let pinned = promise(SharingPolicy::ExternalPinned);
@@ -477,7 +594,7 @@ mod tests {
     fn unknown_node_rejected() {
         let (mut remos, _sim) = full_stack();
         assert!(matches!(
-            remos.get_graph(&["m-1", "nope"], Timeframe::Current),
+            remos.run(Query::graph(["m-1", "nope"])),
             Err(RemosError::UnknownNode(_))
         ));
     }
@@ -487,12 +604,12 @@ mod tests {
         let (mut remos, sim) = full_stack();
         let t0 = sim.lock().now();
         assert!(matches!(
-            remos.get_graph(&[], Timeframe::Current),
-            Err(RemosError::InvalidQuery(_))
+            remos.run(Query::graph(Vec::<String>::new())),
+            Err(RemosError::InvalidQuery(k)) if k.is_empty_set()
         ));
         assert!(matches!(
-            remos.flow_info(&FlowInfoRequest::new(), Timeframe::Current),
-            Err(RemosError::InvalidQuery(_))
+            remos.run(Query::flows(FlowInfoRequest::new())),
+            Err(RemosError::InvalidQuery(k)) if k.is_empty_set()
         ));
         // Rejected before sampling: no measurement time consumed.
         assert_eq!(sim.lock().now(), t0);
@@ -502,8 +619,76 @@ mod tests {
     fn queries_cost_measured_time() {
         let (mut remos, sim) = full_stack();
         let t0 = sim.lock().now();
-        remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
         let t1 = sim.lock().now();
         assert!(t1 > t0, "a Current query must consume measurement time");
+    }
+
+    #[test]
+    fn run_attaches_and_strips_provenance() {
+        let (mut remos, _sim) = full_stack();
+        let g = remos.run(Query::graph(["m-1", "m-3"])).unwrap().into_graph().unwrap();
+        let p = g.provenance.as_ref().expect("provenance attached by default");
+        assert_eq!(p.timeframe, Timeframe::Current);
+        assert_eq!(p.snapshots, 1);
+        assert_eq!(p.scope, g.links.len());
+        assert!(p.worst_quality.is_fresh());
+        assert!(p.solver.contains("logical-annotate"));
+
+        let g = remos
+            .run(Query::graph(["m-1", "m-3"]).without_provenance())
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert!(g.provenance.is_none());
+
+        let req = FlowInfoRequest::new().independent("m-2", "m-3");
+        let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
+        let p = resp.independent.as_ref().unwrap().provenance.as_ref().unwrap();
+        assert!(p.scope >= 1, "independent path crosses at least one resource");
+        assert!(p.solver.contains("staged-maxmin"));
+    }
+
+    #[test]
+    fn quality_floor_passes_on_healthy_network() {
+        use crate::quality::DataQuality;
+        let (mut remos, _sim) = full_stack();
+        let g = remos
+            .run(Query::graph(["m-1", "m-4"]).min_quality(DataQuality::Fresh))
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert!(g.worst_quality().is_fresh());
+    }
+
+    #[test]
+    fn query_counters_track_queries() {
+        let (mut remos, _sim) = full_stack();
+        let obs = Obs::new();
+        remos.set_obs(obs.clone());
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        assert!(remos.run(Query::graph(Vec::<String>::new())).is_err());
+        let req = FlowInfoRequest::new().independent("m-1", "m-3");
+        remos.run(Query::flows(req)).unwrap();
+        assert_eq!(obs.counter("remos_graph_queries_total").get(), 2);
+        assert_eq!(obs.counter("remos_flow_queries_total").get(), 1);
+        assert_eq!(obs.counter("remos_rejected_queries_total").get(), 1);
+        // The shared handle also carries the collector's poll counter.
+        assert!(obs.counter("collector_polls_total").get() >= 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_answer() {
+        let (mut remos, _sim) = full_stack();
+        let g = remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
+        assert_eq!(g.nodes.len(), 2);
+        let req = FlowInfoRequest::new().independent("m-1", "m-3");
+        let r = remos.flow_info(&req, Timeframe::Current).unwrap();
+        assert!(r.independent.is_some());
+        let peers = remos
+            .reachable_peers("m-1", &["m-3".to_string(), "nope".to_string()])
+            .unwrap();
+        assert_eq!(peers, vec!["m-3".to_string()]);
     }
 }

@@ -114,7 +114,9 @@ impl Collector for BenchmarkCollector {
             for h in &self.hosts {
                 let id = topo.lookup(h).map_err(RemosError::from)?;
                 if topo.node(id).kind != NodeKind::Compute {
-                    return Err(RemosError::InvalidQuery(format!("{h} is not a host")));
+                    return Err(RemosError::InvalidQuery(
+                        crate::error::InvalidQueryKind::NotAHost { node: h.clone() },
+                    ));
                 }
             }
         }

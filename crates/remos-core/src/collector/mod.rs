@@ -156,6 +156,12 @@ pub trait Collector: Send {
     /// The collector's notion of the current time (from the measured
     /// system, e.g. agent sysUpTime).
     fn now(&self) -> CoreResult<SimTime>;
+
+    /// Route collector observability (poll counters, agent-health events)
+    /// into `obs`. Collectors without instrumentation may ignore this.
+    fn set_obs(&mut self, obs: &remos_obs::Obs) {
+        let _ = obs;
+    }
 }
 
 /// A source of unsolicited SNMP notifications (linkDown/linkUp traps).

@@ -162,6 +162,12 @@ impl MultiCollector {
 }
 
 impl Collector for MultiCollector {
+    fn set_obs(&mut self, obs: &remos_obs::Obs) {
+        for c in &mut self.children {
+            c.set_obs(obs);
+        }
+    }
+
     fn refresh_topology(&mut self) -> CoreResult<()> {
         // Failover: children whose region cannot be discovered right now
         // are tolerated as long as at least one child succeeds.

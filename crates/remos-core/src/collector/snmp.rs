@@ -33,6 +33,7 @@ use crate::quality::DataQuality;
 use remos_net::counters::rate_from_readings;
 use remos_net::topology::{DirLink, NodeId, Topology, TopologyBuilder};
 use remos_net::{SimDuration, SimTime};
+use remos_obs::{Counter, Obs};
 use remos_snmp::oid::well_known;
 use remos_snmp::transport::Transport;
 use remos_snmp::{Manager, RetryPolicy, Value};
@@ -162,6 +163,31 @@ pub struct SnmpCollector<T: Transport> {
     /// uptime deltas (robust to any one agent's clock resetting).
     last_t: Option<SimTime>,
     trap_source: Option<Box<dyn crate::collector::TrapSource>>,
+    /// Observability handle (shared via [`SnmpCollector::set_obs`]).
+    obs: Obs,
+    obs_metrics: CollectorMetrics,
+}
+
+/// Cached collector-level counters (see `remos-obs`): poll cadence,
+/// agent health transitions, and trap-triggered re-discoveries.
+struct CollectorMetrics {
+    polls: Counter,
+    agent_degraded: Counter,
+    agent_down: Counter,
+    agent_recovered: Counter,
+    rediscoveries: Counter,
+}
+
+impl CollectorMetrics {
+    fn new(obs: &Obs) -> CollectorMetrics {
+        CollectorMetrics {
+            polls: obs.counter("collector_polls_total"),
+            agent_degraded: obs.counter("collector_agent_degraded_total"),
+            agent_down: obs.counter("collector_agent_down_total"),
+            agent_recovered: obs.counter("collector_agent_recovered_total"),
+            rediscoveries: obs.counter("collector_rediscoveries_total"),
+        }
+    }
 }
 
 struct AgentScan {
@@ -213,6 +239,8 @@ impl<T: Transport + Sync> SnmpCollector<T> {
         agents.sort();
         agents.dedup();
         let health = vec![AgentHealth::default(); agents.len()];
+        let obs = Obs::new();
+        let obs_metrics = CollectorMetrics::new(&obs);
         SnmpCollector {
             manager,
             probe,
@@ -223,6 +251,8 @@ impl<T: Transport + Sync> SnmpCollector<T> {
             history,
             last_t: None,
             trap_source: None,
+            obs,
+            obs_metrics,
         }
     }
 
@@ -513,7 +543,18 @@ impl<T: Transport + Sync> SnmpCollector<T> {
 }
 
 impl<T: Transport + Sync> Collector for SnmpCollector<T> {
+    /// Report into a shared observability handle: collector counters and
+    /// health-transition events, plus the fault-path counters of both
+    /// underlying SNMP managers.
+    fn set_obs(&mut self, obs: &Obs) {
+        self.manager.set_obs(obs);
+        self.probe.set_obs(obs);
+        self.obs_metrics = CollectorMetrics::new(obs);
+        self.obs = obs.clone();
+    }
+
     fn refresh_topology(&mut self) -> CoreResult<()> {
+        self.obs_metrics.rediscoveries.inc();
         let view = self.discover()?;
         self.view = Some(view);
         self.history.clear();
@@ -539,6 +580,7 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
     }
 
     fn poll(&mut self) -> CoreResult<bool> {
+        self.obs_metrics.polls.inc();
         // Unsolicited notifications first: a link-state trap invalidates
         // the discovered view.
         if let Some(src) = &mut self.trap_source {
@@ -619,8 +661,10 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
         };
 
         // Health transitions.
+        let t_nanos = t.or(self.last_t).map_or(0, SimTime::as_nanos);
         for (ai, read) in reads.iter().enumerate() {
             let h = &mut self.health[ai];
+            let prev = h.state;
             match read {
                 Some(r) => {
                     h.consecutive_failures = 0;
@@ -637,6 +681,23 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
                     } else {
                         AgentState::Healthy
                     };
+                }
+            }
+            if h.state != prev {
+                let ai = ai as u64;
+                match h.state {
+                    AgentState::Degraded => {
+                        self.obs_metrics.agent_degraded.inc();
+                        self.obs.event("collector.agent.degraded", t_nanos, &[("agent", ai)]);
+                    }
+                    AgentState::Down => {
+                        self.obs_metrics.agent_down.inc();
+                        self.obs.event("collector.agent.down", t_nanos, &[("agent", ai)]);
+                    }
+                    AgentState::Healthy => {
+                        self.obs_metrics.agent_recovered.inc();
+                        self.obs.event("collector.agent.recovered", t_nanos, &[("agent", ai)]);
+                    }
                 }
             }
         }

@@ -11,6 +11,7 @@
 //! as "particularly important for parallel applications that use
 //! collective communication".
 
+use crate::provenance::Provenance;
 use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use remos_net::{Bps, SimDuration};
@@ -124,6 +125,10 @@ pub struct FlowGrant {
     /// grants have their `bandwidth` spread widened accordingly.
     #[serde(default)]
     pub estimate_quality: DataQuality,
+    /// How this grant was derived (snapshots consumed, solver, path
+    /// scope). `None` when the query opted out with `without_provenance()`.
+    #[serde(default)]
+    pub provenance: Option<Provenance>,
 }
 
 /// The complete answer to a [`FlowInfoRequest`].
@@ -144,6 +149,13 @@ impl FlowInfoResponse {
             .iter()
             .chain(self.variable.iter())
             .chain(self.independent.iter())
+    }
+
+    /// Worst measurement quality behind any grant in this response.
+    pub fn worst_quality(&self) -> DataQuality {
+        self.all_grants()
+            .map(|g| g.estimate_quality)
+            .fold(DataQuality::Fresh, DataQuality::worst)
     }
 }
 

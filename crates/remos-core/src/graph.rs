@@ -9,6 +9,7 @@
 //! internal bandwidth (Fig 1).
 
 use crate::error::{CoreResult, RemosError};
+use crate::provenance::Provenance;
 use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use remos_net::topology::NodeKind;
@@ -96,6 +97,11 @@ pub struct RemosGraph {
     pub nodes: Vec<RemosNode>,
     /// Logical links.
     pub links: Vec<RemosLink>,
+    /// How this annotated view was derived (snapshots consumed, their
+    /// quality, solver, scope). `None` when the producing query opted out
+    /// with `without_provenance()`.
+    #[serde(default)]
+    pub provenance: Option<Provenance>,
     #[serde(skip)]
     name_index: HashMap<String, usize>,
     #[serde(skip)]
@@ -105,9 +111,25 @@ pub struct RemosGraph {
 impl RemosGraph {
     /// Assemble a graph; builds the indices.
     pub fn new(nodes: Vec<RemosNode>, links: Vec<RemosLink>) -> RemosGraph {
-        let mut g = RemosGraph { nodes, links, name_index: HashMap::new(), adj: Vec::new() };
+        let mut g = RemosGraph {
+            nodes,
+            links,
+            provenance: None,
+            name_index: HashMap::new(),
+            adj: Vec::new(),
+        };
         g.rebuild_indices();
         g
+    }
+
+    /// Worst measurement quality across every logical link direction (the
+    /// quality a consumer should assume for path-level conclusions drawn
+    /// from this graph). `Fresh` for a graph with no links.
+    pub fn worst_quality(&self) -> DataQuality {
+        self.links
+            .iter()
+            .flat_map(|l| l.quality)
+            .fold(DataQuality::Fresh, DataQuality::worst)
     }
 
     /// Rebuild the name index and adjacency (after deserialization or

@@ -5,14 +5,15 @@
 //! Subhlok, Steenkiste, Sutherland — CMU, HPDC 1998).
 //!
 //! Remos lets network-aware applications obtain information about their
-//! execution environment through two queries:
+//! execution environment through two queries, built with
+//! [`Query`](query::Query) and executed by [`Remos::run`]:
 //!
-//! * [`Remos::get_graph`] — the **logical network topology** connecting a
-//!   set of nodes, annotated with static capacities and dynamic
-//!   available-bandwidth statistics (§4.3);
-//! * [`Remos::flow_info`] — bandwidth/latency for a set of **flows**
-//!   (fixed / variable / independent classes), solved simultaneously under
-//!   max-min fair sharing (§4.2).
+//! * [`Query::graph`](query::Query::graph) — the **logical network
+//!   topology** connecting a set of nodes, annotated with static
+//!   capacities and dynamic available-bandwidth statistics (§4.3);
+//! * [`Query::flows`](query::Query::flows) — bandwidth/latency for a set
+//!   of **flows** (fixed / variable / independent classes), solved
+//!   simultaneously under max-min fair sharing (§4.2).
 //!
 //! All dynamic quantities are reported as quartile summaries with an
 //! estimation-accuracy measure ([`stats::Quartiles`], §4.4), over a
@@ -25,7 +26,8 @@
 //! logical topologies and satisfies flow requests on top of it.
 //!
 //! ```
-//! use remos_core::{Remos, RemosConfig, Timeframe};
+//! use remos_core::prelude::*;
+//! use remos_core::{Remos, RemosConfig};
 //! use remos_core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 //! use remos_core::collector::SimClock;
 //! use remos_net::{Simulator, TopologyBuilder, mbps, SimDuration};
@@ -52,7 +54,7 @@
 //!     RemosConfig::default(),
 //! );
 //!
-//! let graph = remos.get_graph(&["h1", "h2"], Timeframe::Current).unwrap();
+//! let graph = remos.run(Query::graph(["h1", "h2"])).unwrap().into_graph().unwrap();
 //! let h1 = graph.index_of("h1").unwrap();
 //! let h2 = graph.index_of("h2").unwrap();
 //! assert!(graph.path_avail_bw(h1, h2).unwrap() > mbps(95.0));
@@ -64,15 +66,30 @@ pub mod error;
 pub mod flows;
 pub mod graph;
 pub mod modeler;
+pub mod provenance;
 pub mod quality;
+pub mod query;
 pub mod stats;
 pub mod timeframe;
 
 pub use api::{Remos, RemosConfig};
-pub use error::{CoreResult, RemosError};
+pub use error::{CoreResult, InvalidQueryKind, RemosError};
 pub use flows::{FlowEndpoints, FlowInfoRequest, FlowInfoResponse};
 pub use graph::{HostInfo, RemosGraph, RemosLink, RemosNode};
 pub use modeler::{Modeler, ModelerConfig};
+pub use provenance::Provenance;
 pub use quality::DataQuality;
+pub use query::{Query, QueryResult, QuerySpec};
 pub use stats::Quartiles;
 pub use timeframe::Timeframe;
+
+/// Everything a query-writing application needs, in one import:
+/// `use remos_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::error::{CoreResult, InvalidQueryKind, RemosError};
+    pub use crate::flows::{FlowInfoRequest, FlowInfoResponse};
+    pub use crate::provenance::Provenance;
+    pub use crate::quality::DataQuality;
+    pub use crate::query::{Query, QueryResult, QuerySpec};
+    pub use crate::timeframe::Timeframe;
+}

@@ -56,7 +56,9 @@ pub fn logicalize(
     targets: &[NodeId],
 ) -> CoreResult<LogicalStructure> {
     if targets.is_empty() {
-        return Err(RemosError::InvalidQuery("empty node set".into()));
+        return Err(RemosError::InvalidQuery(
+            crate::error::InvalidQueryKind::EmptyNodeSet,
+        ));
     }
     let mut target_set = BTreeSet::new();
     for &t in targets {

@@ -13,9 +13,10 @@ pub mod predict;
 pub mod sharing;
 
 use crate::collector::Collector;
-use crate::error::{CoreResult, RemosError};
+use crate::error::{CoreResult, InvalidQueryKind, RemosError};
 use crate::flows::{FlowGrant, FlowInfoRequest, FlowInfoResponse};
 use crate::graph::{RemosGraph, RemosLink, RemosNode};
+use crate::provenance::Provenance;
 use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use crate::timeframe::Timeframe;
@@ -61,6 +62,18 @@ struct SelectedSamples {
     /// selected samples (entries the collector never measured are
     /// `Missing`).
     quality: Vec<DataQuality>,
+}
+
+impl SelectedSamples {
+    /// Collector time of the newest selected sample.
+    fn newest(&self) -> Option<SimTime> {
+        self.samples.iter().map(|(t, _)| *t).max()
+    }
+
+    /// Collector time of the oldest selected sample.
+    fn oldest(&self) -> Option<SimTime> {
+        self.samples.iter().map(|(t, _)| *t).min()
+    }
 }
 
 /// How much to widen an estimate derived from data `age` old: grows
@@ -252,7 +265,18 @@ impl Modeler {
                 quality,
             });
         }
-        Ok(RemosGraph::new(nodes, links))
+        let scope = links.len();
+        let mut g = RemosGraph::new(nodes, links);
+        g.provenance = Some(Provenance {
+            timeframe: tf,
+            snapshots: selected.samples.len(),
+            newest_sample: selected.newest(),
+            oldest_sample: selected.oldest(),
+            worst_quality: g.worst_quality(),
+            solver: format!("logical-annotate/{:?}", self.cfg.predictor),
+            scope,
+        });
+        Ok(g)
     }
 
     /// Answer a flow query — the implementation of
@@ -269,18 +293,16 @@ impl Modeler {
         }
         for f in &req.fixed {
             if f.requested <= 0.0 || !f.requested.is_finite() {
-                return Err(RemosError::InvalidQuery(format!(
-                    "fixed flow bandwidth {}",
-                    f.requested
-                )));
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::BadFixedBandwidth {
+                    value: f.requested,
+                }));
             }
         }
         for v in &req.variable {
             if v.relative_bw <= 0.0 || !v.relative_bw.is_finite() {
-                return Err(RemosError::InvalidQuery(format!(
-                    "variable flow weight {}",
-                    v.relative_bw
-                )));
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::BadVariableWeight {
+                    value: v.relative_bw,
+                }));
             }
         }
         // The relevant node set is every endpoint mentioned.
@@ -293,10 +315,9 @@ impl Modeler {
         names.dedup();
         for e in req.all_endpoints() {
             if e.src == e.dst {
-                return Err(RemosError::InvalidQuery(format!(
-                    "flow with identical endpoints {:?}",
-                    e.src
-                )));
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::IdenticalEndpoints {
+                    node: e.src.clone(),
+                }));
             }
         }
 
@@ -391,6 +412,10 @@ impl Modeler {
         }
 
         // Summarize.
+        let snapshots = selected.samples.len();
+        let newest_sample = selected.newest();
+        let oldest_sample = selected.oldest();
+        let solver = format!("staged-maxmin/{:?}", self.cfg.sharing);
         let mut k = 0;
         let mut grant_for = |endpoints: &crate::flows::FlowEndpoints,
                              path: &(Vec<usize>, usize, usize),
@@ -424,6 +449,15 @@ impl Modeler {
                 latency,
                 fully_satisfied: fully,
                 estimate_quality,
+                provenance: Some(Provenance {
+                    timeframe: tf,
+                    snapshots,
+                    newest_sample,
+                    oldest_sample,
+                    worst_quality: estimate_quality,
+                    solver: solver.clone(),
+                    scope: path.0.len(),
+                }),
             })
         };
         let fixed = req

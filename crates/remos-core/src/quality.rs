@@ -82,6 +82,13 @@ impl DataQuality {
             other
         }
     }
+
+    /// Does this quality meet a floor? `Fresh` meets every floor; a stale
+    /// quality meets any equally-old-or-older stale floor; nothing but
+    /// `Missing` itself meets a `Missing` floor (which accepts anything).
+    pub fn meets(self, floor: DataQuality) -> bool {
+        self.rank() <= floor.rank()
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +131,16 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn meets_floor() {
+        assert!(DataQuality::Fresh.meets(DataQuality::Missing));
+        assert!(DataQuality::Fresh.meets(stale(1)));
+        assert!(stale(1).meets(stale(5)));
+        assert!(!stale(5).meets(stale(1)));
+        assert!(!DataQuality::Missing.meets(stale(5)));
+        assert!(DataQuality::Missing.meets(DataQuality::Missing));
     }
 
     #[test]

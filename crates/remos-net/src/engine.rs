@@ -21,8 +21,39 @@ use std::cmp::Reverse;
 // Result-affecting maps are BTreeMaps: the rate solver, the completion
 // scan, and the event log all iterate them, so ordering must be a
 // property of the data, not of a hash seed (audited by remos-audit).
+use remos_obs::{Counter, Histogram, Obs};
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::sync::Arc;
+
+/// Cached observability handles for the engine's hot paths. Resolving a
+/// metric by name takes a registry lock; caching the handles here means a
+/// steady-state recomputation pays exactly one atomic op per update. The
+/// struct is rebuilt whenever a new [`Obs`] is installed.
+struct EngineMetrics {
+    full_recomputes: Counter,
+    scoped_recomputes: Counter,
+    routing_rebuilds: Counter,
+    /// Flows touched per solve (full: all flows; scoped: component closure).
+    solve_scope_flows: Histogram,
+    /// Link transitions coalesced into one routing rebuild.
+    link_batch_size: Histogram,
+    /// Wall-clock nanoseconds per solve — only populated when a top-level
+    /// caller injects a clock (see `remos_obs::clock`); empty by default.
+    solve_latency_nanos: Histogram,
+}
+
+impl EngineMetrics {
+    fn new(obs: &Obs) -> EngineMetrics {
+        EngineMetrics {
+            full_recomputes: obs.counter("engine_full_recomputes_total"),
+            scoped_recomputes: obs.counter("engine_scoped_recomputes_total"),
+            routing_rebuilds: obs.counter("engine_routing_rebuilds_total"),
+            solve_scope_flows: obs.histogram("engine_solve_scope_flows"),
+            link_batch_size: obs.histogram("engine_link_batch_size"),
+            solve_latency_nanos: obs.histogram("engine_solve_latency_nanos"),
+        }
+    }
+}
 
 /// Handle to an active flow.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -270,6 +301,12 @@ pub struct Simulator {
     audit: Option<MaxMinAudit>,
     /// Violations collected while auditing (see [`Simulator::enable_audit`]).
     audit_violations: Vec<AuditViolation>,
+    /// Observability handle (metrics + simulated-time traces). Every
+    /// simulator owns one; [`Simulator::set_obs`] swaps in a shared handle
+    /// so the whole stack reports into a single snapshot.
+    obs: Obs,
+    /// Cached metric handles derived from `obs`.
+    obs_metrics: EngineMetrics,
 }
 
 impl Simulator {
@@ -290,6 +327,8 @@ impl Simulator {
         let residual = capacities.clone();
         let members = vec![Vec::new(); capacities.len()];
         let res_seen = vec![false; capacities.len()];
+        let obs = Obs::new();
+        let obs_metrics = EngineMetrics::new(&obs);
         Ok(Simulator {
             topo: Arc::new(topo),
             routing: Arc::new(routing),
@@ -318,7 +357,23 @@ impl Simulator {
             digest: EventDigest::new(),
             audit: None,
             audit_violations: Vec::new(),
+            obs,
+            obs_metrics,
         })
+    }
+
+    /// Install a shared observability handle. Metric handles are re-cached
+    /// against the new registry; counters restart from the registry's
+    /// current values (the engine's own [`Simulator::full_recomputes`]-style
+    /// counters are unaffected and keep their lifetime totals).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs_metrics = EngineMetrics::new(&obs);
+        self.obs = obs;
+    }
+
+    /// The observability handle this simulator reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Turn on the runtime max-min audit: after every rate recomputation
@@ -551,7 +606,7 @@ impl Simulator {
     /// transitions this way means a link that goes down and comes back up
     /// at the same instant never strands the flows crossing it.
     fn apply_link_transitions(&mut self, batch: &[(crate::topology::LinkId, bool)]) -> Result<()> {
-        let mut changed = false;
+        let mut flips = 0u64;
         for &(link, up) in batch {
             self.topo.try_link(link)?;
             if self.link_up[link.index()] == up {
@@ -561,13 +616,16 @@ impl Simulator {
             let ev = LinkEvent { t: self.now, link, up };
             self.digest.record_link(&ev);
             self.link_events.push(ev);
-            changed = true;
+            flips += 1;
         }
-        if !changed {
+        if flips == 0 {
             return Ok(());
         }
         self.routing = Arc::new(Routing::with_link_state(&self.topo, Some(&self.link_up)));
         self.routing_rebuilds += 1;
+        self.obs_metrics.routing_rebuilds.inc();
+        self.obs_metrics.link_batch_size.observe(flips);
+        self.obs.event("engine.routing.rebuild", self.now.as_nanos(), &[("links", flips)]);
         // Re-path every flow; BTreeMap iteration is already id order, so
         // re-pathing is deterministic without an explicit sort. Flows whose
         // best path is unchanged are skipped entirely — they stay outside
@@ -700,6 +758,10 @@ impl Simulator {
     /// Rebuild the whole problem and solve every component from scratch.
     fn recompute_full(&mut self) {
         self.full_recomputes += 1;
+        self.obs_metrics.full_recomputes.inc();
+        self.obs_metrics.solve_scope_flows.observe(self.flows.len() as u64);
+        let span = self.obs.span("engine.solve.full", self.now.as_nanos());
+        let t0 = self.obs.clock_nanos();
         // BTreeMap iteration is id order, so the solver sees flows in a
         // deterministic sequence without an explicit sort.
         let specs: Vec<FlowSpec> = self
@@ -717,6 +779,10 @@ impl Simulator {
         for (f, &rate) in self.flows.values_mut().zip(alloc.rates.iter()) {
             apply_rate(f, rate, now);
         }
+        if let (Some(t0), Some(t1)) = (t0, self.obs.clock_nanos()) {
+            self.obs_metrics.solve_latency_nanos.observe(t1.saturating_sub(t0));
+        }
+        span.end(self.now.as_nanos(), &[("flows", self.flows.len() as u64)]);
         self.check_allocation();
     }
 
@@ -728,6 +794,9 @@ impl Simulator {
     /// iterating its flows in ascending id order.
     fn recompute_scoped(&mut self, touched: &BTreeSet<usize>) {
         self.scoped_recomputes += 1;
+        self.obs_metrics.scoped_recomputes.inc();
+        let span = self.obs.span("engine.solve.scoped", self.now.as_nanos());
+        let t0 = self.obs.clock_nanos();
         // Closure: every resource and flow reachable from the touched set
         // through the membership lists.
         let mut comp_res: Vec<usize> = Vec::new();
@@ -767,6 +836,8 @@ impl Simulator {
                 }
             }
         }
+        let scope_flows = comp_flows.len();
+        self.obs_metrics.solve_scope_flows.observe(scope_flows as u64);
         // The closure may span several *disjoint* components (e.g. a
         // departed flow used to bridge them). Fill each separately, lowest
         // flow id first, so the arithmetic matches the full solver's
@@ -813,6 +884,10 @@ impl Simulator {
                 self.residual[r] = resid;
             }
         }
+        if let (Some(t0), Some(t1)) = (t0, self.obs.clock_nanos()) {
+            self.obs_metrics.solve_latency_nanos.observe(t1.saturating_sub(t0));
+        }
+        span.end(self.now.as_nanos(), &[("flows", scope_flows as u64)]);
         self.check_allocation();
     }
 

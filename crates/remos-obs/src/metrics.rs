@@ -1,0 +1,580 @@
+//! Counters, gauges and histograms with lock-free hot paths.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones
+//! over atomics: instrumented code resolves a metric by name **once**
+//! (registration takes a registry lock) and then updates it with plain
+//! atomic operations, so per-event instrumentation costs one
+//! `fetch_add` — cheap enough for the engine's solver hot path.
+//!
+//! A [`MetricsSnapshot`] is a point-in-time copy that renders to JSON
+//! (machine consumption; round-trips through [`MetricsSnapshot::from_json`])
+//! and to Prometheus-style exposition text (the CLI's `obs` dump).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (stored as `f64` bits).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of finite histogram bucket bounds: powers of 4 from 4^0 to
+/// 4^15 (≈1.07e9), covering both small cardinalities (batch sizes, scope
+/// sizes) and nanosecond latencies up to about a second. Everything
+/// larger lands in the overflow (`+Inf`) bucket.
+const HISTOGRAM_BOUNDS: usize = 16;
+
+/// Upper bound of finite bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    4u64.saturating_pow(i as u32)
+}
+
+struct HistogramCore {
+    /// `HISTOGRAM_BOUNDS` finite buckets plus one overflow bucket.
+    buckets: [AtomicU64; HISTOGRAM_BOUNDS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-bucket histogram of `u64` observations.
+#[derive(Clone, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        let idx = (0..HISTOGRAM_BOUNDS)
+            .find(|&i| v <= bucket_bound(i))
+            .unwrap_or(HISTOGRAM_BOUNDS);
+        self.0.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: (0..HISTOGRAM_BOUNDS).map(bucket_bound).collect(),
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Finite bucket upper bounds (an implicit `+Inf` bucket follows).
+    pub bounds: Vec<u64>,
+    /// Per-bucket observation counts (`bounds.len() + 1` entries).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// A named family of counters, gauges and histograms.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Lock a mutex, tolerating poisoning: metrics must never add a second
+/// failure to a panicking thread's unwinding.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl MetricsRegistry {
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        lock(&self.counters).entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        lock(&self.gauges).entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        lock(&self.histograms).entry(name.to_string()).or_default().clone()
+    }
+
+    /// Point-in-time copy of every registered metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: lock(&self.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time copy of a whole [`MetricsRegistry`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+fn json_escape(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Sanitize a metric name for Prometheus exposition.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Render as a single JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(&mut out, k);
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(&mut out, k);
+            // `{}` on f64 prints the shortest representation that parses
+            // back to the same bits, so the round-trip is exact (NaN and
+            // infinities are not representable in JSON; clamp to 0).
+            let v = if v.is_finite() { *v } else { 0.0 };
+            out.push_str(&format!("\":{v}"));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape(&mut out, k);
+            out.push_str("\":{\"bounds\":[");
+            for (j, b) in h.bounds.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("],\"buckets\":[");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str(&format!("],\"count\":{},\"sum\":{}}}", h.count, h.sum));
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a snapshot back from [`MetricsSnapshot::to_json`] output.
+    pub fn from_json(s: &str) -> Result<MetricsSnapshot, String> {
+        let mut p = JsonParser { bytes: s.as_bytes(), pos: 0 };
+        let snap = p.parse_snapshot()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(snap)
+    }
+
+    /// Render in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::with_capacity(256);
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = prom_name(k);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cum = 0u64;
+            for (i, b) in h.bounds.iter().enumerate() {
+                cum += h.buckets.get(i).copied().unwrap_or(0);
+                out.push_str(&format!("{name}_bucket{{le=\"{b}\"}} {cum}\n"));
+            }
+            cum += h.buckets.last().copied().unwrap_or(0);
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cum}\n"));
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// Minimal recursive-descent parser for the exact JSON subset
+/// [`MetricsSnapshot::to_json`] emits (string keys, u64/f64 numbers,
+/// arrays of u64). Kept in-crate so the JSON round-trip contract has no
+/// external dependency.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("unsupported escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| e.to_string())?;
+                    out.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer at byte {start}: {e}"))
+    }
+
+    fn parse_u64_array(&mut self) -> Result<Vec<u64>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_u64()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    /// Parse `{"k": V, ...}` with `V` supplied by `value`.
+    fn parse_map<T>(
+        &mut self,
+        mut value: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<BTreeMap<String, T>, String> {
+        self.expect(b'{')?;
+        let mut out = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            out.insert(key, value(self)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn parse_histogram(&mut self) -> Result<HistogramSnapshot, String> {
+        let mut bounds = None;
+        let mut buckets = None;
+        let mut count = None;
+        let mut sum = None;
+        self.expect(b'{')?;
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "bounds" => bounds = Some(self.parse_u64_array()?),
+                "buckets" => buckets = Some(self.parse_u64_array()?),
+                "count" => count = Some(self.parse_u64()?),
+                "sum" => sum = Some(self.parse_u64()?),
+                other => return Err(format!("unknown histogram field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+        Ok(HistogramSnapshot {
+            bounds: bounds.ok_or("histogram missing bounds")?,
+            buckets: buckets.ok_or("histogram missing buckets")?,
+            count: count.ok_or("histogram missing count")?,
+            sum: sum.ok_or("histogram missing sum")?,
+        })
+    }
+
+    fn parse_snapshot(&mut self) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        self.expect(b'{')?;
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "counters" => snap.counters = self.parse_map(|p| p.parse_u64())?,
+                "gauges" => snap.gauges = self.parse_map(|p| p.parse_number())?,
+                "histograms" => snap.histograms = self.parse_map(|p| p.parse_histogram())?,
+                other => return Err(format!("unknown snapshot field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(snap);
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = MetricsRegistry::default();
+        let c = r.counter("hits");
+        c.inc();
+        c.add(2);
+        // A second handle to the same name shares state.
+        assert_eq!(r.counter("hits").get(), 3);
+        r.gauge("load").set(0.75);
+        assert_eq!(r.gauge("load").get(), 0.75);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let r = MetricsRegistry::default();
+        let h = r.histogram("sizes");
+        h.observe(1);
+        h.observe(4);
+        h.observe(5);
+        h.observe(u64::MAX);
+        let s = r.snapshot().histograms["sizes"].clone();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets[0], 1); // 1 <= 4^0
+        assert_eq!(s.buckets[1], 1); // 4 <= 4^1
+        assert_eq!(s.buckets[2], 1); // 5 <= 4^2
+        assert_eq!(*s.buckets.last().unwrap(), 1); // u64::MAX overflows
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = MetricsRegistry::default();
+        r.counter("a_total").add(7);
+        r.gauge("frac").set(0.1 + 0.2); // not exactly 0.3 in binary64
+        r.gauge("weird \"name\"\n").set(-1.5);
+        let h = r.histogram("lat");
+        h.observe(3);
+        h.observe(1_000_000_000_000);
+        let snap = r.snapshot();
+        let parsed = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_render_shape() {
+        let r = MetricsRegistry::default();
+        r.counter("hits total").inc();
+        r.histogram("lat").observe(2);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE hits_total counter"));
+        assert!(text.contains("hits_total 1"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_count 1"));
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(MetricsSnapshot::from_json("").is_err());
+        assert!(MetricsSnapshot::from_json("{\"counters\":{}}trailing").is_err());
+        assert!(MetricsSnapshot::from_json("{\"nope\":{}}").is_err());
+    }
+}

@@ -14,9 +14,30 @@ use crate::value::Value;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use remos_obs::{Counter, Obs};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Cached fault-path counters (see `remos-obs`): how often requests were
+/// retried, gave up on timeout, or failed hard (non-retryable).
+struct ManagerMetrics {
+    requests: Counter,
+    retries: Counter,
+    timeouts: Counter,
+    hard_errors: Counter,
+}
+
+impl ManagerMetrics {
+    fn new(obs: &Obs) -> ManagerMetrics {
+        ManagerMetrics {
+            requests: obs.counter("snmp_requests_total"),
+            retries: obs.counter("snmp_retries_total"),
+            timeouts: obs.counter("snmp_timeouts_total"),
+            hard_errors: obs.counter("snmp_hard_errors_total"),
+        }
+    }
+}
 
 /// Default GETBULK repetition count.
 pub const DEFAULT_MAX_REPETITIONS: u32 = 32;
@@ -72,6 +93,7 @@ pub struct Manager<T: Transport> {
     /// Retry/backoff policy for lost datagrams.
     pub policy: RetryPolicy,
     jitter: Mutex<StdRng>,
+    obs_metrics: ManagerMetrics,
 }
 
 impl<T: Transport> Manager<T> {
@@ -89,7 +111,15 @@ impl<T: Transport> Manager<T> {
             next_request_id: AtomicU32::new(1),
             policy,
             jitter,
+            obs_metrics: ManagerMetrics::new(&Obs::new()),
         }
+    }
+
+    /// Report fault-path counters into a shared observability handle
+    /// (`snmp_requests_total`, `snmp_retries_total`, `snmp_timeouts_total`,
+    /// `snmp_hard_errors_total`).
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.obs_metrics = ManagerMetrics::new(obs);
     }
 
     fn rid(&self) -> u32 {
@@ -112,12 +142,14 @@ impl<T: Transport> Manager<T> {
 
     fn send(&self, agent: &str, req: &Pdu) -> SnmpResult<Pdu> {
         let p = &self.policy;
+        self.obs_metrics.requests.inc();
         let mut spent = Duration::ZERO;
         let mut attempt = 0u32;
         loop {
             match self.transport.request(agent, req) {
                 Ok(resp) => {
                     if resp.error_status != ErrorStatus::NoError {
+                        self.obs_metrics.hard_errors.inc();
                         return Err(SnmpError::AgentError(resp.error_status));
                     }
                     return Ok(resp);
@@ -126,18 +158,24 @@ impl<T: Transport> Manager<T> {
                     spent = spent.saturating_add(p.attempt_timeout);
                     attempt += 1;
                     if attempt > p.max_retries {
+                        self.obs_metrics.timeouts.inc();
                         return Err(SnmpError::Timeout);
                     }
                     let delay = self.backoff_delay(attempt);
                     // Would the next attempt blow the deadline budget?
                     if spent.saturating_add(delay).saturating_add(p.attempt_timeout) > p.deadline {
+                        self.obs_metrics.timeouts.inc();
                         return Err(SnmpError::Timeout);
                     }
                     spent = spent.saturating_add(delay);
+                    self.obs_metrics.retries.inc();
                 }
                 // Anything else is non-retryable: an agent that rejected the
                 // community or returned garbage will do so again.
-                Err(e) => return Err(e),
+                Err(e) => {
+                    self.obs_metrics.hard_errors.inc();
+                    return Err(e);
+                }
             }
         }
     }

@@ -11,7 +11,7 @@
 
 use remos::apps::fft::fft_program;
 use remos::apps::TestbedHarness;
-use remos::core::{FlowInfoRequest, Timeframe};
+use remos::prelude::*;
 use remos::fx::runtime::{Mapping, RuntimeConfig};
 use remos::fx::{run_concurrent, TaskSpec};
 use remos::net::SimTime;
@@ -24,17 +24,20 @@ fn main() {
     let solo = h
         .adapter
         .remos_mut()
-        .flow_info(&FlowInfoRequest::new().variable("m-1", "m-4", 1.0), Timeframe::Current)
+        .run(Query::flows(FlowInfoRequest::new().variable("m-1", "m-4", 1.0)))
+        .unwrap()
+        .into_flows()
         .unwrap();
     let both = h
         .adapter
         .remos_mut()
-        .flow_info(
-            &FlowInfoRequest::new()
+        .run(Query::flows(
+            FlowInfoRequest::new()
                 .variable("m-1", "m-4", 1.0)
                 .variable("m-2", "m-5", 1.0),
-            Timeframe::Current,
-        )
+        ))
+        .unwrap()
+        .into_flows()
         .unwrap();
     println!(
         "queried alone, m-1 -> m-4 is promised {:.0} Mbps; queried together with m-2 -> m-5: {:.0} Mbps each",

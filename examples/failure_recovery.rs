@@ -13,7 +13,7 @@
 use remos::apps::airshed::airshed_program_iters;
 use remos::apps::testbed::TESTBED_HOSTS;
 use remos::apps::TestbedHarness;
-use remos::core::Timeframe;
+use remos::prelude::*;
 use remos::net::SimTime;
 
 fn main() {
@@ -32,7 +32,9 @@ fn main() {
     let g = h
         .adapter
         .remos_mut()
-        .get_graph(&TESTBED_HOSTS, Timeframe::Current)
+        .run(Query::graph(TESTBED_HOSTS))
+        .unwrap()
+        .into_graph()
         .unwrap();
     println!("healthy testbed: {} links, all hosts reachable", g.links.len());
 
@@ -65,7 +67,8 @@ fn main() {
     let res = h
         .adapter
         .remos_mut()
-        .get_graph(&["m-4", "m-7"], Timeframe::Current);
+        .run(Query::graph(["m-4", "m-7"]))
+        .and_then(QueryResult::into_graph);
     println!(
         "\npost-failure graph query m-4 <-> m-7: {}",
         match res {

@@ -11,7 +11,8 @@
 use remos::apps::synthetic::add_bursty_traffic;
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::SimClock;
-use remos::core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos::core::{Remos, RemosConfig};
+use remos::prelude::*;
 use remos::net::{kbps, mbps, SimDuration, Simulator, TopologyBuilder};
 use remos::snmp::sim::{register_all_agents, share};
 use remos::snmp::SimTransport;
@@ -46,7 +47,7 @@ fn main() {
         .variable("s1", "sink", 3.0)
         .variable("s2", "sink", 4.5)
         .variable("s3", "sink", 9.0);
-    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
     println!("variable flows 3 : 4.5 : 9 over a 5.5 Mbps bottleneck:");
     for g in &resp.variable {
         println!(
@@ -61,7 +62,7 @@ fn main() {
     let req = FlowInfoRequest::new()
         .fixed("s1", "sink", kbps(1500.0))
         .independent("s2", "sink");
-    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
     println!(
         "\nfixed 1.5 Mbps flow granted {:.2} Mbps; independent flow absorbs {:.2} Mbps",
         resp.fixed[0].bandwidth.median / 1e6,
@@ -80,7 +81,9 @@ fn main() {
     .unwrap();
     let req = FlowInfoRequest::new().independent("s1", "sink");
     let resp = remos
-        .flow_info(&req, Timeframe::Window(SimDuration::from_secs(30)))
+        .run(Query::flows(req).timeframe(Timeframe::Window(SimDuration::from_secs(30))))
+        .unwrap()
+        .into_flows()
         .unwrap();
     let q = &resp.independent.as_ref().unwrap().bandwidth;
     println!("\nindependent flow vs 50%-duty bursty cross-traffic, 30 s window:");

@@ -9,7 +9,8 @@
 
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::SimClock;
-use remos::core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos::core::{Remos, RemosConfig};
+use remos::prelude::*;
 use remos::net::flow::FlowParams;
 use remos::net::{mbps, SimDuration, Simulator, TopologyBuilder};
 use remos::snmp::sim::{register_all_agents, share};
@@ -50,8 +51,14 @@ fn main() {
     sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
 
     // 5. remos_get_graph: the logical topology between alpha and beta.
-    let graph = remos.get_graph(&["alpha", "beta"], Timeframe::Current).unwrap();
+    let graph = remos.run(Query::graph(["alpha", "beta"])).unwrap().into_graph().unwrap();
     println!("\nLogical topology: {} nodes, {} links", graph.nodes.len(), graph.links.len());
+    if let Some(p) = &graph.provenance {
+        println!(
+            "(answer built from {} snapshot(s), worst quality {:?}, solver {})",
+            p.snapshots, p.worst_quality, p.solver
+        );
+    }
     let a = graph.index_of("alpha").unwrap();
     let z = graph.index_of("beta").unwrap();
     println!(
@@ -67,7 +74,7 @@ fn main() {
     let req = FlowInfoRequest::new()
         .fixed("alpha", "beta", mbps(10.0)) // an audio-like fixed flow
         .independent("alpha", "beta"); //      and a greedy bulk flow
-    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
     let fixed = &resp.fixed[0];
     println!(
         "\nfixed 10 Mbps flow: granted {:.1} Mbps (satisfied: {})",

@@ -13,7 +13,8 @@ use remos::apps::testbed::cmu_testbed;
 use remos::core::collector::benchmark::{BenchmarkCollector, BenchmarkCollectorConfig};
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::{Collector, SimClock};
-use remos::core::{Remos, RemosConfig, Timeframe};
+use remos::core::{Remos, RemosConfig};
+use remos::prelude::*;
 use remos::snmp::oid::well_known;
 use remos::snmp::sim::{register_all_agents, share};
 use remos::snmp::{Manager, SimTransport};
@@ -52,7 +53,7 @@ fn main() {
         RemosConfig::default(),
     );
     for nodes in [vec!["m-1", "m-8"], vec!["m-1", "m-4", "m-8"], vec!["m-4", "m-5"]] {
-        let g = remos.get_graph(&nodes, Timeframe::Current).unwrap();
+        let g = remos.run(Query::graph(nodes.iter().copied())).unwrap().into_graph().unwrap();
         println!(
             "\nlogical topology for {:?}: {} nodes, {} links",
             nodes,

@@ -10,7 +10,9 @@
 //! * [`fx`] — the Fx-like data-parallel runtime, clustering, and the
 //!   adaptation module;
 //! * [`apps`] — FFT and Airshed application models, background traffic
-//!   scenarios, and testbed builders.
+//!   scenarios, and testbed builders;
+//! * [`obs`] — the observability layer: metrics registry, structured
+//!   trace recorder, and the shared [`obs::Obs`] handle.
 //!
 //! See the repository README for a quickstart and DESIGN.md for the full
 //! system inventory.
@@ -19,4 +21,13 @@ pub use remos_apps as apps;
 pub use remos_core as core;
 pub use remos_fx as fx;
 pub use remos_net as net;
+pub use remos_obs as obs;
 pub use remos_snmp as snmp;
+
+/// One-stop imports for query-writing applications:
+/// `use remos::prelude::*;` (re-exports [`remos_core::prelude`] plus the
+/// observability handle).
+pub mod prelude {
+    pub use remos_core::prelude::*;
+    pub use remos_obs::Obs;
+}

@@ -19,7 +19,7 @@ use remos::apps::testbed::{cmu_testbed, TESTBED_HOSTS, TESTBED_ROUTERS};
 use remos::core::collector::multi::{MultiCollector, MultiCollectorConfig};
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::{Collector, SimClock, Snapshot};
-use remos::core::{DataQuality, FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos::core::{DataQuality, FlowInfoRequest, Query, Remos, RemosConfig};
 use remos::net::flow::FlowParams;
 use remos::net::{mbps, DirLink, Direction, SimDuration, SimTime, Simulator, Topology};
 use remos::snmp::fault::{FaultDirector, FaultPlan};
@@ -114,7 +114,9 @@ fn chaos_scenario(seed: u64) {
     let g = h
         .adapter
         .remos_mut()
-        .get_graph(&TESTBED_HOSTS, Timeframe::Current)
+        .run(Query::graph(TESTBED_HOSTS))
+        .unwrap()
+        .into_graph()
         .unwrap();
     assert!(
         g.links
@@ -330,7 +332,7 @@ fn queries_survive_partial_outage_with_flags() {
     );
 
     // Healthy baseline: everything fresh.
-    let g = remos.get_graph(&TESTBED_HOSTS, Timeframe::Current).unwrap();
+    let g = remos.run(Query::graph(TESTBED_HOSTS)).unwrap().into_graph().unwrap();
     assert!(g.links.iter().all(|l| l.quality.iter().all(|q| q.is_fresh())));
 
     // whiteface dies for good. It serves the outbound counters of its
@@ -343,7 +345,7 @@ fn queries_survive_partial_outage_with_flags() {
     );
     sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
 
-    let g = remos.get_graph(&TESTBED_HOSTS, Timeframe::Current).unwrap();
+    let g = remos.run(Query::graph(TESTBED_HOSTS)).unwrap().into_graph().unwrap();
     // The query answered, and the dead router's links are flagged …
     assert!(g.links.iter().any(|l| l.quality.iter().any(|q| !q.is_fresh())));
     // … path-granular: aspen's region is untouched, the path into the
@@ -359,7 +361,7 @@ fn queries_survive_partial_outage_with_flags() {
     let req = FlowInfoRequest::new()
         .fixed("m-1", "m-2", mbps(5.0))
         .fixed("m-1", "m-8", mbps(5.0));
-    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
     assert!(resp.fixed[0].estimate_quality.is_fresh());
     assert!(!resp.fixed[1].estimate_quality.is_fresh());
 }

@@ -9,7 +9,7 @@
 
 use remos::apps::fft::fft_program;
 use remos::apps::TestbedHarness;
-use remos::core::{FlowInfoRequest, Timeframe};
+use remos::core::{FlowInfoRequest, Query};
 use remos::fx::runtime::{Mapping, RuntimeConfig};
 use remos::fx::{run_concurrent, TaskSpec};
 use remos::net::SimTime;
@@ -67,22 +67,22 @@ fn simultaneous_query_predicts_co_application_share() {
     let solo_1 = h
         .adapter
         .remos_mut()
-        .flow_info(
-            &FlowInfoRequest::new().variable("m-1", "m-4", 1.0),
-            Timeframe::Current,
-        )
+        .run(Query::flows(FlowInfoRequest::new().variable("m-1", "m-4", 1.0)))
+        .unwrap()
+        .into_flows()
         .unwrap();
     assert!(solo_1.variable[0].bandwidth.median > 95e6);
     // Queried simultaneously, the shared backbone halves both:
     let both = h
         .adapter
         .remos_mut()
-        .flow_info(
-            &FlowInfoRequest::new()
+        .run(Query::flows(
+            FlowInfoRequest::new()
                 .variable("m-1", "m-4", 1.0)
                 .variable("m-2", "m-5", 1.0),
-            Timeframe::Current,
-        )
+        ))
+        .unwrap()
+        .into_flows()
         .unwrap();
     for g in &both.variable {
         assert!(

@@ -4,7 +4,7 @@
 use remos::apps::testbed::cmu_testbed;
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::SimClock;
-use remos::core::{FlowInfoRequest, Remos, RemosConfig, Timeframe};
+use remos::core::{FlowInfoRequest, Query, Remos, RemosConfig, Timeframe};
 use remos::net::flow::FlowParams;
 use remos::net::{mbps, SimDuration, Simulator};
 use remos::snmp::sim::{register_all_agents, share, SharedSim};
@@ -68,7 +68,7 @@ fn flow_grant_predicts_achieved_throughput() {
         s.run_for(SimDuration::from_secs(1)).unwrap();
     }
     let req = FlowInfoRequest::new().independent("m-2", "m-8");
-    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
     let promised = resp.independent.unwrap().bandwidth.median;
 
     let achieved = {
@@ -103,7 +103,7 @@ fn counter_wrap_does_not_corrupt_estimates() {
     for _ in 0..12 {
         sim.lock().run_for(SimDuration::from_secs(60)).unwrap();
         // poll through the public API: a Current graph query.
-        let g = remos.get_graph(&["m-4", "m-5"], Timeframe::Current).unwrap();
+        let g = remos.run(Query::graph(["m-4", "m-5"])).unwrap().into_graph().unwrap();
         let a = g.index_of("m-4").unwrap();
         let b = g.index_of("m-5").unwrap();
         let avail = g.path_avail_bw(a, b).unwrap();
@@ -120,7 +120,7 @@ fn simultaneous_query_matches_simulated_sharing() {
     let req = FlowInfoRequest::new()
         .variable("m-1", "m-3", 1.0)
         .variable("m-2", "m-3", 1.0);
-    let resp = remos.flow_info(&req, Timeframe::Current).unwrap();
+    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
     for g in &resp.variable {
         assert!((g.bandwidth.median - mbps(50.0)).abs() < mbps(2.0));
     }
@@ -149,7 +149,9 @@ fn windowed_quartiles_capture_burstiness() {
     .unwrap();
     sim.lock().run_for(SimDuration::from_secs(5)).unwrap();
     let g = remos
-        .get_graph(&["m-6", "m-8"], Timeframe::Window(SimDuration::from_secs(40)))
+        .run(Query::graph(["m-6", "m-8"]).timeframe(Timeframe::Window(SimDuration::from_secs(40))))
+        .unwrap()
+        .into_graph()
         .unwrap();
     let a = g.index_of("m-6").unwrap();
     let link = &g.links[g.neighbors(a)[0].0];

@@ -5,7 +5,7 @@ use remos::apps::testbed::cmu_testbed;
 use remos::core::collector::multi::MultiCollector;
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::{Collector, SimClock};
-use remos::core::{Remos, RemosConfig, RemosError, Timeframe};
+use remos::core::{Query, Remos, RemosConfig, RemosError};
 use remos::net::flow::FlowParams;
 use remos::net::{mbps, SimDuration, Simulator};
 use remos::snmp::sim::{register_all_agents, share, SharedSim};
@@ -91,7 +91,7 @@ fn collector_survives_datagram_loss() {
     );
     // Discovery plus several polls: manager retries absorb the loss.
     for _ in 0..5 {
-        let g = remos.get_graph(&["m-1", "m-8"], Timeframe::Current).unwrap();
+        let g = remos.run(Query::graph(["m-1", "m-8"])).unwrap().into_graph().unwrap();
         assert_eq!(g.links.len(), 1);
     }
     assert!(transport.stats().drops() > 0, "loss injection did nothing");

@@ -8,7 +8,7 @@ use remos::apps::testbed::{cmu_testbed, TESTBED_HOSTS};
 use remos::apps::TestbedHarness;
 use remos::core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
 use remos::core::collector::Collector;
-use remos::core::RemosError;
+use remos::core::{Query, QueryResult, RemosError};
 use remos::net::{SimDuration, SimTime, Simulator};
 use remos::snmp::sim::{register_all_agents, share, SimTrapSource};
 use remos::snmp::SimTransport;
@@ -61,7 +61,7 @@ fn graph_query_fails_across_partition() {
     // Prime discovery.
     h.adapter
         .remos_mut()
-        .get_graph(&["m-1", "m-8"], remos::core::Timeframe::Current)
+        .run(Query::graph(["m-1", "m-8"]))
         .unwrap();
     let backbone = link_between(&h.sim, "timberline", "whiteface");
     h.sim.lock().set_link_state(backbone, false).unwrap();
@@ -69,7 +69,8 @@ fn graph_query_fails_across_partition() {
     let res = h
         .adapter
         .remos_mut()
-        .get_graph(&["m-1", "m-8"], remos::core::Timeframe::Current);
+        .run(Query::graph(["m-1", "m-8"]))
+        .and_then(QueryResult::into_graph);
     assert!(
         matches!(res, Err(RemosError::Disconnected(_, _))),
         "{res:?}"
@@ -78,7 +79,9 @@ fn graph_query_fails_across_partition() {
     let g = h
         .adapter
         .remos_mut()
-        .get_graph(&["m-1", "m-4"], remos::core::Timeframe::Current)
+        .run(Query::graph(["m-1", "m-4"]))
+        .unwrap()
+        .into_graph()
         .unwrap();
     assert_eq!(g.compute_names().len(), 2);
 }

@@ -1,0 +1,151 @@
+//! Observability contract: the metrics registry, the structured trace
+//! recorder, and query provenance must agree with the ground truth the
+//! rest of the system already exposes.
+//!
+//! * the engine's obs counters equal the simulator's own recompute
+//!   tallies after the determinism suite's FFT scenario, in both
+//!   [`SolverMode`]s;
+//! * the trace digest is bit-identical across two identical runs
+//!   (traces are stamped with simulated time, never the wall clock);
+//! * provenance worst-quality degrades from `Fresh` once an agent is
+//!   crashed under a pinned fault seed;
+//! * a metrics snapshot survives a JSON round-trip losslessly and
+//!   renders to Prometheus text.
+
+use remos::apps::fft::fft_program;
+use remos::apps::harness::TestbedHarness;
+use remos::apps::synthetic::{install_scenario, TrafficScenario};
+use remos::apps::testbed::TESTBED_HOSTS;
+use remos::core::collector::snmp::SnmpCollectorConfig;
+use remos::core::Query;
+use remos::net::{SimDuration, SolverMode};
+use remos::obs::MetricsSnapshot;
+use remos::snmp::fault::{FaultDirector, FaultPlan};
+
+/// The determinism suite's FFT scenario (`fft_run_is_deterministic`):
+/// interfering traffic, 1 s of warmup, then a 512-point FFT on four
+/// nodes.
+fn fft_scenario(h: &mut TestbedHarness) {
+    install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+    h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    h.run_fixed(&fft_program(512, 4), &["m-4", "m-5", "m-6", "m-7"]).unwrap();
+}
+
+/// Obs counters are not a parallel bookkeeping that can drift: after the
+/// FFT scenario the registry's solver counts equal the engine's own
+/// `u64` tallies exactly, whichever solver is active.
+#[test]
+fn metrics_counters_match_engine_counters_in_both_solver_modes() {
+    for mode in [SolverMode::Incremental, SolverMode::Full] {
+        let mut h = TestbedHarness::cmu();
+        h.sim.lock().set_solver_mode(mode);
+        fft_scenario(&mut h);
+
+        let (full, scoped) = {
+            let sim = h.sim.lock();
+            (sim.full_recomputes(), sim.scoped_recomputes())
+        };
+        let snap = h.obs.metrics_snapshot();
+        assert_eq!(
+            snap.counters["engine_full_recomputes_total"], full,
+            "{mode:?}: full-recompute counter drifted from the engine"
+        );
+        assert_eq!(
+            snap.counters["engine_scoped_recomputes_total"], scoped,
+            "{mode:?}: scoped-recompute counter drifted from the engine"
+        );
+        assert!(
+            full + scoped > 0,
+            "{mode:?}: FFT scenario drove no recomputations at all"
+        );
+    }
+}
+
+/// Two identical runs must record byte-identical traces: spans are
+/// stamped with simulated time, so the digest doubles as a determinism
+/// check on the observability layer itself.
+#[test]
+fn trace_digest_is_identical_across_identical_runs() {
+    let run = || {
+        let mut h = TestbedHarness::cmu();
+        fft_scenario(&mut h);
+        (h.obs.trace_digest(), h.obs.trace_recorded(), h.obs.trace_records())
+    };
+    let (digest_a, recorded_a, records_a) = run();
+    let (digest_b, recorded_b, _) = run();
+    assert!(recorded_a > 0, "the FFT scenario recorded no trace at all");
+    assert_eq!(recorded_a, recorded_b, "runs recorded different trace volumes");
+    assert_eq!(digest_a, digest_b, "identical runs produced different trace digests");
+    assert!(
+        records_a.iter().any(|r| r.name.starts_with("engine.solve.")),
+        "no solver spans in the trace"
+    );
+}
+
+/// Crash one agent under a pinned fault seed: the next graph answer must
+/// carry a provenance record whose worst quality is no longer `Fresh`.
+#[test]
+fn provenance_quality_degrades_once_an_agent_crashes() {
+    const SEED: u64 = 0x0b5e_7ab1_e5ee_d001;
+    let director = FaultDirector::new();
+    let mut h = TestbedHarness::cmu_with_faults(&director, SnmpCollectorConfig::default());
+    h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+
+    let healthy = h
+        .adapter
+        .remos_mut()
+        .run(Query::graph(TESTBED_HOSTS))
+        .unwrap()
+        .into_graph()
+        .unwrap();
+    let prov = healthy.provenance.as_ref().expect("graph carries provenance");
+    assert!(prov.worst_quality.is_fresh(), "healthy testbed should answer Fresh");
+    assert!(prov.snapshots >= 1);
+    assert!(!prov.solver.is_empty());
+
+    let now = h.sim.lock().now();
+    director.set_plan("m-6", FaultPlan::new().crash(now, SimDuration::from_secs(3_600)), SEED);
+    h.sim.lock().run_for(SimDuration::from_secs(2)).unwrap();
+
+    let degraded = h
+        .adapter
+        .remos_mut()
+        .run(Query::graph(TESTBED_HOSTS))
+        .unwrap()
+        .into_graph()
+        .unwrap();
+    let prov = degraded.provenance.as_ref().expect("graph carries provenance");
+    assert!(
+        !prov.worst_quality.is_fresh(),
+        "dead agent must degrade provenance quality, got {:?}",
+        prov.worst_quality
+    );
+}
+
+/// A snapshot survives its own JSON encoding losslessly (the hand-rolled
+/// encoder and parser agree), and the Prometheus rendering exposes the
+/// same counters.
+#[test]
+fn metrics_snapshot_round_trips_through_json() {
+    let mut h = TestbedHarness::cmu();
+    fft_scenario(&mut h);
+    let _ = h
+        .adapter
+        .remos_mut()
+        .run(Query::graph(TESTBED_HOSTS))
+        .unwrap()
+        .into_graph()
+        .unwrap();
+
+    let snap = h.obs.metrics_snapshot();
+    assert!(snap.counters["remos_graph_queries_total"] >= 1);
+    assert!(snap.counters["collector_polls_total"] >= 1);
+
+    let json = snap.to_json();
+    let back = MetricsSnapshot::from_json(&json).expect("snapshot JSON parses back");
+    assert_eq!(snap, back, "JSON round-trip lost information");
+
+    let prom = snap.render_prometheus();
+    assert!(prom.contains("# TYPE remos_graph_queries_total counter"));
+    assert!(prom.contains("# TYPE engine_full_recomputes_total counter"));
+}

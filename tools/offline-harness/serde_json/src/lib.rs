@@ -37,6 +37,13 @@ impl Value {
             _ => None,
         }
     }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
 }
 
 macro_rules! value_from_num {
