@@ -18,7 +18,7 @@ pub struct Parsed {
 const VALUED: &[&str] = &[
     "--scenario", "--nodes", "--window", "--future", "--warmup", "--fixed", "--variable",
     "--independent", "--pool", "--start", "-k", "--app", "--pair", "--interval",
-    "--duration", "--format",
+    "--duration", "--format", "--repeat", "--batch",
 ];
 
 /// Bare flags.

@@ -3,9 +3,10 @@
 use crate::args::{parse_pair, parse_pair_value, Parsed};
 use remos_apps::scenario::{Scenario, TrafficSpec};
 use remos_apps::TestbedHarness;
-use remos_core::{FlowInfoRequest, Query, QueryResult, Timeframe};
+use remos_core::{FlowInfoRequest, Query, QueryResult, QuerySpec, Timeframe};
 use remos_net::{mbps, SimDuration};
 use std::io::Write;
+use std::time::Instant;
 
 type CmdResult = Result<(), String>;
 
@@ -218,6 +219,139 @@ pub fn flows(p: &Parsed, out: &mut dyn Write) -> CmdResult {
         )
         .map_err(io_err)?;
     }
+    Ok(())
+}
+
+/// Parse a `--batch` file: one graph query per non-empty line, each a
+/// comma-separated node list; `#` starts a comment line.
+fn load_batch(path: &str, tf: Timeframe) -> Result<Vec<QuerySpec>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read batch {path:?}: {e}"))?;
+    let mut specs: Vec<QuerySpec> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let nodes: Vec<String> = line
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if nodes.is_empty() {
+            return Err(format!("{path}:{}: empty node list", lineno + 1));
+        }
+        specs.push(Query::graph(nodes).timeframe(tf).into());
+    }
+    if specs.is_empty() {
+        return Err(format!(
+            "{path}: no queries (one comma-separated node list per line)"
+        ));
+    }
+    Ok(specs)
+}
+
+/// `remos-sim query`
+///
+/// Plan-cache-aware query serving: repeat one graph query (`--nodes`
+/// with `--repeat N`) or answer a whole file of queries in one
+/// `run_batch` call (`--batch`), then report the modeler's plan-cache
+/// counters from the observability registry.
+pub fn query(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let tf = timeframe(p)?;
+    let repeat = match p.get("--repeat") {
+        None => 1usize,
+        Some(v) => v.parse().map_err(|_| "--repeat: not an integer".to_string())?,
+    };
+    if repeat == 0 {
+        return Err("--repeat must be >= 1".into());
+    }
+
+    match (p.get("--batch"), p.get("--nodes")) {
+        (Some(_), Some(_)) => {
+            return Err("--batch and --nodes are mutually exclusive".into())
+        }
+        (None, None) => return Err("query needs --nodes or --batch".into()),
+        (Some(path), None) => {
+            let specs = load_batch(path, tf)?;
+            let n = specs.len();
+            for round in 0..repeat {
+                let t0 = Instant::now();
+                let results = h.adapter.remos_mut().run_batch(specs.clone());
+                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                writeln!(out, "batch round {}: {n} queries in {ms:.3} ms", round + 1)
+                    .map_err(io_err)?;
+                if round == 0 {
+                    for (i, r) in results.iter().enumerate() {
+                        match r {
+                            Ok(QueryResult::Graph(g)) => writeln!(
+                                out,
+                                "  [{i}] {} nodes, {} links, digest {:016x}",
+                                g.nodes.len(),
+                                g.links.len(),
+                                g.digest()
+                            )
+                            .map_err(io_err)?,
+                            Ok(other) => {
+                                writeln!(out, "  [{i}] {other:?}").map_err(io_err)?
+                            }
+                            Err(e) => writeln!(out, "  [{i}] error: {e}").map_err(io_err)?,
+                        }
+                    }
+                }
+            }
+        }
+        (None, Some(_)) => {
+            let nodes = p.get_list("--nodes")?;
+            let mut times_us: Vec<f64> = Vec::with_capacity(repeat);
+            let mut last = None;
+            for _ in 0..repeat {
+                let t0 = Instant::now();
+                let g = h
+                    .adapter
+                    .remos_mut()
+                    .run(Query::graph(nodes.iter().cloned()).timeframe(tf))
+                    .and_then(QueryResult::into_graph)
+                    .map_err(|e| e.to_string())?;
+                times_us.push(t0.elapsed().as_secs_f64() * 1e6);
+                last = Some(g);
+            }
+            let g = last.ok_or_else(|| "no query ran".to_string())?;
+            writeln!(
+                out,
+                "graph over {} node(s): {} nodes, {} links, digest {:016x}",
+                nodes.len(),
+                g.nodes.len(),
+                g.links.len(),
+                g.digest()
+            )
+            .map_err(io_err)?;
+            let first = times_us[0];
+            let mut rest: Vec<f64> = times_us[1..].to_vec();
+            rest.sort_by(f64::total_cmp);
+            match rest.get(rest.len() / 2) {
+                Some(median) if repeat > 1 => writeln!(
+                    out,
+                    "{repeat} run(s): first {first:.1} us, later median {median:.1} us"
+                )
+                .map_err(io_err)?,
+                _ => writeln!(out, "1 run: {first:.1} us").map_err(io_err)?,
+            }
+        }
+    }
+
+    let snap = h.obs.metrics_snapshot();
+    let c = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    writeln!(
+        out,
+        "plan cache: {} hit(s), {} miss(es), {} eviction(s)",
+        c("modeler_plan_cache_hits_total"),
+        c("modeler_plan_cache_misses_total"),
+        c("modeler_plan_cache_evictions_total")
+    )
+    .map_err(io_err)?;
     Ok(())
 }
 

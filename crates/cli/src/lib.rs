@@ -32,6 +32,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
     match parsed.command.as_str() {
         "topology" => commands::topology(&parsed, out),
         "graph" => commands::graph(&parsed, out),
+        "query" => commands::query(&parsed, out),
         "flows" => commands::flows(&parsed, out),
         "select" => commands::select(&parsed, out),
         "run" => commands::run_app(&parsed, out),
@@ -54,6 +55,7 @@ USAGE: remos-sim <command> [options]
 COMMANDS:
   topology  print the scenario's topology as the SNMP collector discovers it
   graph     remos_get_graph over a node set
+  query     repeated / batched graph queries with plan-cache statistics
   flows     remos_flow_info (fixed/variable/independent flow classes)
   select    Remos-driven node selection (greedy clustering, §7.2)
   run       execute an application model on chosen nodes
@@ -69,6 +71,9 @@ COMMON OPTIONS:
 
 COMMAND OPTIONS:
   graph:   --nodes a,b,c            [--window S | --future S] [--dot]
+  query:   --nodes a,b,c [--repeat N] | --batch FILE [--repeat N]
+           (batch file: one comma-separated node list per line, # comments;
+            answered in a single run_batch call; prints plan-cache stats)
   flows:   --fixed src:dst:MBPS     (repeatable)
            --variable src:dst:WEIGHT (repeatable)
            --independent src:dst
@@ -139,6 +144,48 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&out).expect("valid json");
         assert!(v.get("nodes").is_some());
         assert!(v.get("links").is_some());
+    }
+
+    #[test]
+    fn query_repeat_reports_cache_hits() {
+        let out = call(&[
+            "query", "--scenario", "cmu", "--nodes", "m-1,m-8", "--repeat", "3",
+            "--window", "1",
+        ])
+        .unwrap();
+        assert!(out.contains("digest"), "{out}");
+        assert!(out.contains("later median"), "{out}");
+        // One cold plan build, then cache hits on the repeats.
+        assert!(out.contains("2 hit(s), 1 miss(es), 0 eviction(s)"), "{out}");
+    }
+
+    #[test]
+    fn query_batch_file() {
+        let path = std::env::temp_dir().join("remos_cli_test_batch.txt");
+        std::fs::write(&path, "# two graph queries\nm-1,m-8\nm-2, m-3\n").unwrap();
+        let out = call(&[
+            "query", "--scenario", "cmu", "--batch", path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(out.contains("batch round 1: 2 queries"), "{out}");
+        assert!(out.contains("[0]"), "{out}");
+        assert!(out.contains("[1]"), "{out}");
+        assert!(out.contains("plan cache:"), "{out}");
+    }
+
+    #[test]
+    fn query_bad_options() {
+        assert!(call(&["query", "--scenario", "cmu"]).is_err());
+        assert!(call(&[
+            "query", "--scenario", "cmu", "--nodes", "m-1,m-8", "--batch", "x",
+        ])
+        .is_err());
+        assert!(call(&[
+            "query", "--scenario", "cmu", "--nodes", "m-1,m-8", "--repeat", "0",
+        ])
+        .is_err());
+        assert!(call(&["query", "--scenario", "cmu", "--batch", "/nonexistent.txt"]).is_err());
     }
 
     #[test]

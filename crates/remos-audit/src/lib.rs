@@ -454,6 +454,8 @@ pub struct RuleScope {
     pub wall_clock: bool,
     /// `deprecated-shim` applies (everywhere but the shims' home).
     pub deprecated_shim: bool,
+    /// `thread-spawn` applies (everywhere but the sanctioned pool).
+    pub thread: bool,
 }
 
 /// Classify a workspace-relative path (`crates/remos-net/src/engine.rs`).
@@ -478,6 +480,11 @@ pub fn scope_for(rel: &Path) -> RuleScope {
     // exists to *plug* a clock into Obs, and SimTime-stamped tracing in
     // simulated code never routes through it.
     let sanctioned_clock = p == "crates/remos-obs/src/clock.rs";
+    // The modeler's scoped worker pool is the one sanctioned thread
+    // source: it runs pure computation over immutable shared data with
+    // deterministic (input-order) result placement, and never touches
+    // the simulated clock, the collector, or the trace recorder.
+    let sanctioned_pool = p == "crates/remos-core/src/modeler/pool.rs";
     RuleScope {
         nondet: solver_path,
         float_eq: audited_crates,
@@ -486,6 +493,7 @@ pub fn scope_for(rel: &Path) -> RuleScope {
         // The positional query shims live (and are tested) in api.rs;
         // every other library source must use the QuerySpec builder.
         deprecated_shim: p != "crates/remos-core/src/api.rs",
+        thread: audited_crates && !sanctioned_pool,
     }
 }
 
@@ -553,6 +561,31 @@ pub fn check_tokens(file: &Path, toks: &[Token], scope: RuleScope) -> Vec<Violat
                                 ".{name}() is a deprecated positional shim: build the query \
                                  with `Query::..` and execute it with `Remos::run`"
                             ),
+                        ));
+                    }
+                }
+                if scope.thread && name == "thread" {
+                    // Flag std::thread uses: `std :: thread` before, or
+                    // `thread :: <api>` after. Bare `thread` idents
+                    // (locals, fields) are left alone.
+                    let from_std = k >= 2
+                        && toks[k - 1].text == "::"
+                        && toks[k - 2].text == "std";
+                    let thread_api = k + 2 < toks.len()
+                        && toks[k + 1].text == "::"
+                        && matches!(
+                            toks[k + 2].text.as_str(),
+                            "spawn" | "scope" | "sleep" | "Builder" | "available_parallelism"
+                        );
+                    if from_std || thread_api {
+                        out.push(mk(
+                            "thread-spawn",
+                            t.line,
+                            name,
+                            "std::thread in library code: OS scheduling leaks into results; \
+                             the modeler worker pool (modeler/pool.rs) is the sanctioned \
+                             exemption"
+                                .to_string(),
                         ));
                     }
                 }
@@ -734,6 +767,7 @@ mod tests {
             panic: true,
             wall_clock: true,
             deprecated_shim: true,
+            thread: true,
         }
     }
 
@@ -871,6 +905,32 @@ mod tests {
         assert!(s.float_eq && s.wall_clock && !s.panic);
         let s = scope_for(Path::new("crates/remos-obs/src/clock.rs"));
         assert!(s.float_eq && !s.wall_clock);
+        // The modeler worker pool is the one sanctioned thread source;
+        // everywhere else in the library crates threads are flagged.
+        let s = scope_for(Path::new("crates/remos-core/src/modeler/pool.rs"));
+        assert!(!s.thread && s.panic && s.nondet);
+        let s = scope_for(Path::new("crates/remos-core/src/api.rs"));
+        assert!(s.thread);
+        let s = scope_for(Path::new("crates/remos-fx/src/adapt.rs"));
+        assert!(s.thread);
+        let s = scope_for(Path::new("crates/bench/src/bin/fig4.rs"));
+        assert!(!s.thread);
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_pool() {
+        let v = check("fn f() { std::thread::spawn(|| {}); }");
+        assert!(v.iter().any(|v| v.rule == "thread-spawn"), "{v:?}");
+        let v = check("fn f() { thread::scope(|s| { s.spawn(|| {}); }); }");
+        assert!(v.iter().any(|v| v.rule == "thread-spawn"), "{v:?}");
+        let v = check("fn f() -> usize { thread::available_parallelism().map(|n| n.get()).unwrap_or(1) }");
+        assert!(v.iter().any(|v| v.rule == "thread-spawn"), "{v:?}");
+        // Bare `thread` idents (locals, fields) are not std::thread.
+        let v = check("fn f(thread: usize) -> usize { thread + 1 }");
+        assert!(v.iter().all(|v| v.rule != "thread-spawn"), "{v:?}");
+        // Test code is exempt, as for every rule.
+        let v = check("#[cfg(test)] mod t { fn f() { std::thread::spawn(|| {}); } }");
+        assert!(v.iter().all(|v| v.rule != "thread-spawn"), "{v:?}");
     }
 
     #[test]

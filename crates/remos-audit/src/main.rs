@@ -51,7 +51,8 @@ fn main() -> ExitCode {
             || scope.float_eq
             || scope.panic
             || scope.wall_clock
-            || scope.deprecated_shim)
+            || scope.deprecated_shim
+            || scope.thread)
         {
             continue;
         }

@@ -16,11 +16,14 @@ use crate::collector::{Clock, Collector};
 use crate::error::{CoreResult, InvalidQueryKind, RemosError};
 use crate::flows::{FlowInfoRequest, FlowInfoResponse};
 use crate::graph::{HostInfo, RemosGraph};
-use crate::modeler::{Modeler, ModelerConfig};
-use crate::query::{Query, QueryResult, QuerySpec};
+use crate::modeler::plan::QueryPlan;
+use crate::modeler::{pool, Modeler, ModelerConfig, SelectedSamples};
+use crate::query::{FlowQuery, GraphQuery, Query, QueryResult, QuerySpec, ReachableQuery};
 use crate::timeframe::Timeframe;
 use remos_net::SimDuration;
-use remos_obs::{Counter, Obs};
+use remos_obs::{Counter, Histogram, Obs};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Remos configuration.
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +49,7 @@ struct RemosMetrics {
     graph_queries: Counter,
     flow_queries: Counter,
     rejected_queries: Counter,
+    batch_size: Histogram,
 }
 
 impl RemosMetrics {
@@ -54,8 +58,26 @@ impl RemosMetrics {
             graph_queries: obs.counter("remos_graph_queries_total"),
             flow_queries: obs.counter("remos_flow_queries_total"),
             rejected_queries: obs.counter("remos_rejected_queries_total"),
+            batch_size: obs.histogram("remos_batch_size"),
         }
     }
+}
+
+/// A batch entry whose measurement inputs are pinned and ready for a
+/// worker: everything a pure compute pass needs, nothing that touches
+/// the collector or the clock.
+enum BatchJob {
+    Graph {
+        plan: Arc<QueryPlan>,
+        hosts: Vec<Option<HostInfo>>,
+        selected: Arc<SelectedSamples>,
+        q: GraphQuery,
+    },
+    Flows {
+        plan: Arc<QueryPlan>,
+        selected: Arc<SelectedSamples>,
+        q: FlowQuery,
+    },
 }
 
 /// The Remos query interface.
@@ -74,16 +96,28 @@ impl Remos {
     pub fn new(collector: Box<dyn Collector>, clock: Box<dyn Clock>, cfg: RemosConfig) -> Remos {
         let obs = Obs::new();
         let obs_metrics = RemosMetrics::new(&obs);
-        Remos { collector, clock, modeler: Modeler::new(cfg.modeler), cfg, obs, obs_metrics }
+        let mut modeler = Modeler::new(cfg.modeler);
+        modeler.set_obs(&obs);
+        Remos { collector, clock, modeler, cfg, obs, obs_metrics }
     }
 
     /// Report into a shared observability handle: facade query counters,
-    /// plus everything the collector underneath reports (polls, agent
-    /// health, SNMP fault paths).
+    /// modeler plan-cache counters, plus everything the collector
+    /// underneath reports (polls, agent health, SNMP fault paths).
     pub fn set_obs(&mut self, obs: Obs) {
         self.collector.set_obs(&obs);
+        self.modeler.set_obs(&obs);
         self.obs_metrics = RemosMetrics::new(&obs);
         self.obs = obs;
+    }
+
+    /// Replace the modeler configuration. Drops any cached query plans
+    /// (the new configuration may change how answers are computed).
+    pub fn set_modeler_config(&mut self, cfg: ModelerConfig) {
+        self.cfg.modeler = cfg;
+        let mut modeler = Modeler::new(cfg);
+        modeler.set_obs(&self.obs);
+        self.modeler = modeler;
     }
 
     /// The observability handle this facade reports into.
@@ -104,7 +138,6 @@ impl Remos {
     /// Make sure enough measurements exist for the timeframe, taking
     /// fresh ones (and letting measured time pass) as needed.
     fn ensure_samples(&mut self, tf: Timeframe) -> CoreResult<()> {
-        let needed = tf.min_samples(self.cfg.poll_gap);
         if matches!(tf, Timeframe::Current) {
             // Always measure *now*: a node-selection decision must reflect
             // current traffic, not a stale snapshot. Measuring takes one
@@ -113,17 +146,16 @@ impl Remos {
             // the interval since the previous counter read, so it includes
             // whatever the application itself sent meanwhile (the root of
             // the §8.3 self-traffic fallacy).
-            self.clock.advance(self.cfg.poll_gap)?;
-            if !self.collector.poll()? {
-                self.clock.advance(self.cfg.poll_gap)?;
-                if !self.collector.poll()? {
-                    return Err(RemosError::Collector(
-                        "collector produced no sample after an advance".into(),
-                    ));
-                }
-            }
-            return Ok(());
+            self.pin_samples(0, true)
+        } else {
+            self.pin_samples(tf.min_samples(self.cfg.poll_gap), false)
         }
+    }
+
+    /// Drive the collector until `needed` samples have accumulated, then
+    /// take one extra fresh sample if `fresh` is set — the shared
+    /// measurement step behind [`Remos::run`] and [`Remos::run_batch`].
+    fn pin_samples(&mut self, needed: usize, fresh: bool) -> CoreResult<()> {
         let mut guard = 0;
         while self.collector.history().len() < needed {
             guard += 1;
@@ -134,6 +166,17 @@ impl Remos {
             }
             self.clock.advance(self.cfg.poll_gap)?;
             self.collector.poll()?;
+        }
+        if fresh {
+            self.clock.advance(self.cfg.poll_gap)?;
+            if !self.collector.poll()? {
+                self.clock.advance(self.cfg.poll_gap)?;
+                if !self.collector.poll()? {
+                    return Err(RemosError::Collector(
+                        "collector produced no sample after an advance".into(),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -199,28 +242,243 @@ impl Remos {
                 }
                 Ok(QueryResult::Flows(resp))
             }
-            QuerySpec::Reachable(q) => {
-                if self.collector.topology().is_err() {
-                    self.collector.refresh_topology()?;
+            QuerySpec::Reachable(q) => self.answer_reachable(&q),
+        }
+    }
+
+    fn answer_reachable(&mut self, q: &ReachableQuery) -> CoreResult<QueryResult> {
+        if self.collector.topology().is_err() {
+            self.collector.refresh_topology()?;
+        }
+        let topo = self.collector.topology()?;
+        let a = topo
+            .lookup(&q.anchor)
+            .map_err(|_| RemosError::UnknownNode(q.anchor.clone()))?;
+        let routing = remos_net::routing::Routing::new(&topo);
+        Ok(QueryResult::Peers(
+            q.candidates
+                .iter()
+                .filter(|c| {
+                    topo.lookup(c)
+                        .map(|id| id == a || routing.path(&topo, a, id).is_ok())
+                        .unwrap_or(false)
+                })
+                .cloned()
+                .collect(),
+        ))
+    }
+
+    /// Sample selection for one timeframe, shared across batch entries
+    /// that ask for the same timeframe (the amortized `select_samples`).
+    fn selection_for(
+        &self,
+        tf: Timeframe,
+        cache: &mut BTreeMap<(u8, u64), Arc<SelectedSamples>>,
+    ) -> CoreResult<Arc<SelectedSamples>> {
+        let key = match tf {
+            Timeframe::Current => (0u8, 0u64),
+            Timeframe::Window(w) => (1, w.as_nanos()),
+            Timeframe::Future(h) => (2, h.as_nanos()),
+        };
+        if let Some(s) = cache.get(&key) {
+            return Ok(Arc::clone(s));
+        }
+        let n = self.collector.topology()?.dir_link_count();
+        let s = Arc::new(self.modeler.select_samples(&*self.collector, n, tf)?);
+        cache.insert(key, Arc::clone(&s));
+        Ok(s)
+    }
+
+    /// Answer a batch of queries against one pinned snapshot selection.
+    ///
+    /// Measurement happens once for the whole batch — enough polls for
+    /// the most demanding timeframe, plus a single fresh poll if any
+    /// entry asks for [`Timeframe::Current`] — and every entry is then
+    /// answered from that frozen history. No polling interleaves with
+    /// the answers, so the batch is internally consistent: two entries
+    /// naming the same timeframe see the very same samples (the §4.2
+    /// simultaneous-query property, extended across query kinds), and
+    /// the whole batch costs one query's worth of measured time.
+    ///
+    /// Sample selection is amortized across entries per distinct
+    /// timeframe, plans come from the epoch-keyed cache, and the
+    /// remaining pure compute (annotation, flow solving) runs on a
+    /// scoped worker pool. Results come back in input order, one per
+    /// entry; a batch-wide measurement failure fails every entry.
+    pub fn run_batch(&mut self, specs: Vec<QuerySpec>) -> Vec<CoreResult<QueryResult>> {
+        self.obs_metrics.batch_size.observe(specs.len() as u64);
+        let n = specs.len();
+        // Scan the batch for its measurement demand.
+        let mut needed = 0usize;
+        let mut fresh = false;
+        let mut measures = false;
+        for s in &specs {
+            let tf = match s {
+                QuerySpec::Graph(q) if !q.nodes.is_empty() => Some(q.timeframe),
+                QuerySpec::Flows(q) if q.request.flow_count() > 0 => Some(q.timeframe),
+                _ => None,
+            };
+            if let Some(tf) = tf {
+                measures = true;
+                match tf {
+                    Timeframe::Current => fresh = true,
+                    _ => needed = needed.max(tf.min_samples(self.cfg.poll_gap)),
                 }
-                let topo = self.collector.topology()?;
-                let a = topo
-                    .lookup(&q.anchor)
-                    .map_err(|_| RemosError::UnknownNode(q.anchor.clone()))?;
-                let routing = remos_net::routing::Routing::new(&topo);
-                Ok(QueryResult::Peers(
-                    q.candidates
-                        .iter()
-                        .filter(|c| {
-                            topo.lookup(c)
-                                .map(|id| id == a || routing.path(&topo, a, id).is_ok())
-                                .unwrap_or(false)
-                        })
-                        .cloned()
-                        .collect(),
-                ))
             }
         }
+        if measures {
+            if let Err(e) = self.pin_samples(needed, fresh) {
+                let msg = e.to_string();
+                self.obs_metrics.rejected_queries.add(n as u64);
+                return specs
+                    .into_iter()
+                    .map(|_| {
+                        Err(RemosError::Collector(format!("batch measurement failed: {msg}")))
+                    })
+                    .collect();
+            }
+        }
+        // Prepare jobs on this thread — plans, host tables and sample
+        // selections all touch the collector, which is not thread-safe.
+        // Workers then get pure compute over shared immutable data.
+        let mut results: Vec<Option<CoreResult<QueryResult>>> = (0..n).map(|_| None).collect();
+        let mut selections: BTreeMap<(u8, u64), Arc<SelectedSamples>> = BTreeMap::new();
+        let mut jobs: Vec<(usize, BatchJob)> = Vec::new();
+        for (i, spec) in specs.into_iter().enumerate() {
+            match spec {
+                QuerySpec::Graph(q) => {
+                    self.obs_metrics.graph_queries.inc();
+                    if q.nodes.is_empty() {
+                        results[i] = Some(Err(InvalidQueryKind::EmptyNodeSet.into()));
+                        continue;
+                    }
+                    let prepared = self.modeler.plan_for(&*self.collector, &q.nodes).and_then(
+                        |plan| {
+                            let hosts = Modeler::host_table(&*self.collector, &plan);
+                            let selected = self.selection_for(q.timeframe, &mut selections)?;
+                            Ok(BatchJob::Graph { plan, hosts, selected, q })
+                        },
+                    );
+                    match prepared {
+                        Ok(job) => jobs.push((i, job)),
+                        Err(e) => results[i] = Some(Err(e)),
+                    }
+                }
+                QuerySpec::Flows(q) => {
+                    self.obs_metrics.flow_queries.inc();
+                    if q.request.flow_count() == 0 {
+                        results[i] = Some(Err(InvalidQueryKind::EmptyFlowRequest.into()));
+                        continue;
+                    }
+                    let prepared = self.flow_plan_names(&q.request).and_then(|names| {
+                        let plan = self.modeler.plan_for(&*self.collector, &names)?;
+                        let selected = self.selection_for(q.timeframe, &mut selections)?;
+                        Ok(BatchJob::Flows { plan, selected, q })
+                    });
+                    match prepared {
+                        Ok(job) => jobs.push((i, job)),
+                        Err(e) => results[i] = Some(Err(e)),
+                    }
+                }
+                QuerySpec::Reachable(q) => {
+                    results[i] = Some(self.answer_reachable(&q));
+                }
+            }
+        }
+        // Pure compute, in parallel, deterministic output order.
+        let modeler = &self.modeler;
+        let answers = pool::run_indexed(
+            &jobs,
+            pool::default_workers(jobs.len()),
+            |(_, job)| match job {
+                BatchJob::Graph { plan, hosts, selected, q } => modeler
+                    .annotate_graph(plan, hosts, selected, q.timeframe)
+                    .and_then(|mut g| {
+                        if let Some(required) = q.min_quality {
+                            let actual = g.worst_quality();
+                            if !actual.meets(required) {
+                                return Err(RemosError::QualityTooLow { required, actual });
+                            }
+                        }
+                        if !q.provenance {
+                            g.provenance = None;
+                        }
+                        Ok(QueryResult::Graph(g))
+                    }),
+                BatchJob::Flows { plan, selected, q } => modeler
+                    .flow_answer(plan, selected, &q.request, q.timeframe)
+                    .and_then(|mut resp| {
+                        if let Some(required) = q.min_quality {
+                            let actual = resp.worst_quality();
+                            if !actual.meets(required) {
+                                return Err(RemosError::QualityTooLow { required, actual });
+                            }
+                        }
+                        if !q.provenance {
+                            for g in resp
+                                .fixed
+                                .iter_mut()
+                                .chain(resp.variable.iter_mut())
+                                .chain(resp.independent.iter_mut())
+                            {
+                                g.provenance = None;
+                            }
+                        }
+                        Ok(QueryResult::Flows(resp))
+                    }),
+            },
+        );
+        for ((i, _), r) in jobs.iter().zip(answers) {
+            results[*i] = Some(r);
+        }
+        let out: Vec<CoreResult<QueryResult>> = results
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(RemosError::Internal("batch entry produced no result".into()))
+                })
+            })
+            .collect();
+        for r in &out {
+            if r.is_err() {
+                self.obs_metrics.rejected_queries.inc();
+            }
+        }
+        out
+    }
+
+    /// Canonical endpoint name set of a flow request, with the same
+    /// validation order as [`Modeler::flow_info`].
+    fn flow_plan_names(&self, req: &FlowInfoRequest) -> CoreResult<Vec<String>> {
+        for f in &req.fixed {
+            if f.requested <= 0.0 || !f.requested.is_finite() {
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::BadFixedBandwidth {
+                    value: f.requested,
+                }));
+            }
+        }
+        for v in &req.variable {
+            if v.relative_bw <= 0.0 || !v.relative_bw.is_finite() {
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::BadVariableWeight {
+                    value: v.relative_bw,
+                }));
+            }
+        }
+        let mut names: Vec<String> = req
+            .all_endpoints()
+            .iter()
+            .flat_map(|e| [e.src.clone(), e.dst.clone()])
+            .collect();
+        names.sort();
+        names.dedup();
+        for e in req.all_endpoints() {
+            if e.src == e.dst {
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::IdenticalEndpoints {
+                    node: e.src.clone(),
+                }));
+            }
+        }
+        Ok(names)
     }
 
     /// `remos_get_graph(nodes, graph, timeframe)`: the logical topology
@@ -675,6 +933,119 @@ mod tests {
         assert_eq!(obs.counter("remos_rejected_queries_total").get(), 1);
         // The shared handle also carries the collector's poll counter.
         assert!(obs.counter("collector_polls_total").get() >= 2);
+    }
+
+    #[test]
+    fn run_batch_matches_sequential_answers() {
+        use remos_net::SimTime;
+        // A batch answered against one pinned selection must equal the
+        // same queries run sequentially from the same history state —
+        // compare graph digests bit for bit. Use Window timeframes so
+        // the sequential runs don't consume extra measurement time.
+        let tf = Timeframe::Window(SimDuration::from_secs(2));
+        let specs = |n: usize| -> Vec<QuerySpec> {
+            (0..n)
+                .map(|i| {
+                    let pair: Vec<&str> = if i % 2 == 0 {
+                        vec!["m-1", "m-3"]
+                    } else {
+                        vec!["m-2", "m-4"]
+                    };
+                    Query::graph(pair).timeframe(tf).into()
+                })
+                .collect()
+        };
+        let (mut batch_remos, bsim) = full_stack();
+        let batch = batch_remos.run_batch(specs(8));
+        let t_batch = bsim.lock().now();
+
+        let (mut seq_remos, _sim) = full_stack();
+        let seq: Vec<CoreResult<QueryResult>> =
+            specs(8).into_iter().map(|s| seq_remos.run(s)).collect();
+
+        assert_eq!(batch.len(), 8);
+        for (b, s) in batch.iter().zip(&seq) {
+            let (bg, sg) = match (b, s) {
+                (Ok(QueryResult::Graph(bg)), Ok(QueryResult::Graph(sg))) => (bg, sg),
+                other => panic!("unexpected batch/sequential results: {other:?}"),
+            };
+            assert_eq!(bg.digest(), sg.digest());
+        }
+        // The whole batch consumed one query's worth of measured time.
+        assert!(t_batch > SimTime::ZERO);
+        let (mut one_remos, osim) = full_stack();
+        one_remos.run(Query::graph(["m-1", "m-3"]).timeframe(tf)).unwrap();
+        assert_eq!(t_batch, osim.lock().now());
+    }
+
+    #[test]
+    fn run_batch_mixes_kinds_and_isolates_errors() {
+        let (mut remos, _sim) = full_stack();
+        let req = FlowInfoRequest::new().independent("m-1", "m-3");
+        let out = remos.run_batch(vec![
+            Query::graph(["m-1", "m-3"]).into(),
+            Query::graph(Vec::<String>::new()).into(),
+            Query::flows(req).into(),
+            Query::graph(["m-1", "nope"]).into(),
+            Query::reachable("m-1", ["m-3".to_string(), "zz".to_string()]).into(),
+        ]);
+        assert_eq!(out.len(), 5);
+        assert!(matches!(out[0], Ok(QueryResult::Graph(_))));
+        assert!(matches!(out[1], Err(RemosError::InvalidQuery(_))));
+        assert!(matches!(out[2], Ok(QueryResult::Flows(_))));
+        assert!(matches!(out[3], Err(RemosError::UnknownNode(_))));
+        match &out[4] {
+            Ok(QueryResult::Peers(p)) => assert_eq!(p, &vec!["m-3".to_string()]),
+            other => panic!("unexpected reachable result: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_batch_entries_share_pinned_samples() {
+        // Two identical Current entries in one batch see the very same
+        // sample (the §4.2 simultaneous-query property): bit-identical
+        // digests. Sequentially they poll twice and generally differ in
+        // provenance timestamps.
+        let (mut remos, sim) = full_stack();
+        {
+            let mut s = sim.lock();
+            let topo = s.topology_arc();
+            let m1 = topo.lookup("m-1").unwrap();
+            let m3 = topo.lookup("m-3").unwrap();
+            s.start_flow(FlowParams::cbr(m1, m3, mbps(60.0))).unwrap();
+            s.run_for(SimDuration::from_secs(1)).unwrap();
+        }
+        let out = remos.run_batch(vec![
+            Query::graph(["m-1", "m-3"]).into(),
+            Query::graph(["m-1", "m-3"]).into(),
+        ]);
+        let digests: Vec<u64> = out
+            .into_iter()
+            .map(|r| r.unwrap().into_graph().unwrap().digest())
+            .collect();
+        assert_eq!(digests[0], digests[1]);
+    }
+
+    #[test]
+    fn plan_cache_counters_and_batch_histogram() {
+        let (mut remos, _sim) = full_stack();
+        let obs = Obs::new();
+        remos.set_obs(obs.clone());
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        // Same target set, same epoch: second query hits the plan cache.
+        assert_eq!(obs.counter("modeler_plan_cache_misses_total").get(), 1);
+        assert_eq!(obs.counter("modeler_plan_cache_hits_total").get(), 1);
+        remos.run_batch(vec![
+            Query::graph(["m-1", "m-3"]).into(),
+            Query::graph(["m-1", "m-3"]).into(),
+        ]);
+        assert!(obs.counter("modeler_plan_cache_hits_total").get() >= 3);
+        assert_eq!(obs.histogram("remos_batch_size").count(), 1);
+        // Rediscovery bumps the epoch: the old plan is unreachable.
+        remos.refresh_topology().unwrap();
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        assert_eq!(obs.counter("modeler_plan_cache_misses_total").get(), 2);
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub struct BenchmarkCollector {
     /// Pair (i, j), i < j, per clique link.
     pairs: Vec<(String, String)>,
     history: SampleHistory,
+    topology_epoch: u64,
 }
 
 impl BenchmarkCollector {
@@ -71,7 +72,15 @@ impl BenchmarkCollector {
         hosts.sort();
         hosts.dedup();
         let history = SampleHistory::new(cfg.history_len);
-        BenchmarkCollector { sim, hosts, cfg, topo: None, pairs: Vec::new(), history }
+        BenchmarkCollector {
+            sim,
+            hosts,
+            cfg,
+            topo: None,
+            pairs: Vec::new(),
+            history,
+            topology_epoch: 0,
+        }
     }
 
     /// One-way latency measured by a ping between two named hosts (half
@@ -147,8 +156,13 @@ impl Collector for BenchmarkCollector {
             }
         }
         self.topo = Some(Arc::new(b.build().map_err(RemosError::from)?));
+        self.topology_epoch += 1;
         self.history.clear();
         Ok(())
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     fn topology(&self) -> CoreResult<Arc<Topology>> {

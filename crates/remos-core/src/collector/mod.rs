@@ -70,6 +70,10 @@ impl Snapshot {
 pub struct SampleHistory {
     samples: VecDeque<Snapshot>,
     max_len: usize,
+    /// Monotone counter bumped whenever the sample set changes (a snapshot
+    /// appended, or the history cleared on rediscovery). Consumers use it
+    /// to tell whether two reads of the history saw the same samples.
+    generation: u64,
 }
 
 /// Default history bound (samples).
@@ -85,7 +89,7 @@ impl SampleHistory {
     /// History bounded to `max_len` samples.
     pub fn new(max_len: usize) -> Self {
         assert!(max_len > 0);
-        SampleHistory { samples: VecDeque::new(), max_len }
+        SampleHistory { samples: VecDeque::new(), max_len, generation: 0 }
     }
 
     /// Append a snapshot, evicting the oldest if full.
@@ -94,6 +98,7 @@ impl SampleHistory {
             self.samples.pop_front();
         }
         self.samples.push_back(s);
+        self.generation += 1;
     }
 
     /// All samples, oldest first.
@@ -130,6 +135,16 @@ impl SampleHistory {
     /// interface indices change meaning).
     pub fn clear(&mut self) {
         self.samples.clear();
+        self.generation += 1;
+    }
+
+    /// Monotone snapshot-generation counter: bumped on every [`push`]
+    /// and [`clear`]. Equal generations guarantee equal sample sets.
+    ///
+    /// [`push`]: SampleHistory::push
+    /// [`clear`]: SampleHistory::clear
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 }
 
@@ -152,6 +167,20 @@ pub trait Collector: Send {
 
     /// The accumulated samples.
     fn history(&self) -> &SampleHistory;
+
+    /// Monotone counter identifying the current discovered topology:
+    /// bumped on every successful [`Collector::refresh_topology`]
+    /// (explicit, trap-triggered, or lazy). Anything derived from the
+    /// topology under an older epoch — routing, logicalized structures,
+    /// cached query plans — must not be reused once the epoch moves.
+    fn topology_epoch(&self) -> u64;
+
+    /// Monotone counter identifying the current sample set (see
+    /// [`SampleHistory::generation`]). Lets batch consumers pin one
+    /// snapshot selection and detect interleaved polls.
+    fn generation(&self) -> u64 {
+        self.history().generation()
+    }
 
     /// The collector's notion of the current time (from the measured
     /// system, e.g. agent sysUpTime).

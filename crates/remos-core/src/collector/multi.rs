@@ -47,6 +47,7 @@ pub struct MultiCollector {
     cfg: MultiCollectorConfig,
     merged: Option<Merged>,
     history: SampleHistory,
+    topology_epoch: u64,
 }
 
 struct Merged {
@@ -63,7 +64,13 @@ impl MultiCollector {
 
     /// Federate with an explicit configuration.
     pub fn with_config(children: Vec<Box<dyn Collector>>, cfg: MultiCollectorConfig) -> Self {
-        MultiCollector { children, cfg, merged: None, history: SampleHistory::default() }
+        MultiCollector {
+            children,
+            cfg,
+            merged: None,
+            history: SampleHistory::default(),
+            topology_epoch: 0,
+        }
     }
 
     fn merge(&mut self) -> CoreResult<Merged> {
@@ -189,8 +196,13 @@ impl Collector for MultiCollector {
             }));
         }
         self.merged = Some(self.merge()?);
+        self.topology_epoch += 1;
         self.history.clear();
         Ok(())
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     fn topology(&self) -> CoreResult<Arc<Topology>> {

@@ -19,19 +19,30 @@ pub struct OracleCollector {
     sim: SharedSim,
     history: SampleHistory,
     last_rates: Option<SimTime>,
+    topology_epoch: u64,
 }
 
 impl OracleCollector {
     /// New oracle over the shared simulator.
     pub fn new(sim: SharedSim) -> Self {
-        OracleCollector { sim, history: SampleHistory::default(), last_rates: None }
+        OracleCollector {
+            sim,
+            history: SampleHistory::default(),
+            last_rates: None,
+            topology_epoch: 0,
+        }
     }
 }
 
 impl Collector for OracleCollector {
     fn refresh_topology(&mut self) -> CoreResult<()> {
+        self.topology_epoch += 1;
         self.history.clear();
         Ok(())
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     fn topology(&self) -> CoreResult<Arc<Topology>> {

@@ -158,6 +158,9 @@ pub struct SnmpCollector<T: Transport> {
     health: Vec<AgentHealth>,
     cfg: SnmpCollectorConfig,
     view: Option<View>,
+    /// Bumped on every successful (re-)discovery; see
+    /// [`Collector::topology_epoch`].
+    topology_epoch: u64,
     history: SampleHistory,
     /// Collector time at the end of the last poll, advanced by agent
     /// uptime deltas (robust to any one agent's clock resetting).
@@ -248,6 +251,7 @@ impl<T: Transport + Sync> SnmpCollector<T> {
             health,
             cfg,
             view: None,
+            topology_epoch: 0,
             history,
             last_t: None,
             trap_source: None,
@@ -557,8 +561,13 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
         self.obs_metrics.rediscoveries.inc();
         let view = self.discover()?;
         self.view = Some(view);
+        self.topology_epoch += 1;
         self.history.clear();
         Ok(())
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
     }
 
     fn topology(&self) -> CoreResult<Arc<Topology>> {

@@ -17,6 +17,76 @@ use remos_net::{Bps, SimDuration};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// FNV-1a fold used by [`RemosGraph::digest`]. Floats are folded by bit
+/// pattern so the digest is exactly as strict as bit equality.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // Length-delimit so ("ab","c") and ("a","bc") differ.
+        self.u64(b.len() as u64);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes_raw(&v.to_le_bytes());
+    }
+
+    fn bytes_raw(&mut self, b: &[u8]) {
+        for &x in b {
+            self.0 ^= x as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.u64(0),
+            Some(x) => {
+                self.u64(1);
+                self.f64(x);
+            }
+        }
+    }
+
+    fn quartiles(&mut self, q: &Quartiles) {
+        for v in [q.min, q.q1, q.median, q.q3, q.max, q.mean, q.accuracy] {
+            self.f64(v);
+        }
+        self.usize(q.samples);
+    }
+
+    fn quality(&mut self, q: DataQuality) {
+        match q {
+            DataQuality::Fresh => self.u64(0),
+            DataQuality::Stale { age } => {
+                self.u64(1);
+                self.u64(age.as_nanos());
+            }
+            DataQuality::Missing => self.u64(2),
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Host compute/memory attributes (§2: Remos "does include a simple
 /// interface to computation and memory resources").
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -130,6 +200,69 @@ impl RemosGraph {
             .iter()
             .flat_map(|l| l.quality)
             .fold(DataQuality::Fresh, DataQuality::worst)
+    }
+
+    /// FNV-1a digest over every field of the graph, including the
+    /// annotation statistics (each `f64` by bit pattern) and the
+    /// provenance record. Two graphs digest equal iff they are
+    /// bit-identical answers — the equality the plan cache is held to:
+    /// a cache hit must produce the same digest a cold build would.
+    pub fn digest(&self) -> u64 {
+        let mut d = Fnv::new();
+        d.usize(self.nodes.len());
+        for n in &self.nodes {
+            d.bytes(n.name.as_bytes());
+            d.u64(match n.kind {
+                NodeKind::Compute => 0,
+                NodeKind::Network => 1,
+            });
+            d.opt_f64(n.internal_bw);
+            match n.host {
+                None => d.u64(0),
+                Some(h) => {
+                    d.u64(1);
+                    d.f64(h.compute_flops);
+                    d.u64(h.memory_bytes);
+                }
+            }
+        }
+        d.usize(self.links.len());
+        for l in &self.links {
+            d.usize(l.a);
+            d.usize(l.b);
+            d.f64(l.capacity);
+            d.u64(l.latency.as_nanos());
+            for q in &l.avail {
+                d.quartiles(q);
+            }
+            for q in &l.quality {
+                d.quality(*q);
+            }
+        }
+        match &self.provenance {
+            None => d.u64(0),
+            Some(p) => {
+                d.u64(1);
+                match p.timeframe {
+                    crate::timeframe::Timeframe::Current => d.u64(0),
+                    crate::timeframe::Timeframe::Window(w) => {
+                        d.u64(1);
+                        d.u64(w.as_nanos());
+                    }
+                    crate::timeframe::Timeframe::Future(h) => {
+                        d.u64(2);
+                        d.u64(h.as_nanos());
+                    }
+                }
+                d.usize(p.snapshots);
+                d.u64(p.newest_sample.map_or(u64::MAX, |t| t.as_nanos()));
+                d.u64(p.oldest_sample.map_or(u64::MAX, |t| t.as_nanos()));
+                d.quality(p.worst_quality);
+                d.bytes(p.solver.as_bytes());
+                d.usize(p.scope);
+            }
+        }
+        d.finish()
     }
 
     /// Rebuild the name index and adjacency (after deserialization or

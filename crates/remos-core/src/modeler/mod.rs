@@ -6,28 +6,40 @@
 //! a logical topology, associating appropriate static and dynamic
 //! information with each of the network components, and satisfying flow
 //! requests based on the logical topology."
+//!
+//! Queries are served in two halves: a structural [`plan::QueryPlan`]
+//! (routing + logicalization, cached per `(topology_epoch, target set)`)
+//! and a cheap per-query annotation pass over the selected samples. See
+//! `docs/PERFORMANCE.md` ("Query-path caching") for the invalidation
+//! rules and the bit-equality argument.
 
 pub mod flowsolve;
 pub mod logical;
+pub mod plan;
+pub(crate) mod pool;
 pub mod predict;
 pub mod sharing;
 
 use crate::collector::Collector;
 use crate::error::{CoreResult, InvalidQueryKind, RemosError};
 use crate::flows::{FlowGrant, FlowInfoRequest, FlowInfoResponse};
-use crate::graph::{RemosGraph, RemosLink, RemosNode};
+use crate::graph::{HostInfo, RemosGraph, RemosLink, RemosNode};
 use crate::provenance::Provenance;
 use crate::quality::DataQuality;
 use crate::stats::Quartiles;
 use crate::timeframe::Timeframe;
 use flowsolve::{ResourceModel, SampleSolver, StageFlow};
-use logical::LogicalStructure;
+use plan::{PlanCache, QueryPlan};
 use predict::{predict, PredictorKind};
-use remos_net::routing::Routing;
-use remos_net::topology::{NodeId, Topology};
+use remos_net::topology::Topology;
 use remos_net::{Bps, SimTime};
+use remos_obs::{Counter, Obs};
 use sharing::SharingPolicy;
-use std::sync::Arc;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Default number of query plans the modeler keeps cached.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 32;
 
 /// Modeler configuration.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +48,15 @@ pub struct ModelerConfig {
     pub predictor: PredictorKind,
     /// How external traffic competes with queried flows.
     pub sharing: SharingPolicy,
+    /// Bounded plan-cache capacity, in plans. `0` disables caching
+    /// entirely: every query rebuilds routing and logicalization cold —
+    /// the reference behavior the cache is audited against.
+    pub plan_cache_capacity: usize,
+    /// Shadow-uncached audit mode: on every cache hit, rebuild the plan
+    /// cold and fail the query with [`RemosError::Internal`] unless the
+    /// cached and cold plans are structurally bit-identical. Intended
+    /// for tests and CI, not production query serving.
+    pub audit_cache: bool,
 }
 
 impl Default for ModelerConfig {
@@ -43,19 +64,52 @@ impl Default for ModelerConfig {
         ModelerConfig {
             predictor: PredictorKind::WindowMean,
             sharing: SharingPolicy::default(),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            audit_cache: false,
         }
     }
 }
 
 /// The Modeler.
-#[derive(Clone, Copy, Debug, Default)]
 pub struct Modeler {
     /// Configuration.
     pub cfg: ModelerConfig,
+    /// Epoch-keyed LRU of structural query plans.
+    cache: Mutex<PlanCache>,
+    /// Plan-cache counters (hit/miss/evict), re-wired by [`Modeler::set_obs`].
+    metrics: ModelerMetrics,
+}
+
+struct ModelerMetrics {
+    plan_cache_hits: Counter,
+    plan_cache_misses: Counter,
+    plan_cache_evictions: Counter,
+}
+
+impl ModelerMetrics {
+    fn new(obs: &Obs) -> ModelerMetrics {
+        ModelerMetrics {
+            plan_cache_hits: obs.counter("modeler_plan_cache_hits_total"),
+            plan_cache_misses: obs.counter("modeler_plan_cache_misses_total"),
+            plan_cache_evictions: obs.counter("modeler_plan_cache_evictions_total"),
+        }
+    }
+}
+
+impl fmt::Debug for Modeler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Modeler").field("cfg", &self.cfg).finish_non_exhaustive()
+    }
+}
+
+impl Default for Modeler {
+    fn default() -> Self {
+        Modeler::new(ModelerConfig::default())
+    }
 }
 
 /// A set of per-physical-dirlink utilization samples selected for a query.
-struct SelectedSamples {
+pub(crate) struct SelectedSamples {
     /// (sample end time, utilization per physical dir-link index).
     samples: Vec<(SimTime, Vec<Bps>)>,
     /// Per physical dir-link: the worst measurement quality among the
@@ -102,21 +156,88 @@ fn degrade(q: &Quartiles, quality: DataQuality, ceiling: Bps) -> Quartiles {
     }
 }
 
+/// Lock a mutex, tolerating poisoning (the protected state is a cache of
+/// immutable `Arc`s; a panicking holder cannot leave it inconsistent).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 impl Modeler {
     /// Modeler with explicit configuration.
     pub fn new(cfg: ModelerConfig) -> Modeler {
-        Modeler { cfg }
+        Modeler {
+            cfg,
+            cache: Mutex::new(PlanCache::new(cfg.plan_cache_capacity)),
+            metrics: ModelerMetrics::new(&Obs::new()),
+        }
     }
 
-    fn resolve_names(topo: &Topology, names: &[String]) -> CoreResult<Vec<NodeId>> {
+    /// Re-wire the plan-cache counters onto `obs`.
+    pub fn set_obs(&mut self, obs: &Obs) {
+        self.metrics = ModelerMetrics::new(obs);
+    }
+
+    fn resolve_names(topo: &Topology, names: &[String]) -> CoreResult<Vec<remos_net::topology::NodeId>> {
         names
             .iter()
             .map(|n| topo.lookup(n).map_err(|_| RemosError::UnknownNode(n.clone())))
             .collect()
     }
 
+    /// Obtain the structural plan for `names`: cache hit when the
+    /// collector's topology epoch and the canonical target set match a
+    /// resident plan, cold build otherwise.
+    pub(crate) fn plan_for(
+        &self,
+        col: &dyn Collector,
+        names: &[String],
+    ) -> CoreResult<Arc<QueryPlan>> {
+        let topo = col.topology()?;
+        // Resolve in query order first so unknown-node errors name the
+        // first offending entry as written, exactly like the cold path.
+        Self::resolve_names(&topo, names)?;
+        let mut key: Vec<String> = names.to_vec();
+        key.sort();
+        key.dedup();
+        // Plans are built from the canonical ordering (logicalization is
+        // order-insensitive), so a cold rebuild reproduces a cached plan
+        // bit for bit.
+        let targets = Self::resolve_names(&topo, &key)?;
+        let epoch = col.topology_epoch();
+        if self.cfg.plan_cache_capacity == 0 {
+            self.metrics.plan_cache_misses.inc();
+            return Ok(Arc::new(QueryPlan::build(epoch, topo, targets)?));
+        }
+        if let Some(cached) = lock(&self.cache).get(epoch, &key) {
+            // Defense in depth: an epoch match with a different topology
+            // Arc means a collector swapped its view without bumping the
+            // epoch — treat as a miss rather than serve a stale plan.
+            if Arc::ptr_eq(&cached.topo, &topo) {
+                self.metrics.plan_cache_hits.inc();
+                if self.cfg.audit_cache {
+                    let cold = QueryPlan::build(epoch, topo, targets)?;
+                    if cold.digest() != cached.digest() {
+                        return Err(RemosError::Internal(
+                            "plan cache audit: cached plan diverged from a cold rebuild".into(),
+                        ));
+                    }
+                }
+                return Ok(cached);
+            }
+        }
+        self.metrics.plan_cache_misses.inc();
+        let built = Arc::new(QueryPlan::build(epoch, topo, targets)?);
+        if lock(&self.cache).insert(epoch, key, Arc::clone(&built)) {
+            self.metrics.plan_cache_evictions.inc();
+        }
+        Ok(built)
+    }
+
     /// Pick (or synthesize) the utilization samples a timeframe refers to.
-    fn select_samples(
+    pub(crate) fn select_samples(
         &self,
         col: &dyn Collector,
         n_phys_dirlinks: usize,
@@ -211,6 +332,17 @@ impl Modeler {
             .fold(f64::INFINITY, f64::min)
     }
 
+    /// Host info for each retained node of a plan, in node-table order.
+    /// Collector access happens here, on the caller's thread, so the
+    /// annotation pass itself is pure and parallelizable.
+    pub(crate) fn host_table(col: &dyn Collector, plan: &QueryPlan) -> Vec<Option<HostInfo>> {
+        plan.structure
+            .nodes
+            .iter()
+            .map(|&nid| col.host_info(&plan.topo.node(nid).name).ok())
+            .collect()
+    }
+
     /// Build the annotated logical topology for `names` — the
     /// implementation of `remos_get_graph(nodes, graph, timeframe)`.
     pub fn get_graph(
@@ -219,36 +351,53 @@ impl Modeler {
         names: &[String],
         tf: Timeframe,
     ) -> CoreResult<RemosGraph> {
-        let topo = col.topology()?;
-        let targets = Self::resolve_names(&topo, names)?;
-        let routing = Routing::new(&topo);
-        let structure = logical::logicalize(&topo, &routing, &targets)?;
-        let selected = self.select_samples(col, topo.dir_link_count(), tf)?;
+        let plan = self.plan_for(col, names)?;
+        let hosts = Self::host_table(col, &plan);
+        let selected = self.select_samples(col, plan.topo.dir_link_count(), tf)?;
+        self.annotate_graph(&plan, &hosts, &selected, tf)
+    }
+
+    /// The cheap half of a graph query: annotate a plan's logical
+    /// structure with the selected samples. Pure — no collector or clock
+    /// access — and allocation-light: the two scratch buffers below are
+    /// reused across every (link, direction) pair, so the steady path
+    /// allocates nothing proportional to link count.
+    pub(crate) fn annotate_graph(
+        &self,
+        plan: &QueryPlan,
+        hosts: &[Option<HostInfo>],
+        selected: &SelectedSamples,
+        tf: Timeframe,
+    ) -> CoreResult<RemosGraph> {
+        let topo: &Topology = &plan.topo;
+        let structure = &plan.structure;
 
         // Node table: retained physical nodes, in order.
         let mut nodes = Vec::with_capacity(structure.nodes.len());
-        let mut index_of = std::collections::BTreeMap::new();
         for (i, &nid) in structure.nodes.iter().enumerate() {
             let n = topo.node(nid);
             nodes.push(RemosNode {
                 name: n.name.clone(),
                 kind: n.kind,
                 internal_bw: n.internal_bw,
-                host: col.host_info(&n.name).ok(),
+                host: hosts.get(i).copied().flatten(),
             });
-            index_of.insert(nid, i);
         }
         let mut links = Vec::with_capacity(structure.links.len());
+        let mut vals: Vec<Bps> = Vec::with_capacity(selected.samples.len());
+        let mut sort_buf: Vec<f64> = Vec::with_capacity(selected.samples.len());
         for spec in &structure.links {
             let mut avail = [Quartiles::exact(0.0), Quartiles::exact(0.0)];
             let mut quality = [DataQuality::Fresh; 2];
             for (slot, a) in avail.iter_mut().enumerate() {
-                let samples: Vec<Bps> = selected
-                    .samples
-                    .iter()
-                    .map(|(_, util)| Self::logical_avail(&topo, &spec.phys[slot], util))
-                    .collect();
-                let raw = Quartiles::from_samples(&samples)
+                vals.clear();
+                vals.extend(
+                    selected
+                        .samples
+                        .iter()
+                        .map(|(_, util)| Self::logical_avail(topo, &spec.phys[slot], util)),
+                );
+                let raw = Quartiles::from_samples_in(&vals, &mut sort_buf)
                     .unwrap_or_else(|| Quartiles::exact(spec.capacity));
                 // Degraded measurements show through the annotation: stale
                 // data widens the reported spread, missing data collapses
@@ -257,8 +406,8 @@ impl Modeler {
                 *a = degrade(&raw, quality[slot], spec.capacity);
             }
             links.push(RemosLink {
-                a: index_of[&spec.a],
-                b: index_of[&spec.b],
+                a: plan.node_slot(spec.a)?,
+                b: plan.node_slot(spec.b)?,
                 capacity: spec.capacity,
                 latency: spec.latency,
                 avail,
@@ -321,10 +470,29 @@ impl Modeler {
             }
         }
 
-        let graph = self.get_graph_structure(col, &names)?;
-        let (topo, structure, logical_graph) = graph;
-        let selected = self.select_samples(col, topo.dir_link_count(), tf)?;
-        let model = ResourceModel::from_graph(&logical_graph);
+        let plan = self.plan_for(col, &names)?;
+        let selected = self.select_samples(col, plan.topo.dir_link_count(), tf)?;
+        self.flow_answer(&plan, &selected, req, tf)
+    }
+
+    /// The cheap half of a flow query: solve the staged max-min problem
+    /// over a plan's resource space for one sample selection. Pure — no
+    /// collector or clock access. The request must already be validated
+    /// (see [`Modeler::flow_info`]).
+    pub(crate) fn flow_answer(
+        &self,
+        plan: &QueryPlan,
+        selected: &SelectedSamples,
+        req: &FlowInfoRequest,
+        tf: Timeframe,
+    ) -> CoreResult<FlowInfoResponse> {
+        if req.flow_count() == 0 {
+            return Ok(FlowInfoResponse { fixed: Vec::new(), variable: Vec::new(), independent: None });
+        }
+        let topo: &Topology = &plan.topo;
+        let structure = &plan.structure;
+        let logical_graph: &RemosGraph = &plan.static_graph;
+        let model = ResourceModel::from_graph(logical_graph);
 
         // Per-resource measurement quality (link resources come from the
         // collector; node resources are structural and always fresh).
@@ -340,7 +508,7 @@ impl Modeler {
         let resolve = |src: &str, dst: &str| -> CoreResult<(Vec<usize>, usize, usize)> {
             let s = logical_graph.index_of(src)?;
             let d = logical_graph.index_of(dst)?;
-            Ok((model.path_resources(&logical_graph, s, d)?, s, d))
+            Ok((model.path_resources(logical_graph, s, d)?, s, d))
         };
         let fixed_paths: Vec<(Vec<usize>, usize, usize)> = req
             .fixed
@@ -367,7 +535,7 @@ impl Modeler {
             let mut util_res = vec![0.0; model.capacities.len()];
             for (li, spec) in structure.links.iter().enumerate() {
                 for slot in 0..2 {
-                    let avail = Self::logical_avail(&topo, &spec.phys[slot], util_phys);
+                    let avail = Self::logical_avail(topo, &spec.phys[slot], util_phys);
                     util_res[li * 2 + slot] = (spec.capacity - avail).max(0.0);
                 }
             }
@@ -477,45 +645,5 @@ impl Modeler {
             _ => None,
         };
         Ok(FlowInfoResponse { fixed, variable, independent })
-    }
-
-    /// Shared structural step: logical structure + a bare (statically
-    /// annotated) logical graph whose node table the solver indexes.
-    #[allow(clippy::type_complexity)]
-    fn get_graph_structure(
-        &self,
-        col: &dyn Collector,
-        names: &[String],
-    ) -> CoreResult<(Arc<Topology>, LogicalStructure, RemosGraph)> {
-        let topo = col.topology()?;
-        let targets = Self::resolve_names(&topo, names)?;
-        let routing = Routing::new(&topo);
-        let structure = logical::logicalize(&topo, &routing, &targets)?;
-        let mut nodes = Vec::with_capacity(structure.nodes.len());
-        let mut index_of = std::collections::BTreeMap::new();
-        for (i, &nid) in structure.nodes.iter().enumerate() {
-            let n = topo.node(nid);
-            nodes.push(RemosNode {
-                name: n.name.clone(),
-                kind: n.kind,
-                internal_bw: n.internal_bw,
-                host: None,
-            });
-            index_of.insert(nid, i);
-        }
-        let links = structure
-            .links
-            .iter()
-            .map(|spec| RemosLink {
-                a: index_of[&spec.a],
-                b: index_of[&spec.b],
-                capacity: spec.capacity,
-                latency: spec.latency,
-                avail: [Quartiles::exact(spec.capacity), Quartiles::exact(spec.capacity)],
-                quality: [DataQuality::Fresh; 2],
-            })
-            .collect();
-        let g = RemosGraph::new(nodes, links);
-        Ok((topo, structure, g))
     }
 }

@@ -1,0 +1,289 @@
+//! Epoch-keyed query-plan cache.
+//!
+//! Answering a graph or flow query splits into a slow, structural half —
+//! all-pairs routing over the discovered topology plus logicalization of
+//! the target set (§4.3) — and a cheap per-query half that annotates the
+//! structure with the currently selected utilization samples. The
+//! structural half is a pure function of `(topology, target set)`, so it
+//! is computed once into a [`QueryPlan`] and shared behind `Arc`s; a
+//! small bounded LRU ([`PlanCache`]) keyed by `(topology_epoch,
+//! canonical target set)` lets repeated queries skip Dijkstra and
+//! logicalization entirely.
+//!
+//! Invalidation is epoch-based: every collector bumps its
+//! `topology_epoch` on rediscovery, so a plan built under an older epoch
+//! can never be looked up again. As defense in depth the modeler also
+//! rejects a hit whose topology `Arc` is not pointer-identical to the
+//! collector's current one, so a collector that swaps its topology
+//! without bumping the epoch falls back to a cold rebuild instead of
+//! serving a stale plan.
+
+use crate::error::{CoreResult, RemosError};
+use crate::graph::{RemosGraph, RemosLink, RemosNode};
+use crate::modeler::logical::{self, LogicalStructure};
+use crate::quality::DataQuality;
+use crate::stats::Quartiles;
+use remos_net::routing::Routing;
+use remos_net::topology::{NodeId, Topology};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The reusable structural product of a query: everything about an
+/// answer that does not depend on measurement samples.
+pub struct QueryPlan {
+    /// Topology epoch the plan was built under.
+    pub epoch: u64,
+    /// The physical topology the plan was derived from.
+    pub topo: Arc<Topology>,
+    /// Resolved target node ids (canonical order).
+    pub targets: Vec<NodeId>,
+    /// All-pairs routes over `topo` — the Dijkstra product.
+    pub routing: Arc<Routing>,
+    /// Logical structure connecting the targets.
+    pub structure: Arc<LogicalStructure>,
+    /// Retained physical node id -> node-table slot.
+    index_of: BTreeMap<NodeId, usize>,
+    /// Statically annotated logical graph (no host info, availability =
+    /// capacity): the flow solver's resource space.
+    pub static_graph: Arc<RemosGraph>,
+}
+
+impl QueryPlan {
+    /// Build a plan cold: routing + logicalization + static graph.
+    pub fn build(epoch: u64, topo: Arc<Topology>, targets: Vec<NodeId>) -> CoreResult<QueryPlan> {
+        let routing = Routing::new(&topo);
+        let structure = logical::logicalize(&topo, &routing, &targets)?;
+        let mut index_of = BTreeMap::new();
+        for (i, &nid) in structure.nodes.iter().enumerate() {
+            index_of.insert(nid, i);
+        }
+        let nodes = structure
+            .nodes
+            .iter()
+            .map(|&nid| {
+                let n = topo.node(nid);
+                RemosNode {
+                    name: n.name.clone(),
+                    kind: n.kind,
+                    internal_bw: n.internal_bw,
+                    host: None,
+                }
+            })
+            .collect();
+        let links = structure
+            .links
+            .iter()
+            .map(|spec| {
+                Ok(RemosLink {
+                    a: slot_of(&index_of, spec.a)?,
+                    b: slot_of(&index_of, spec.b)?,
+                    capacity: spec.capacity,
+                    latency: spec.latency,
+                    avail: [Quartiles::exact(spec.capacity), Quartiles::exact(spec.capacity)],
+                    quality: [DataQuality::Fresh; 2],
+                })
+            })
+            .collect::<CoreResult<Vec<_>>>()?;
+        let static_graph = Arc::new(RemosGraph::new(nodes, links));
+        Ok(QueryPlan {
+            epoch,
+            topo,
+            targets,
+            routing: Arc::new(routing),
+            structure: Arc::new(structure),
+            index_of,
+            static_graph,
+        })
+    }
+
+    /// Node-table slot of a retained physical node.
+    pub fn node_slot(&self, nid: NodeId) -> CoreResult<usize> {
+        slot_of(&self.index_of, nid)
+    }
+
+    /// Structural digest: covers targets, logical structure (including
+    /// the physical support chains that drive annotation), and the
+    /// static graph. Two plans with equal digests produce bit-identical
+    /// answers for any sample selection.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a, matching the style of `RemosGraph::digest`.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut fold = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        fold(self.epoch);
+        fold(self.targets.len() as u64);
+        for t in &self.targets {
+            fold(t.0 as u64);
+        }
+        fold(self.structure.nodes.len() as u64);
+        for n in &self.structure.nodes {
+            fold(n.0 as u64);
+        }
+        fold(self.structure.links.len() as u64);
+        for l in &self.structure.links {
+            fold(l.a.0 as u64);
+            fold(l.b.0 as u64);
+            fold(l.capacity.to_bits());
+            fold(l.latency.as_nanos());
+            for side in &l.phys {
+                fold(side.len() as u64);
+                for d in side {
+                    fold(d.index() as u64);
+                }
+            }
+        }
+        fold(self.static_graph.digest());
+        h
+    }
+}
+
+fn slot_of(index_of: &BTreeMap<NodeId, usize>, nid: NodeId) -> CoreResult<usize> {
+    index_of.get(&nid).copied().ok_or_else(|| {
+        RemosError::Internal(format!("logical structure references unretained node {nid:?}"))
+    })
+}
+
+/// Bounded LRU over [`QueryPlan`]s keyed by `(epoch, canonical targets)`.
+///
+/// Capacities are tiny (tens of plans), so the store is a flat `Vec`
+/// with a logical tick for recency — deterministic and allocation-light.
+pub struct PlanCache {
+    cap: usize,
+    tick: u64,
+    entries: Vec<Entry>,
+}
+
+struct Entry {
+    epoch: u64,
+    targets: Vec<String>,
+    plan: Arc<QueryPlan>,
+    last_used: u64,
+}
+
+impl PlanCache {
+    /// Cache holding at most `cap` plans (`0` disables storage).
+    pub fn new(cap: usize) -> PlanCache {
+        PlanCache { cap, tick: 0, entries: Vec::new() }
+    }
+
+    /// Look up a plan; refreshes its recency on hit.
+    pub fn get(&mut self, epoch: u64, targets: &[String]) -> Option<Arc<QueryPlan>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.epoch == epoch && e.targets.as_slice() == targets)?;
+        e.last_used = tick;
+        Some(Arc::clone(&e.plan))
+    }
+
+    /// Insert (or replace) a plan. Returns `true` if a resident entry
+    /// was evicted to make room.
+    pub fn insert(&mut self, epoch: u64, targets: Vec<String>, plan: Arc<QueryPlan>) -> bool {
+        if self.cap == 0 {
+            return false;
+        }
+        self.tick += 1;
+        if let Some(e) = self
+            .entries
+            .iter_mut()
+            .find(|e| e.epoch == epoch && e.targets == targets)
+        {
+            e.plan = plan;
+            e.last_used = self.tick;
+            return false;
+        }
+        let mut evicted = false;
+        if self.entries.len() >= self.cap {
+            // Evict the least-recently-used entry. Ticks are unique, so
+            // the victim is deterministic.
+            if let Some(i) = (0..self.entries.len()).min_by_key(|&i| self.entries[i].last_used) {
+                self.entries.swap_remove(i);
+                evicted = true;
+            }
+        }
+        self.entries.push(Entry { epoch, targets, plan, last_used: self.tick });
+        evicted
+    }
+
+    /// Drop every cached plan.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of resident plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::{mbps, SimDuration, TopologyBuilder};
+
+    fn tiny_plan(epoch: u64) -> Arc<QueryPlan> {
+        let mut b = TopologyBuilder::new();
+        let h1 = b.compute("h1");
+        let h2 = b.compute("h2");
+        b.link(h1, h2, mbps(10.0), SimDuration::from_micros(5)).unwrap();
+        let topo = Arc::new(b.build().unwrap());
+        Arc::new(QueryPlan::build(epoch, topo, vec![h1, h2]).unwrap())
+    }
+
+    fn key(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        let p = tiny_plan(0);
+        assert!(!c.insert(0, key(&["a"]), Arc::clone(&p)));
+        assert!(!c.insert(0, key(&["b"]), Arc::clone(&p)));
+        // Touch "a" so "b" becomes the LRU victim.
+        assert!(c.get(0, &key(&["a"])).is_some());
+        assert!(c.insert(0, key(&["c"]), Arc::clone(&p)));
+        assert!(c.get(0, &key(&["a"])).is_some());
+        assert!(c.get(0, &key(&["b"])).is_none());
+        assert!(c.get(0, &key(&["c"])).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn epoch_is_part_of_the_key() {
+        let mut c = PlanCache::new(4);
+        let p = tiny_plan(0);
+        c.insert(0, key(&["a"]), Arc::clone(&p));
+        assert!(c.get(1, &key(&["a"])).is_none());
+        assert!(c.get(0, &key(&["a"])).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_stores_nothing() {
+        let mut c = PlanCache::new(0);
+        let p = tiny_plan(0);
+        assert!(!c.insert(0, key(&["a"]), p));
+        assert!(c.get(0, &key(&["a"])).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rebuilt_plan_digest_is_stable() {
+        let a = tiny_plan(3);
+        let b = tiny_plan(3);
+        assert_eq!(a.digest(), b.digest());
+        let other_epoch = tiny_plan(4);
+        assert_ne!(a.digest(), other_epoch.digest());
+    }
+}

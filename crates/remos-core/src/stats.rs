@@ -56,25 +56,38 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 impl Quartiles {
     /// Summarize a set of samples. Returns `None` for an empty set.
     pub fn from_samples(samples: &[f64]) -> Option<Quartiles> {
+        Self::from_samples_in(samples, &mut Vec::new())
+    }
+
+    /// Summarize a set of samples, using `scratch` as the filter/sort
+    /// workspace instead of allocating one internally. Steady-state
+    /// callers (the modeler's per-link annotation loop) reuse one buffer
+    /// across calls, so the hot path allocates nothing. The result is
+    /// bit-identical to [`Quartiles::from_samples`] on every input: the
+    /// same finite-filter, `total_cmp` sort, and R-7 percentile sequence
+    /// runs over the same values.
+    pub fn from_samples_in(samples: &[f64], scratch: &mut Vec<f64>) -> Option<Quartiles> {
         if samples.is_empty() {
             return None;
         }
-        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
-        if sorted.is_empty() {
+        scratch.clear();
+        scratch.extend(samples.iter().copied().filter(|v| v.is_finite()));
+        if scratch.is_empty() {
             return None;
         }
-        sorted.sort_by(f64::total_cmp);
+        scratch.sort_by(f64::total_cmp);
+        let sorted: &[f64] = scratch;
         let n = sorted.len();
         let mean = sorted.iter().sum::<f64>() / n as f64;
         let q = Quartiles {
             min: sorted[0],
-            q1: percentile_sorted(&sorted, 0.25),
-            median: percentile_sorted(&sorted, 0.50),
-            q3: percentile_sorted(&sorted, 0.75),
+            q1: percentile_sorted(sorted, 0.25),
+            median: percentile_sorted(sorted, 0.50),
+            q3: percentile_sorted(sorted, 0.75),
             max: sorted[n - 1],
             mean,
             samples: n,
-            accuracy: Self::accuracy_for(&sorted, mean),
+            accuracy: Self::accuracy_for(sorted, mean),
         };
         Some(q)
     }
@@ -316,6 +329,42 @@ mod tests {
                 samples.reverse();
                 let q2 = Quartiles::from_samples(&samples).unwrap();
                 prop_assert_eq!(q1, q2);
+            }
+
+            #[test]
+            fn scratch_variant_is_bit_identical(
+                samples in prop::collection::vec(
+                    prop_oneof![
+                        -1e9..1e9f64,
+                        -1e9..1e9f64,
+                        -1e9..1e9f64,
+                        Just(f64::NAN),
+                        Just(f64::INFINITY),
+                    ],
+                    0..120,
+                ),
+            ) {
+                // One scratch buffer reused across calls must never change
+                // the answer — compare every f64 field by bit pattern.
+                let mut scratch = Vec::new();
+                let baseline = Quartiles::from_samples(&samples);
+                for _ in 0..3 {
+                    let reused = Quartiles::from_samples_in(&samples, &mut scratch);
+                    match (baseline, reused) {
+                        (None, None) => {}
+                        (Some(a), Some(b)) => {
+                            for (x, y) in [
+                                (a.min, b.min), (a.q1, b.q1), (a.median, b.median),
+                                (a.q3, b.q3), (a.max, b.max), (a.mean, b.mean),
+                                (a.accuracy, b.accuracy),
+                            ] {
+                                prop_assert_eq!(x.to_bits(), y.to_bits());
+                            }
+                            prop_assert_eq!(a.samples, b.samples);
+                        }
+                        (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
+                    }
+                }
             }
 
             #[test]

@@ -171,6 +171,62 @@ fn chaos_run(seed: u64) {
     );
 }
 
+/// Query-path caching must not leak into answers: the same query
+/// schedule replayed under the cached (default), shadow-audited, and
+/// cache-disabled modeler configurations must produce bit-identical
+/// per-query graph digests — in both solver modes. The schedule mixes
+/// repeats (cache hits), a second target set (cache fills), and
+/// measurement time passing between rounds.
+#[test]
+fn plan_cache_configs_agree_in_both_solver_modes() {
+    use remos::core::{ModelerConfig, Query, QueryResult, Timeframe};
+
+    let run = |mode: SolverMode, cfg: ModelerConfig| -> Vec<u64> {
+        let mut h = TestbedHarness::cmu();
+        h.sim.lock().set_solver_mode(mode);
+        h.adapter.remos_mut().set_modeler_config(cfg);
+        install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
+        h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+        let sets: [&[&str]; 3] =
+            [&["m-1", "m-8"], &["m-4", "m-5", "m-6"], &["m-1", "m-8"]];
+        let mut digests = Vec::new();
+        for _ in 0..4 {
+            h.sim.lock().run_for(SimDuration::from_millis(500)).unwrap();
+            for set in sets {
+                let g = h
+                    .adapter
+                    .remos_mut()
+                    .run(
+                        Query::graph(set.iter().copied())
+                            .timeframe(Timeframe::Window(SimDuration::from_secs(2))),
+                    )
+                    .and_then(QueryResult::into_graph)
+                    .unwrap();
+                digests.push(g.digest());
+            }
+        }
+        digests
+    };
+
+    for mode in [SolverMode::Incremental, SolverMode::Full] {
+        let cached = run(mode, ModelerConfig::default());
+        let audited =
+            run(mode, ModelerConfig { audit_cache: true, ..ModelerConfig::default() });
+        let uncached = run(
+            mode,
+            ModelerConfig { plan_cache_capacity: 0, ..ModelerConfig::default() },
+        );
+        assert_eq!(
+            cached, audited,
+            "{mode:?}: audited cache diverged from plain cached serving"
+        );
+        assert_eq!(
+            cached, uncached,
+            "{mode:?}: cached serving diverged from cold rebuilds"
+        );
+    }
+}
+
 #[test]
 fn chaos_seed_c0ffee_is_deterministic() {
     chaos_run(0xC0FFEE);
