@@ -19,6 +19,8 @@ const VALUED: &[&str] = &[
     "--scenario", "--nodes", "--window", "--future", "--warmup", "--fixed", "--variable",
     "--independent", "--pool", "--start", "-k", "--app", "--pair", "--interval",
     "--duration", "--format", "--repeat", "--batch",
+    "--requests", "--tenants", "--count", "--seed", "--deadline", "--kill", "--gap",
+    "--rate", "--burst", "--queue-depth",
 ];
 
 /// Bare flags.

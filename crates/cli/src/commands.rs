@@ -15,7 +15,7 @@ fn io_err(e: std::io::Error) -> String {
 }
 
 /// Resolve `--scenario`: a built-in name or a JSON file path.
-fn load_scenario(p: &Parsed) -> Result<Scenario, String> {
+pub(crate) fn load_scenario(p: &Parsed) -> Result<Scenario, String> {
     match p.get("--scenario").unwrap_or("cmu") {
         "cmu" => Ok(Scenario::cmu(vec![])),
         "fig4" => Ok(Scenario::cmu(vec![TrafficSpec::Greedy {

@@ -20,6 +20,7 @@
 
 mod args;
 mod commands;
+mod serve;
 
 use std::io::Write;
 
@@ -38,6 +39,8 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "run" => commands::run_app(&parsed, out),
         "watch" => commands::watch(&parsed, out),
         "obs" => commands::obs(&parsed, out),
+        "serve" => serve::serve(&parsed, out),
+        "loadgen" => serve::loadgen(&parsed, out),
         "example" => commands::example(out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{}", HELP).map_err(|e| e.to_string())
@@ -61,6 +64,8 @@ COMMANDS:
   run       execute an application model on chosen nodes
   watch     sample available bandwidth of a pair over time
   obs       dump observability state (metrics, optionally traces)
+  serve     replay a request file through the overload-safe front end
+  loadgen   seeded synthetic load against the front end; shed/rung summary
   example   print an example scenario JSON to stdout
   help      this text
 
@@ -82,6 +87,10 @@ COMMAND OPTIONS:
            --nodes a,b,...          [--adaptive [--pool a,b,...]]
   watch:   --pair src:dst --interval S --duration S [--window S]
   obs:     [--nodes a,b,...] [--format json|prometheus] [--trace]
+  serve:   --requests FILE           (lines: tenant node,node [deadline_s])
+  loadgen: [--tenants N] [--count N] [--seed S] [--gap S]
+  serve/loadgen also take: --deadline S (0 = none), --rate TOKENS_PER_S,
+           --burst TOKENS, --queue-depth N, --kill node:T (repeatable)
 ";
 
 #[cfg(test)]
@@ -311,6 +320,73 @@ mod tests {
         assert!(out.contains("# TYPE remos_graph_queries_total counter"), "{out}");
         assert!(out.contains("# trace digest="), "{out}");
         assert!(call(&["obs", "--scenario", "cmu", "--format", "xml"]).is_err());
+    }
+
+    #[test]
+    fn serve_replays_request_file() {
+        let path = std::env::temp_dir().join("remos_cli_test_requests.txt");
+        std::fs::write(&path, "# two tenants\nalice m-1,m-8 5\nbob m-2,m-7\n").unwrap();
+        let out = call(&["serve", "--scenario", "cmu", "--requests", path.to_str().unwrap()])
+            .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(out.contains("alice: admitted"), "{out}");
+        assert!(out.contains("bob: admitted"), "{out}");
+        assert!(out.contains("answered (full)"), "{out}");
+        assert!(out.contains("2 submitted, 0 shed"), "{out}");
+        assert!(out.contains("decision digest:"), "{out}");
+        assert!(out.contains("breaker: Closed"), "{out}");
+    }
+
+    #[test]
+    fn serve_bad_inputs_error() {
+        assert!(call(&["serve", "--scenario", "cmu"]).is_err()); // missing --requests
+        assert!(call(&["serve", "--scenario", "cmu", "--requests", "/nonexistent.txt"])
+            .is_err());
+        let path = std::env::temp_dir().join("remos_cli_test_requests_bad.txt");
+        std::fs::write(&path, "only-a-tenant\n").unwrap();
+        let res = call(&["serve", "--scenario", "cmu", "--requests", path.to_str().unwrap()]);
+        let _ = std::fs::remove_file(&path);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn loadgen_summary_is_seed_deterministic() {
+        let args = ["loadgen", "--scenario", "cmu", "--count", "12", "--seed", "42"];
+        let a = call(&args).unwrap();
+        let b = call(&args).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("12 requests"), "{a}");
+        assert!(a.contains("decision digest:"), "{a}");
+        // Shed counters and the rung breakdown are always reported.
+        assert!(a.contains("quota-shed"), "{a}");
+        assert!(a.contains("rungs:"), "{a}");
+    }
+
+    #[test]
+    fn loadgen_overload_sheds_with_typed_outcomes() {
+        // A tiny queue and no quota refill force admission shedding.
+        let out = call(&[
+            "loadgen", "--scenario", "cmu", "--count", "24", "--tenants", "1",
+            "--queue-depth", "2", "--rate", "0.5", "--burst", "2", "--gap", "0",
+        ])
+        .unwrap();
+        assert!(out.contains("quota-shed") || out.contains("queue-shed"), "{out}");
+        // Some requests must have been refused, and none lost.
+        assert!(!out.contains("0 quota-shed, 0 queue-shed"), "{out}");
+    }
+
+    #[test]
+    fn loadgen_kill_degrades_but_keeps_answering() {
+        let out = call(&[
+            "loadgen", "--scenario", "cmu", "--count", "16", "--kill", "aspen:2",
+            "--kill", "timberline:2", "--kill", "whiteface:2", "--kill", "m-1:2",
+            "--kill", "m-2:2", "--kill", "m-3:2", "--kill", "m-4:2", "--kill", "m-5:2",
+            "--kill", "m-6:2", "--kill", "m-7:2", "--kill", "m-8:2",
+        ])
+        .unwrap();
+        // The breaker must have tripped and requests degraded past Full.
+        assert!(out.contains("opened"), "{out}");
+        assert!(!out.contains("opened 0 time(s)"), "{out}");
     }
 
     #[test]

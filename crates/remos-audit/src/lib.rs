@@ -20,15 +20,18 @@
 //! |----|-------|---------|
 //! | `nondet-collection` | solver/simulation paths (`remos-net`, `remos-core/src/modeler`, `remos-snmp/src/sim.rs`) | `HashMap` / `HashSet` tokens — iteration order can leak into results; use `BTreeMap` / `BTreeSet` or sorted iteration |
 //! | `float-eq` | all library crates | `==` / `!=` with a float literal (or `f32`/`f64` path) operand |
-//! | `panic-site` | library (non-test) code of `remos-core`, `remos-net`, `remos-snmp` | `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
+//! | `panic-site` | library (non-test) code of `remos-core`, `remos-net`, `remos-snmp`, `remos-serve` — and `examples/`, which are shipped as copy-paste templates | `.unwrap()`, `.expect(..)`, `panic!`, `unreachable!`, `todo!`, `unimplemented!` |
 //! | `wall-clock` | all library crates (except `remos-obs/src/clock.rs`, the one sanctioned wall-clock source) | `std::time::Instant` / `SystemTime` in simulated-time code |
-//! | `deprecated-shim` | every library source except `remos-core/src/api.rs` | `.get_graph(` / `.flow_info(` / `.reachable_peers(` — the positional Remos API is deprecated; build a `Query` and call `Remos::run` |
+//! | `deprecated-shim` | every library source | `.get_graph(` / `.flow_info(` / `.reachable_peers(` — the positional Remos API was removed; build a `Query` and call `Remos::run` |
+//! | `unbounded-queue` | `remos-serve` (except `src/queue.rs`, the bounded queue's sanctioned home) | `VecDeque` — ad-hoc buffering in the serving path defeats admission control; route backlog through `FairQueue` |
+//! | `blocking-in-handler` | `remos-serve` | `.recv(` / `.park(` / `.sleep(` / `.wait(` (and `_timeout` variants) — the server is a cooperative loop on simulated time; a blocking call stalls every tenant |
 //!
 //! Violations inside `#[cfg(test)]` modules, doc comments, strings, and
-//! `src/bin` / `main.rs` targets are not reported. Justified sites are
-//! recorded in the checked-in `audit.allow` file (rule, file suffix, and a
-//! substring of the offending line); stale allowlist entries are reported
-//! so the file cannot rot.
+//! `src/bin` / `main.rs` targets are not reported (`examples/` is the one
+//! binary tree that IS audited, because its code is written to be
+//! copied). Justified sites are recorded in the checked-in `audit.allow`
+//! file (rule, file suffix, and a substring of the offending line); stale
+//! allowlist entries are reported so the file cannot rot.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -456,25 +459,40 @@ pub struct RuleScope {
     pub deprecated_shim: bool,
     /// `thread-spawn` applies (everywhere but the sanctioned pool).
     pub thread: bool,
+    /// `unbounded-queue` applies (serving path, minus the bounded queue).
+    pub unbounded_queue: bool,
+    /// `blocking-in-handler` applies (serving path).
+    pub blocking: bool,
 }
 
 /// Classify a workspace-relative path (`crates/remos-net/src/engine.rs`).
 pub fn scope_for(rel: &Path) -> RuleScope {
     let p = rel.to_string_lossy().replace('\\', "/");
+    // Examples are binaries, but they are the code users copy first: they
+    // must model typed error handling and the QuerySpec API, so the panic
+    // and shim rules apply to them even though other binaries are exempt.
+    if p.starts_with("examples/") && p.ends_with(".rs") {
+        return RuleScope { panic: true, deprecated_shim: true, ..RuleScope::default() };
+    }
     // Only library sources are audited; binaries may print/panic freely.
     let in_src = p.contains("/src/");
     if !in_src || p.contains("/src/bin/") || p.ends_with("/main.rs") {
         return RuleScope::default();
     }
+    let serve_crate = p.starts_with("crates/remos-serve/");
     let lib_crate = p.starts_with("crates/remos-core/")
         || p.starts_with("crates/remos-net/")
-        || p.starts_with("crates/remos-snmp/");
+        || p.starts_with("crates/remos-snmp/")
+        || serve_crate;
     let audited_crates = lib_crate
         || p.starts_with("crates/remos-fx/")
         || p.starts_with("crates/remos-apps/")
         || p.starts_with("crates/remos-obs/");
+    // Shed/admission decisions must be exactly reproducible, so the
+    // serving crate is held to the same determinism bar as the solver.
     let solver_path = p.starts_with("crates/remos-net/src/")
         || p.starts_with("crates/remos-core/src/modeler/")
+        || serve_crate
         || p == "crates/remos-snmp/src/sim.rs";
     // remos-obs/src/clock.rs is the one sanctioned wall-clock source: it
     // exists to *plug* a clock into Obs, and SimTime-stamped tracing in
@@ -485,15 +503,21 @@ pub fn scope_for(rel: &Path) -> RuleScope {
     // deterministic (input-order) result placement, and never touches
     // the simulated clock, the collector, or the trace recorder.
     let sanctioned_pool = p == "crates/remos-core/src/modeler/pool.rs";
+    // queue.rs is the serving crate's one sanctioned VecDeque home: its
+    // FairQueue enforces the depth/cost bounds every other module must
+    // route backlog through.
+    let sanctioned_queue = p == "crates/remos-serve/src/queue.rs";
     RuleScope {
         nondet: solver_path,
         float_eq: audited_crates,
         panic: lib_crate,
         wall_clock: audited_crates && !sanctioned_clock,
-        // The positional query shims live (and are tested) in api.rs;
-        // every other library source must use the QuerySpec builder.
-        deprecated_shim: p != "crates/remos-core/src/api.rs",
+        // The positional shims were removed; nothing may call them, and
+        // the rule keeps them from creeping back in.
+        deprecated_shim: true,
         thread: audited_crates && !sanctioned_pool,
+        unbounded_queue: serve_crate && !sanctioned_queue,
+        blocking: serve_crate,
     }
 }
 
@@ -586,6 +610,40 @@ pub fn check_tokens(file: &Path, toks: &[Token], scope: RuleScope) -> Vec<Violat
                              the modeler worker pool (modeler/pool.rs) is the sanctioned \
                              exemption"
                                 .to_string(),
+                        ));
+                    }
+                }
+                if scope.unbounded_queue && name == "VecDeque" {
+                    out.push(mk(
+                        "unbounded-queue",
+                        t.line,
+                        name,
+                        "VecDeque in the serving path: ad-hoc buffering defeats admission \
+                         control; route backlog through the bounded FairQueue (queue.rs)"
+                            .to_string(),
+                    ));
+                }
+                if scope.blocking
+                    && matches!(
+                        name,
+                        "recv" | "recv_timeout" | "park" | "park_timeout" | "sleep" | "wait"
+                            | "wait_timeout"
+                    )
+                {
+                    // Only calls: `.recv(` / `thread::sleep(` — a field or
+                    // local named `wait` is left alone.
+                    let is_receiver = k >= 1
+                        && (toks[k - 1].text == "." || toks[k - 1].text == "::");
+                    let is_call = k + 1 < toks.len() && toks[k + 1].text == "(";
+                    if is_receiver && is_call {
+                        out.push(mk(
+                            "blocking-in-handler",
+                            t.line,
+                            name,
+                            format!(
+                                "{name}() in the serving path: the server is a cooperative \
+                                 loop on simulated time; a blocking call stalls every tenant"
+                            ),
                         ));
                     }
                 }
@@ -768,6 +826,8 @@ mod tests {
             wall_clock: true,
             deprecated_shim: true,
             thread: true,
+            unbounded_queue: true,
+            blocking: true,
         }
     }
 
@@ -885,8 +945,8 @@ mod tests {
         assert!(s.nondet && s.panic && s.float_eq && s.wall_clock);
         let s = scope_for(Path::new("crates/remos-core/src/api.rs"));
         assert!(!s.nondet && s.panic);
-        // The shims live in api.rs; only there may they be called.
-        assert!(!s.deprecated_shim);
+        // The positional shims are gone; api.rs is held to the same bar.
+        assert!(s.deprecated_shim);
         let s = scope_for(Path::new("crates/remos-core/src/modeler/mod.rs"));
         assert!(s.nondet && s.deprecated_shim);
         let s = scope_for(Path::new("crates/remos-snmp/src/sim.rs"));
@@ -915,6 +975,47 @@ mod tests {
         assert!(s.thread);
         let s = scope_for(Path::new("crates/bench/src/bin/fig4.rs"));
         assert!(!s.thread);
+        // The serving crate: library-grade (panic, determinism) plus its
+        // own queue and blocking rules; queue.rs is the sanctioned home.
+        let s = scope_for(Path::new("crates/remos-serve/src/server.rs"));
+        assert!(s.panic && s.nondet && s.unbounded_queue && s.blocking);
+        let s = scope_for(Path::new("crates/remos-serve/src/queue.rs"));
+        assert!(!s.unbounded_queue && s.blocking && s.panic);
+        // Examples are audited for panics and shim calls — they are the
+        // code users copy — but not for solver-path determinism rules.
+        let s = scope_for(Path::new("examples/quickstart.rs"));
+        assert!(s.panic && s.deprecated_shim);
+        assert!(!s.nondet && !s.float_eq && !s.unbounded_queue && !s.blocking);
+    }
+
+    #[test]
+    fn vecdeque_flagged_outside_sanctioned_queue() {
+        let v = check("use std::collections::VecDeque;\nfn f() { let q: VecDeque<u32>; }");
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == "unbounded-queue"));
+        // The sanctioned queue module's scope turns the rule off.
+        let mut s = all_scope();
+        s.unbounded_queue = false;
+        let v = check_tokens(
+            Path::new("crates/remos-serve/src/queue.rs"),
+            &toks("use std::collections::VecDeque;"),
+            s,
+        );
+        assert!(v.iter().all(|v| v.rule != "unbounded-queue"), "{v:?}");
+    }
+
+    #[test]
+    fn blocking_calls_flagged_only_as_calls() {
+        let v = check("fn f() { rx.recv(); std::thread::sleep(d); cv.wait(guard); }");
+        let blocking: Vec<_> =
+            v.iter().filter(|v| v.rule == "blocking-in-handler").collect();
+        assert_eq!(blocking.len(), 3, "{v:?}");
+        // Fields and locals named like blocking APIs are left alone.
+        let v = check("fn f(wait: u64) -> u64 { let sleep = wait + 1; sleep }");
+        assert!(v.iter().all(|v| v.rule != "blocking-in-handler"), "{v:?}");
+        // Test code is exempt, as for every rule.
+        let v = check("#[cfg(test)] mod t { fn f() { rx.recv(); } }");
+        assert!(v.iter().all(|v| v.rule != "blocking-in-handler"), "{v:?}");
     }
 
     #[test]

@@ -33,13 +33,25 @@ fn main() -> ExitCode {
         Err(_) => Vec::new(),
     };
 
-    let files = match rust_files(&crates_dir) {
+    let mut files = match rust_files(&crates_dir) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("remos-audit: cannot walk {}: {e}", crates_dir.display());
             return ExitCode::FAILURE;
         }
     };
+    // Examples are audited too (panic-site / deprecated-shim): they are
+    // the first code users copy, so they must model typed error handling.
+    let examples_dir = root.join("examples");
+    if examples_dir.is_dir() {
+        match rust_files(&examples_dir) {
+            Ok(f) => files.extend(f),
+            Err(e) => {
+                eprintln!("remos-audit: cannot walk {}: {e}", examples_dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
 
     let mut violations = Vec::new();
     let mut sources: BTreeMap<PathBuf, Vec<String>> = BTreeMap::new();

@@ -9,18 +9,26 @@
 //! frequency of its requests").
 //!
 //! Queries are built with [`Query`](crate::query::Query) and executed by
-//! [`Remos::run`]; the positional `get_graph`/`flow_info`/
-//! `reachable_peers` methods remain as deprecated shims.
+//! [`Remos::run`], or by [`Remos::run_within`] under a per-request
+//! deadline budget. Serving front ends that must answer even when the
+//! network cannot be measured use the degraded entry points
+//! [`Remos::run_from_history`] (answer from existing samples, no new
+//! measurement) and [`Remos::topology_only`] (structure with total
+//! uncertainty); both mark their answers via
+//! [`Provenance::degraded`](crate::Provenance::degraded).
 
+use crate::budget::QueryBudget;
 use crate::collector::{Clock, Collector};
 use crate::error::{CoreResult, InvalidQueryKind, RemosError};
-use crate::flows::{FlowInfoRequest, FlowInfoResponse};
+use crate::flows::FlowInfoRequest;
 use crate::graph::{HostInfo, RemosGraph};
 use crate::modeler::plan::QueryPlan;
 use crate::modeler::{pool, Modeler, ModelerConfig, SelectedSamples};
-use crate::query::{FlowQuery, GraphQuery, Query, QueryResult, QuerySpec, ReachableQuery};
+use crate::provenance::Provenance;
+use crate::quality::DataQuality;
+use crate::query::{FlowQuery, GraphQuery, QueryResult, QuerySpec, ReachableQuery};
 use crate::timeframe::Timeframe;
-use remos_net::SimDuration;
+use remos_net::{SimDuration, SimTime};
 use remos_obs::{Counter, Histogram, Obs};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -78,6 +86,43 @@ enum BatchJob {
         selected: Arc<SelectedSamples>,
         q: FlowQuery,
     },
+}
+
+/// How [`Remos::dispatch`] satisfies a query's measurement needs.
+#[derive(Clone, Copy, PartialEq)]
+enum ServeMode {
+    /// Take fresh samples as the timeframe demands (normal serving).
+    Measure,
+    /// Answer from existing history only — the stale-snapshot rung of a
+    /// serving front end's degradation ladder. Consumes no measured time;
+    /// answers are marked [`Provenance::degraded`].
+    FromHistory,
+}
+
+/// Stamp serving metadata into an answer's provenance: the collector the
+/// measurements came from, and whether a degraded mode produced it.
+/// Answers whose provenance was stripped are left untouched.
+fn mark_answer(result: &mut QueryResult, source: &str, degraded: bool) {
+    let mark = |p: &mut Option<Provenance>| {
+        if let Some(p) = p.as_mut() {
+            p.source = Some(source.to_string());
+            p.degraded |= degraded;
+        }
+    };
+    match result {
+        QueryResult::Graph(g) => mark(&mut g.provenance),
+        QueryResult::Flows(resp) => {
+            for g in resp
+                .fixed
+                .iter_mut()
+                .chain(resp.variable.iter_mut())
+                .chain(resp.independent.iter_mut())
+            {
+                mark(&mut g.provenance);
+            }
+        }
+        QueryResult::Peers(_) => {}
+    }
 }
 
 /// The Remos query interface.
@@ -181,30 +226,100 @@ impl Remos {
         Ok(())
     }
 
-    /// Execute a typed query built with [`Query`].
+    /// Execute a typed query built with [`Query`](crate::query::Query).
     ///
     /// Malformed queries (empty node or flow sets) are rejected before any
     /// measurement time is consumed; answers that miss a requested
     /// [`min_quality`](crate::query::GraphQuery::min_quality) floor fail
     /// with [`RemosError::QualityTooLow`] after measurement.
     pub fn run(&mut self, spec: impl Into<QuerySpec>) -> CoreResult<QueryResult> {
-        let res = self.dispatch(spec.into());
+        self.run_within(spec, QueryBudget::UNLIMITED)
+    }
+
+    /// [`Remos::run`] under a deadline budget. The budget is checked at
+    /// entry, again after measurement (the stage that consumes measured
+    /// time), and before solving; the first stage to find the deadline
+    /// passed sheds the request with [`RemosError::DeadlineExceeded`]
+    /// instead of computing an answer nobody will wait for.
+    pub fn run_within(
+        &mut self,
+        spec: impl Into<QuerySpec>,
+        budget: QueryBudget,
+    ) -> CoreResult<QueryResult> {
+        let res = self.dispatch(spec.into(), budget, ServeMode::Measure);
         if res.is_err() {
             self.obs_metrics.rejected_queries.inc();
         }
         res
     }
 
-    fn dispatch(&mut self, spec: QuerySpec) -> CoreResult<QueryResult> {
-        match spec {
+    /// Answer a query from the measurement history already on hand,
+    /// taking no new samples and consuming no measured time — the
+    /// stale-snapshot rung of a serving front end's degradation ladder
+    /// (used when the collector's circuit breaker is open). Fails with
+    /// [`RemosError::InsufficientHistory`] when no samples exist yet;
+    /// answers are marked [`Provenance::degraded`].
+    pub fn run_from_history(&mut self, spec: impl Into<QuerySpec>) -> CoreResult<QueryResult> {
+        let res = self.dispatch(spec.into(), QueryBudget::UNLIMITED, ServeMode::FromHistory);
+        if res.is_err() {
+            self.obs_metrics.rejected_queries.inc();
+        }
+        res
+    }
+
+    /// The collector's current measured time, for deadline checks. A
+    /// collector that cannot tell the time reads as [`SimTime::ZERO`],
+    /// which never trips a deadline — budgets degrade to unlimited
+    /// rather than shedding on a clock failure.
+    fn measured_now(&self) -> SimTime {
+        self.collector.now().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Satisfy a timeframe's measurement demand according to the serving
+    /// mode: measure fresh (letting measured time pass), or reuse the
+    /// history as-is.
+    fn provide_samples(&mut self, tf: Timeframe, mode: ServeMode) -> CoreResult<()> {
+        match mode {
+            ServeMode::Measure => self.ensure_samples(tf),
+            ServeMode::FromHistory => {
+                if self.collector.topology().is_err() {
+                    self.collector.refresh_topology()?;
+                }
+                if self.collector.history().is_empty() {
+                    return Err(RemosError::InsufficientHistory { needed: 1, available: 0 });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        spec: QuerySpec,
+        budget: QueryBudget,
+        mode: ServeMode,
+    ) -> CoreResult<QueryResult> {
+        let degraded = mode == ServeMode::FromHistory;
+        let mut res = match spec {
             QuerySpec::Graph(q) => {
                 self.obs_metrics.graph_queries.inc();
                 if q.nodes.is_empty() {
                     return Err(InvalidQueryKind::EmptyNodeSet.into());
                 }
-                self.ensure_samples(q.timeframe)?;
-                let mut g =
-                    self.modeler.get_graph(&*self.collector, &q.nodes, q.timeframe)?;
+                budget.check(self.measured_now())?;
+                self.provide_samples(q.timeframe, mode)?;
+                // Measurement consumed time; shed before planning if the
+                // deadline passed while polling.
+                budget.check(self.measured_now())?;
+                let plan = self.modeler.plan_for(&*self.collector, &q.nodes)?;
+                let hosts = Modeler::host_table(&*self.collector, &plan);
+                let selected = self.modeler.select_samples(
+                    &*self.collector,
+                    plan.topo.dir_link_count(),
+                    q.timeframe,
+                )?;
+                budget.check(self.measured_now())?;
+                let mut g = self.modeler.annotate_graph(&plan, &hosts, &selected, q.timeframe)?;
                 if let Some(required) = q.min_quality {
                     let actual = g.worst_quality();
                     if !actual.meets(required) {
@@ -214,16 +329,28 @@ impl Remos {
                 if !q.provenance {
                     g.provenance = None;
                 }
-                Ok(QueryResult::Graph(g))
+                QueryResult::Graph(g)
             }
             QuerySpec::Flows(q) => {
                 self.obs_metrics.flow_queries.inc();
                 if q.request.flow_count() == 0 {
                     return Err(InvalidQueryKind::EmptyFlowRequest.into());
                 }
-                self.ensure_samples(q.timeframe)?;
+                // Validate before measuring, so malformed requests cost
+                // no measurement time (same order as `Modeler::flow_info`).
+                let names = self.flow_plan_names(&q.request)?;
+                budget.check(self.measured_now())?;
+                self.provide_samples(q.timeframe, mode)?;
+                budget.check(self.measured_now())?;
+                let plan = self.modeler.plan_for(&*self.collector, &names)?;
+                let selected = self.modeler.select_samples(
+                    &*self.collector,
+                    plan.topo.dir_link_count(),
+                    q.timeframe,
+                )?;
+                budget.check(self.measured_now())?;
                 let mut resp =
-                    self.modeler.flow_info(&*self.collector, &q.request, q.timeframe)?;
+                    self.modeler.flow_answer(&plan, &selected, &q.request, q.timeframe)?;
                 if let Some(required) = q.min_quality {
                     let actual = resp.worst_quality();
                     if !actual.meets(required) {
@@ -240,10 +367,53 @@ impl Remos {
                         g.provenance = None;
                     }
                 }
-                Ok(QueryResult::Flows(resp))
+                QueryResult::Flows(resp)
             }
-            QuerySpec::Reachable(q) => self.answer_reachable(&q),
+            QuerySpec::Reachable(q) => self.answer_reachable(&q)?,
+        };
+        mark_answer(&mut res, &self.collector.describe(), degraded);
+        Ok(res)
+    }
+
+    /// The topology-only degradation rung: the logical structure for
+    /// `nodes` from the (possibly cached) query plan, with every dynamic
+    /// quantity collapsed to total uncertainty over `[0, capacity]` and
+    /// every link quality [`DataQuality::Missing`]. Needs no measurement
+    /// history and consumes no measured time; the answer is marked
+    /// [`Provenance::degraded`].
+    pub fn topology_only(&mut self, nodes: &[String]) -> CoreResult<RemosGraph> {
+        if nodes.is_empty() {
+            return Err(InvalidQueryKind::EmptyNodeSet.into());
         }
+        self.obs_metrics.graph_queries.inc();
+        if self.collector.topology().is_err() {
+            self.collector.refresh_topology()?;
+        }
+        let plan = self.modeler.plan_for(&*self.collector, nodes)?;
+        let mut g: RemosGraph = (*plan.static_graph).clone();
+        for link in &mut g.links {
+            for slot in 0..2 {
+                link.quality[slot] = DataQuality::Missing;
+                link.avail[slot] = crate::modeler::degrade(
+                    &link.avail[slot],
+                    DataQuality::Missing,
+                    link.capacity,
+                );
+            }
+        }
+        let scope = g.links.len();
+        g.provenance = Some(Provenance {
+            timeframe: Timeframe::Current,
+            snapshots: 0,
+            newest_sample: None,
+            oldest_sample: None,
+            worst_quality: DataQuality::Missing,
+            solver: "topology-only".into(),
+            scope,
+            degraded: true,
+            source: Some(self.collector.describe()),
+        });
+        Ok(g)
     }
 
     fn answer_reachable(&mut self, q: &ReachableQuery) -> CoreResult<QueryResult> {
@@ -306,13 +476,36 @@ impl Remos {
     /// scoped worker pool. Results come back in input order, one per
     /// entry; a batch-wide measurement failure fails every entry.
     pub fn run_batch(&mut self, specs: Vec<QuerySpec>) -> Vec<CoreResult<QueryResult>> {
-        self.obs_metrics.batch_size.observe(specs.len() as u64);
-        let n = specs.len();
-        // Scan the batch for its measurement demand.
+        let entries: Vec<(QuerySpec, QueryBudget)> =
+            specs.into_iter().map(|s| (s, QueryBudget::UNLIMITED)).collect();
+        self.run_batch_within(entries)
+    }
+
+    /// [`Remos::run_batch`] under per-entry deadline budgets. Entries
+    /// whose budget has already expired at entry are shed with
+    /// [`RemosError::DeadlineExceeded`] and contribute nothing to the
+    /// batch's measurement demand; entries whose deadline passes *during*
+    /// the shared measurement are shed at the prep stage, before any
+    /// plan or solver work is spent on them. Measurement happens at most
+    /// once for the whole batch, so shed decisions depend only on the
+    /// batch content and the measured clock — bit-reproducible
+    /// run-to-run.
+    pub fn run_batch_within(
+        &mut self,
+        entries: Vec<(QuerySpec, QueryBudget)>,
+    ) -> Vec<CoreResult<QueryResult>> {
+        self.obs_metrics.batch_size.observe(entries.len() as u64);
+        let n = entries.len();
+        // Scan the batch for its measurement demand; already-expired
+        // entries make no demand.
+        let t_entry = self.measured_now();
         let mut needed = 0usize;
         let mut fresh = false;
         let mut measures = false;
-        for s in &specs {
+        for (s, b) in &entries {
+            if b.expired(t_entry) {
+                continue;
+            }
             let tf = match s {
                 QuerySpec::Graph(q) if !q.nodes.is_empty() => Some(q.timeframe),
                 QuerySpec::Flows(q) if q.request.flow_count() > 0 => Some(q.timeframe),
@@ -330,10 +523,13 @@ impl Remos {
             if let Err(e) = self.pin_samples(needed, fresh) {
                 let msg = e.to_string();
                 self.obs_metrics.rejected_queries.add(n as u64);
-                return specs
+                return entries
                     .into_iter()
-                    .map(|_| {
-                        Err(RemosError::Collector(format!("batch measurement failed: {msg}")))
+                    .map(|(_, b)| match b.check(t_entry) {
+                        Err(shed) => Err(shed),
+                        Ok(()) => {
+                            Err(RemosError::Collector(format!("batch measurement failed: {msg}")))
+                        }
                     })
                     .collect();
             }
@@ -341,10 +537,15 @@ impl Remos {
         // Prepare jobs on this thread — plans, host tables and sample
         // selections all touch the collector, which is not thread-safe.
         // Workers then get pure compute over shared immutable data.
+        let t_measured = self.measured_now();
         let mut results: Vec<Option<CoreResult<QueryResult>>> = (0..n).map(|_| None).collect();
         let mut selections: BTreeMap<(u8, u64), Arc<SelectedSamples>> = BTreeMap::new();
         let mut jobs: Vec<(usize, BatchJob)> = Vec::new();
-        for (i, spec) in specs.into_iter().enumerate() {
+        for (i, (spec, b)) in entries.into_iter().enumerate() {
+            if let Err(shed) = b.check(t_measured) {
+                results[i] = Some(Err(shed));
+                continue;
+            }
             match spec {
                 QuerySpec::Graph(q) => {
                     self.obs_metrics.graph_queries.inc();
@@ -431,7 +632,8 @@ impl Remos {
         for ((i, _), r) in jobs.iter().zip(answers) {
             results[*i] = Some(r);
         }
-        let out: Vec<CoreResult<QueryResult>> = results
+        let source = self.collector.describe();
+        let mut out: Vec<CoreResult<QueryResult>> = results
             .into_iter()
             .map(|r| {
                 r.unwrap_or_else(|| {
@@ -439,9 +641,10 @@ impl Remos {
                 })
             })
             .collect();
-        for r in &out {
-            if r.is_err() {
-                self.obs_metrics.rejected_queries.inc();
+        for r in out.iter_mut() {
+            match r {
+                Ok(res) => mark_answer(res, &source, false),
+                Err(_) => self.obs_metrics.rejected_queries.inc(),
             }
         }
         out
@@ -481,46 +684,12 @@ impl Remos {
         Ok(names)
     }
 
-    /// `remos_get_graph(nodes, graph, timeframe)`: the logical topology
-    /// relevant to `nodes`, annotated for `timeframe`.
-    #[deprecated(note = "build the query with `Query::graph(..)` and execute it with `Remos::run`")]
-    pub fn get_graph(&mut self, nodes: &[&str], tf: Timeframe) -> CoreResult<RemosGraph> {
-        self.run(Query::graph(nodes.iter().copied()).timeframe(tf))?
-            .into_graph()
-    }
-
-    /// `remos_flow_info(fixed, variable, independent, timeframe)`.
-    #[deprecated(note = "build the query with `Query::flows(..)` and execute it with `Remos::run`")]
-    pub fn flow_info(
-        &mut self,
-        req: &FlowInfoRequest,
-        tf: Timeframe,
-    ) -> CoreResult<FlowInfoResponse> {
-        self.run(Query::flows(req.clone()).timeframe(tf))?.into_flows()
-    }
-
     /// The simple host compute/memory interface (§2).
     pub fn host_info(&mut self, name: &str) -> CoreResult<HostInfo> {
         if self.collector.topology().is_err() {
             self.collector.refresh_topology()?;
         }
         self.collector.host_info(name)
-    }
-
-    /// The subset of `candidates` currently reachable from `anchor`
-    /// (per the collector's latest discovered view). Lets adaptation
-    /// modules shrink their node pool when the network partitions instead
-    /// of failing their graph queries.
-    #[deprecated(
-        note = "build the query with `Query::reachable(..)` and execute it with `Remos::run`"
-    )]
-    pub fn reachable_peers(
-        &mut self,
-        anchor: &str,
-        candidates: &[String],
-    ) -> CoreResult<Vec<String>> {
-        self.run(Query::reachable(anchor, candidates.iter().cloned()))?
-            .into_peers()
     }
 }
 
@@ -529,6 +698,7 @@ mod tests {
     use super::*;
     use crate::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
     use crate::collector::SimClock;
+    use crate::query::Query;
     use remos_net::flow::FlowParams;
     use remos_net::{mbps, SimDuration, Simulator, TopologyBuilder};
     use remos_snmp::sim::{register_all_agents, share, SharedSim};
@@ -1049,17 +1219,110 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_answer() {
-        let (mut remos, _sim) = full_stack();
-        let g = remos.get_graph(&["m-1", "m-3"], Timeframe::Current).unwrap();
-        assert_eq!(g.nodes.len(), 2);
-        let req = FlowInfoRequest::new().independent("m-1", "m-3");
-        let r = remos.flow_info(&req, Timeframe::Current).unwrap();
-        assert!(r.independent.is_some());
-        let peers = remos
-            .reachable_peers("m-1", &["m-3".to_string(), "nope".to_string()])
+    fn deadline_sheds_before_and_after_measurement() {
+        use remos_net::SimTime;
+        let (mut remos, sim) = full_stack();
+        // Prime the clock past zero so entry-stage checks are meaningful.
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        let now = sim.lock().now();
+        // Already expired at entry: shed before any measurement.
+        let err = remos
+            .run_within(Query::graph(["m-1", "m-3"]), QueryBudget::until(SimTime::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, RemosError::DeadlineExceeded { .. }), "{err}");
+        assert_eq!(sim.lock().now(), now, "entry shed consumes no measurement time");
+        // Survives entry but expires while the fresh sample is taken:
+        // shed after measurement, before planning.
+        let err = remos
+            .run_within(
+                Query::graph(["m-1", "m-3"]),
+                QueryBudget::starting(now, SimDuration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RemosError::DeadlineExceeded { .. }), "{err}");
+        assert!(sim.lock().now() > now, "measurement time passed before the shed");
+        // A generous budget answers normally.
+        let t = sim.lock().now();
+        let g = remos
+            .run_within(
+                Query::graph(["m-1", "m-3"]),
+                QueryBudget::starting(t, SimDuration::from_secs(60)),
+            )
+            .unwrap()
+            .into_graph()
             .unwrap();
-        assert_eq!(peers, vec!["m-3".to_string()]);
+        assert!(g.provenance.is_some());
+    }
+
+    #[test]
+    fn degraded_entry_points_answer_without_measured_time() {
+        let (mut remos, sim) = full_stack();
+        // No history yet: the stale-snapshot rung refuses.
+        assert!(matches!(
+            remos.run_from_history(Query::graph(["m-1", "m-3"])),
+            Err(RemosError::InsufficientHistory { .. })
+        ));
+        // Prime one measured sample, then answer from history: no time
+        // passes and the answer is flagged degraded.
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        let t0 = sim.lock().now();
+        let g = remos
+            .run_from_history(Query::graph(["m-1", "m-3"]))
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert_eq!(sim.lock().now(), t0, "history answers consume no measured time");
+        let p = g.provenance.as_ref().unwrap();
+        assert!(p.degraded);
+        assert!(
+            p.source.as_deref().unwrap().starts_with("snmp("),
+            "source names the collector: {:?}",
+            p.source
+        );
+        // Topology-only rung: structure with total uncertainty.
+        let g = remos.topology_only(&["m-1".into(), "m-3".into()]).unwrap();
+        assert_eq!(sim.lock().now(), t0);
+        let p = g.provenance.as_ref().unwrap();
+        assert!(p.degraded);
+        assert_eq!(p.snapshots, 0);
+        assert_eq!(p.worst_quality, DataQuality::Missing);
+        assert_eq!(p.solver, "topology-only");
+        let l = &g.links[0];
+        assert_eq!(l.avail[0].min, 0.0);
+        assert_eq!(l.avail[0].max, l.capacity);
+        assert_eq!(l.quality[0], DataQuality::Missing);
+    }
+
+    #[test]
+    fn run_stamps_provenance_source() {
+        let (mut remos, _sim) = full_stack();
+        let g = remos.run(Query::graph(["m-1", "m-3"])).unwrap().into_graph().unwrap();
+        let p = g.provenance.as_ref().unwrap();
+        assert!(!p.degraded, "normal serving is not degraded");
+        assert!(p.source.as_deref().unwrap().starts_with("snmp("), "{:?}", p.source);
+        // Batch answers carry the same stamp.
+        let out = remos.run_batch(vec![Query::graph(["m-1", "m-3"]).into()]);
+        let g = out.into_iter().next().unwrap().unwrap().into_graph().unwrap();
+        assert!(g.provenance.as_ref().unwrap().source.is_some());
+    }
+
+    #[test]
+    fn run_batch_within_sheds_expired_entries() {
+        use remos_net::SimTime;
+        let (mut remos, sim) = full_stack();
+        remos.run(Query::graph(["m-1", "m-3"])).unwrap();
+        let now = sim.lock().now();
+        let out = remos.run_batch_within(vec![
+            (Query::graph(["m-1", "m-3"]).into(), QueryBudget::UNLIMITED),
+            (Query::graph(["m-2", "m-4"]).into(), QueryBudget::until(SimTime::ZERO)),
+            (
+                Query::graph(["m-1", "m-4"]).into(),
+                QueryBudget::starting(now, SimDuration::from_secs(60)),
+            ),
+        ]);
+        assert_eq!(out.len(), 3);
+        assert!(matches!(out[0], Ok(QueryResult::Graph(_))));
+        assert!(matches!(out[1], Err(RemosError::DeadlineExceeded { .. })));
+        assert!(matches!(out[2], Ok(QueryResult::Graph(_))));
     }
 }

@@ -191,6 +191,14 @@ pub trait Collector: Send {
     fn set_obs(&mut self, obs: &remos_obs::Obs) {
         let _ = obs;
     }
+
+    /// Short human-readable description of where measurements come from,
+    /// stamped into answer [`Provenance`](crate::Provenance). Federated
+    /// collectors report how many children contributed current data, so a
+    /// failover shows up in the answers served during it.
+    fn describe(&self) -> String {
+        "collector".to_string()
+    }
 }
 
 /// A source of unsolicited SNMP notifications (linkDown/linkUp traps).

@@ -302,6 +302,26 @@ impl Collector for MultiCollector {
         &self.history
     }
 
+    fn describe(&self) -> String {
+        // A child is "current" when its latest sample is as new as the
+        // newest across the federation — i.e. it is still producing data,
+        // not being carried forward and aged toward Missing.
+        let newest = self
+            .children
+            .iter()
+            .filter_map(|c| c.history().latest().map(|s| s.t))
+            .max();
+        let current = match newest {
+            Some(t) => self
+                .children
+                .iter()
+                .filter(|c| c.history().latest().map(|s| s.t >= t).unwrap_or(false))
+                .count(),
+            None => 0,
+        };
+        format!("multi({current}/{} children current)", self.children.len())
+    }
+
     fn now(&self) -> CoreResult<SimTime> {
         // First child that can tell the time wins (each child is already
         // robust to its own agents restarting).

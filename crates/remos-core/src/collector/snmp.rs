@@ -266,6 +266,14 @@ impl<T: Transport + Sync> SnmpCollector<T> {
         self.trap_source = Some(source);
     }
 
+    /// Register an observer of SNMP request outcomes on the full-retry
+    /// manager (circuit breakers hook in here). The single-attempt
+    /// recovery probe is deliberately unobserved: probing a Down agent is
+    /// *expected* to fail and must not re-trip an opening breaker.
+    pub fn set_retry_observer(&mut self, observer: std::sync::Arc<dyn remos_snmp::RetryObserver>) {
+        self.manager.set_retry_observer(observer);
+    }
+
     /// Health records, parallel to [`SnmpCollector::agent_names`].
     pub fn agent_health(&self) -> &[AgentHealth] {
         &self.health
@@ -855,6 +863,12 @@ impl<T: Transport + Sync> Collector for SnmpCollector<T> {
 
     fn history(&self) -> &SampleHistory {
         &self.history
+    }
+
+    fn describe(&self) -> String {
+        let healthy =
+            self.health.iter().filter(|h| h.state == AgentState::Healthy).count();
+        format!("snmp({healthy}/{} agents healthy)", self.agents.len())
     }
 
     fn now(&self) -> CoreResult<SimTime> {

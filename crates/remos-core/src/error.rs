@@ -1,6 +1,7 @@
 //! Error type for the Remos API.
 
 use crate::quality::DataQuality;
+use remos_net::SimDuration;
 use std::fmt;
 
 /// Why a query was rejected as malformed, with the offending values as
@@ -112,6 +113,20 @@ pub enum RemosError {
         /// The worst quality actually backing the answer.
         actual: DataQuality,
     },
+    /// A serving front end refused to accept the request: its queue (or
+    /// in-flight cost budget) is full. The caller should back off for at
+    /// least `retry_after` of measured time before resubmitting.
+    Overloaded {
+        /// Suggested back-off before resubmitting.
+        retry_after: SimDuration,
+    },
+    /// The request's deadline budget expired before an answer could be
+    /// produced; the remaining work was shed rather than computed and
+    /// discarded.
+    DeadlineExceeded {
+        /// How far past the deadline the request was when it was shed.
+        late_by: SimDuration,
+    },
     /// An internal invariant was broken (corrupt graph, inconsistent
     /// modeler state, ...). Reaching this is a bug; it is surfaced as an
     /// error rather than a panic so callers degrade instead of aborting.
@@ -138,6 +153,12 @@ impl fmt::Display for RemosError {
                 f,
                 "answer quality {actual:?} below required floor {required:?}"
             ),
+            RemosError::Overloaded { retry_after } => {
+                write!(f, "server overloaded: retry after {retry_after}")
+            }
+            RemosError::DeadlineExceeded { late_by } => {
+                write!(f, "deadline exceeded: {late_by} past budget when shed")
+            }
             RemosError::Internal(m) => write!(f, "internal invariant broken: {m}"),
         }
     }
@@ -182,6 +203,18 @@ mod tests {
             InvalidQueryKind::BadSetSize { current: 9, pool: 6 }.to_string(),
             "current set size 9 vs pool 6"
         );
+    }
+
+    #[test]
+    fn overload_and_deadline_errors_render() {
+        let e = RemosError::Overloaded { retry_after: SimDuration::from_millis(250) };
+        assert!(e.to_string().contains("overloaded"));
+        assert!(matches!(
+            e,
+            RemosError::Overloaded { retry_after } if retry_after == SimDuration::from_millis(250)
+        ));
+        let e = RemosError::DeadlineExceeded { late_by: SimDuration::from_millis(5) };
+        assert!(e.to_string().contains("deadline exceeded"));
     }
 
     #[test]

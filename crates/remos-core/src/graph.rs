@@ -260,6 +260,14 @@ impl RemosGraph {
                 d.quality(p.worst_quality);
                 d.bytes(p.solver.as_bytes());
                 d.usize(p.scope);
+                d.u64(p.degraded as u64);
+                match &p.source {
+                    None => d.u64(0),
+                    Some(s) => {
+                        d.u64(1);
+                        d.bytes(s.as_bytes());
+                    }
+                }
             }
         }
         d.finish()

@@ -61,6 +61,7 @@
 //! ```
 
 pub mod api;
+pub mod budget;
 pub mod collector;
 pub mod error;
 pub mod flows;
@@ -73,6 +74,7 @@ pub mod stats;
 pub mod timeframe;
 
 pub use api::{Remos, RemosConfig};
+pub use budget::QueryBudget;
 pub use error::{CoreResult, InvalidQueryKind, RemosError};
 pub use flows::{FlowEndpoints, FlowInfoRequest, FlowInfoResponse};
 pub use graph::{HostInfo, RemosGraph, RemosLink, RemosNode};
@@ -86,6 +88,7 @@ pub use timeframe::Timeframe;
 /// Everything a query-writing application needs, in one import:
 /// `use remos_core::prelude::*;`.
 pub mod prelude {
+    pub use crate::budget::QueryBudget;
     pub use crate::error::{CoreResult, InvalidQueryKind, RemosError};
     pub use crate::flows::{FlowInfoRequest, FlowInfoResponse};
     pub use crate::provenance::Provenance;

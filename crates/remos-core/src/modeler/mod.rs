@@ -139,7 +139,7 @@ fn stale_widen_factor(age: remos_net::SimDuration) -> f64 {
 /// Degrade a quantity's summary according to the quality of the data it
 /// was derived from: fresh passes through, stale widens the spread with
 /// age, missing yields total uncertainty over `[0, ceiling]`.
-fn degrade(q: &Quartiles, quality: DataQuality, ceiling: Bps) -> Quartiles {
+pub(crate) fn degrade(q: &Quartiles, quality: DataQuality, ceiling: Bps) -> Quartiles {
     match quality {
         DataQuality::Fresh => *q,
         DataQuality::Stale { age } => q.widen(stale_widen_factor(age)),
@@ -424,6 +424,8 @@ impl Modeler {
             worst_quality: g.worst_quality(),
             solver: format!("logical-annotate/{:?}", self.cfg.predictor),
             scope,
+            degraded: false,
+            source: None,
         });
         Ok(g)
     }
@@ -625,6 +627,8 @@ impl Modeler {
                     worst_quality: estimate_quality,
                     solver: solver.clone(),
                     scope: path.0.len(),
+                    degraded: false,
+                    source: None,
                 }),
             })
         };

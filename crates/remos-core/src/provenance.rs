@@ -36,6 +36,17 @@ pub struct Provenance {
     /// Size of the solved scope: logical links annotated (graph queries)
     /// or path resources crossed (flow grants).
     pub scope: usize,
+    /// True when the answer was produced by a degraded serving mode
+    /// (stale-snapshot or topology-only rung of a serving front end's
+    /// degradation ladder) rather than a freshly measured query.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Which collector the measurements came from (see
+    /// [`crate::collector::Collector::describe`]); a federated collector
+    /// reports how many of its children contributed current data, so a
+    /// failover is visible in the answer itself.
+    #[serde(default)]
+    pub source: Option<String>,
 }
 
 impl Provenance {
@@ -67,6 +78,8 @@ mod tests {
             worst_quality: DataQuality::Fresh,
             solver: "test".into(),
             scope: 5,
+            degraded: false,
+            source: None,
         };
         assert_eq!(p.sample_span(), Some(SimDuration::from_secs(3)));
         assert_eq!(p.poll_age(SimTime::from_secs(12)), Some(SimDuration::from_secs(2)));
@@ -82,6 +95,8 @@ mod tests {
             worst_quality: DataQuality::Missing,
             solver: "test".into(),
             scope: 0,
+            degraded: false,
+            source: None,
         };
         assert_eq!(p.sample_span(), None);
         assert_eq!(p.poll_age(SimTime::ZERO), None);

@@ -99,7 +99,8 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
-    fn snapshot(&self) -> HistogramSnapshot {
+    /// Point-in-time copy of the bucket counts (for quantile estimates).
+    pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: (0..HISTOGRAM_BOUNDS).map(bucket_bound).collect(),
             buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
@@ -120,6 +121,32 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed values.
     pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (`q` in `[0, 1]`): the
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q * count)`. Returns `None` for an empty histogram. Values
+    /// that overflowed every finite bucket report the largest finite
+    /// bound (the power-of-two buckets make this a ≤2x overestimate for
+    /// in-range values — good enough for latency SLO gates).
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return Some(match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => self.bounds.last().copied().unwrap_or(u64::MAX),
+                });
+            }
+        }
+        Some(self.bounds.last().copied().unwrap_or(u64::MAX))
+    }
 }
 
 /// A named family of counters, gauges and histograms.
@@ -543,6 +570,22 @@ mod tests {
         assert_eq!(s.buckets[1], 1); // 4 <= 4^1
         assert_eq!(s.buckets[2], 1); // 5 <= 4^2
         assert_eq!(*s.buckets.last().unwrap(), 1); // u64::MAX overflows
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let r = MetricsRegistry::default();
+        let h = r.histogram("lat");
+        assert_eq!(h.snapshot().quantile(0.5), None, "empty histogram has no quantiles");
+        for _ in 0..99 {
+            h.observe(3); // bucket bound 4
+        }
+        h.observe(1000); // bucket bound 1024
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), Some(4));
+        assert_eq!(s.quantile(0.99), Some(4));
+        assert_eq!(s.quantile(1.0), Some(1024));
+        assert_eq!(s.quantile(0.0), Some(4), "q=0 clamps to the first observation");
     }
 
     #[test]

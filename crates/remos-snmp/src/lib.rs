@@ -41,7 +41,7 @@ pub mod value;
 pub use agent::Agent;
 pub use error::{SnmpError, SnmpResult};
 pub use fault::{Fault, FaultDirector, FaultPlan};
-pub use manager::{Manager, RetryPolicy};
+pub use manager::{Manager, RetryObserver, RetryPolicy};
 pub use mib::Mib;
 pub use oid::Oid;
 pub use pdu::{ErrorStatus, Pdu, PduType, VarBind};

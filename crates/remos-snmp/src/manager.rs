@@ -85,6 +85,19 @@ impl RetryPolicy {
     }
 }
 
+/// Observer of the manager's request outcomes, called synchronously from
+/// the retry path. Circuit breakers register one to learn about request
+/// successes and exhausted-retry failures without wrapping every call
+/// site; implementations must be cheap and must not call back into the
+/// manager.
+pub trait RetryObserver: Send + Sync {
+    /// A request completed successfully (possibly after retries).
+    fn on_success(&self, agent: &str);
+    /// A request gave up: retries/deadline exhausted (`SnmpError::Timeout`)
+    /// or a non-retryable hard error.
+    fn on_failure(&self, agent: &str);
+}
+
 /// An SNMP manager bound to one transport and community.
 pub struct Manager<T: Transport> {
     transport: Arc<T>,
@@ -94,6 +107,7 @@ pub struct Manager<T: Transport> {
     pub policy: RetryPolicy,
     jitter: Mutex<StdRng>,
     obs_metrics: ManagerMetrics,
+    retry_observer: Option<Arc<dyn RetryObserver>>,
 }
 
 impl<T: Transport> Manager<T> {
@@ -112,6 +126,7 @@ impl<T: Transport> Manager<T> {
             policy,
             jitter,
             obs_metrics: ManagerMetrics::new(&Obs::new()),
+            retry_observer: None,
         }
     }
 
@@ -120,6 +135,12 @@ impl<T: Transport> Manager<T> {
     /// `snmp_hard_errors_total`).
     pub fn set_obs(&mut self, obs: &Obs) {
         self.obs_metrics = ManagerMetrics::new(obs);
+    }
+
+    /// Register an observer of request outcomes (see [`RetryObserver`]).
+    /// One observer at a time; registering replaces the previous one.
+    pub fn set_retry_observer(&mut self, observer: Arc<dyn RetryObserver>) {
+        self.retry_observer = Some(observer);
     }
 
     fn rid(&self) -> u32 {
@@ -140,6 +161,17 @@ impl<T: Transport> Manager<T> {
         cap.mul_f64(self.jitter.lock().gen::<f64>())
     }
 
+    /// Notify the registered observer (if any) of a request outcome.
+    fn observe_outcome(&self, agent: &str, ok: bool) {
+        if let Some(obs) = &self.retry_observer {
+            if ok {
+                obs.on_success(agent);
+            } else {
+                obs.on_failure(agent);
+            }
+        }
+    }
+
     fn send(&self, agent: &str, req: &Pdu) -> SnmpResult<Pdu> {
         let p = &self.policy;
         self.obs_metrics.requests.inc();
@@ -150,8 +182,10 @@ impl<T: Transport> Manager<T> {
                 Ok(resp) => {
                     if resp.error_status != ErrorStatus::NoError {
                         self.obs_metrics.hard_errors.inc();
+                        self.observe_outcome(agent, false);
                         return Err(SnmpError::AgentError(resp.error_status));
                     }
+                    self.observe_outcome(agent, true);
                     return Ok(resp);
                 }
                 Err(SnmpError::Timeout) => {
@@ -159,12 +193,14 @@ impl<T: Transport> Manager<T> {
                     attempt += 1;
                     if attempt > p.max_retries {
                         self.obs_metrics.timeouts.inc();
+                        self.observe_outcome(agent, false);
                         return Err(SnmpError::Timeout);
                     }
                     let delay = self.backoff_delay(attempt);
                     // Would the next attempt blow the deadline budget?
                     if spent.saturating_add(delay).saturating_add(p.attempt_timeout) > p.deadline {
                         self.obs_metrics.timeouts.inc();
+                        self.observe_outcome(agent, false);
                         return Err(SnmpError::Timeout);
                     }
                     spent = spent.saturating_add(delay);
@@ -174,6 +210,7 @@ impl<T: Transport> Manager<T> {
                 // community or returned garbage will do so again.
                 Err(e) => {
                     self.obs_metrics.hard_errors.inc();
+                    self.observe_outcome(agent, false);
                     return Err(e);
                 }
             }

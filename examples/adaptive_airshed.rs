@@ -13,21 +13,20 @@ use remos::apps::testbed::TESTBED_HOSTS;
 use remos::apps::TestbedHarness;
 use remos::fx::SelfTraffic;
 use remos::net::SimTime;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let mut h = TestbedHarness::cmu();
     // Apply the §8.3 fix so the program doesn't flee its own traffic.
     h.adapter.cfg.self_traffic = SelfTraffic::Subtract;
 
     // Traffic through timberline -> whiteface appears at t = 100 s.
-    add_greedy_traffic(&h.sim, "m-6", "m-8", 8, SimTime::from_secs(100), None).unwrap();
+    add_greedy_traffic(&h.sim, "m-6", "m-8", 8, SimTime::from_secs(100), None)?;
 
     let prog = airshed_program_iters(8, 30);
     println!("Airshed, 8 ranks on 5 nodes, 30 outer iterations.");
     println!("Interfering m-6 -> m-8 traffic starts at t=100 s.\n");
-    let rep = h
-        .run_adaptive(&prog, &TESTBED_HOSTS, &["m-4", "m-5", "m-6", "m-7", "m-8"])
-        .unwrap();
+    let rep = h.run_adaptive(&prog, &TESTBED_HOSTS, &["m-4", "m-5", "m-6", "m-7", "m-8"])?;
 
     println!("total time: {:.0} s", rep.elapsed);
     println!(
@@ -47,13 +46,12 @@ fn main() {
 
     // The same run without adaptation, for contrast.
     let mut h2 = TestbedHarness::cmu();
-    add_greedy_traffic(&h2.sim, "m-6", "m-8", 8, SimTime::from_secs(100), None).unwrap();
-    let fixed = h2
-        .run_fixed(&prog, &["m-4", "m-5", "m-6", "m-7", "m-8"])
-        .unwrap();
+    add_greedy_traffic(&h2.sim, "m-6", "m-8", 8, SimTime::from_secs(100), None)?;
+    let fixed = h2.run_fixed(&prog, &["m-4", "m-5", "m-6", "m-7", "m-8"])?;
     println!(
         "\nfixed-mapping run under the same traffic: {:.0} s ({:.0}% slower)",
         fixed.elapsed,
         (fixed.elapsed / rep.elapsed - 1.0) * 100.0
     );
+    Ok(())
 }

@@ -15,8 +15,9 @@ use remos::prelude::*;
 use remos::fx::runtime::{Mapping, RuntimeConfig};
 use remos::fx::{run_concurrent, TaskSpec};
 use remos::net::SimTime;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let mut h = TestbedHarness::cmu();
 
     // Before launching: ask Remos what the two backbone-crossing tasks
@@ -24,10 +25,8 @@ fn main() {
     let solo = h
         .adapter
         .remos_mut()
-        .run(Query::flows(FlowInfoRequest::new().variable("m-1", "m-4", 1.0)))
-        .unwrap()
-        .into_flows()
-        .unwrap();
+        .run(Query::flows(FlowInfoRequest::new().variable("m-1", "m-4", 1.0)))?
+        .into_flows()?;
     let both = h
         .adapter
         .remos_mut()
@@ -35,10 +34,8 @@ fn main() {
             FlowInfoRequest::new()
                 .variable("m-1", "m-4", 1.0)
                 .variable("m-2", "m-5", 1.0),
-        ))
-        .unwrap()
-        .into_flows()
-        .unwrap();
+        ))?
+        .into_flows()?;
     println!(
         "queried alone, m-1 -> m-4 is promised {:.0} Mbps; queried together with m-2 -> m-5: {:.0} Mbps each",
         solo.variable[0].bandwidth.median / 1e6,
@@ -47,21 +44,17 @@ fn main() {
 
     // Launch: two FFT(1K) tasks across the backbone at t=0, a third on
     // the whiteface region at t=1 s.
-    let task = |a: &str, b: &str, start| TaskSpec {
-        program: fft_program(1024, 2),
-        mapping: Mapping::of(&[a, b]).unwrap(),
-        start,
-    };
+    let mapping = |a: &str, b: &str| Mapping::of(&[a, b]);
+    let task = |m: Mapping, start| TaskSpec { program: fft_program(1024, 2), mapping: m, start };
     let reports = run_concurrent(
         &h.sim,
         RuntimeConfig::default(),
         vec![
-            task("m-1", "m-4", SimTime::ZERO),
-            task("m-2", "m-5", SimTime::ZERO),
-            task("m-7", "m-8", SimTime::from_secs(1)),
+            task(mapping("m-1", "m-4")?, SimTime::ZERO),
+            task(mapping("m-2", "m-5")?, SimTime::ZERO),
+            task(mapping("m-7", "m-8")?, SimTime::from_secs(1)),
         ],
-    )
-    .unwrap();
+    )?;
 
     println!("\nthree FFT(1K) tasks co-scheduled:");
     for r in &reports {
@@ -75,4 +68,5 @@ fn main() {
          Remos predicted; the whiteface task ran at full speed in parallel."
     );
     assert!(reports[0].elapsed > reports[2].elapsed);
+    Ok(())
 }

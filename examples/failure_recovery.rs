@@ -15,31 +15,34 @@ use remos::apps::testbed::TESTBED_HOSTS;
 use remos::apps::TestbedHarness;
 use remos::prelude::*;
 use remos::net::SimTime;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     let mut h = TestbedHarness::cmu();
 
     // Find the backbone link.
     let backbone = {
         let s = h.sim.lock();
         let t = s.topology_arc();
-        let tl = t.lookup("timberline").unwrap();
-        let wf = t.lookup("whiteface").unwrap();
-        t.neighbors(tl).iter().find(|&&(_, n)| n == wf).map(|&(l, _)| l).unwrap()
+        let tl = t.lookup("timberline")?;
+        let wf = t.lookup("whiteface")?;
+        t.neighbors(tl)
+            .iter()
+            .find(|&&(_, n)| n == wf)
+            .map(|&(l, _)| l)
+            .ok_or("timberline has no link to whiteface")?
     };
 
     // Show the healthy view first.
     let g = h
         .adapter
         .remos_mut()
-        .run(Query::graph(TESTBED_HOSTS))
-        .unwrap()
-        .into_graph()
-        .unwrap();
+        .run(Query::graph(TESTBED_HOSTS))?
+        .into_graph()?;
     println!("healthy testbed: {} links, all hosts reachable", g.links.len());
 
     // The backbone dies at t = 25 s.
-    h.sim.lock().schedule_link_state(SimTime::from_secs(25), backbone, false).unwrap();
+    h.sim.lock().schedule_link_state(SimTime::from_secs(25), backbone, false)?;
     println!("scheduled: timberline—whiteface fails at t=25 s\n");
 
     // An adaptive Airshed on 4 nodes, two of them beyond the doomed link.
@@ -76,4 +79,5 @@ fn main() {
             Err(e) => format!("{e}"),
         }
     );
+    Ok(())
 }

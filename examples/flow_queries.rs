@@ -16,9 +16,10 @@ use remos::prelude::*;
 use remos::net::{kbps, mbps, SimDuration, Simulator, TopologyBuilder};
 use remos::snmp::sim::{register_all_agents, share};
 use remos::snmp::SimTransport;
+use std::error::Error;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // Three senders, one receiver, and a 5.5 Mbps bottleneck link into it.
     let mut b = TopologyBuilder::new();
     let s1 = b.compute("s1");
@@ -28,10 +29,10 @@ fn main() {
     let sw = b.network("sw");
     let lat = SimDuration::from_micros(100);
     for s in [s1, s2, s3] {
-        b.link(s, sw, mbps(100.0), lat).unwrap();
+        b.link(s, sw, mbps(100.0), lat)?;
     }
-    b.link(sw, sink, mbps(5.5), lat).unwrap();
-    let sim = share(Simulator::new(b.build().unwrap()).unwrap());
+    b.link(sw, sink, mbps(5.5), lat)?;
+    let sim = share(Simulator::new(b.build()?)?);
 
     let transport = Arc::new(SimTransport::new());
     let agents = register_all_agents(&transport, &sim, "public");
@@ -47,7 +48,7 @@ fn main() {
         .variable("s1", "sink", 3.0)
         .variable("s2", "sink", 4.5)
         .variable("s3", "sink", 9.0);
-    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
+    let resp = remos.run(Query::flows(req))?.into_flows()?;
     println!("variable flows 3 : 4.5 : 9 over a 5.5 Mbps bottleneck:");
     for g in &resp.variable {
         println!(
@@ -62,11 +63,12 @@ fn main() {
     let req = FlowInfoRequest::new()
         .fixed("s1", "sink", kbps(1500.0))
         .independent("s2", "sink");
-    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
+    let resp = remos.run(Query::flows(req))?.into_flows()?;
+    let indep = resp.independent.as_ref().ok_or("independent flow missing from response")?;
     println!(
         "\nfixed 1.5 Mbps flow granted {:.2} Mbps; independent flow absorbs {:.2} Mbps",
         resp.fixed[0].bandwidth.median / 1e6,
-        resp.independent.as_ref().unwrap().bandwidth.median / 1e6
+        indep.bandwidth.median / 1e6
     );
 
     // --- Quartiles under bursty traffic (§4.4) --------------------------
@@ -77,15 +79,16 @@ fn main() {
         SimDuration::from_secs(2),
         SimDuration::from_secs(2),
         99,
-    )
-    .unwrap();
+    )?;
     let req = FlowInfoRequest::new().independent("s1", "sink");
     let resp = remos
-        .run(Query::flows(req).timeframe(Timeframe::Window(SimDuration::from_secs(30))))
-        .unwrap()
-        .into_flows()
-        .unwrap();
-    let q = &resp.independent.as_ref().unwrap().bandwidth;
+        .run(Query::flows(req).timeframe(Timeframe::Window(SimDuration::from_secs(30))))?
+        .into_flows()?;
+    let q = &resp
+        .independent
+        .as_ref()
+        .ok_or("independent flow missing from response")?
+        .bandwidth;
     println!("\nindependent flow vs 50%-duty bursty cross-traffic, 30 s window:");
     println!("  quartiles [min|q1|median|q3|max] in Mbps:");
     println!(
@@ -99,4 +102,5 @@ fn main() {
         q.accuracy
     );
     println!("  (a single mean would hide that the link alternates empty/full)");
+    Ok(())
 }

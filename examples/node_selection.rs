@@ -11,21 +11,22 @@ use remos::apps::synthetic::{install_scenario, TrafficScenario};
 use remos::apps::testbed::TESTBED_HOSTS;
 use remos::apps::TestbedHarness;
 use remos::net::SimDuration;
+use std::error::Error;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // The Fig 3 testbed with the Fig 4 traffic.
     let mut h = TestbedHarness::cmu();
-    install_scenario(&h.sim, TrafficScenario::Interfering1).unwrap();
-    h.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    install_scenario(&h.sim, TrafficScenario::Interfering1)?;
+    h.sim.lock().run_for(SimDuration::from_secs(1))?;
     println!("Background traffic: m-6 -> timberline -> whiteface -> m-8\n");
 
     // Remos-driven selection, start node m-4 (the paper's §7.3 pipeline).
-    let selected = h.select_nodes(&TESTBED_HOSTS, "m-4", 4).unwrap();
+    let selected = h.select_nodes(&TESTBED_HOSTS, "m-4", 4)?;
     println!("Remos selects: {}", selected.join(", "));
 
     let prog = fft_program(512, 4);
     let refs: Vec<&str> = selected.iter().map(String::as_str).collect();
-    let smart = h.run_fixed(&prog, &refs).unwrap();
+    let smart = h.run_fixed(&prog, &refs)?;
     println!(
         "FFT(512) on Remos-selected nodes: {:.3} s  (compute {:.3}, comm {:.3})",
         smart.elapsed, smart.breakdown.compute, smart.breakdown.comm
@@ -33,10 +34,10 @@ fn main() {
 
     // The naive choice: the locality-best set, ignoring traffic.
     let mut h2 = TestbedHarness::cmu();
-    install_scenario(&h2.sim, TrafficScenario::Interfering1).unwrap();
-    h2.sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    install_scenario(&h2.sim, TrafficScenario::Interfering1)?;
+    h2.sim.lock().run_for(SimDuration::from_secs(1))?;
     let naive = ["m-4", "m-5", "m-6", "m-7"];
-    let slow = h2.run_fixed(&prog, &naive).unwrap();
+    let slow = h2.run_fixed(&prog, &naive)?;
     println!(
         "FFT(512) on static-chosen nodes  ({}): {:.3} s  (comm {:.3})",
         naive.join(", "),
@@ -47,4 +48,5 @@ fn main() {
         "\nnetwork-aware selection is {:.0}% faster under this traffic",
         (slow.elapsed / smart.elapsed - 1.0) * 100.0
     );
+    Ok(())
 }

@@ -15,17 +15,18 @@ use remos::net::flow::FlowParams;
 use remos::net::{mbps, SimDuration, Simulator, TopologyBuilder};
 use remos::snmp::sim::{register_all_agents, share};
 use remos::snmp::SimTransport;
+use std::error::Error;
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), Box<dyn Error>> {
     // 1. A network: two hosts behind one router, 100 Mbps links.
     let mut b = TopologyBuilder::new();
     let alpha = b.compute("alpha");
     let beta = b.compute("beta");
     let router = b.network("router");
-    b.link(alpha, router, mbps(100.0), SimDuration::from_micros(100)).unwrap();
-    b.link(router, beta, mbps(100.0), SimDuration::from_micros(100)).unwrap();
-    let sim = share(Simulator::new(b.build().unwrap()).unwrap());
+    b.link(alpha, router, mbps(100.0), SimDuration::from_micros(100))?;
+    b.link(router, beta, mbps(100.0), SimDuration::from_micros(100))?;
+    let sim = share(Simulator::new(b.build()?)?);
 
     // 2. SNMP agents on every node, and a collector that polls them.
     let transport = Arc::new(SimTransport::new());
@@ -45,13 +46,11 @@ fn main() {
     );
 
     // 4. Some background traffic to make the answers interesting.
-    sim.lock()
-        .start_flow(FlowParams::cbr(alpha, beta, mbps(60.0)))
-        .unwrap();
-    sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+    sim.lock().start_flow(FlowParams::cbr(alpha, beta, mbps(60.0)))?;
+    sim.lock().run_for(SimDuration::from_secs(1))?;
 
     // 5. remos_get_graph: the logical topology between alpha and beta.
-    let graph = remos.run(Query::graph(["alpha", "beta"])).unwrap().into_graph().unwrap();
+    let graph = remos.run(Query::graph(["alpha", "beta"]))?.into_graph()?;
     println!("\nLogical topology: {} nodes, {} links", graph.nodes.len(), graph.links.len());
     if let Some(p) = &graph.provenance {
         println!(
@@ -59,32 +58,33 @@ fn main() {
             p.snapshots, p.worst_quality, p.solver
         );
     }
-    let a = graph.index_of("alpha").unwrap();
-    let z = graph.index_of("beta").unwrap();
+    let a = graph.index_of("alpha")?;
+    let z = graph.index_of("beta")?;
     println!(
         "available bandwidth alpha -> beta: {:.1} Mbps (60 of 100 Mbps are in use)",
-        graph.path_avail_bw(a, z).unwrap() / 1e6
+        graph.path_avail_bw(a, z)? / 1e6
     );
     println!(
         "available bandwidth beta -> alpha: {:.1} Mbps (that direction is idle)",
-        graph.path_avail_bw(z, a).unwrap() / 1e6
+        graph.path_avail_bw(z, a)? / 1e6
     );
 
     // 6. remos_flow_info: what would my flows get?
     let req = FlowInfoRequest::new()
         .fixed("alpha", "beta", mbps(10.0)) // an audio-like fixed flow
         .independent("alpha", "beta"); //      and a greedy bulk flow
-    let resp = remos.run(Query::flows(req)).unwrap().into_flows().unwrap();
+    let resp = remos.run(Query::flows(req))?.into_flows()?;
     let fixed = &resp.fixed[0];
     println!(
         "\nfixed 10 Mbps flow: granted {:.1} Mbps (satisfied: {})",
         fixed.bandwidth.median / 1e6,
         fixed.fully_satisfied
     );
-    let indep = resp.independent.as_ref().unwrap();
+    let indep = resp.independent.as_ref().ok_or("independent flow missing from response")?;
     println!(
         "independent flow:   granted {:.1} Mbps (the residual after the fixed flow)",
         indep.bandwidth.median / 1e6
     );
     println!("path latency: {}", indep.latency);
+    Ok(())
 }

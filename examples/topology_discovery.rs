@@ -19,25 +19,26 @@ use remos::snmp::oid::well_known;
 use remos::snmp::sim::{register_all_agents, share};
 use remos::snmp::{Manager, SimTransport};
 use remos::net::Simulator;
+use std::error::Error;
 use std::sync::Arc;
 
-fn main() {
-    let sim = share(Simulator::new(cmu_testbed()).unwrap());
+fn main() -> Result<(), Box<dyn Error>> {
+    let sim = share(Simulator::new(cmu_testbed())?);
     let transport = Arc::new(SimTransport::new());
     let agents = register_all_agents(&transport, &sim, "public");
 
     // --- Raw SNMP: walk timberline's interface table --------------------
     let mgr = Manager::new(Arc::clone(&transport), "public");
     println!("SNMP walk of timberline's neighbor table:");
-    for vb in mgr.bulk_walk("timberline", &well_known::neighbor_name()).unwrap() {
+    for vb in mgr.bulk_walk("timberline", &well_known::neighbor_name())? {
         println!("  {} = {}", vb.oid, vb.value);
     }
 
     // --- The collector's reconstructed physical view --------------------
     let mut collector =
         SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
-    collector.refresh_topology().unwrap();
-    let topo = collector.topology().unwrap();
+    collector.refresh_topology()?;
+    let topo = collector.topology()?;
     println!(
         "\ndiscovered: {} nodes ({} hosts, {} routers), {} links",
         topo.node_count(),
@@ -53,7 +54,7 @@ fn main() {
         RemosConfig::default(),
     );
     for nodes in [vec!["m-1", "m-8"], vec!["m-1", "m-4", "m-8"], vec!["m-4", "m-5"]] {
-        let g = remos.run(Query::graph(nodes.iter().copied())).unwrap().into_graph().unwrap();
+        let g = remos.run(Query::graph(nodes.iter().copied()))?.into_graph()?;
         println!(
             "\nlogical topology for {:?}: {} nodes, {} links",
             nodes,
@@ -77,10 +78,10 @@ fn main() {
         vec!["m-1".into(), "m-4".into(), "m-7".into()],
         BenchmarkCollectorConfig::default(),
     );
-    probe.poll().unwrap();
-    let snap = probe.history().latest().unwrap();
+    probe.poll()?;
+    let snap = probe.history().latest().ok_or("benchmark collector produced no snapshot")?;
     println!("\nbenchmark collector (active probes, no SNMP):");
-    let t = probe.topology().unwrap();
+    let t = probe.topology()?;
     for l in t.link_ids() {
         let link = t.link(l);
         let fwd = 100e6 - snap.util[l.index() * 2];
@@ -92,4 +93,5 @@ fn main() {
         );
     }
     println!("  probing consumed {} of simulated time (SNMP polling is passive)", snap.interval);
+    Ok(())
 }

@@ -12,7 +12,10 @@
 //! * [`apps`] — FFT and Airshed application models, background traffic
 //!   scenarios, and testbed builders;
 //! * [`obs`] — the observability layer: metrics registry, structured
-//!   trace recorder, and the shared [`obs::Obs`] handle.
+//!   trace recorder, and the shared [`obs::Obs`] handle;
+//! * [`serve`] — the overload-safe serving front end: admission control,
+//!   per-tenant quotas, deadline budgets, load shedding, and collector
+//!   circuit breakers.
 //!
 //! See the repository README for a quickstart and DESIGN.md for the full
 //! system inventory.
@@ -22,6 +25,7 @@ pub use remos_core as core;
 pub use remos_fx as fx;
 pub use remos_net as net;
 pub use remos_obs as obs;
+pub use remos_serve as serve;
 pub use remos_snmp as snmp;
 
 /// One-stop imports for query-writing applications:
