@@ -135,7 +135,10 @@ pub fn random_network(
         let i = next(routers);
         let j = next(routers);
         if i != j {
-            let _ = b.link(rs[i], rs[j], mbps(100.0), lat);
+            // A duplicate shortcut pair is rejected by the builder;
+            // that is the "skip silently" above, so the error is
+            // discarded deliberately.
+            b.link(rs[i], rs[j], mbps(100.0), lat).ok();
         }
     }
     for i in 0..hosts {

@@ -98,9 +98,12 @@ impl VideoStream {
         duration: SimDuration,
     ) -> CoreResult<StreamReport> {
         let ladder = &self.cfg.rate_ladder;
-        assert!(!ladder.is_empty());
         let mut rung = 0usize; // start conservatively at the bottom
-        let top_fps = *ladder.last().expect("non-empty ladder");
+        let Some(&top_fps) = ladder.last() else {
+            return Err(remos_core::RemosError::InvalidQuery(
+                remos_core::InvalidQueryKind::EmptyRateLadder,
+            ));
+        };
 
         let (src_id, dst_id) = {
             let s = sim.lock();

@@ -33,6 +33,14 @@
 //! file (rule, file suffix, and a substring of the offending line); stale
 //! allowlist entries are reported so the file cannot rot.
 
+pub mod driver;
+pub mod hygiene;
+pub mod lockorder;
+pub mod model;
+pub mod parse;
+pub mod report;
+pub mod taint;
+
 use std::fmt;
 use std::path::{Path, PathBuf};
 
@@ -401,13 +409,11 @@ fn mark_test_regions(toks: &mut [Token]) {
                     continue;
                 }
             }
-            ";" => {
-                // `#[cfg(test)] use ...;` — gate applies to a braceless
-                // item; it ends at the semicolon.
-                if pending_gate {
-                    toks[k].in_test = true;
-                    pending_gate = false;
-                }
+            // `#[cfg(test)] use ...;` — gate applies to a braceless
+            // item; it ends at the semicolon.
+            ";" if pending_gate => {
+                toks[k].in_test = true;
+                pending_gate = false;
             }
             _ => {}
         }
@@ -673,32 +679,30 @@ pub fn check_tokens(file: &Path, toks: &[Token], scope: RuleScope) -> Vec<Violat
                     }
                 }
             }
-            TokenKind::Punct if scope.float_eq => {
-                if t.text == "==" || t.text == "!=" {
-                    let float_operand = |tok: Option<&Token>| -> bool {
-                        match tok {
-                            Some(t) => {
-                                t.kind == TokenKind::Float
-                                    || (t.kind == TokenKind::Ident
-                                        && (t.text == "f32" || t.text == "f64"))
-                            }
-                            None => false,
+            TokenKind::Punct if scope.float_eq && (t.text == "==" || t.text == "!=") => {
+                let float_operand = |tok: Option<&Token>| -> bool {
+                    match tok {
+                        Some(t) => {
+                            t.kind == TokenKind::Float
+                                || (t.kind == TokenKind::Ident
+                                    && (t.text == "f32" || t.text == "f64"))
                         }
-                    };
-                    if float_operand(k.checked_sub(1).and_then(|j| toks.get(j)))
-                        || float_operand(toks.get(k + 1))
-                    {
-                        out.push(mk(
-                            "float-eq",
-                            t.line,
-                            &t.text,
-                            format!(
-                                "float `{}` comparison: bandwidth/latency values need an \
-                                 epsilon or ordering comparison",
-                                t.text
-                            ),
-                        ));
+                        None => false,
                     }
+                };
+                if float_operand(k.checked_sub(1).and_then(|j| toks.get(j)))
+                    || float_operand(toks.get(k + 1))
+                {
+                    out.push(mk(
+                        "float-eq",
+                        t.line,
+                        &t.text,
+                        format!(
+                            "float `{}` comparison: bandwidth/latency values need an \
+                             epsilon or ordering comparison",
+                            t.text
+                        ),
+                    ));
                 }
             }
             _ => {}

@@ -1,0 +1,201 @@
+//! Workspace model: all lexed files, all parsed functions, and a
+//! name-based call-resolution scheme the flow analyses share.
+//!
+//! Resolution is deliberately conservative-by-name: a call site
+//! `x.poll()` resolves to *every* function named `poll` in the
+//! workspace unless a qualifier or receiver narrows it. That
+//! over-approximates dynamic dispatch (trait objects, generics) the
+//! same way a human auditor would — "someone's `poll` runs here" — and
+//! is exactly what the lock-order and taint propagation need: missing
+//! an edge hides a deadlock, while a spurious edge at worst asks for a
+//! waiver.
+
+use crate::parse::{parse_fns, CallSite, FnInfo};
+use crate::{lex, Token};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// One lexed source file.
+pub struct SourceFile {
+    /// Workspace-relative path (`crates/remos-serve/src/breaker.rs`).
+    pub rel: PathBuf,
+    /// Full token stream.
+    pub toks: Vec<Token>,
+}
+
+/// One function plus the index of the file that holds its tokens.
+pub struct FnRec {
+    pub info: FnInfo,
+    /// Index into [`Workspace::files`].
+    pub file: usize,
+}
+
+/// Everything the flow analyses need about the workspace.
+pub struct Workspace {
+    pub files: Vec<SourceFile>,
+    pub fns: Vec<FnRec>,
+    /// Bare function name → indices into `fns`.
+    by_name: HashMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    /// Build from `(relative path, source text)` pairs.
+    pub fn from_sources(sources: Vec<(PathBuf, String)>) -> Self {
+        let mut files = Vec::with_capacity(sources.len());
+        let mut fns: Vec<FnRec> = Vec::new();
+        for (rel, text) in sources {
+            let toks = lex(&text);
+            let file = files.len();
+            for info in parse_fns(&rel, &toks) {
+                fns.push(FnRec { info, file });
+            }
+            files.push(SourceFile { rel, toks });
+        }
+        let mut by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.info.name.clone()).or_default().push(i);
+        }
+        Workspace { files, fns, by_name }
+    }
+
+    /// Token stream backing function `i`.
+    pub fn toks(&self, i: usize) -> &[Token] {
+        &self.files[self.fns[i].file].toks
+    }
+
+    /// Crate a path belongs to (`remos-serve` for
+    /// `crates/remos-serve/src/...`), or `""`.
+    pub fn crate_of(rel: &Path) -> &str {
+        let mut comps = rel.components();
+        for c in comps.by_ref() {
+            if c.as_os_str() == "crates" {
+                return comps
+                    .next()
+                    .and_then(|c| c.as_os_str().to_str())
+                    .unwrap_or("");
+            }
+        }
+        ""
+    }
+
+    /// All candidate callees for `call` made from function `caller`.
+    ///
+    /// Narrowing, in order:
+    /// 1. `Type::name(…)` keeps only functions in an `impl Type` (when
+    ///    any exist — `Vec::new` has none, and resolves to nothing).
+    /// 2. `self.name(…)` prefers the caller's own impl type.
+    /// 3. Otherwise all same-named functions, preferring the caller's
+    ///    crate when it defines any.
+    ///
+    /// Trait-method calls through a field (`self.inner.poll()`) keep
+    /// every impl of `poll` — that is the over-approximation we want.
+    pub fn resolve(&self, call: &CallSite, caller: &FnInfo) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        if let Some(q) = &call.qual {
+            // Qualified path: either a known impl type, or a foreign
+            // type (Vec::new) that resolves to nothing rather than to
+            // every same-named local fn.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].info.impl_type.as_deref() == Some(q.as_str()))
+                .collect();
+        }
+        if call.recv.first().map(String::as_str) == Some("self") && call.recv.len() == 1 {
+            if let Some(ty) = &caller.impl_type {
+                let own: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.fns[i].info.impl_type.as_deref() == Some(ty.as_str()))
+                    .collect();
+                if !own.is_empty() {
+                    return own;
+                }
+            }
+        }
+        // Free calls: all candidates, narrowed to the caller's crate
+        // when that crate defines the name (a free helper like `lock`
+        // or `digest` is almost always local). Method calls through a
+        // field or expression keep the full candidate set.
+        if !call.method && call.recv.is_empty() {
+            let krate = Self::crate_of(&caller.file);
+            if !krate.is_empty() {
+                let local: Vec<usize> = cands
+                    .iter()
+                    .copied()
+                    .filter(|&i| Self::crate_of(&self.fns[i].info.file) == krate)
+                    .collect();
+                if !local.is_empty() {
+                    return local;
+                }
+            }
+        }
+        cands.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::calls_in;
+
+    fn ws(files: &[(&str, &str)]) -> Workspace {
+        Workspace::from_sources(
+            files
+                .iter()
+                .map(|(p, s)| (PathBuf::from(p), s.to_string()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn qualified_calls_resolve_to_the_named_impl() {
+        let w = ws(&[
+            (
+                "crates/remos-net/src/a.rs",
+                "impl Solver { pub fn solve(&self) {} }
+                 impl Other { pub fn solve(&self) {} }
+                 fn go(s: &Solver) { Solver::solve(s); Vec::new(); }",
+            ),
+        ]);
+        let go = w.fns.iter().position(|f| f.info.name == "go").unwrap();
+        let calls = calls_in(w.toks(go), w.fns[go].info.body);
+        let solved = w.resolve(&calls[0], &w.fns[go].info);
+        assert_eq!(solved.len(), 1);
+        assert_eq!(w.fns[solved[0]].info.qname(), "Solver::solve");
+        // Vec::new: foreign qualifier, resolves to nothing.
+        let vec_new = w.resolve(&calls[1], &w.fns[go].info);
+        assert!(vec_new.is_empty());
+    }
+
+    #[test]
+    fn self_calls_prefer_own_impl_and_field_calls_fan_out() {
+        let w = ws(&[(
+            "crates/remos-serve/src/b.rs",
+            "impl A { fn step(&self) {} fn run(&self) { self.step(); self.inner.step(); } }
+             impl B { fn step(&self) {} }",
+        )]);
+        let run = w.fns.iter().position(|f| f.info.name == "run").unwrap();
+        let calls = calls_in(w.toks(run), w.fns[run].info.body);
+        let own = w.resolve(&calls[0], &w.fns[run].info);
+        assert_eq!(own.len(), 1);
+        assert_eq!(w.fns[own[0]].info.qname(), "A::step");
+        let fanned = w.resolve(&calls[1], &w.fns[run].info);
+        assert_eq!(fanned.len(), 2);
+    }
+
+    #[test]
+    fn free_calls_prefer_the_callers_crate() {
+        let w = ws(&[
+            ("crates/remos-obs/src/l.rs", "pub fn lock() {} pub fn use_it() { lock(); }"),
+            ("crates/remos-core/src/l.rs", "pub fn lock() {}"),
+        ]);
+        let u = w.fns.iter().position(|f| f.info.name == "use_it").unwrap();
+        let calls = calls_in(w.toks(u), w.fns[u].info.body);
+        let got = w.resolve(&calls[0], &w.fns[u].info);
+        assert_eq!(got.len(), 1);
+        assert_eq!(Workspace::crate_of(&w.fns[got[0]].info.file), "remos-obs");
+    }
+}

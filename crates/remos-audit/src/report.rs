@@ -1,0 +1,180 @@
+//! Machine-readable audit output: plain JSON for the golden tests and
+//! SARIF 2.1.0 for CI code-scanning annotations.
+//!
+//! Both serializers are hand-rolled (the audit is zero-dependency) and
+//! deterministic: violations are sorted by (file, line, rule, token)
+//! before emission, so byte-identical input produces byte-identical
+//! output — which is what lets the fixture tests compare against
+//! checked-in golden files.
+
+use crate::{AllowEntry, Violation};
+
+/// Escape a string for JSON embedding.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Stable sort key used by both serializers.
+pub fn sort_violations(violations: &mut [Violation]) {
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule, &a.token).cmp(&(&b.file, b.line, b.rule, &b.token))
+    });
+}
+
+fn norm_path(v: &Violation) -> String {
+    v.file.to_string_lossy().replace('\\', "/")
+}
+
+/// Plain JSON report: the full violation list plus stale allowlist
+/// entries. Pretty-printed with two-space indent so golden files diff
+/// readably.
+pub fn to_json(violations: &[Violation], stale: &[&AllowEntry]) -> String {
+    let mut sorted: Vec<Violation> = violations.to_vec();
+    sort_violations(&mut sorted);
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"token\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(v.rule),
+            json_escape(&norm_path(v)),
+            v.line,
+            json_escape(&v.token),
+            json_escape(&v.message)
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n  \"stale_allow_entries\": [");
+    for (i, a) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"line\": {}, \"rule\": \"{}\", \"path\": \"{}\", \"needle\": \"{}\"}}",
+            a.line,
+            json_escape(&a.rule),
+            json_escape(&a.path),
+            json_escape(&a.needle)
+        ));
+    }
+    if !stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// SARIF 2.1.0 report (the subset GitHub code scanning consumes).
+pub fn to_sarif(violations: &[Violation]) -> String {
+    let mut sorted: Vec<Violation> = violations.to_vec();
+    sort_violations(&mut sorted);
+    let mut rule_ids: Vec<&str> = sorted.iter().map(|v| v.rule).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"remos-audit\",\n");
+    out.push_str(
+        "          \"informationUri\": \"docs/AUDIT.md\",\n          \"rules\": [",
+    );
+    for (i, id) in rule_ids.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"defaultConfiguration\": {{\"level\": \"error\"}}}}",
+            json_escape(id)
+        ));
+    }
+    if !rule_ids.is_empty() {
+        out.push_str("\n          ");
+    }
+    out.push_str("]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, v) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [\n            {{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}\n          ]\n        }}",
+            json_escape(v.rule),
+            json_escape(&v.message),
+            json_escape(&norm_path(v)),
+            v.line
+        ));
+    }
+    if !sorted.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn v(rule: &'static str, file: &str, line: u32) -> Violation {
+        Violation {
+            rule,
+            file: PathBuf::from(file),
+            line,
+            message: format!("msg for {rule}"),
+            token: "tok".into(),
+        }
+    }
+
+    #[test]
+    fn json_is_sorted_and_escaped() {
+        let vs = vec![v("b-rule", "z.rs", 2), v("a-rule", "a.rs", 9)];
+        let j = to_json(&vs, &[]);
+        let a = j.find("a-rule").unwrap();
+        let b = j.find("b-rule").unwrap();
+        assert!(a < b, "violations must sort by file first:\n{j}");
+        assert!(j.contains("\"stale_allow_entries\": []"));
+        let quoted = vec![Violation { message: "say \"hi\"\n".into(), ..v("r", "f.rs", 1) }];
+        assert!(to_json(&quoted, &[]).contains("say \\\"hi\\\"\\n"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_locations() {
+        let vs = vec![v("lock-order-cycle", "crates/x/src/a.rs", 7)];
+        let s = to_sarif(&vs);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"lock-order-cycle\""));
+        assert!(s.contains("\"uri\": \"crates/x/src/a.rs\""));
+        assert!(s.contains("\"startLine\": 7"));
+    }
+
+    #[test]
+    fn empty_reports_are_well_formed() {
+        assert_eq!(
+            to_json(&[], &[]),
+            "{\n  \"violations\": [],\n  \"stale_allow_entries\": []\n}\n"
+        );
+        let s = to_sarif(&[]);
+        assert!(s.contains("\"results\": []"));
+    }
+}

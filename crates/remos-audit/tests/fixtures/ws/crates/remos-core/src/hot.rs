@@ -1,0 +1,19 @@
+//! Seeded `hot-path-unwrap` violation: an `.unwrap()` in a helper
+//! reachable from `Remos::run`. The same line also trips the per-file
+//! `panic-site` token rule — the fixture intentionally shows both
+//! passes reporting the one defect. This file is ANALYZED by the
+//! audit's fixture tests, never compiled.
+
+pub struct Remos {
+    latest: Option<u32>,
+}
+
+impl Remos {
+    pub fn run(&mut self) -> u32 {
+        newest_sample(self.latest)
+    }
+}
+
+fn newest_sample(s: Option<u32>) -> u32 {
+    s.unwrap()
+}

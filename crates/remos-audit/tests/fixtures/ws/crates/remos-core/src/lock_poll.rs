@@ -1,0 +1,16 @@
+//! Seeded `lock-across-blocking` violation: a guard on the local cache
+//! is held across `Collector::poll`, serializing every other holder
+//! behind a measurement round-trip. This file is ANALYZED by the
+//! audit's fixture tests, never compiled.
+
+pub struct SnapshotCache {
+    state: Mutex<Inner>,
+}
+
+impl SnapshotCache {
+    pub fn refresh(&self, col: &mut dyn Collector) {
+        let g = self.state.lock();
+        col.poll();
+        drop(g);
+    }
+}

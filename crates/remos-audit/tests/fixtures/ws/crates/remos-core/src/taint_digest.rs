@@ -1,0 +1,22 @@
+//! Seeded `determinism-taint` violation: HashMap iteration order flows
+//! through a helper into an FNV digest — two runs of the same workload
+//! can digest differently. The flow is cross-function on purpose: the
+//! sink is only reached via `mix`'s parameter summary. This file is
+//! ANALYZED by the audit's fixture tests, never compiled.
+
+pub fn util_digest(metrics: &HashMap<u32, u64>) -> u64 {
+    let vals: Vec<u64> = metrics.values().copied().collect();
+    mix(&vals)
+}
+
+fn mix(vals: &[u64]) -> u64 {
+    let mut d = 0xcbf29ce484222325u64;
+    for v in vals {
+        d = event_digest(d, *v);
+    }
+    d
+}
+
+fn event_digest(d: u64, v: u64) -> u64 {
+    (d ^ v).wrapping_mul(0x100000001b3)
+}

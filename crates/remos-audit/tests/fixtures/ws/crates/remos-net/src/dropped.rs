@@ -1,0 +1,18 @@
+//! Seeded `dropped-result` violation: `fire_and_forget` discards the
+//! Result of a fallible call with `let _ =`. This file is ANALYZED by
+//! the audit's fixture tests, never compiled.
+
+pub struct Probe {
+    seq: u64,
+}
+
+impl Probe {
+    pub fn emit(&mut self) -> NetResult<u64> {
+        self.seq += 1;
+        Ok(self.seq)
+    }
+}
+
+pub fn fire_and_forget(p: &mut Probe) {
+    let _ = p.emit();
+}

@@ -1,0 +1,23 @@
+//! Seeded `lock-order-cycle` violation: `forward` acquires `a` then
+//! `b`, `backward` acquires `b` then `a`. Two threads running one each
+//! can deadlock. This file is ANALYZED by the audit's fixture tests,
+//! never compiled.
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        *g + *h
+    }
+
+    pub fn backward(&self) -> u32 {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        *g - *h
+    }
+}

@@ -40,6 +40,9 @@ pub enum InvalidQueryKind {
         /// Size of the candidate pool.
         pool: usize,
     },
+    /// An adaptive application was configured with an empty rate
+    /// ladder, so there is no rate to run at.
+    EmptyRateLadder,
 }
 
 impl InvalidQueryKind {
@@ -56,7 +59,9 @@ impl InvalidQueryKind {
     pub fn is_empty_set(&self) -> bool {
         matches!(
             self,
-            InvalidQueryKind::EmptyNodeSet | InvalidQueryKind::EmptyFlowRequest
+            InvalidQueryKind::EmptyNodeSet
+                | InvalidQueryKind::EmptyFlowRequest
+                | InvalidQueryKind::EmptyRateLadder
         )
     }
 }
@@ -79,6 +84,7 @@ impl fmt::Display for InvalidQueryKind {
             InvalidQueryKind::BadSetSize { current, pool } => {
                 write!(f, "current set size {current} vs pool {pool}")
             }
+            InvalidQueryKind::EmptyRateLadder => write!(f, "empty rate ladder"),
         }
     }
 }
