@@ -20,6 +20,7 @@
 //! gate); `--out <path>` overrides the JSON destination.
 
 use remos_bench::churn::pod_network;
+use remos_bench::fold_digests;
 use remos_core::collector::oracle::OracleCollector;
 use remos_core::collector::{Collector, SimClock};
 use remos_core::modeler::{Modeler, ModelerConfig};
@@ -199,15 +200,6 @@ fn run_sequential(cfg: &Config) -> (ModeStats, Vec<u64>) {
         digest: fold_digests(&reference),
     };
     (stats, reference)
-}
-
-fn fold_digests(ds: &[u64]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for d in ds {
-        h ^= d;
-        h = h.wrapping_mul(0x1000_0000_01b3);
-    }
-    h
 }
 
 fn main() {

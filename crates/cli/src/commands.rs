@@ -543,7 +543,7 @@ pub fn obs(p: &Parsed, out: &mut dyn Write) -> CmdResult {
         .map_err(io_err)?;
         for r in h.obs.trace_records() {
             let attrs: Vec<String> =
-                r.attrs.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                r.attrs().iter().map(|(k, v)| format!("{k}={v}")).collect();
             writeln!(out, "# {:?} {} t={}ns {}", r.kind, r.name, r.t_nanos, attrs.join(" "))
                 .map_err(io_err)?;
         }

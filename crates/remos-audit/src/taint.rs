@@ -13,6 +13,8 @@
 //! `from_entropy()`).
 //!
 //! **Sanitizers** — sorting (`sort`, `sort_unstable`, `sort_by*`),
+//! order-statistic selection (`select_nth_unstable*`, which pins
+//! exact ranks regardless of input order),
 //! collecting into a `BTreeMap`/`BTreeSet`, and order-insensitive
 //! aggregates (`len`, `is_empty`, `contains`, `contains_key`, `get`,
 //! `max`, `min`). Float `sum` is deliberately NOT a sanitizer: float
@@ -53,6 +55,9 @@ const SANITIZER_METHODS: &[&str] = &[
     "sort_by_key",
     "sort_unstable_by",
     "sort_unstable_by_key",
+    "select_nth_unstable",
+    "select_nth_unstable_by",
+    "select_nth_unstable_by_key",
     "len",
     "is_empty",
     "contains",
@@ -235,12 +240,15 @@ fn scan_statement(
         .map(|t| t.text.as_str())
         .collect();
 
-    // `v.sort_unstable();` style statements sanitize their receiver.
+    // `v.sort_unstable();` / `v.select_nth_unstable(k);` style statements
+    // sanitize their receiver: a selection establishes the same
+    // order-insensitivity for the ranks it pins as a sort does for the
+    // whole container.
     if stmt.len() >= 4
         && stmt[0].kind == TokenKind::Ident
         && stmt[1].text == "."
         && SANITIZER_METHODS.contains(&stmt[2].text.as_str())
-        && stmt[2].text.starts_with("sort")
+        && (stmt[2].text.starts_with("sort") || stmt[2].text.starts_with("select_nth"))
     {
         tainted.remove(&stmt[0].text);
         return;
@@ -522,6 +530,22 @@ mod tests {
             "fn f(m: &HashMap<u32, u64>) -> u64 {
                 let mut vals: Vec<u64> = m.values().copied().collect();
                 vals.sort_unstable();
+                event_digest(&vals)
+            }
+            fn event_digest(v: &[u64]) -> u64 { 0 }",
+        )]);
+        assert!(analyze(&w).is_empty());
+    }
+
+    #[test]
+    fn selected_values_are_clean() {
+        // `select_nth_unstable*` pins exact order statistics, so like a
+        // sort it sanitizes its receiver.
+        let w = ws(&[(
+            "crates/remos-core/src/x.rs",
+            "fn f(m: &HashMap<u32, u64>) -> u64 {
+                let mut vals: Vec<u64> = m.values().copied().collect();
+                vals.select_nth_unstable_by(0, u64::cmp);
                 event_digest(&vals)
             }
             fn event_digest(v: &[u64]) -> u64 { 0 }",

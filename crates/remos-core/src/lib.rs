@@ -60,6 +60,11 @@
 //! assert!(graph.path_avail_bw(h1, h2).unwrap() > mbps(95.0));
 //! ```
 
+// The query path shares the engine's steady-state allocation budget
+// (see docs/PERFORMANCE.md); performance-smelling patterns are build
+// errors, not suggestions.
+#![deny(clippy::perf)]
+
 pub mod api;
 pub mod budget;
 pub mod collector;

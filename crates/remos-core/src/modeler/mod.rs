@@ -109,6 +109,7 @@ impl Default for Modeler {
 }
 
 /// A set of per-physical-dirlink utilization samples selected for a query.
+#[derive(Default)]
 pub(crate) struct SelectedSamples {
     /// (sample end time, utilization per physical dir-link index).
     samples: Vec<(SimTime, Vec<Bps>)>,
@@ -127,6 +128,40 @@ impl SelectedSamples {
     /// Collector time of the oldest selected sample.
     fn oldest(&self) -> Option<SimTime> {
         self.samples.iter().map(|(t, _)| *t).min()
+    }
+}
+
+/// Reusable buffers for [`Modeler::get_graph_in`]. One workspace per
+/// serving thread makes the warm cached-query path (plan-cache hit,
+/// `Timeframe::Current`/`Window`, unchanged topology) allocation-free:
+/// every `Vec` and `String` below settles at its high-water capacity
+/// after the first few queries and is overwritten in place from then on.
+#[derive(Default)]
+pub struct QueryWorkspace {
+    /// Canonical (sorted, deduped) target-name cache key.
+    key: Vec<String>,
+    /// Host table, node-slot order.
+    hosts: Vec<Option<HostInfo>>,
+    /// Selected utilization samples.
+    selected: SelectedSamples,
+    /// Per-(link, direction) availability values.
+    vals: Vec<Bps>,
+    /// Quartile selection scratch.
+    sort_buf: Vec<f64>,
+    /// The annotated graph, rebuilt in place each query.
+    graph: RemosGraph,
+}
+
+impl QueryWorkspace {
+    /// Empty workspace; buffers grow to steady-state size on first use.
+    pub fn new() -> QueryWorkspace {
+        QueryWorkspace::default()
+    }
+
+    /// The graph produced by the most recent successful
+    /// [`Modeler::get_graph_in`] call through this workspace.
+    pub fn graph(&self) -> &RemosGraph {
+        &self.graph
     }
 }
 
@@ -195,29 +230,52 @@ impl Modeler {
         col: &dyn Collector,
         names: &[String],
     ) -> CoreResult<Arc<QueryPlan>> {
+        self.plan_for_in(col, names, &mut Vec::new())
+    }
+
+    /// [`Modeler::plan_for`] with a caller-owned key buffer. On a cache
+    /// hit with a stable query set, the only work is name validation and
+    /// rebuilding the canonical key in place (`clone_from` reuses each
+    /// slot's `String` buffer), so the warm path allocates nothing.
+    pub(crate) fn plan_for_in(
+        &self,
+        col: &dyn Collector,
+        names: &[String],
+        key: &mut Vec<String>,
+    ) -> CoreResult<Arc<QueryPlan>> {
         let topo = col.topology()?;
         // Resolve in query order first so unknown-node errors name the
         // first offending entry as written, exactly like the cold path.
-        Self::resolve_names(&topo, names)?;
-        let mut key: Vec<String> = names.to_vec();
-        key.sort();
+        for n in names {
+            topo.lookup(n).map_err(|_| RemosError::UnknownNode(n.clone()))?;
+        }
+        key.truncate(names.len());
+        for (i, n) in names.iter().enumerate() {
+            if i < key.len() {
+                key[i].clone_from(n);
+            } else {
+                key.push(n.clone());
+            }
+        }
+        key.sort_unstable();
         key.dedup();
+        let epoch = col.topology_epoch();
         // Plans are built from the canonical ordering (logicalization is
         // order-insensitive), so a cold rebuild reproduces a cached plan
         // bit for bit.
-        let targets = Self::resolve_names(&topo, &key)?;
-        let epoch = col.topology_epoch();
         if self.cfg.plan_cache_capacity == 0 {
             self.metrics.plan_cache_misses.inc();
+            let targets = Self::resolve_names(&topo, key)?;
             return Ok(Arc::new(QueryPlan::build(epoch, topo, targets)?));
         }
-        if let Some(cached) = lock(&self.cache).get(epoch, &key) {
+        if let Some(cached) = lock(&self.cache).get(epoch, key) {
             // Defense in depth: an epoch match with a different topology
             // Arc means a collector swapped its view without bumping the
             // epoch — treat as a miss rather than serve a stale plan.
             if Arc::ptr_eq(&cached.topo, &topo) {
                 self.metrics.plan_cache_hits.inc();
                 if self.cfg.audit_cache {
+                    let targets = Self::resolve_names(&topo, key)?;
                     let cold = QueryPlan::build(epoch, topo, targets)?;
                     if cold.digest() != cached.digest() {
                         return Err(RemosError::Internal(
@@ -229,8 +287,9 @@ impl Modeler {
             }
         }
         self.metrics.plan_cache_misses.inc();
+        let targets = Self::resolve_names(&topo, key)?;
         let built = Arc::new(QueryPlan::build(epoch, topo, targets)?);
-        if lock(&self.cache).insert(epoch, key, Arc::clone(&built)) {
+        if lock(&self.cache).insert(epoch, key.clone(), Arc::clone(&built)) {
             self.metrics.plan_cache_evictions.inc();
         }
         Ok(built)
@@ -243,44 +302,82 @@ impl Modeler {
         n_phys_dirlinks: usize,
         tf: Timeframe,
     ) -> CoreResult<SelectedSamples> {
+        let mut out = SelectedSamples::default();
+        self.select_samples_in(col, n_phys_dirlinks, tf, &mut out)?;
+        Ok(out)
+    }
+
+    /// Overwrite `slot` with `(t, util padded/truncated to n)`, reusing
+    /// the slot's utilization buffer.
+    fn write_sample(slot: &mut (SimTime, Vec<Bps>), t: SimTime, util: &[Bps], n: usize) {
+        slot.0 = t;
+        slot.1.clear();
+        slot.1.extend_from_slice(util);
+        slot.1.resize(n, 0.0);
+    }
+
+    /// [`Modeler::select_samples`] writing into a caller-owned buffer.
+    /// For `Current` and `Window` timeframes the steady state (stable
+    /// history depth) reuses every sample vector in place and allocates
+    /// nothing; `Future` still allocates its per-dirlink prediction
+    /// series.
+    pub(crate) fn select_samples_in(
+        &self,
+        col: &dyn Collector,
+        n_phys_dirlinks: usize,
+        tf: Timeframe,
+        out: &mut SelectedSamples,
+    ) -> CoreResult<()> {
+        let n = n_phys_dirlinks;
         let history = col.history();
-        let pad = |u: &[Bps]| -> Vec<Bps> {
-            let mut v = u.to_vec();
-            v.resize(n_phys_dirlinks, 0.0);
-            v
-        };
-        let pad_q = |q: &[DataQuality]| -> Vec<DataQuality> {
-            let mut v = q.to_vec();
-            v.resize(n_phys_dirlinks, DataQuality::Missing);
-            v
-        };
         match tf {
             Timeframe::Current => {
                 let latest = history.latest().ok_or(RemosError::InsufficientHistory {
                     needed: 1,
                     available: 0,
                 })?;
-                Ok(SelectedSamples {
-                    samples: vec![(latest.t, pad(&latest.util))],
-                    quality: pad_q(&latest.quality),
-                })
+                out.samples.truncate(1);
+                if out.samples.is_empty() {
+                    out.samples.push((latest.t, Vec::new()));
+                }
+                Self::write_sample(&mut out.samples[0], latest.t, &latest.util, n);
+                out.quality.clear();
+                out.quality.extend_from_slice(&latest.quality);
+                out.quality.resize(n, DataQuality::Missing);
+                out.quality.truncate(n);
+                Ok(())
             }
             Timeframe::Window(w) => {
-                let selected = history.within(w);
-                if selected.is_empty() {
-                    return Err(RemosError::InsufficientHistory { needed: 1, available: 0 });
-                }
+                let latest_t = match history.latest() {
+                    Some(s) => s.t,
+                    None => {
+                        return Err(RemosError::InsufficientHistory { needed: 1, available: 0 })
+                    }
+                };
                 // An estimate over a window is only as good as its worst
                 // constituent sample, per dir-link.
-                let mut quality = vec![DataQuality::Fresh; n_phys_dirlinks];
-                for s in &selected {
-                    for (d, q) in pad_q(&s.quality).into_iter().enumerate() {
-                        quality[d] = quality[d].worst(q);
+                out.quality.clear();
+                out.quality.resize(n, DataQuality::Fresh);
+                let mut count = 0;
+                for s in history.all().filter(|s| latest_t.saturating_since(s.t) <= w) {
+                    for (d, q) in out.quality.iter_mut().enumerate() {
+                        *q = q.worst(s.quality.get(d).copied().unwrap_or(DataQuality::Missing));
                     }
+                    if count < out.samples.len() {
+                        Self::write_sample(&mut out.samples[count], s.t, &s.util, n);
+                    } else {
+                        let mut v = Vec::new();
+                        v.extend_from_slice(&s.util);
+                        v.resize(n, 0.0);
+                        out.samples.push((s.t, v));
+                    }
+                    count += 1;
                 }
-                let samples: Vec<(SimTime, Vec<Bps>)> =
-                    selected.iter().map(|s| (s.t, pad(&s.util))).collect();
-                Ok(SelectedSamples { samples, quality })
+                out.samples.truncate(count);
+                if count == 0 {
+                    return Err(RemosError::InsufficientHistory { needed: 1, available: 0 });
+                }
+                Ok(())
             }
             Timeframe::Future(h) => {
                 if history.is_empty() {
@@ -293,8 +390,18 @@ impl Modeler {
                 let t_last = latest.t;
                 // A prediction inherits the quality of the newest data it
                 // extrapolates from.
-                let quality = pad_q(&latest.quality);
-                let mut util = vec![0.0; n_phys_dirlinks];
+                out.quality.clear();
+                out.quality.extend_from_slice(&latest.quality);
+                out.quality.resize(n, DataQuality::Missing);
+                out.quality.truncate(n);
+                out.samples.truncate(1);
+                if out.samples.is_empty() {
+                    out.samples.push((t_last + h, Vec::new()));
+                }
+                out.samples[0].0 = t_last + h;
+                let util = &mut out.samples[0].1;
+                util.clear();
+                util.resize(n, 0.0);
                 for (d, u) in util.iter_mut().enumerate() {
                     let series: Vec<(SimTime, f64)> = history
                         .all()
@@ -302,7 +409,7 @@ impl Modeler {
                         .collect();
                     *u = predict(self.cfg.predictor, &series, h);
                 }
-                Ok(SelectedSamples { samples: vec![(t_last + h, util)], quality })
+                Ok(())
             }
         }
     }
@@ -336,11 +443,30 @@ impl Modeler {
     /// Collector access happens here, on the caller's thread, so the
     /// annotation pass itself is pure and parallelizable.
     pub(crate) fn host_table(col: &dyn Collector, plan: &QueryPlan) -> Vec<Option<HostInfo>> {
-        plan.structure
-            .nodes
-            .iter()
-            .map(|&nid| col.host_info(&plan.topo.node(nid).name).ok())
-            .collect()
+        let mut out = Vec::new();
+        Self::host_table_in(col, plan, &mut out);
+        out
+    }
+
+    /// [`Modeler::host_table`] into a caller-owned buffer. Non-compute
+    /// nodes are `None` without consulting the collector — `host_info`
+    /// is only defined for hosts (its switch answer is an error by
+    /// contract), and skipping the call keeps the warm query path free
+    /// of per-switch error-construction allocations.
+    pub(crate) fn host_table_in(
+        col: &dyn Collector,
+        plan: &QueryPlan,
+        out: &mut Vec<Option<HostInfo>>,
+    ) {
+        out.clear();
+        out.extend(plan.structure.nodes.iter().map(|&nid| {
+            let n = plan.topo.node(nid);
+            if n.kind == remos_net::topology::NodeKind::Compute {
+                col.host_info(&n.name).ok()
+            } else {
+                None
+            }
+        }));
     }
 
     /// Build the annotated logical topology for `names` — the
@@ -351,10 +477,38 @@ impl Modeler {
         names: &[String],
         tf: Timeframe,
     ) -> CoreResult<RemosGraph> {
-        let plan = self.plan_for(col, names)?;
-        let hosts = Self::host_table(col, &plan);
-        let selected = self.select_samples(col, plan.topo.dir_link_count(), tf)?;
-        self.annotate_graph(&plan, &hosts, &selected, tf)
+        let mut ws = QueryWorkspace::new();
+        self.get_graph_in(col, names, tf, &mut ws)?;
+        Ok(ws.graph)
+    }
+
+    /// [`Modeler::get_graph`] through a caller-owned [`QueryWorkspace`].
+    /// Identical answer, but every buffer (cache key, host table, sample
+    /// selection, and the output graph itself) is reused in place, so a
+    /// warm cached query — plan-cache hit, `Current`/`Window` timeframe,
+    /// unchanged topology and target set — performs zero heap
+    /// allocations. The returned reference borrows the workspace's
+    /// resident graph.
+    pub fn get_graph_in<'ws>(
+        &self,
+        col: &dyn Collector,
+        names: &[String],
+        tf: Timeframe,
+        ws: &'ws mut QueryWorkspace,
+    ) -> CoreResult<&'ws RemosGraph> {
+        let plan = self.plan_for_in(col, names, &mut ws.key)?;
+        Self::host_table_in(col, &plan, &mut ws.hosts);
+        self.select_samples_in(col, plan.topo.dir_link_count(), tf, &mut ws.selected)?;
+        self.annotate_graph_into(
+            &plan,
+            &ws.hosts,
+            &ws.selected,
+            tf,
+            &mut ws.vals,
+            &mut ws.sort_buf,
+            &mut ws.graph,
+        )?;
+        Ok(&ws.graph)
     }
 
     /// The cheap half of a graph query: annotate a plan's logical
@@ -369,23 +523,57 @@ impl Modeler {
         selected: &SelectedSamples,
         tf: Timeframe,
     ) -> CoreResult<RemosGraph> {
+        let mut g = RemosGraph::default();
+        self.annotate_graph_into(plan, hosts, selected, tf, &mut Vec::new(), &mut Vec::new(), &mut g)?;
+        Ok(g)
+    }
+
+    /// [`Modeler::annotate_graph`] writing into a caller-owned graph.
+    /// Node and link tables are overwritten element-wise (`clone_from`
+    /// reuses each node-name `String` buffer; `RemosLink` owns no heap),
+    /// and the name/adjacency indices are rebuilt only when the logical
+    /// structure actually changed — so re-annotating the same plan is
+    /// allocation-free.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn annotate_graph_into(
+        &self,
+        plan: &QueryPlan,
+        hosts: &[Option<HostInfo>],
+        selected: &SelectedSamples,
+        tf: Timeframe,
+        vals: &mut Vec<Bps>,
+        sort_buf: &mut Vec<f64>,
+        out: &mut RemosGraph,
+    ) -> CoreResult<()> {
         let topo: &Topology = &plan.topo;
         let structure = &plan.structure;
 
+        let mut structure_changed = out.nodes.len() != structure.nodes.len()
+            || out.links.len() != structure.links.len();
         // Node table: retained physical nodes, in order.
-        let mut nodes = Vec::with_capacity(structure.nodes.len());
+        out.nodes.truncate(structure.nodes.len());
         for (i, &nid) in structure.nodes.iter().enumerate() {
             let n = topo.node(nid);
-            nodes.push(RemosNode {
-                name: n.name.clone(),
-                kind: n.kind,
-                internal_bw: n.internal_bw,
-                host: hosts.get(i).copied().flatten(),
-            });
+            let host = hosts.get(i).copied().flatten();
+            if i < out.nodes.len() {
+                let e = &mut out.nodes[i];
+                if e.name != n.name {
+                    e.name.clone_from(&n.name);
+                    structure_changed = true;
+                }
+                e.kind = n.kind;
+                e.internal_bw = n.internal_bw;
+                e.host = host;
+            } else {
+                out.nodes.push(RemosNode {
+                    name: n.name.clone(),
+                    kind: n.kind,
+                    internal_bw: n.internal_bw,
+                    host,
+                });
+            }
         }
-        let mut links = Vec::with_capacity(structure.links.len());
-        let mut vals: Vec<Bps> = Vec::with_capacity(selected.samples.len());
-        let mut sort_buf: Vec<f64> = Vec::with_capacity(selected.samples.len());
+        let mut li = 0;
         for spec in &structure.links {
             let mut avail = [Quartiles::exact(0.0), Quartiles::exact(0.0)];
             let mut quality = [DataQuality::Fresh; 2];
@@ -397,7 +585,7 @@ impl Modeler {
                         .iter()
                         .map(|(_, util)| Self::logical_avail(topo, &spec.phys[slot], util)),
                 );
-                let raw = Quartiles::from_samples_in(&vals, &mut sort_buf)
+                let raw = Quartiles::from_samples_in(vals, sort_buf)
                     .unwrap_or_else(|| Quartiles::exact(spec.capacity));
                 // Degraded measurements show through the annotation: stale
                 // data widens the reported spread, missing data collapses
@@ -405,29 +593,62 @@ impl Modeler {
                 quality[slot] = Self::logical_quality(&spec.phys[slot], &selected.quality);
                 *a = degrade(&raw, quality[slot], spec.capacity);
             }
-            links.push(RemosLink {
+            let l = RemosLink {
                 a: plan.node_slot(spec.a)?,
                 b: plan.node_slot(spec.b)?,
                 capacity: spec.capacity,
                 latency: spec.latency,
                 avail,
                 quality,
-            });
+            };
+            if li < out.links.len() {
+                let e = &mut out.links[li];
+                if e.a != l.a || e.b != l.b {
+                    structure_changed = true;
+                }
+                *e = l;
+            } else {
+                out.links.push(l);
+            }
+            li += 1;
         }
-        let scope = links.len();
-        let mut g = RemosGraph::new(nodes, links);
-        g.provenance = Some(Provenance {
-            timeframe: tf,
-            snapshots: selected.samples.len(),
-            newest_sample: selected.newest(),
-            oldest_sample: selected.oldest(),
-            worst_quality: g.worst_quality(),
-            solver: format!("logical-annotate/{:?}", self.cfg.predictor),
-            scope,
-            degraded: false,
-            source: None,
-        });
-        Ok(g)
+        out.links.truncate(li);
+        if structure_changed {
+            out.rebuild_indices();
+        }
+        let scope = out.links.len();
+        let worst_quality = out.worst_quality();
+        match &mut out.provenance {
+            Some(p) => {
+                p.timeframe = tf;
+                p.snapshots = selected.samples.len();
+                p.newest_sample = selected.newest();
+                p.oldest_sample = selected.oldest();
+                p.worst_quality = worst_quality;
+                p.solver.clear();
+                let _ = fmt::Write::write_fmt(
+                    &mut p.solver,
+                    format_args!("logical-annotate/{:?}", self.cfg.predictor),
+                );
+                p.scope = scope;
+                p.degraded = false;
+                p.source = None;
+            }
+            None => {
+                out.provenance = Some(Provenance {
+                    timeframe: tf,
+                    snapshots: selected.samples.len(),
+                    newest_sample: selected.newest(),
+                    oldest_sample: selected.oldest(),
+                    worst_quality,
+                    solver: format!("logical-annotate/{:?}", self.cfg.predictor),
+                    scope,
+                    degraded: false,
+                    source: None,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Answer a flow query — the implementation of

@@ -35,22 +35,14 @@ pub struct Quartiles {
     pub accuracy: f64,
 }
 
-/// Linear-interpolation percentile of a sorted slice (R-7, the spreadsheet
-/// convention).
-fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
-    debug_assert!(!sorted.is_empty());
+/// The pair of order-statistic ranks bracketing the R-7
+/// (linear-interpolation, spreadsheet-convention) percentile `p` of `n`
+/// samples, plus the fractional rank `h` used for interpolation.
+fn percentile_ranks(n: usize, p: f64) -> (usize, usize, f64) {
+    debug_assert!(n >= 1);
     debug_assert!((0.0..=1.0).contains(&p));
-    if sorted.len() == 1 {
-        return sorted[0];
-    }
-    let h = p * (sorted.len() - 1) as f64;
-    let lo = h.floor() as usize;
-    let hi = h.ceil() as usize;
-    if lo == hi {
-        sorted[lo]
-    } else {
-        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
-    }
+    let h = p * (n - 1) as f64;
+    (h.floor() as usize, h.ceil() as usize, h)
 }
 
 impl Quartiles {
@@ -59,13 +51,24 @@ impl Quartiles {
         Self::from_samples_in(samples, &mut Vec::new())
     }
 
-    /// Summarize a set of samples, using `scratch` as the filter/sort
+    /// Summarize a set of samples, using `scratch` as the filter/select
     /// workspace instead of allocating one internally. Steady-state
     /// callers (the modeler's per-link annotation loop) reuse one buffer
     /// across calls, so the hot path allocates nothing. The result is
-    /// bit-identical to [`Quartiles::from_samples`] on every input: the
-    /// same finite-filter, `total_cmp` sort, and R-7 percentile sequence
-    /// runs over the same values.
+    /// bit-identical to [`Quartiles::from_samples`] on every input: both
+    /// run the same finite-filter, order-statistic selection, and R-7
+    /// interpolation sequence over the same values.
+    ///
+    /// The five-number summary needs at most eight order statistics
+    /// (min, max, and the two R-7 bracketing ranks per quartile), so
+    /// they are obtained by `select_nth_unstable_by` under `total_cmp`
+    /// — O(n) expected per statistic instead of an O(n log n) full sort.
+    /// Selection yields exactly the value a `total_cmp` sort would place
+    /// at that rank, so every percentile is bit-identical to the sorted
+    /// implementation it replaces. The mean is summed in input order
+    /// (the sorted order no longer exists to sum in); its
+    /// last-few-ulps may differ from the old sorted-order sum, which no
+    /// consumer or digest depends on.
     pub fn from_samples_in(samples: &[f64], scratch: &mut Vec<f64>) -> Option<Quartiles> {
         if samples.is_empty() {
             return None;
@@ -75,21 +78,72 @@ impl Quartiles {
         if scratch.is_empty() {
             return None;
         }
-        scratch.sort_by(f64::total_cmp);
-        let sorted: &[f64] = scratch;
-        let n = sorted.len();
-        let mean = sorted.iter().sum::<f64>() / n as f64;
-        let q = Quartiles {
-            min: sorted[0],
-            q1: percentile_sorted(sorted, 0.25),
-            median: percentile_sorted(sorted, 0.50),
-            q3: percentile_sorted(sorted, 0.75),
-            max: sorted[n - 1],
+        let n = scratch.len();
+        let mean = scratch.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            let v = scratch[0];
+            return Some(Quartiles {
+                min: v,
+                q1: v,
+                median: v,
+                q3: v,
+                max: v,
+                mean,
+                samples: 1,
+                // One dynamic measurement: low confidence by construction.
+                accuracy: 0.25,
+            });
+        }
+        let (q1l, q1h, h1) = percentile_ranks(n, 0.25);
+        let (q2l, q2h, h2) = percentile_ranks(n, 0.50);
+        let (q3l, q3h, h3) = percentile_ranks(n, 0.75);
+        // Ranks in ascending order; duplicates are shared below.
+        let mut ranks = [0, q1l, q1h, q2l, q2h, q3l, q3h, n - 1];
+        ranks.sort_unstable();
+        // Select from the highest rank down. After selecting rank `k`,
+        // the k smallest values all sit (unordered) left of position k,
+        // so every lower rank can be selected within that prefix — the
+        // working slice only shrinks.
+        let mut vals = [0.0f64; 8];
+        let mut upper = n;
+        for j in (0..ranks.len()).rev() {
+            let k = ranks[j];
+            if j + 1 < ranks.len() && ranks[j + 1] == k {
+                vals[j] = vals[j + 1];
+                continue;
+            }
+            let (_, v, _) = scratch[..upper].select_nth_unstable_by(k, f64::total_cmp);
+            vals[j] = *v;
+            upper = k.max(1);
+        }
+        let value_at = |k: usize| match ranks.iter().position(|&r| r == k) {
+            Some(j) => vals[j],
+            // Unreachable: every rank queried below is a member of `ranks`.
+            None => vals[0],
+        };
+        // R-7 interpolation, arithmetic unchanged from the sorted-slice
+        // implementation.
+        let interp = |h: f64, lo: usize, hi: usize| {
+            let vlo = value_at(lo);
+            if lo == hi {
+                vlo
+            } else {
+                vlo + (h - lo as f64) * (value_at(hi) - vlo)
+            }
+        };
+        let q1 = interp(h1, q1l, q1h);
+        let median = interp(h2, q2l, q2h);
+        let q3 = interp(h3, q3l, q3h);
+        Some(Quartiles {
+            min: value_at(0),
+            q1,
+            median,
+            q3,
+            max: value_at(n - 1),
             mean,
             samples: n,
-            accuracy: Self::accuracy_for(sorted, mean),
-        };
-        Some(q)
+            accuracy: Self::accuracy_for(n, q3 - q1, mean),
+        })
     }
 
     /// Summary of a single known value (degenerate distribution, e.g. a
@@ -107,13 +161,8 @@ impl Quartiles {
         }
     }
 
-    fn accuracy_for(sorted: &[f64], mean: f64) -> f64 {
-        let n = sorted.len();
-        if n == 1 {
-            // One dynamic measurement: low confidence by construction.
-            return 0.25;
-        }
-        let iqr = percentile_sorted(sorted, 0.75) - percentile_sorted(sorted, 0.25);
+    fn accuracy_for(n: usize, iqr: f64, mean: f64) -> f64 {
+        debug_assert!(n >= 2, "n == 1 is summarized inline");
         let scale = mean.abs().max(f64::MIN_POSITIVE);
         let dispersion = (iqr / scale).min(1.0);
         // More samples raise confidence; relative dispersion lowers it.
@@ -325,10 +374,23 @@ mod tests {
 
             #[test]
             fn permutation_invariant(mut samples in prop::collection::vec(-1e6..1e6f64, 2..50)) {
+                // The five quantiles are exact order statistics, so they
+                // are bit-identical under any permutation. The mean is
+                // summed in input order, so it (and the accuracy derived
+                // from it) may differ by a few ulps.
                 let q1 = Quartiles::from_samples(&samples).unwrap();
                 samples.reverse();
                 let q2 = Quartiles::from_samples(&samples).unwrap();
-                prop_assert_eq!(q1, q2);
+                for (a, b) in [
+                    (q1.min, q2.min), (q1.q1, q2.q1), (q1.median, q2.median),
+                    (q1.q3, q2.q3), (q1.max, q2.max),
+                ] {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                prop_assert_eq!(q1.samples, q2.samples);
+                let tol = 1e-9 * q1.mean.abs().max(1.0);
+                prop_assert!((q1.mean - q2.mean).abs() <= tol, "{} vs {}", q1.mean, q2.mean);
+                prop_assert!((q1.accuracy - q2.accuracy).abs() <= 1e-9);
             }
 
             #[test]
@@ -364,6 +426,34 @@ mod tests {
                         }
                         (a, b) => prop_assert!(false, "diverged: {:?} vs {:?}", a, b),
                     }
+                }
+            }
+
+            #[test]
+            fn selection_matches_sorted_reference(
+                samples in prop::collection::vec(-1e9..1e9f64, 1..200),
+            ) {
+                // The selection-based quartiles must be bit-identical to
+                // the full-sort R-7 reference they replaced.
+                let q = Quartiles::from_samples(&samples).unwrap();
+                let mut sorted = samples.clone();
+                sorted.sort_by(f64::total_cmp);
+                let r7 = |p: f64| {
+                    let (lo, hi, h) = percentile_ranks(sorted.len(), p);
+                    if lo == hi {
+                        sorted[lo]
+                    } else {
+                        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+                    }
+                };
+                for (got, want) in [
+                    (q.min, sorted[0]),
+                    (q.q1, r7(0.25)),
+                    (q.median, r7(0.50)),
+                    (q.q3, r7(0.75)),
+                    (q.max, sorted[sorted.len() - 1]),
+                ] {
+                    prop_assert_eq!(got.to_bits(), want.to_bits());
                 }
             }
 

@@ -1,0 +1,151 @@
+//! Counting-allocator proof of the steady-state zero-allocation
+//! contract: once warm, fabric churn events (retire + admit + scoped
+//! resolve) and cached graph queries (plan-cache hit, `Window`
+//! timeframe, through a [`QueryWorkspace`]) perform **zero** heap
+//! allocations.
+//!
+//! The strict `delta == 0` asserts only run in release builds: debug
+//! builds route every recomputation through the engine's allocation
+//! audit (`check_allocation`), which clones flow specs onto the heap by
+//! design. Debug runs still exercise the full scenario and report the
+//! observed allocation count instead of asserting on it.
+
+use remos_core::collector::oracle::OracleCollector;
+use remos_core::collector::Collector;
+use remos_core::modeler::{Modeler, ModelerConfig, QueryWorkspace};
+use remos_core::timeframe::Timeframe;
+use remos_net::{FabricChurn, FatTree, SimDuration, Simulator, SolverMode};
+use remos_snmp::sim::{share, SharedSim};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Pass-through system allocator that counts every acquisition path
+/// (fresh, zeroed, and growth). Frees are deliberately not counted: the
+/// contract under test is "no heap traffic at steady state", and any
+/// dealloc without a matching counted alloc would imply a buffer from
+/// the warmup era being dropped, which shrink-free reuse never does.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_count() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Assert in release; report in debug (see module docs).
+fn expect_zero(delta: u64, what: &str) {
+    if cfg!(debug_assertions) {
+        eprintln!("zero_alloc[{what}]: {delta} allocations (strict assert skipped under debug_assertions)");
+    } else {
+        assert_eq!(delta, 0, "{what}: expected zero steady-state heap allocations, observed {delta}");
+    }
+}
+
+/// Churn events on a k=8 fat-tree (208 nodes, 120 flows) after a long
+/// warmup: every arena, free list, member list, solver scratch vector,
+/// and the finished-flow log must have reached terminal capacity, so N
+/// further retire/admit/solve cycles touch the heap zero times.
+///
+/// The population stays below the engine's `PAR_MIN_FLOWS` threshold so
+/// every scoped solve takes the serial path — the parallel branch ships
+/// fresh solvers to the worker pool and is allocating by design. The
+/// warmup length is tuned to this seed: scratch capacities (component
+/// walks, solver arrays) only stop growing once the seeded schedule has
+/// set its last component-size record, which a long probe put shortly
+/// after event 3300; from there 2600+ consecutive events ran with zero
+/// allocations.
+#[test]
+fn steady_state_churn_events_are_allocation_free() {
+    let mut churn = FabricChurn::new(8, 120, 0xFA_B51C, 80, SolverMode::Incremental)
+        .expect("fabric churn builds");
+    let mut drained = Vec::new();
+    for _ in 0..3500 {
+        churn.step().expect("warmup churn event");
+        drained.clear();
+        churn.sim.drain_finished_into(&mut drained);
+    }
+    let before = alloc_count();
+    for _ in 0..128 {
+        churn.step().expect("measured churn event");
+        drained.clear();
+        churn.sim.drain_finished_into(&mut drained);
+        black_box(&drained);
+    }
+    let delta = alloc_count() - before;
+    expect_zero(delta, "churn events");
+    // Sanity outside the measured window: the run did real work and the
+    // allocation is live.
+    assert_eq!(churn.live_flows(), 120);
+    assert_ne!(churn.sim.rates_digest(), 0);
+}
+
+/// Warm cached graph queries through a reused [`QueryWorkspace`]: after
+/// the first repeats settle the workspace's buffers (key strings, host
+/// table, sample selection, quartile scratch, resident graph), further
+/// plan-cache-hit `Window` queries must not allocate — and must keep
+/// answering bit-identically.
+#[test]
+fn warm_cached_queries_are_allocation_free() {
+    let tree = FatTree::build(8).expect("fat tree builds");
+    let mut names = Vec::new();
+    for p in 0..tree.pods() {
+        for i in 0..4 {
+            names.push(tree.topology().node(tree.host(p, i)).name.clone());
+        }
+    }
+    let sim: SharedSim = share(Simulator::new(tree.into_parts().0).expect("fabric simulator"));
+    let mut col = OracleCollector::new(Arc::clone(&sim));
+    for _ in 0..4 {
+        sim.lock().run_for(SimDuration::from_millis(250)).expect("advance sim");
+        col.poll().expect("poll oracle");
+    }
+    let modeler = Modeler::new(ModelerConfig::default());
+    let tf = Timeframe::Window(SimDuration::from_secs(2));
+    let mut ws = QueryWorkspace::new();
+    let digest = {
+        let g = modeler.get_graph_in(&col, &names, tf, &mut ws).expect("graph query");
+        g.digest()
+    };
+    // Warm repeats: string buffers grow to their terminal capacities on
+    // the first pass; a couple more passes guard against lazy-init
+    // statics (quartile scratch, plan-cache bookkeeping) skewing the
+    // measured window.
+    for _ in 0..3 {
+        let g = modeler.get_graph_in(&col, &names, tf, &mut ws).expect("warm graph query");
+        assert_eq!(g.digest(), digest, "warm cached query drifted");
+    }
+    let before = alloc_count();
+    for _ in 0..32 {
+        let g = modeler.get_graph_in(&col, &names, tf, &mut ws).expect("measured graph query");
+        black_box(g);
+    }
+    let delta = alloc_count() - before;
+    expect_zero(delta, "warm cached queries");
+    assert_eq!(ws.graph().digest(), digest, "measured queries drifted");
+}

@@ -22,7 +22,7 @@ use std::cmp::Reverse;
 // scan, and the event log all iterate them, so ordering must be a
 // property of the data, not of a hash seed (audited by remos-audit).
 use remos_obs::{Counter, Histogram, Obs};
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 /// Cached observability handles for the engine's hot paths. Resolving a
@@ -133,6 +133,24 @@ struct ActiveFlow {
     eta: SimTime,
 }
 
+impl ActiveFlow {
+    /// Placeholder for a freshly grown slab slot; every field is
+    /// overwritten before first use, and a retired slot keeps its path
+    /// and resource buffers so the next flow through it allocates nothing.
+    fn vacant() -> ActiveFlow {
+        ActiveFlow {
+            params: FlowParams::greedy(NodeId(0), NodeId(0)),
+            resources: Vec::new(),
+            path: Path { src: NodeId(0), dst: NodeId(0), hops: Vec::new(), nodes: Vec::new() },
+            rate: 0.0,
+            remaining: 0.0,
+            bytes_sent: 0.0,
+            started: SimTime::ZERO,
+            eta: SimTime::MAX,
+        }
+    }
+}
+
 /// Which rate-recomputation strategy the engine uses.
 ///
 /// Both modes produce **bit-identical** allocations, event digests, and
@@ -153,46 +171,104 @@ pub enum SolverMode {
 }
 
 /// What changed since the last rate recomputation.
-enum DirtyRates {
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum DirtyKind {
     /// Nothing: the cached rates are valid.
     Clean,
-    /// Only flows transitively sharing these resources may change.
-    Touched(BTreeSet<usize>),
+    /// Only flows transitively sharing the listed resources may change.
+    Touched,
     /// Everything must be recomputed (mode switches).
     All,
 }
 
-/// Record `resources` as touched since the last recomputation.
-fn touch(dirty: &mut DirtyRates, resources: &[usize]) {
-    match dirty {
-        DirtyRates::All => {}
-        DirtyRates::Touched(set) => set.extend(resources.iter().copied()),
-        DirtyRates::Clean => {
-            *dirty = DirtyRates::Touched(resources.iter().copied().collect());
+/// Allocation-free dirty-resource tracker: a generation-marked membership
+/// test plus a dense list of touched resource indices. `touch` is
+/// O(|resources|) with no heap traffic at steady state — the list and the
+/// mark array are reused across recomputations — replacing the `BTreeSet`
+/// the engine used to rebuild on every event.
+struct DirtyTracker {
+    kind: DirtyKind,
+    /// `marks[r] == gen` means resource `r` is already in `list`.
+    marks: Vec<u64>,
+    /// Current generation; bumping it invalidates every mark at once.
+    gen: u64,
+    /// Touched resource indices since the last reset, deduped via `marks`
+    /// but in touch order (the consumer sorts its own copy).
+    list: Vec<usize>,
+}
+
+impl DirtyTracker {
+    fn new(n_resources: usize) -> DirtyTracker {
+        DirtyTracker { kind: DirtyKind::Clean, marks: vec![0; n_resources], gen: 1, list: Vec::new() }
+    }
+
+    /// Record `resources` as touched since the last recomputation.
+    fn touch(&mut self, resources: &[usize]) {
+        if self.kind == DirtyKind::All {
+            return;
+        }
+        self.kind = DirtyKind::Touched;
+        for &r in resources {
+            if self.marks[r] != self.gen {
+                self.marks[r] = self.gen;
+                self.list.push(r);
+            }
+        }
+    }
+
+    /// Force a full recomputation on the next query.
+    fn mark_all(&mut self) {
+        self.kind = DirtyKind::All;
+    }
+
+    /// Return to clean, invalidating all marks in O(1).
+    fn reset(&mut self) {
+        self.kind = DirtyKind::Clean;
+        self.gen += 1;
+        self.list.clear();
+    }
+}
+
+/// Collect the resource indices (dir-links, then the capped backplanes of
+/// interior nodes) a routed path loads, into a reusable buffer.
+/// `backplane[node]` is the backplane resource index or `usize::MAX`.
+fn resources_into(backplane: &[usize], path: &Path, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(path.dirlink_indices());
+    for n in path.interior_nodes() {
+        let b = backplane[n.index()];
+        if b != usize::MAX {
+            out.push(b);
         }
     }
 }
 
-/// Insert `id` into the membership list of each resource (sorted, deduped;
-/// a flow crossing a resource twice is listed once).
-fn members_insert(members: &mut [Vec<u64>], id: u64, resources: &[usize]) {
+/// Insert flow `(id, slot)` into the membership list of each resource
+/// (sorted by id, deduped; a flow crossing a resource twice is listed
+/// once). Carrying the slot alongside the id lets the scoped-solve walk
+/// resolve members without an id → slot binary search per occurrence.
+fn members_insert(members: &mut [Vec<(u64, u32)>], id: u64, slot: u32, resources: &[usize]) {
     for &r in resources {
         let v = &mut members[r];
-        if let Err(pos) = v.binary_search(&id) {
-            v.insert(pos, id);
+        if let Err(pos) = v.binary_search_by_key(&id, |e| e.0) {
+            v.insert(pos, (id, slot));
         }
     }
 }
 
 /// Remove `id` from the membership list of each resource.
-fn members_remove(members: &mut [Vec<u64>], id: u64, resources: &[usize]) {
+fn members_remove(members: &mut [Vec<(u64, u32)>], id: u64, resources: &[usize]) {
     for &r in resources {
         let v = &mut members[r];
-        if let Ok(pos) = v.binary_search(&id) {
+        if let Ok(pos) = v.binary_search_by_key(&id, |e| e.0) {
             v.remove(pos);
         }
     }
 }
+
+/// One parallel component solve: the flow rates (in component push order)
+/// plus the sparse `(resource, residual)` updates that component produced.
+type ComponentSolve = (Vec<f64>, Vec<(usize, f64)>);
 
 /// Install a freshly solved rate on a flow. The ETA is re-derived **only
 /// when the rate actually changed** (bitwise): an unchanged rate means the
@@ -254,29 +330,58 @@ pub struct Simulator {
     topo: Arc<Topology>,
     routing: Arc<Routing>,
     now: SimTime,
-    flows: BTreeMap<u64, ActiveFlow>,
+    /// Slab (arena) of flow state. Active slots are the ones referenced
+    /// by `order_slots`; retired slots sit on `free` keeping their path
+    /// and resource buffers for the next flow through them.
+    slots: Vec<ActiveFlow>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Active flow ids, ascending (ids are handed out monotonically, so a
+    /// start pushes at the end and order is maintained for free). This is
+    /// the engine's canonical iteration order — it matches the old
+    /// `BTreeMap` id order bit-for-bit, which the digests depend on.
+    order_ids: Vec<u64>,
+    /// Slot index of each flow in `order_ids` (parallel array).
+    order_slots: Vec<u32>,
     next_id: u64,
     /// capacities of all resources: `dir_link_count()` interfaces followed
     /// by one entry per capped network node.
     capacities: Vec<f64>,
-    /// node index -> backplane resource index (only capped network nodes).
-    backplane: BTreeMap<NodeId, usize>,
+    /// node index -> backplane resource index (`usize::MAX` if uncapped).
+    backplane: Vec<usize>,
     counters: IfaceCounters,
     /// What changed since the last rate recomputation.
-    dirty: DirtyRates,
+    dirty: DirtyTracker,
     /// Recomputation strategy; see [`SolverMode`].
     mode: SolverMode,
     /// Residual capacity per resource, maintained across recomputations
     /// (scoped solves only overwrite the affected components' entries).
     residual: Vec<f64>,
-    /// Per-resource sorted list of the active flow ids crossing it — the
-    /// adjacency the scoped solver walks to find affected components.
-    members: Vec<Vec<u64>>,
+    /// Per-resource list of the active `(flow id, slot)` pairs crossing
+    /// it, sorted by id — the adjacency the scoped solver walks to find
+    /// affected components.
+    members: Vec<Vec<(u64, u32)>>,
     /// Persistent solver scratch (CSR buffers, interning marks) so
     /// steady-state recomputations allocate nothing.
     solver: maxmin::Solver,
     /// Scratch marks for component discovery, cleared after each use.
     res_seen: Vec<bool>,
+    /// Scoped-solve scratch: resources in the affected closure.
+    comp_res: Vec<usize>,
+    /// Scoped-solve scratch: `(flow id, slot)` pairs in the affected
+    /// closure.
+    comp: Vec<(u64, u32)>,
+    /// Scoped-solve scratch: `(flow id, slot)` pairs of all disjoint
+    /// sub-components, concatenated; each sub-component sorted ascending.
+    subs: Vec<(u64, u32)>,
+    /// Scoped-solve scratch: end offset of each sub-component in `subs`.
+    sub_ends: Vec<usize>,
+    /// Scoped-solve scratch: BFS stack of slot indices.
+    fstack: Vec<u32>,
+    /// Scoped-solve scratch: per-slot "claimed by closure" marks.
+    flow_seen: Vec<bool>,
+    /// Completion-scan scratch: ids due to finish this instant.
+    due: Vec<u64>,
     /// Statistics: full / scoped solver invocations and routing rebuilds.
     full_recomputes: u64,
     scoped_recomputes: u64,
@@ -317,33 +422,50 @@ impl Simulator {
         // `DirLink::index`), then one entry per capped backplane in node-id
         // order. Indices never move, so dirty-tracking can key on them.
         let mut capacities = topo.dir_link_capacities();
-        let mut backplane = BTreeMap::new();
+        let mut backplane = vec![usize::MAX; topo.node_count()];
         for (n, bw) in topo.capped_network_nodes() {
-            backplane.insert(n, capacities.len());
+            backplane[n.index()] = capacities.len();
             capacities.push(bw);
         }
         let counters = IfaceCounters { octets: vec![0.0; topo.dir_link_count()] };
         let link_up = vec![true; topo.link_count()];
         let residual = capacities.clone();
-        let members = vec![Vec::new(); capacities.len()];
+        // Member lists get a head start so moderate per-resource load
+        // never grows them: without it, every placement that pushes a
+        // resource past its historical peak reallocates, a probabilistic
+        // tail that keeps steady-state churn from ever becoming
+        // allocation-free. (`vec![...; n]` clones would drop the reserved
+        // capacity, hence the explicit map.)
+        let members = (0..capacities.len()).map(|_| Vec::with_capacity(16)).collect();
         let res_seen = vec![false; capacities.len()];
         let obs = Obs::new();
         let obs_metrics = EngineMetrics::new(&obs);
+        let dirty = DirtyTracker::new(capacities.len());
         Ok(Simulator {
             topo: Arc::new(topo),
             routing: Arc::new(routing),
             now: SimTime::ZERO,
-            flows: BTreeMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            order_ids: Vec::new(),
+            order_slots: Vec::new(),
             next_id: 0,
             capacities,
             backplane,
             counters,
-            dirty: DirtyRates::Clean,
+            dirty,
             mode: SolverMode::default(),
             residual,
             members,
             solver: maxmin::Solver::new(),
             res_seen,
+            comp_res: Vec::new(),
+            comp: Vec::new(),
+            subs: Vec::new(),
+            sub_ends: Vec::new(),
+            fstack: Vec::new(),
+            flow_seen: Vec::new(),
+            due: Vec::new(),
             full_recomputes: 0,
             scoped_recomputes: 0,
             routing_rebuilds: 0,
@@ -397,8 +519,8 @@ impl Simulator {
     pub fn set_solver_mode(&mut self, mode: SolverMode) {
         if self.mode != mode {
             self.mode = mode;
-            if !self.flows.is_empty() {
-                self.dirty = DirtyRates::All;
+            if !self.order_ids.is_empty() {
+                self.dirty.mark_all();
             }
         }
     }
@@ -431,8 +553,8 @@ impl Simulator {
     pub fn rates_digest(&mut self) -> u64 {
         self.recompute_rates_if_dirty();
         let mut d = EventDigest::new();
-        for (id, f) in &self.flows {
-            d.record_rate(*id, f.rate);
+        for (&id, &s) in self.order_ids.iter().zip(&self.order_slots) {
+            d.record_rate(id, self.slots[s as usize].rate);
         }
         d.value()
     }
@@ -473,18 +595,14 @@ impl Simulator {
 
     /// Number of currently active flows.
     pub fn active_flow_count(&self) -> usize {
-        self.flows.len()
+        self.order_ids.len()
     }
 
-    fn resources_for_path(&self, path: &Path) -> Vec<usize> {
-        let mut res: Vec<usize> = path.dirlink_indices().collect();
-        // Interior nodes with capped backplanes are additional resources.
-        for n in path.interior_nodes() {
-            if let Some(&idx) = self.backplane.get(n) {
-                res.push(idx);
-            }
-        }
-        res
+    /// Slot index of an active flow, by binary search on the sorted id
+    /// order (the slab's replacement for the old `BTreeMap` lookup).
+    #[inline]
+    fn slot_of(&self, id: u64) -> Option<usize> {
+        self.order_ids.binary_search(&id).ok().map(|pos| self.order_slots[pos] as usize)
     }
 
     /// Start a flow. Endpoints must be distinct compute nodes with a route.
@@ -500,48 +618,73 @@ impl Simulator {
         if params.src == params.dst {
             return Err(NetError::Invalid("flow src == dst".into()));
         }
-        let path = self.routing.path(&self.topo, params.src, params.dst)?;
-        let resources = self.resources_for_path(&path);
+        // Claim a slab slot first so the routed path lands directly in the
+        // slot's reusable buffers: at steady state a start performs no
+        // heap allocation at all.
+        let slot_idx = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.slots.push(ActiveFlow::vacant());
+                self.slots.len() - 1
+            }
+        };
+        let slot = &mut self.slots[slot_idx];
+        if let Err(e) = self.routing.path_into(&self.topo, params.src, params.dst, &mut slot.path)
+        {
+            self.free.push(slot_idx as u32);
+            return Err(e);
+        }
+        resources_into(&self.backplane, &slot.path, &mut slot.resources);
         let (src, dst) = (params.src.0, params.dst.0);
         let id = self.next_id;
         self.next_id += 1;
-        let remaining = params.volume.map_or(f64::INFINITY, |v| v as f64);
-        members_insert(&mut self.members, id, &resources);
-        touch(&mut self.dirty, &resources);
-        self.flows.insert(
-            id,
-            ActiveFlow {
-                params,
-                resources,
-                path,
-                rate: 0.0,
-                remaining,
-                bytes_sent: 0.0,
-                started: self.now,
-                eta: SimTime::MAX,
-            },
-        );
+        slot.rate = 0.0;
+        slot.remaining = params.volume.map_or(f64::INFINITY, |v| v as f64);
+        slot.bytes_sent = 0.0;
+        slot.started = self.now;
+        slot.eta = SimTime::MAX;
+        slot.params = params;
+        members_insert(&mut self.members, id, slot_idx as u32, &slot.resources);
+        self.dirty.touch(&slot.resources);
+        // Ids are handed out monotonically, so pushing keeps `order_ids`
+        // sorted without a search.
+        self.order_ids.push(id);
+        self.order_slots.push(slot_idx as u32);
         self.digest.record_start(id, src, dst, self.now.as_nanos());
         Ok(FlowHandle(id))
     }
 
-    /// Stop a flow immediately, returning its record.
-    pub fn stop_flow(&mut self, h: FlowHandle) -> Result<FlowRecord> {
-        let f = self.flows.remove(&h.0).ok_or(NetError::UnknownFlow(h.0))?;
-        members_remove(&mut self.members, h.0, &f.resources);
-        touch(&mut self.dirty, &f.resources);
+    /// Remove an active flow from the slab, record and log its finish,
+    /// and return the record. Allocation-free: the slot (with its path
+    /// and resource buffers) is recycled through the free list. Callers
+    /// settle completion watches themselves.
+    fn retire_flow(&mut self, id: u64, completed: bool) -> Option<FlowRecord> {
+        let pos = self.order_ids.binary_search(&id).ok()?;
+        let slot_idx = self.order_slots[pos] as usize;
+        self.order_ids.remove(pos);
+        self.order_slots.remove(pos);
+        let f = &self.slots[slot_idx];
+        members_remove(&mut self.members, id, &f.resources);
+        self.dirty.touch(&f.resources);
         let rec = FlowRecord {
-            id: h.0,
+            id,
             src: f.params.src,
             dst: f.params.dst,
             tag: f.params.tag,
             started: f.started,
             finished: self.now,
             bytes: f.bytes_sent,
-            completed: false,
+            completed,
         };
+        self.free.push(slot_idx as u32);
         self.digest.record_finish(&rec);
         self.finished.push(rec.clone());
+        Some(rec)
+    }
+
+    /// Stop a flow immediately, returning its record.
+    pub fn stop_flow(&mut self, h: FlowHandle) -> Result<FlowRecord> {
+        let rec = self.retire_flow(h.0, false).ok_or(NetError::UnknownFlow(h.0))?;
         self.settle_watches(&[h.0]);
         Ok(rec)
     }
@@ -565,22 +708,29 @@ impl Simulator {
     /// Current rate of an active flow, bits/s.
     pub fn flow_rate(&mut self, h: FlowHandle) -> Result<Bps> {
         self.recompute_rates_if_dirty();
-        self.flows.get(&h.0).map(|f| f.rate).ok_or(NetError::UnknownFlow(h.0))
+        self.slot_of(h.0).map(|s| self.slots[s].rate).ok_or(NetError::UnknownFlow(h.0))
     }
 
     /// Bytes delivered so far by an active flow.
     pub fn flow_bytes_sent(&self, h: FlowHandle) -> Result<f64> {
-        self.flows.get(&h.0).map(|f| f.bytes_sent).ok_or(NetError::UnknownFlow(h.0))
+        self.slot_of(h.0).map(|s| self.slots[s].bytes_sent).ok_or(NetError::UnknownFlow(h.0))
     }
 
     /// Whether the handle refers to a still-active flow.
     pub fn flow_is_active(&self, h: FlowHandle) -> bool {
-        self.flows.contains_key(&h.0)
+        self.order_ids.binary_search(&h.0).is_ok()
     }
 
     /// Drain the records of flows finished (completed or stopped) so far.
     pub fn take_finished(&mut self) -> Vec<FlowRecord> {
         std::mem::take(&mut self.finished)
+    }
+
+    /// Append the finished-flow records to `out` and clear the internal
+    /// log, retaining its capacity — the allocation-free alternative to
+    /// [`take_finished`](Self::take_finished) for steady-state callers.
+    pub fn drain_finished_into(&mut self, out: &mut Vec<FlowRecord>) {
+        out.append(&mut self.finished);
     }
 
     /// Operational state of a link.
@@ -626,48 +776,36 @@ impl Simulator {
         self.obs_metrics.routing_rebuilds.inc();
         self.obs_metrics.link_batch_size.observe(flips);
         self.obs.event("engine.routing.rebuild", self.now.as_nanos(), &[("links", flips)]);
-        // Re-path every flow; BTreeMap iteration is already id order, so
-        // re-pathing is deterministic without an explicit sort. Flows whose
-        // best path is unchanged are skipped entirely — they stay outside
-        // the dirty set, so a faraway flap costs them nothing.
-        let ids: Vec<u64> = self.flows.keys().copied().collect();
+        // Re-path every flow in id order (deterministic without a sort,
+        // since `order_ids` is kept ascending). Flows whose best path is
+        // unchanged are skipped entirely — they stay outside the dirty
+        // set, so a faraway flap costs them nothing. This is a rare path;
+        // the snapshot and per-flow path allocations are acceptable here.
+        let ids: Vec<u64> = self.order_ids.clone();
         for id in ids {
-            let Some(f) = self.flows.get(&id) else { continue };
-            let (src, dst) = (f.params.src, f.params.dst);
+            let Some(s) = self.slot_of(id) else { continue };
+            let (src, dst) = (self.slots[s].params.src, self.slots[s].params.dst);
             match self.routing.path(&self.topo, src, dst) {
                 Ok(path) => {
-                    if self.flows.get(&id).is_some_and(|f| f.path.hops == path.hops) {
+                    if self.slots[s].path.hops == path.hops {
                         continue;
                     }
-                    let resources = self.resources_for_path(&path);
-                    let Some(f) = self.flows.get_mut(&id) else { continue };
+                    let mut resources = Vec::new();
+                    resources_into(&self.backplane, &path, &mut resources);
+                    let f = &mut self.slots[s];
                     f.path = path;
                     let old = std::mem::replace(&mut f.resources, resources);
                     members_remove(&mut self.members, id, &old);
-                    touch(&mut self.dirty, &old);
-                    if let Some(f) = self.flows.get(&id) {
-                        members_insert(&mut self.members, id, &f.resources);
-                        touch(&mut self.dirty, &f.resources);
-                    }
+                    self.dirty.touch(&old);
+                    let f = &self.slots[s];
+                    members_insert(&mut self.members, id, s as u32, &f.resources);
+                    self.dirty.touch(&f.resources);
                 }
                 Err(_) => {
                     // Disconnected: the connection breaks.
-                    let Some(f) = self.flows.remove(&id) else { continue };
-                    members_remove(&mut self.members, id, &f.resources);
-                    touch(&mut self.dirty, &f.resources);
-                    let rec = FlowRecord {
-                        id,
-                        src: f.params.src,
-                        dst: f.params.dst,
-                        tag: f.params.tag,
-                        started: f.started,
-                        finished: self.now,
-                        bytes: f.bytes_sent,
-                        completed: false,
-                    };
-                    self.digest.record_finish(&rec);
-                    self.finished.push(rec);
-                    self.settle_watches(&[id]);
+                    if self.retire_flow(id, false).is_some() {
+                        self.settle_watches(&[id]);
+                    }
                 }
             }
         }
@@ -726,8 +864,9 @@ impl Simulator {
     /// Instantaneous aggregate rate over a directed interface, bits/s.
     pub fn dirlink_rate(&mut self, d: DirLink) -> Bps {
         self.recompute_rates_if_dirty();
-        self.flows
-            .values()
+        self.order_slots
+            .iter()
+            .map(|&s| &self.slots[s as usize])
             .filter(|f| f.path.hops.contains(&d))
             .map(|f| f.rate)
             .sum()
@@ -737,20 +876,31 @@ impl Simulator {
     /// directed interface (oracle view used by tests and ablations).
     pub fn dirlink_rate_by_tag(&mut self, d: DirLink, tag: FlowTag) -> Bps {
         self.recompute_rates_if_dirty();
-        self.flows
-            .values()
+        self.order_slots
+            .iter()
+            .map(|&s| &self.slots[s as usize])
             .filter(|f| f.params.tag == tag && f.path.hops.contains(&d))
             .map(|f| f.rate)
             .sum()
     }
 
     fn recompute_rates_if_dirty(&mut self) {
-        let dirty = std::mem::replace(&mut self.dirty, DirtyRates::Clean);
-        match (self.mode, dirty) {
-            (_, DirtyRates::Clean) => {}
-            (SolverMode::Full, _) | (_, DirtyRates::All) => self.recompute_full(),
-            (SolverMode::Incremental, DirtyRates::Touched(touched)) => {
+        match (self.mode, self.dirty.kind) {
+            (_, DirtyKind::Clean) => {}
+            (SolverMode::Full, _) | (_, DirtyKind::All) => {
+                self.dirty.reset();
+                self.recompute_full();
+            }
+            (SolverMode::Incremental, DirtyKind::Touched) => {
+                // Move the touched list out (an alloc-free swap), sort it
+                // for a deterministic closure walk, and hand the buffer
+                // back afterwards so steady state reuses its capacity.
+                let mut touched = std::mem::take(&mut self.dirty.list);
+                self.dirty.reset();
+                touched.sort_unstable();
                 self.recompute_scoped(&touched);
+                touched.clear();
+                self.dirty.list = touched;
             }
         }
     }
@@ -759,129 +909,216 @@ impl Simulator {
     fn recompute_full(&mut self) {
         self.full_recomputes += 1;
         self.obs_metrics.full_recomputes.inc();
-        self.obs_metrics.solve_scope_flows.observe(self.flows.len() as u64);
+        self.obs_metrics.solve_scope_flows.observe(self.order_ids.len() as u64);
         let span = self.obs.span("engine.solve.full", self.now.as_nanos());
         let t0 = self.obs.clock_nanos();
-        // BTreeMap iteration is id order, so the solver sees flows in a
-        // deterministic sequence without an explicit sort.
+        // `order_slots` iteration is id order, so the solver sees flows in
+        // a deterministic sequence without an explicit sort.
         let specs: Vec<FlowSpec> = self
-            .flows
-            .values()
-            .map(|f| FlowSpec {
-                weight: f.params.weight,
-                cap: f.params.rate_cap,
-                resources: f.resources.clone(),
+            .order_slots
+            .iter()
+            .map(|&s| {
+                let f = &self.slots[s as usize];
+                FlowSpec {
+                    weight: f.params.weight,
+                    cap: f.params.rate_cap,
+                    resources: f.resources.clone(),
+                }
             })
             .collect();
         let alloc = maxmin::solve(&self.capacities, &specs);
         self.residual = alloc.residual;
         let now = self.now;
-        for (f, &rate) in self.flows.values_mut().zip(alloc.rates.iter()) {
-            apply_rate(f, rate, now);
+        for (&s, &rate) in self.order_slots.iter().zip(alloc.rates.iter()) {
+            apply_rate(&mut self.slots[s as usize], rate, now);
         }
         if let (Some(t0), Some(t1)) = (t0, self.obs.clock_nanos()) {
             self.obs_metrics.solve_latency_nanos.observe(t1.saturating_sub(t0));
         }
-        span.end(self.now.as_nanos(), &[("flows", self.flows.len() as u64)]);
+        span.end(self.now.as_nanos(), &[("flows", self.order_ids.len() as u64)]);
         self.check_allocation();
     }
 
     /// Re-solve only the connected components of flows transitively
-    /// sharing a resource with the `touched` set; all other flows keep
-    /// their frozen rates and ETAs, and untouched resources keep their
-    /// residuals. Bit-identical to [`recompute_full`](Self::recompute_full)
-    /// because the solver fills each component in isolation anyway, always
-    /// iterating its flows in ascending id order.
-    fn recompute_scoped(&mut self, touched: &BTreeSet<usize>) {
+    /// sharing a resource with the `touched` set (sorted ascending); all
+    /// other flows keep their frozen rates and ETAs, and untouched
+    /// resources keep their residuals. Bit-identical to
+    /// [`recompute_full`](Self::recompute_full) because the solver fills
+    /// each component in isolation anyway, always iterating its flows in
+    /// ascending id order.
+    ///
+    /// Allocation-free at steady state: the closure walk, the partition
+    /// into disjoint components, and the per-component fills all run in
+    /// persistent scratch buffers. When the closure splits into several
+    /// independent components and is large enough to pay for it, the
+    /// components are solved in parallel on the shared scoped pool and
+    /// merged in component order — deterministic because components are
+    /// disjoint in both flows and resources, and bit-identical because
+    /// each component's fill arithmetic is unchanged.
+    fn recompute_scoped(&mut self, touched: &[usize]) {
         self.scoped_recomputes += 1;
         self.obs_metrics.scoped_recomputes.inc();
         let span = self.obs.span("engine.solve.scoped", self.now.as_nanos());
         let t0 = self.obs.clock_nanos();
         // Closure: every resource and flow reachable from the touched set
-        // through the membership lists.
-        let mut comp_res: Vec<usize> = Vec::new();
-        let mut comp_flows: BTreeSet<u64> = BTreeSet::new();
+        // through the membership lists. `res_seen` marks stay set for the
+        // partition pass below, which consumes them.
+        self.comp_res.clear();
+        self.comp.clear();
+        if self.flow_seen.len() < self.slots.len() {
+            self.flow_seen.resize(self.slots.len(), false);
+        }
         for &r in touched {
             if !self.res_seen[r] {
                 self.res_seen[r] = true;
-                comp_res.push(r);
+                self.comp_res.push(r);
             }
         }
         let mut head = 0;
-        while head < comp_res.len() {
-            let r = comp_res[head];
+        while head < self.comp_res.len() {
+            let r = self.comp_res[head];
             head += 1;
-            for &fid in &self.members[r] {
-                if comp_flows.insert(fid) {
-                    if let Some(f) = self.flows.get(&fid) {
-                        for &r2 in &f.resources {
-                            if !self.res_seen[r2] {
-                                self.res_seen[r2] = true;
-                                comp_res.push(r2);
-                            }
-                        }
+            for &(fid, slot) in &self.members[r] {
+                let s = slot as usize;
+                if self.flow_seen[s] {
+                    continue;
+                }
+                self.flow_seen[s] = true;
+                self.comp.push((fid, slot));
+                for &r2 in &self.slots[s].resources {
+                    if !self.res_seen[r2] {
+                        self.res_seen[r2] = true;
+                        self.comp_res.push(r2);
                     }
                 }
             }
         }
-        for &r in &comp_res {
-            self.res_seen[r] = false;
+        for i in 0..self.comp_res.len() {
+            let r = self.comp_res[i];
             if self.members[r].is_empty() {
                 // Vacated resource (its last flow departed): the residual
                 // reverts to full capacity, clamped exactly as the full
                 // solver clamps its output.
-                self.residual[r] = self.capacities[r];
-                if self.residual[r] < 0.0 {
-                    self.residual[r] = 0.0;
+                let mut v = self.capacities[r];
+                if v < 0.0 {
+                    v = 0.0;
                 }
+                self.residual[r] = v;
             }
         }
-        let scope_flows = comp_flows.len();
+        let scope_flows = self.comp.len();
         self.obs_metrics.solve_scope_flows.observe(scope_flows as u64);
         // The closure may span several *disjoint* components (e.g. a
-        // departed flow used to bridge them). Fill each separately, lowest
-        // flow id first, so the arithmetic matches the full solver's
-        // canonical per-component fills.
-        let now = self.now;
-        let mut remaining = comp_flows;
-        let mut sub: Vec<u64> = Vec::new();
-        let mut fstack: Vec<u64> = Vec::new();
-        while let Some(first) = remaining.pop_first() {
-            sub.clear();
-            fstack.clear();
-            sub.push(first);
-            fstack.push(first);
-            while let Some(fid) = fstack.pop() {
-                if let Some(f) = self.flows.get(&fid) {
-                    for &r in &f.resources {
-                        for &other in &self.members[r] {
-                            if remaining.remove(&other) {
-                                sub.push(other);
-                                fstack.push(other);
-                            }
+        // departed flow used to bridge them). Partition it, lowest flow id
+        // first, so the arithmetic matches the full solver's canonical
+        // per-component fills. Each resource's member list is expanded at
+        // most once (its closure `res_seen` mark is consumed here), so the
+        // partition is linear in the membership size.
+        self.comp.sort_unstable();
+        self.subs.clear();
+        self.sub_ends.clear();
+        for ci in 0..self.comp.len() {
+            let (first, s0) = self.comp[ci];
+            if !self.flow_seen[s0 as usize] {
+                continue; // already claimed by an earlier component
+            }
+            self.flow_seen[s0 as usize] = false;
+            let start = self.subs.len();
+            self.subs.push((first, s0));
+            self.fstack.clear();
+            self.fstack.push(s0);
+            while let Some(s) = self.fstack.pop() {
+                for ri in 0..self.slots[s as usize].resources.len() {
+                    let r = self.slots[s as usize].resources[ri];
+                    if !self.res_seen[r] {
+                        continue; // this resource was expanded already
+                    }
+                    self.res_seen[r] = false;
+                    for &(other, os) in &self.members[r] {
+                        if self.flow_seen[os as usize] {
+                            self.flow_seen[os as usize] = false;
+                            self.subs.push((other, os));
+                            self.fstack.push(os);
                         }
                     }
                 }
             }
-            sub.sort_unstable();
-            self.solver.begin_component(self.capacities.len());
-            let mut pushed = 0usize;
-            for &fid in &sub {
-                let Some(f) = self.flows.get(&fid) else { continue };
-                self.solver
-                    .push_flow(f.params.weight, f.params.rate_cap, &f.resources, &self.capacities);
-                pushed += 1;
-            }
-            debug_assert_eq!(pushed, sub.len(), "flow membership out of sync");
-            self.solver.run_fill();
-            for (k, &fid) in sub.iter().enumerate() {
-                let rate = self.solver.component_rates()[k];
-                if let Some(f) = self.flows.get_mut(&fid) {
-                    apply_rate(f, rate, now);
+            self.subs[start..].sort_unstable();
+            self.sub_ends.push(self.subs.len());
+        }
+        debug_assert_eq!(self.subs.len(), self.comp.len(), "flow membership out of sync");
+        // Clear the marks of vacated touched resources the partition never
+        // reached (every resource with members was consumed above).
+        for i in 0..self.comp_res.len() {
+            let r = self.comp_res[i];
+            self.res_seen[r] = false;
+        }
+        let now = self.now;
+        // Threshold for shipping disjoint components to the worker pool:
+        // below this, thread spawn and teardown dwarf the fills. The
+        // common steady-state case (one component) always stays serial
+        // and allocation-free.
+        const PAR_MIN_FLOWS: usize = 128;
+        if self.sub_ends.len() >= 2 && scope_flows >= PAR_MIN_FLOWS {
+            // Parallel: one fresh solver per component (the persistent
+            // scratch solver is single-threaded). `run_indexed` re-slots
+            // results by input index, so rates and residuals merge in
+            // component order no matter how the OS schedules workers.
+            let jobs: Vec<(usize, usize)> = self
+                .sub_ends
+                .iter()
+                .scan(0, |start, &end| {
+                    let j = (*start, end);
+                    *start = end;
+                    Some(j)
+                })
+                .collect();
+            let slots = &self.slots;
+            let subs = &self.subs;
+            let caps = &self.capacities;
+            let results: Vec<ComponentSolve> =
+                crate::pool::run_indexed(&jobs, crate::pool::default_workers(jobs.len()), |&(a, b)| {
+                    let mut solver = maxmin::Solver::new();
+                    solver.begin_component(caps.len());
+                    for &(_, s) in &subs[a..b] {
+                        let f = &slots[s as usize];
+                        solver.push_flow(f.params.weight, f.params.rate_cap, &f.resources, caps);
+                    }
+                    solver.run_fill();
+                    (solver.component_rates().to_vec(), solver.component_residuals().collect())
+                });
+            for (&(a, _), (rates, resids)) in jobs.iter().zip(&results) {
+                for (k, &rate) in rates.iter().enumerate() {
+                    let s = self.subs[a + k].1 as usize;
+                    apply_rate(&mut self.slots[s], rate, now);
+                }
+                for &(r, resid) in resids {
+                    self.residual[r] = resid;
                 }
             }
-            for (r, resid) in self.solver.component_residuals() {
-                self.residual[r] = resid;
+        } else {
+            let mut start = 0;
+            for si in 0..self.sub_ends.len() {
+                let end = self.sub_ends[si];
+                self.solver.begin_component(self.capacities.len());
+                for k in start..end {
+                    let f = &self.slots[self.subs[k].1 as usize];
+                    self.solver.push_flow(
+                        f.params.weight,
+                        f.params.rate_cap,
+                        &f.resources,
+                        &self.capacities,
+                    );
+                }
+                self.solver.run_fill();
+                for k in start..end {
+                    let rate = self.solver.component_rates()[k - start];
+                    apply_rate(&mut self.slots[self.subs[k].1 as usize], rate, now);
+                }
+                for (r, resid) in self.solver.component_residuals() {
+                    self.residual[r] = resid;
+                }
+                start = end;
             }
         }
         if let (Some(t0), Some(t1)) = (t0, self.obs.clock_nanos()) {
@@ -902,16 +1139,19 @@ impl Simulator {
             return;
         }
         let specs: Vec<FlowSpec> = self
-            .flows
-            .values()
-            .map(|f| FlowSpec {
-                weight: f.params.weight,
-                cap: f.params.rate_cap,
-                resources: f.resources.clone(),
+            .order_slots
+            .iter()
+            .map(|&s| {
+                let f = &self.slots[s as usize];
+                FlowSpec {
+                    weight: f.params.weight,
+                    cap: f.params.rate_cap,
+                    resources: f.resources.clone(),
+                }
             })
             .collect();
         let alloc = maxmin::Allocation {
-            rates: self.flows.values().map(|f| f.rate).collect(),
+            rates: self.order_slots.iter().map(|&s| self.slots[s as usize].rate).collect(),
             residual: self.residual.clone(),
         };
         debug_assert!(
@@ -924,11 +1164,14 @@ impl Simulator {
                 .extend(audit.check(&self.capacities, &specs, &alloc));
             if self.mode == SolverMode::Incremental {
                 let full = maxmin::solve(&self.capacities, &specs);
-                for ((&id, f), &want) in self.flows.iter().zip(full.rates.iter()) {
-                    if f.rate.to_bits() != want.to_bits() {
+                for ((&id, &s), &want) in
+                    self.order_ids.iter().zip(&self.order_slots).zip(full.rates.iter())
+                {
+                    let got = self.slots[s as usize].rate;
+                    if got.to_bits() != want.to_bits() {
                         self.audit_violations.push(AuditViolation::SolverDivergence {
                             flow: id,
-                            incremental: f.rate,
+                            incremental: got,
                             full: want,
                         });
                     }
@@ -943,7 +1186,10 @@ impl Simulator {
             return;
         }
         let secs = dt.as_secs_f64();
-        for f in self.flows.values_mut() {
+        // Id-order iteration keeps the octet accumulation order (and so
+        // the counter bits) identical to the old `BTreeMap` walk.
+        for &s in &self.order_slots {
+            let f = &mut self.slots[s as usize];
             if f.rate <= 0.0 {
                 continue;
             }
@@ -970,7 +1216,7 @@ impl Simulator {
     }
 
     fn next_completion(&self) -> SimTime {
-        self.flows.values().map(|f| f.eta).min().unwrap_or(SimTime::MAX)
+        self.order_slots.iter().map(|&s| self.slots[s as usize].eta).min().unwrap_or(SimTime::MAX)
     }
 
     fn next_process_fire(&self) -> SimTime {
@@ -978,34 +1224,24 @@ impl Simulator {
     }
 
     fn complete_due_flows(&mut self) {
-        // BTreeMap iteration yields due flows in id order, so records of
-        // simultaneous completions land in the `finished` log (and the
-        // event digest) in a deterministic order. With the old HashMap the
-        // order depended on the hash seed and differed between runs.
-        let due: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.eta <= self.now || f.remaining <= 1e-6)
-            .map(|(&id, _)| id)
-            .collect();
+        // `order_ids` iteration yields due flows in id order, so records
+        // of simultaneous completions land in the `finished` log (and the
+        // event digest) in a deterministic order. The scan reuses a
+        // persistent scratch list — steady state allocates nothing here.
+        let mut due = std::mem::take(&mut self.due);
+        due.clear();
+        for (&id, &s) in self.order_ids.iter().zip(&self.order_slots) {
+            let f = &self.slots[s as usize];
+            if f.eta <= self.now || f.remaining <= 1e-6 {
+                due.push(id);
+            }
+        }
         for &id in &due {
-            let Some(f) = self.flows.remove(&id) else { continue };
-            members_remove(&mut self.members, id, &f.resources);
-            touch(&mut self.dirty, &f.resources);
-            let rec = FlowRecord {
-                id,
-                src: f.params.src,
-                dst: f.params.dst,
-                tag: f.params.tag,
-                started: f.started,
-                finished: self.now,
-                bytes: f.bytes_sent,
-                completed: true,
-            };
-            self.digest.record_finish(&rec);
-            self.finished.push(rec);
+            self.retire_flow(id, true);
         }
         self.settle_watches(&due);
+        due.clear();
+        self.due = due;
     }
 
     /// Remove finished flow ids from completion watches; empty watches
@@ -1069,7 +1305,7 @@ impl Simulator {
                         let set: std::collections::BTreeSet<u64> = handles
                             .iter()
                             .map(|h| h.0)
-                            .filter(|id| self.flows.contains_key(id))
+                            .filter(|id| self.order_ids.binary_search(id).is_ok())
                             .collect();
                         if set.is_empty() {
                             // Everything already finished: fire right away.
@@ -1135,12 +1371,12 @@ impl Simulator {
     pub fn run_until_flows_complete(&mut self, handles: &[FlowHandle]) -> Result<Vec<FlowRecord>> {
         let pending: Vec<u64> = handles.iter().map(|h| h.0).collect();
         loop {
-            if pending.iter().all(|id| !self.flows.contains_key(id)) {
+            if pending.iter().all(|id| self.order_ids.binary_search(id).is_err()) {
                 break;
             }
             self.apply_due_link_changes()?;
             self.fire_due_processes();
-            if pending.iter().all(|id| !self.flows.contains_key(id)) {
+            if pending.iter().all(|id| self.order_ids.binary_search(id).is_err()) {
                 break; // a link failure may have terminated a waited flow
             }
             self.recompute_rates_if_dirty();

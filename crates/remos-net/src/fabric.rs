@@ -1,0 +1,275 @@
+//! Seeded k-ary fat-tree fabric generator and churn workload.
+//!
+//! ROADMAP item 1/4: the testbed scenarios top out at a few dozen nodes,
+//! which is too small to expose hot-path costs that only matter at
+//! datacenter scale. This module builds the classic 3-tier k-ary
+//! fat-tree (Al-Fares et al.): `k` pods, each with `k/2` edge and `k/2`
+//! aggregation switches, `(k/2)^2` core switches, and `(k/2)^2` hosts
+//! per pod — `k = 16` yields 1024 hosts and 320 switches (1344 nodes,
+//! 3072 duplex links). Construction is fully deterministic: node ids,
+//! names, and link ids depend only on `k`, so two builds are
+//! interchangeable in digest comparisons.
+//!
+//! [`FabricChurn`] layers a seeded steady-state workload on top: a fixed
+//! population of persistent greedy flows where every step retires the
+//! oldest flow and admits a fresh one, with seeded src/dst draws and a
+//! configurable intra-pod locality. All randomness comes from one
+//! `StdRng`, so a `(k, flows, seed, locality)` tuple names a
+//! reproducible scenario — the digest-gated contract `BENCH_fabric.json`
+//! relies on.
+
+use crate::engine::{FlowHandle, Simulator, SolverMode};
+use crate::error::Result;
+use crate::flow::FlowParams;
+use crate::time::SimDuration;
+use crate::topology::{NodeId, Topology, TopologyBuilder};
+use crate::units::gbps;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A built fat-tree plus the dense host-id table needed to drive
+/// workloads without any name lookups (the churn hot loop must not
+/// touch the name map).
+#[derive(Debug)]
+pub struct FatTree {
+    topology: Topology,
+    /// Host ids in pod-major order: `hosts[pod * hosts_per_pod + i]`.
+    hosts: Vec<NodeId>,
+    k: usize,
+}
+
+impl FatTree {
+    /// Build the 3-tier k-ary fat-tree. `k` must be even and at least 4.
+    ///
+    /// Capacities follow the usual oversubscribed profile: 1 Gbps host
+    /// links, 10 Gbps edge-aggregation links, 40 Gbps
+    /// aggregation-core links, all at 5 us latency.
+    pub fn build(k: usize) -> Result<FatTree> {
+        assert!(k >= 4 && k.is_multiple_of(2), "fat-tree arity must be even and >= 4");
+        let half = k / 2;
+        let lat = SimDuration::from_micros(5);
+        let mut b = TopologyBuilder::new();
+
+        // Core layer: (k/2) groups of (k/2) switches. Aggregation switch
+        // `a` of every pod uplinks to all of core group `a`.
+        let mut core = Vec::with_capacity(half * half);
+        for g in 0..half {
+            for i in 0..half {
+                core.push(b.network(&format!("c{g}x{i}")));
+            }
+        }
+
+        let mut hosts = Vec::with_capacity(k * half * half);
+        for p in 0..k {
+            let mut edges = Vec::with_capacity(half);
+            let mut aggs = Vec::with_capacity(half);
+            for e in 0..half {
+                edges.push(b.network(&format!("p{p}e{e}")));
+            }
+            for a in 0..half {
+                aggs.push(b.network(&format!("p{p}a{a}")));
+            }
+            // Hosts: (k/2) per edge switch.
+            for (e, &edge) in edges.iter().enumerate() {
+                for h in 0..half {
+                    let host = b.compute(&format!("p{p}e{e}h{h}"));
+                    b.link(host, edge, gbps(1.0), lat)?;
+                    hosts.push(host);
+                }
+            }
+            // Full bipartite edge <-> aggregation mesh within the pod.
+            for &edge in &edges {
+                for &agg in &aggs {
+                    b.link(edge, agg, gbps(10.0), lat)?;
+                }
+            }
+            // Aggregation switch `a` to every switch of core group `a`.
+            for (a, &agg) in aggs.iter().enumerate() {
+                for i in 0..half {
+                    b.link(agg, core[a * half + i], gbps(40.0), lat)?;
+                }
+            }
+        }
+
+        Ok(FatTree { topology: b.build()?, hosts, k })
+    }
+
+    /// The built topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Consume into the topology and the pod-major host table.
+    pub fn into_parts(self) -> (Topology, Vec<NodeId>) {
+        (self.topology, self.hosts)
+    }
+
+    /// Pod count (`k`).
+    pub fn pods(&self) -> usize {
+        self.k
+    }
+
+    /// Hosts per pod (`(k/2)^2`).
+    pub fn hosts_per_pod(&self) -> usize {
+        (self.k / 2) * (self.k / 2)
+    }
+
+    /// Host `i` of pod `p` (both zero-based).
+    pub fn host(&self, pod: usize, i: usize) -> NodeId {
+        self.hosts[pod * self.hosts_per_pod() + i]
+    }
+
+    /// All host ids, pod-major.
+    pub fn hosts(&self) -> &[NodeId] {
+        &self.hosts
+    }
+}
+
+/// Seeded steady-state churn over a fat-tree: a constant population of
+/// persistent greedy flows; each [`step`](FabricChurn::step) retires the
+/// oldest flow, admits a seeded replacement, and advances simulated time
+/// so the engine coalesces the pair into one rate recomputation.
+pub struct FabricChurn {
+    /// The simulator under test.
+    pub sim: Simulator,
+    hosts: Vec<NodeId>,
+    pods: usize,
+    hosts_per_pod: usize,
+    live: VecDeque<FlowHandle>,
+    rng: StdRng,
+    locality_pct: u32,
+}
+
+impl FabricChurn {
+    /// Build a `k`-ary fabric, admit `flows` seeded flows, and settle the
+    /// initial allocation outside any measured window. `locality_pct` of
+    /// flows (0..=100) stay within their source pod; the rest cross the
+    /// core.
+    pub fn new(
+        k: usize,
+        flows: usize,
+        seed: u64,
+        locality_pct: u32,
+        mode: SolverMode,
+    ) -> Result<FabricChurn> {
+        let tree = FatTree::build(k)?;
+        let pods = tree.pods();
+        let hosts_per_pod = tree.hosts_per_pod();
+        let (topology, hosts) = tree.into_parts();
+        let mut sim = Simulator::new(topology)?;
+        sim.set_solver_mode(mode);
+        let mut churn = FabricChurn {
+            sim,
+            hosts,
+            pods,
+            hosts_per_pod,
+            live: VecDeque::with_capacity(flows + 1),
+            rng: StdRng::seed_from_u64(seed),
+            locality_pct: locality_pct.min(100),
+        };
+        for _ in 0..flows {
+            churn.spawn()?;
+        }
+        churn.sim.run_for(SimDuration::from_millis(1))?;
+        Ok(churn)
+    }
+
+    /// Admit one seeded flow.
+    fn spawn(&mut self) -> Result<()> {
+        let src_pod = self.rng.gen_range(0..self.pods);
+        let src_i = self.rng.gen_range(0..self.hosts_per_pod);
+        let dst_pod = if self.rng.gen_range(0..100u32) < self.locality_pct {
+            src_pod
+        } else {
+            // A different pod, drawn uniformly from the others.
+            (src_pod + 1 + self.rng.gen_range(0..self.pods - 1)) % self.pods
+        };
+        let dst_i = if dst_pod == src_pod {
+            (src_i + 1 + self.rng.gen_range(0..self.hosts_per_pod - 1)) % self.hosts_per_pod
+        } else {
+            self.rng.gen_range(0..self.hosts_per_pod)
+        };
+        let src = self.hosts[src_pod * self.hosts_per_pod + src_i];
+        let dst = self.hosts[dst_pod * self.hosts_per_pod + dst_i];
+        let weight = 1.0 + f64::from(self.rng.gen_range(0..4u32));
+        let h = self.sim.start_flow(FlowParams::greedy(src, dst).with_weight(weight))?;
+        self.live.push_back(h);
+        Ok(())
+    }
+
+    /// One churn event: retire the oldest flow, admit a replacement, and
+    /// advance simulated time by 100 us so the engine recomputes rates.
+    pub fn step(&mut self) -> Result<()> {
+        if let Some(h) = self.live.pop_front() {
+            self.sim.stop_flow(h)?;
+        }
+        self.spawn()?;
+        self.sim.run_for(SimDuration::from_micros(100))?;
+        Ok(())
+    }
+
+    /// Current live-flow population.
+    pub fn live_flows(&self) -> usize {
+        self.sim.active_flow_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_tree_has_standard_shape() {
+        let t = FatTree::build(4).unwrap();
+        // 16 hosts, 8 edge, 8 agg, 4 core.
+        assert_eq!(t.topology().node_count(), 16 + 8 + 8 + 4);
+        // 16 host links + 4 pods * 4 edge-agg + 4 pods * 4 agg-core.
+        assert_eq!(t.topology().link_count(), 16 + 16 + 16);
+        assert!(t.topology().is_connected());
+        assert_eq!(t.hosts().len(), 16);
+        assert_eq!(t.hosts_per_pod(), 4);
+    }
+
+    #[test]
+    fn k16_tree_crosses_the_thousand_node_bar() {
+        let t = FatTree::build(16).unwrap();
+        assert_eq!(t.topology().node_count(), 1024 + 128 + 128 + 64);
+        assert_eq!(t.topology().link_count(), 3 * 1024);
+        assert!(t.topology().is_connected());
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = FatTree::build(6).unwrap();
+        let b = FatTree::build(6).unwrap();
+        assert_eq!(a.hosts(), b.hosts());
+        for n in a.topology().node_ids() {
+            assert_eq!(a.topology().node(n).name, b.topology().node(n).name);
+        }
+    }
+
+    #[test]
+    fn churn_replays_bit_identically_per_seed_and_mode() {
+        let run = |mode| {
+            let mut c = FabricChurn::new(4, 24, 0xFAB, 75, mode).unwrap();
+            for _ in 0..12 {
+                c.step().unwrap();
+            }
+            assert_eq!(c.live_flows(), 24);
+            (c.sim.rates_digest(), c.sim.event_digest())
+        };
+        assert_eq!(run(SolverMode::Incremental), run(SolverMode::Incremental));
+        assert_eq!(run(SolverMode::Incremental), run(SolverMode::Full));
+    }
+
+    #[test]
+    fn churn_audits_clean() {
+        let mut c = FabricChurn::new(4, 16, 7, 50, SolverMode::Incremental).unwrap();
+        c.sim.enable_audit();
+        for _ in 0..8 {
+            c.step().unwrap();
+        }
+        assert!(c.sim.audit_violations().is_empty(), "{:?}", c.sim.audit_violations());
+    }
+}

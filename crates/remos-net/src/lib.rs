@@ -26,13 +26,19 @@
 //! * [`audit`] / [`digest`] — runtime max-min invariant checking and
 //!   event-log digests for determinism tests (`docs/DETERMINISM.md`).
 
+// This crate is the workspace's hottest path (see docs/PERFORMANCE.md);
+// performance-smelling patterns are build errors, not suggestions.
+#![deny(clippy::perf)]
+
 pub mod audit;
 pub mod counters;
 pub mod digest;
 pub mod engine;
 pub mod error;
+pub mod fabric;
 pub mod flow;
 pub mod maxmin;
+pub mod pool;
 pub mod routing;
 pub mod time;
 pub mod topology;
@@ -43,6 +49,7 @@ pub use audit::{AuditViolation, MaxMinAudit};
 pub use digest::EventDigest;
 pub use engine::{FlowHandle, Simulator, SolverMode};
 pub use error::{NetError, Result};
+pub use fabric::{FabricChurn, FatTree};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DirLink, Direction, LinkId, NodeId, NodeKind, Topology, TopologyBuilder};
 pub use units::{gbps, kbps, mbps, Bps};

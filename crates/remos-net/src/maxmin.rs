@@ -176,6 +176,29 @@ pub struct Solver {
     is_active: Vec<bool>,
     active: Vec<usize>,
     capped: Vec<usize>,
+    /// CSR offsets into `mmemb`, length `lres + 1`: local resource → flows.
+    moff: Vec<usize>,
+    /// Concatenated local flow indices crossing each local resource,
+    /// ascending within each resource.
+    mmemb: Vec<usize>,
+    /// Cursor scratch for building `mmemb`.
+    mcur: Vec<usize>,
+    /// Per-local-resource saturation threshold, precomputed once per fill
+    /// (`|cap|.max(1.0) * EPS` — the exact expression the per-round scan
+    /// used to evaluate inline, so the comparison bits are unchanged).
+    sthr: Vec<f64>,
+    /// Local resources that crossed their saturation threshold this round.
+    newly_sat: Vec<usize>,
+    /// Per-local-resource count of still-active flows crossing it.
+    rcount: Vec<u32>,
+    /// Local resources with at least one active flow (`rcount > 0`),
+    /// pruned as flows freeze. Only these can change residual or weight,
+    /// so the per-round min/saturation scans are restricted to them.
+    live: Vec<usize>,
+    /// Flows to freeze this round, sorted ascending before processing so
+    /// the `weight_on` subtraction order matches the historical
+    /// all-active-flows `retain` scan bit for bit.
+    freeze: Vec<usize>,
     // --- resource interning (global index space) ---
     res_mark: Vec<u64>,
     res_local: Vec<usize>,
@@ -243,11 +266,20 @@ impl Solver {
     /// back through [`component_rates`](Solver::component_rates) and
     /// [`component_residuals`](Solver::component_residuals).
     ///
-    /// Each round scans only the component's resources and the still-active
-    /// capped flows (a compact worklist, not the whole flow set), so frozen
-    /// flows cost nothing after they freeze.
+    /// Each round scans the component's resources and the still-active
+    /// flows, then freezes flows through a resource→flow membership index:
+    /// only the members of resources that saturated *this* round are
+    /// examined, instead of re-scanning every active flow's whole path.
+    /// This is exact, not approximate — once a resource saturates, every
+    /// active flow crossing it freezes in that same round, so an active
+    /// flow can never cross a previously saturated resource. The freeze
+    /// list is sorted ascending before weights are retired, so the
+    /// floating-point subtraction order on `weight_on` (and hence every
+    /// dlevel and every rate) is bit-identical to the historical
+    /// scan-all-active-flows formulation.
     pub fn run_fill(&mut self) {
         let nf = self.weights.len();
+        let nr = self.lres.len();
         self.lrates.clear();
         self.lrates.resize(nf, 0.0);
         self.is_active.clear();
@@ -261,19 +293,70 @@ impl Solver {
             }
         }
         self.weight_on.clear();
-        self.weight_on.resize(self.lres.len(), 0.0);
+        self.weight_on.resize(nr, 0.0);
         for i in 0..nf {
             for k in self.roff[i]..self.roff[i + 1] {
                 self.weight_on[self.ridx[k]] += self.weights[i];
             }
         }
+        // Local resource→flow membership (CSR), ascending flow order within
+        // each resource because flows are visited in push order.
+        self.moff.clear();
+        self.moff.resize(nr + 1, 0);
+        for &r in &self.ridx {
+            self.moff[r + 1] += 1;
+        }
+        for r in 0..nr {
+            self.moff[r + 1] += self.moff[r];
+        }
+        self.mmemb.clear();
+        self.mmemb.resize(self.ridx.len(), 0);
+        self.mcur.clear();
+        self.mcur.extend_from_slice(&self.moff[..nr]);
+        for i in 0..nf {
+            for k in self.roff[i]..self.roff[i + 1] {
+                let r = self.ridx[k];
+                self.mmemb[self.mcur[r]] = i;
+                self.mcur[r] += 1;
+            }
+        }
+        self.sthr.clear();
+        self.sthr.extend(self.lcap.iter().map(|c| c.abs().max(1.0) * EPS));
+        // Active-flow occupancy per local resource: once a resource's last
+        // active flow freezes, its residual and weight can never change, so
+        // it drops out of the per-round scans. (Its leftover `weight_on` is
+        // cancellation dust far below `EPS` for any realistic weights, so
+        // the historical full scan skipped it too.)
+        self.rcount.clear();
+        self.rcount.resize(nr, 0);
+        for &r in &self.ridx {
+            self.rcount[r] += 1;
+        }
+        self.live.clear();
+        self.live.extend(0..nr);
 
         while !self.active.is_empty() {
-            // Largest increment before some resource saturates...
+            // Largest increment before some resource saturates. The exact
+            // division — the scan's dominant cost — only runs for genuine
+            // candidates: whenever `resid > bound * w` the quotient
+            // provably rounds to at least the running minimum (`bound`
+            // carries a relative margin of 1e-12, orders of magnitude
+            // above the 2^-53 product/quotient rounding), so skipping it
+            // cannot change the min and the result is bit-identical to
+            // dividing everywhere. `bound` stays infinite (screen off)
+            // until the running minimum is comfortably normal, keeping
+            // the margin argument valid for zero/negative/subnormal
+            // minima.
             let mut max_dlevel = f64::INFINITY;
-            for (r, &w) in self.weight_on.iter().enumerate() {
-                if w > EPS {
-                    max_dlevel = max_dlevel.min(self.lresid[r] / w);
+            let mut bound = f64::INFINITY;
+            for &r in &self.live {
+                let w = self.weight_on[r];
+                if w > EPS && self.lresid[r] <= bound * w {
+                    let q = self.lresid[r] / w;
+                    if q < max_dlevel {
+                        max_dlevel = q;
+                        bound = if q > 1e-300 { q * (1.0 + 1e-12) } else { f64::INFINITY };
+                    }
                 }
             }
             // ... or some still-active capped flow reaches its cap.
@@ -293,38 +376,73 @@ impl Solver {
             let dlevel = max_dlevel.max(0.0);
 
             // Apply the increment to every active flow, in ascending order.
+            // `w * dlevel` is hoisted per flow — the identical product the
+            // per-occurrence form computed, so every subtraction's bits
+            // are unchanged.
             for &i in &self.active {
-                self.lrates[i] += self.weights[i] * dlevel;
+                let wd = self.weights[i] * dlevel;
+                self.lrates[i] += wd;
                 for k in self.roff[i]..self.roff[i + 1] {
-                    self.lresid[self.ridx[k]] -= self.weights[i] * dlevel;
+                    self.lresid[self.ridx[k]] -= wd;
                 }
             }
 
-            // Freeze flows at their cap or on saturated resources. `retain`
-            // keeps ascending order, so later rounds accumulate in the same
-            // order as a from-scratch solve.
-            let mut active = std::mem::take(&mut self.active);
-            active.retain(|&i| {
-                let c = self.caps[i];
-                let capped = c.is_finite() && self.lrates[i] >= c - c.abs().max(1.0) * EPS;
-                let saturated = (self.roff[i]..self.roff[i + 1]).any(|k| {
-                    let r = self.ridx[k];
-                    self.lresid[r] <= self.lcap[r].abs().max(1.0) * EPS
-                });
-                if capped || saturated {
-                    self.is_active[i] = false;
-                    for k in self.roff[i]..self.roff[i + 1] {
-                        self.weight_on[self.ridx[k]] -= self.weights[i];
-                    }
-                    false
-                } else {
-                    true
+            // Resources that crossed their saturation threshold this round.
+            // Saturation is permanent, and a saturated resource's active
+            // flows all freeze below, emptying its occupancy — so it drops
+            // out of `live` this same round and can never be re-detected;
+            // no per-resource "already saturated" flag is needed.
+            self.newly_sat.clear();
+            for k in 0..self.live.len() {
+                let r = self.live[k];
+                if self.lresid[r] <= self.sthr[r] {
+                    self.newly_sat.push(r);
                 }
-            });
-            self.active = active;
-            let mut capped = std::mem::take(&mut self.capped);
-            capped.retain(|&i| self.is_active[i]);
-            self.capped = capped;
+            }
+
+            // Freeze flows at their cap or on a newly saturated resource,
+            // in ascending flow order.
+            self.freeze.clear();
+            for &i in &self.capped {
+                let c = self.caps[i];
+                if self.lrates[i] >= c - c.abs().max(1.0) * EPS {
+                    self.freeze.push(i);
+                }
+            }
+            for k in 0..self.newly_sat.len() {
+                let r = self.newly_sat[k];
+                for m in self.moff[r]..self.moff[r + 1] {
+                    let i = self.mmemb[m];
+                    if self.is_active[i] {
+                        self.freeze.push(i);
+                    }
+                }
+            }
+            self.freeze.sort_unstable();
+            self.freeze.dedup();
+            for k in 0..self.freeze.len() {
+                let i = self.freeze[k];
+                if !self.is_active[i] {
+                    continue;
+                }
+                self.is_active[i] = false;
+                for j in self.roff[i]..self.roff[i + 1] {
+                    let r = self.ridx[j];
+                    self.weight_on[r] -= self.weights[i];
+                    self.rcount[r] -= 1;
+                }
+            }
+            if !self.freeze.is_empty() {
+                let mut active = std::mem::take(&mut self.active);
+                active.retain(|&i| self.is_active[i]);
+                self.active = active;
+                let mut capped = std::mem::take(&mut self.capped);
+                capped.retain(|&i| self.is_active[i]);
+                self.capped = capped;
+                let mut live = std::mem::take(&mut self.live);
+                live.retain(|&r| self.rcount[r] > 0);
+                self.live = live;
+            }
         }
 
         // Clamp numerical dust.

@@ -91,13 +91,24 @@ impl PartialOrd for HeapEntry {
     }
 }
 
+/// Sentinel in the flat predecessor table: no predecessor link.
+const NO_PREV: u32 = u32::MAX;
+
 /// All-sources routing table over one topology.
+///
+/// Stored as two flat arrays indexed `src * n + node` (no per-source boxed
+/// rows): one cache-friendly predecessor table (`u32::MAX` = none) and one
+/// reachability bitmap. The per-source Dijkstra scratch (dist, done, heap)
+/// is reused across sources during construction.
 #[derive(Clone, Debug)]
 pub struct Routing {
-    /// `prev[src][node]` = link taken to reach `node` from its predecessor
-    /// on the best path from `src`.
-    prev: Vec<Vec<Option<LinkId>>>,
-    reachable: Vec<Vec<bool>>,
+    /// Node count (row stride of the flat tables).
+    n: usize,
+    /// `prev[src * n + node]` = id of the link taken to reach `node` from
+    /// its predecessor on the best path from `src`; [`NO_PREV`] if none.
+    prev: Vec<u32>,
+    /// `reachable[src * n + node]`.
+    reachable: Vec<bool>,
 }
 
 impl Routing {
@@ -113,26 +124,34 @@ impl Routing {
             debug_assert_eq!(up.len(), topo.link_count());
         }
         let n = topo.node_count();
-        let mut prev = Vec::with_capacity(n);
-        let mut reachable = Vec::with_capacity(n);
+        let mut table = Routing {
+            n,
+            prev: vec![NO_PREV; n * n],
+            reachable: vec![false; n * n],
+        };
+        let mut dist = vec![(u32::MAX, u64::MAX); n];
+        let mut done = vec![false; n];
+        let mut heap = BinaryHeap::new();
         for src in topo.node_ids() {
-            let (p, r) = Self::single_source(topo, src, up);
-            prev.push(p);
-            reachable.push(r);
+            table.single_source(topo, src, up, &mut dist, &mut done, &mut heap);
         }
-        Routing { prev, reachable }
+        table
     }
 
     fn single_source(
+        &mut self,
         topo: &Topology,
         src: NodeId,
         up: Option<&[bool]>,
-    ) -> (Vec<Option<LinkId>>, Vec<bool>) {
-        let n = topo.node_count();
-        let mut dist = vec![(u32::MAX, u64::MAX); n];
-        let mut prev: Vec<Option<LinkId>> = vec![None; n];
-        let mut done = vec![false; n];
-        let mut heap = BinaryHeap::new();
+        dist: &mut [(u32, u64)],
+        done: &mut [bool],
+        heap: &mut BinaryHeap<HeapEntry>,
+    ) {
+        let row = src.index() * self.n;
+        let prev = &mut self.prev[row..row + self.n];
+        dist.fill((u32::MAX, u64::MAX));
+        done.fill(false);
+        heap.clear();
         dist[src.index()] = (0, 0);
         heap.push(HeapEntry { hops: 0, latency_ns: 0, node: src });
 
@@ -159,19 +178,28 @@ impl Routing {
                 let cand = (hops + 1, latency_ns + l.latency.as_nanos());
                 if cand < dist[next.index()] {
                     dist[next.index()] = cand;
-                    prev[next.index()] = Some(link);
+                    prev[next.index()] = link.index() as u32;
                     heap.push(HeapEntry { hops: cand.0, latency_ns: cand.1, node: next });
                 }
             }
         }
-        let reach = dist.iter().map(|&(h, _)| h != u32::MAX).collect();
-        (prev, reach)
+        for (i, &(h, _)) in dist.iter().enumerate() {
+            self.reachable[row + i] = h != u32::MAX;
+        }
+    }
+
+    #[inline]
+    fn prev_link(&self, src: NodeId, node: NodeId) -> Option<LinkId> {
+        match self.prev[src.index() * self.n + node.index()] {
+            NO_PREV => None,
+            raw => Some(LinkId(raw)),
+        }
     }
 
     /// True if `dst` is reachable from `src` (respecting the no-forwarding
     /// rule for hosts).
     pub fn reachable(&self, src: NodeId, dst: NodeId) -> bool {
-        self.reachable[src.index()][dst.index()]
+        self.reachable[src.index() * self.n + dst.index()]
     }
 
     /// First hop out of `src` toward `dst`: `(link, next node)`. `None`
@@ -183,7 +211,7 @@ impl Routing {
         }
         let mut cur = dst;
         loop {
-            let link = self.prev[src.index()][cur.index()]?;
+            let link = self.prev_link(src, cur)?;
             let from = topo.link(link).opposite(cur);
             if from == src {
                 return Some((link, cur));
@@ -197,6 +225,26 @@ impl Routing {
     /// Both endpoints must be compute nodes; errors with
     /// [`NetError::NoRoute`] if disconnected.
     pub fn path(&self, topo: &Topology, src: NodeId, dst: NodeId) -> Result<Path> {
+        let mut path = Path { src, dst, hops: Vec::new(), nodes: Vec::new() };
+        self.path_into(topo, src, dst, &mut path)?;
+        Ok(path)
+    }
+
+    /// Write the routed path from `src` to `dst` into `out`, reusing its
+    /// hop and node buffers (the allocation-free variant of
+    /// [`path`](Self::path) the engine's steady-state flow admission uses).
+    /// On error `out` is left cleared.
+    pub fn path_into(
+        &self,
+        topo: &Topology,
+        src: NodeId,
+        dst: NodeId,
+        out: &mut Path,
+    ) -> Result<()> {
+        out.src = src;
+        out.dst = dst;
+        out.hops.clear();
+        out.nodes.clear();
         topo.try_node(src)?;
         topo.try_node(dst)?;
         if topo.node(src).kind != NodeKind::Compute {
@@ -206,26 +254,27 @@ impl Routing {
             return Err(NetError::NotComputeNode(dst));
         }
         if src == dst {
-            return Ok(Path { src, dst, hops: Vec::new(), nodes: vec![src] });
+            out.nodes.push(src);
+            return Ok(());
         }
         if !self.reachable(src, dst) {
             return Err(NetError::NoRoute { src, dst });
         }
-        let mut hops_rev = Vec::new();
-        let mut nodes_rev = vec![dst];
+        // Walk predecessors dst -> src, then reverse in place.
+        out.nodes.push(dst);
         let mut cur = dst;
         while cur != src {
-            let link = self.prev[src.index()][cur.index()]
+            let link = self.prev_link(src, cur)
                 .ok_or_else(|| NetError::Internal(format!("routing table corrupt at {cur:?}")))?;
             let l = topo.link(link);
             let from = l.opposite(cur);
-            hops_rev.push(DirLink { link, dir: l.direction_from(from) });
-            nodes_rev.push(from);
+            out.hops.push(DirLink { link, dir: l.direction_from(from) });
+            out.nodes.push(from);
             cur = from;
         }
-        hops_rev.reverse();
-        nodes_rev.reverse();
-        Ok(Path { src, dst, hops: hops_rev, nodes: nodes_rev })
+        out.hops.reverse();
+        out.nodes.reverse();
+        Ok(())
     }
 }
 

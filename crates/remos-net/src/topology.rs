@@ -199,8 +199,12 @@ impl Link {
 pub struct Topology {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    /// adjacency: for each node, the (link, neighbor) pairs.
-    adj: Vec<Vec<(LinkId, NodeId)>>,
+    /// CSR adjacency offsets, length `node_count + 1`: node `n`'s incident
+    /// `(link, neighbor)` pairs live at `adj[adj_off[n]..adj_off[n+1]]`.
+    adj_off: Vec<u32>,
+    /// Concatenated `(link, neighbor)` pairs for all nodes, in link order
+    /// within each node (one flat arena instead of a boxed list per node).
+    adj: Vec<(LinkId, NodeId)>,
     names: BTreeMap<String, NodeId>,
 }
 
@@ -266,13 +270,15 @@ impl Topology {
     /// `(link, neighbor)` pairs incident to `n`.
     #[inline]
     pub fn neighbors(&self, n: NodeId) -> &[(LinkId, NodeId)] {
-        &self.adj[n.index()]
+        let i = n.index();
+        &self.adj[self.adj_off[i] as usize..self.adj_off[i + 1] as usize]
     }
 
     /// Degree of a node.
     #[inline]
     pub fn degree(&self, n: NodeId) -> usize {
-        self.adj[n.index()].len()
+        let i = n.index();
+        (self.adj_off[i + 1] - self.adj_off[i]) as usize
     }
 
     /// All compute-node ids, in id order.
@@ -445,13 +451,27 @@ impl TopologyBuilder {
         if let Some(e) = self.errors.into_iter().next() {
             return Err(e);
         }
-        let mut adj = vec![Vec::new(); self.nodes.len()];
+        // Two-pass CSR build: count degrees, prefix-sum, scatter in link
+        // order (matching the per-node push order of the old boxed lists).
+        let n = self.nodes.len();
+        let mut adj_off = vec![0u32; n + 1];
+        for l in &self.links {
+            adj_off[l.a.index() + 1] += 1;
+            adj_off[l.b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            adj_off[i + 1] += adj_off[i];
+        }
+        let mut cur: Vec<u32> = adj_off[..n].to_vec();
+        let mut adj = vec![(LinkId(0), NodeId(0)); self.links.len() * 2];
         for (i, l) in self.links.iter().enumerate() {
             let id = LinkId(i as u32);
-            adj[l.a.index()].push((id, l.b));
-            adj[l.b.index()].push((id, l.a));
+            adj[cur[l.a.index()] as usize] = (id, l.b);
+            cur[l.a.index()] += 1;
+            adj[cur[l.b.index()] as usize] = (id, l.a);
+            cur[l.b.index()] += 1;
         }
-        Ok(Topology { nodes: self.nodes, links: self.links, adj, names: self.names })
+        Ok(Topology { nodes: self.nodes, links: self.links, adj_off, adj, names: self.names })
     }
 }
 

@@ -167,7 +167,7 @@ mod tests {
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].kind, TraceKind::SpanStart);
         assert_eq!(recs[1].kind, TraceKind::SpanEnd);
-        assert_eq!(recs[1].attrs, vec![("flows", 7)]);
+        assert_eq!(recs[1].attrs(), &[("flows", 7)]);
     }
 
     #[test]

@@ -49,6 +49,12 @@ impl TraceKind {
     }
 }
 
+/// Most attributes a single record keeps (extras are dropped, and
+/// excluded from the digest, so stored and fingerprinted attributes
+/// always agree). Inline storage keeps the hot recording path — one
+/// span per rate recomputation — free of heap allocation.
+pub const MAX_TRACE_ATTRS: usize = 4;
+
 /// One recorded span boundary or event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceRecord {
@@ -60,8 +66,15 @@ pub struct TraceRecord {
     pub name: &'static str,
     /// Injected timestamp in nanoseconds (simulated time in-repo).
     pub t_nanos: u64,
+    attrs: [(&'static str, u64); MAX_TRACE_ATTRS],
+    attrs_len: u8,
+}
+
+impl TraceRecord {
     /// Structured attributes (static keys, integer values).
-    pub attrs: Vec<(&'static str, u64)>,
+    pub fn attrs(&self) -> &[(&'static str, u64)] {
+        &self.attrs[..usize::from(self.attrs_len)]
+    }
 }
 
 /// Bounded trace sink with an incremental FNV-1a digest.
@@ -81,10 +94,13 @@ impl Default for TraceRecorder {
 
 impl TraceRecorder {
     /// Recorder keeping at most `capacity` records (digest is unbounded).
+    /// The ring is allocated up front so recording never touches the
+    /// heap — spans are emitted from the engine's steady-state hot path.
     pub fn new(capacity: usize) -> TraceRecorder {
+        let capacity = capacity.max(1);
         TraceRecorder {
-            capacity: capacity.max(1),
-            buf: VecDeque::new(),
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
             next_seq: 0,
             digest: FNV_OFFSET,
         }
@@ -111,6 +127,7 @@ impl TraceRecorder {
     ) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        let attrs = &attrs[..attrs.len().min(MAX_TRACE_ATTRS)];
         self.fold_u64(kind.tag());
         self.fold_bytes(name.as_bytes());
         self.fold_u64(t_nanos);
@@ -121,12 +138,15 @@ impl TraceRecorder {
         if self.buf.len() == self.capacity {
             self.buf.pop_front();
         }
+        let mut stored = [("", 0u64); MAX_TRACE_ATTRS];
+        stored[..attrs.len()].copy_from_slice(attrs);
         self.buf.push_back(TraceRecord {
             seq,
             kind,
             name,
             t_nanos,
-            attrs: attrs.to_vec(),
+            attrs: stored,
+            attrs_len: attrs.len() as u8,
         });
         seq
     }
