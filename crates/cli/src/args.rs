@@ -21,6 +21,7 @@ const VALUED: &[&str] = &[
     "--duration", "--format", "--repeat", "--batch",
     "--requests", "--tenants", "--count", "--seed", "--deadline", "--kill", "--gap",
     "--rate", "--burst", "--queue-depth",
+    "--flows", "--synth", "--horizon",
 ];
 
 /// Bare flags.

@@ -3,8 +3,9 @@
 use crate::args::{parse_pair, parse_pair_value, Parsed};
 use remos_apps::scenario::{Scenario, TrafficSpec};
 use remos_apps::TestbedHarness;
-use remos_core::{FlowInfoRequest, Query, QueryResult, QuerySpec, Timeframe};
-use remos_net::{mbps, SimDuration};
+use remos_core::{FlowInfoRequest, HypotheticalFlow, Query, QueryResult, QuerySpec, Timeframe};
+use remos_net::fabric::{synth_workload_over, FlowSizeEcdf, WorkloadSpec};
+use remos_net::{mbps, SimDuration, SimTime};
 use std::io::Write;
 use std::time::Instant;
 
@@ -352,6 +353,127 @@ pub fn query(p: &Parsed, out: &mut dyn Write) -> CmdResult {
         c("modeler_plan_cache_evictions_total")
     )
     .map_err(io_err)?;
+    Ok(())
+}
+
+/// Parse `--synth seed,n,load`.
+fn parse_synth(s: &str) -> Result<(u64, usize, f64), String> {
+    let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+    match parts.as_slice() {
+        [seed, n, load] => {
+            let seed: u64 = seed.parse().map_err(|_| "--synth: bad seed".to_string())?;
+            let n: usize = n.parse().map_err(|_| "--synth: bad flow count".to_string())?;
+            let load: f64 = load.parse().map_err(|_| "--synth: bad load".to_string())?;
+            if n == 0 {
+                return Err("--synth: flow count must be >= 1".into());
+            }
+            if !(load > 0.0 && load.is_finite()) {
+                return Err("--synth: load must be positive".into());
+            }
+            Ok((seed, n, load))
+        }
+        _ => Err(format!("--synth: expected seed,n,load, got {s:?}")),
+    }
+}
+
+/// `remos-sim whatif`
+///
+/// Estimate flow completion times for a hypothetical workload against
+/// the live snapshot: flows come from a JSON file (`--flows`, an array
+/// of `{src, dst, size_bytes[, arrival]}`) or are synthesized
+/// deterministically over the scenario's hosts (`--synth seed,n,load`).
+pub fn whatif(p: &Parsed, out: &mut dyn Write) -> CmdResult {
+    let mut h = harness(p)?;
+    let flows: Vec<HypotheticalFlow> = match (p.get("--flows"), p.get("--synth")) {
+        (Some(_), Some(_)) => return Err("--flows and --synth are mutually exclusive".into()),
+        (None, None) => {
+            return Err("whatif needs --flows FILE.json or --synth seed,n,load".into())
+        }
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read flows {path:?}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("bad flow file {path:?}: {e}"))?
+        }
+        (None, Some(spec)) => {
+            let (seed, n, load) = parse_synth(spec)?;
+            h.adapter.remos_mut().refresh_topology().map_err(|e| e.to_string())?;
+            let topo =
+                h.adapter.remos_mut().collector().topology().map_err(|e| e.to_string())?;
+            let hosts = topo.compute_nodes();
+            // Calibrate the offered load against the slowest access link
+            // in the pool so `load` reads as a fraction of line rate.
+            let access = hosts
+                .iter()
+                .flat_map(|&hid| {
+                    topo.neighbors(hid).iter().map(|&(l, _)| topo.link(l).capacity)
+                })
+                .fold(f64::INFINITY, f64::min);
+            let ecdf = FlowSizeEcdf::web_search();
+            let spec = WorkloadSpec::new(seed, n, load);
+            synth_workload_over(&hosts, 1, 1, access, &ecdf, &spec)
+                .map_err(|e| e.to_string())?
+                .into_iter()
+                .map(|w| {
+                    HypotheticalFlow::new(
+                        topo.node(w.src).name.clone(),
+                        topo.node(w.dst).name.clone(),
+                        w.size_bytes,
+                    )
+                    .at(w.arrival)
+                })
+                .collect()
+        }
+    };
+
+    let tf = timeframe(p)?;
+    let mut q = Query::estimate_fcts(flows).timeframe(tf);
+    if let Some(hz) = p.get("--horizon") {
+        let s: f64 = hz.parse().map_err(|_| "--horizon: not a number".to_string())?;
+        q = q.horizon(SimTime::from_secs_f64(s));
+    }
+    let report = h
+        .adapter
+        .remos_mut()
+        .run(q)
+        .and_then(QueryResult::into_fcts)
+        .map_err(|e| e.to_string())?;
+
+    if p.flag("--json") {
+        let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        writeln!(out, "{json}").map_err(io_err)?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "what-if: {} flow(s), {} completed",
+        report.flows.len(),
+        report.completed_count()
+    )
+    .map_err(io_err)?;
+    if let Some(prov) = &report.provenance {
+        writeln!(
+            out,
+            "  provenance: {} snapshot(s), worst quality {:?}, solver {}",
+            prov.snapshots, prov.worst_quality, prov.solver
+        )
+        .map_err(io_err)?;
+    }
+    let ms = |d: Option<SimDuration>| d.map_or(f64::NAN, |d| d.as_secs_f64() * 1e3);
+    writeln!(
+        out,
+        "  fct ms: p50 {:.3}  p90 {:.3}  p99 {:.3}  max {:.3}",
+        ms(report.fct_quantile(0.5)),
+        ms(report.fct_quantile(0.9)),
+        ms(report.fct_quantile(0.99)),
+        ms(report.fct_quantile(1.0)),
+    )
+    .map_err(io_err)?;
+    if let Some(s) = report.mean_slowdown() {
+        writeln!(out, "  mean slowdown: {s:.3}").map_err(io_err)?;
+    }
+    writeln!(out, "  replay: {} step(s), {} solve(s)", report.replay_steps, report.solves)
+        .map_err(io_err)?;
+    writeln!(out, "  fct digest: {:016x}", report.fct_digest).map_err(io_err)?;
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! remos-sim topology --scenario cmu
 //! remos-sim graph    --scenario cmu --nodes m-1,m-4,m-8 --warmup 2
 //! remos-sim flows    --scenario cmu --fixed m-1:m-8:2 --independent m-2:m-7
+//! remos-sim whatif   --scenario fig4 --synth 7,64,0.2 --window 1
 //! remos-sim select   --scenario fig4 --pool m-1,...,m-8 --start m-4 -k 4
 //! remos-sim run      --scenario cmu --app fft:512:4 --nodes m-4,m-5,m-6,m-7
 //! remos-sim run      --scenario fig4 --app airshed:8:10 --nodes m-4,m-5,m-6,m-7,m-8 --adaptive
@@ -35,6 +36,7 @@ pub fn run(argv: &[String], out: &mut dyn Write) -> Result<(), String> {
         "graph" => commands::graph(&parsed, out),
         "query" => commands::query(&parsed, out),
         "flows" => commands::flows(&parsed, out),
+        "whatif" => commands::whatif(&parsed, out),
         "select" => commands::select(&parsed, out),
         "run" => commands::run_app(&parsed, out),
         "watch" => commands::watch(&parsed, out),
@@ -60,6 +62,7 @@ COMMANDS:
   graph     remos_get_graph over a node set
   query     repeated / batched graph queries with plan-cache statistics
   flows     remos_flow_info (fixed/variable/independent flow classes)
+  whatif    estimate flow completion times for a hypothetical workload
   select    Remos-driven node selection (greedy clustering, §7.2)
   run       execute an application model on chosen nodes
   watch     sample available bandwidth of a pair over time
@@ -82,6 +85,10 @@ COMMAND OPTIONS:
   flows:   --fixed src:dst:MBPS     (repeatable)
            --variable src:dst:WEIGHT (repeatable)
            --independent src:dst
+  whatif:  --flows FILE.json | --synth SEED,N,LOAD
+           [--window S | --future S] [--horizon S] [--json]
+           (flow file: JSON array of {src, dst, size_bytes[, arrival]};
+            --synth draws N flows at fractional load LOAD, seeded)
   select:  --pool a,b,c --start a -k N
   run:     --app fft:N:P | airshed:P[:ITERS]
            --nodes a,b,...          [--adaptive [--pool a,b,...]]
@@ -214,6 +221,68 @@ mod tests {
         assert!(out.contains("fixed"), "{out}");
         assert!(out.contains("satisfied"), "{out}");
         assert!(out.contains("independent"), "{out}");
+    }
+
+    #[test]
+    fn whatif_synth_is_seed_deterministic() {
+        let args = ["whatif", "--scenario", "cmu", "--synth", "7,16,0.2"];
+        let a = call(&args).unwrap();
+        let b = call(&args).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("what-if: 16 flow(s), 16 completed"), "{a}");
+        assert!(a.contains("fct ms: p50"), "{a}");
+        assert!(a.contains("fct digest:"), "{a}");
+        assert!(a.contains("solver whatif-replay/epoch"), "{a}");
+    }
+
+    #[test]
+    fn whatif_background_traffic_slows_flows() {
+        // fig4's greedy m-6 -> m-8 traffic saturates the backbone, so
+        // the same seeded workload must lose flows to the horizon that
+        // complete easily on the idle testbed.
+        let idle = call(&[
+            "whatif", "--scenario", "cmu", "--synth", "3,8,0.1", "--horizon", "100",
+        ])
+        .unwrap();
+        let busy = call(&[
+            "whatif", "--scenario", "fig4", "--synth", "3,8,0.1", "--horizon", "100",
+        ])
+        .unwrap();
+        assert!(idle.contains("what-if: 8 flow(s), 8 completed"), "{idle}");
+        assert!(busy.contains("what-if: 8 flow(s), 4 completed"), "{busy}");
+        let digest = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("fct digest:"))
+                .map(str::to_string)
+                .expect("digest line")
+        };
+        assert_ne!(digest(&idle), digest(&busy));
+    }
+
+    #[test]
+    fn whatif_horizon_cuts_flows_off() {
+        // A vanishingly small horizon leaves every flow incomplete.
+        let out = call(&[
+            "whatif", "--scenario", "cmu", "--synth", "7,16,0.2", "--horizon", "0.000001",
+        ])
+        .unwrap();
+        assert!(out.contains("what-if: 16 flow(s), 0 completed"), "{out}");
+    }
+
+    #[test]
+    fn whatif_bad_inputs_error() {
+        // Needs exactly one of --flows / --synth.
+        assert!(call(&["whatif", "--scenario", "cmu"]).is_err());
+        assert!(call(&[
+            "whatif", "--scenario", "cmu", "--flows", "x.json", "--synth", "1,2,0.5",
+        ])
+        .is_err());
+        assert!(call(&["whatif", "--scenario", "cmu", "--flows", "/nonexistent.json"]).is_err());
+        // Malformed --synth triples.
+        assert!(call(&["whatif", "--scenario", "cmu", "--synth", "1,2"]).is_err());
+        assert!(call(&["whatif", "--scenario", "cmu", "--synth", "1,0,0.5"]).is_err());
+        assert!(call(&["whatif", "--scenario", "cmu", "--synth", "1,2,-1"]).is_err());
+        assert!(call(&["whatif", "--scenario", "cmu", "--synth", "a,b,c"]).is_err());
     }
 
     #[test]

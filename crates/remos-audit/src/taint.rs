@@ -524,6 +524,23 @@ mod tests {
     }
 
     #[test]
+    fn fct_digest_inputs_are_a_taint_sink() {
+        // The what-if kernel's `fct_digest` is covered by the `digest`
+        // name rule: hash-ordered iteration feeding it is a finding.
+        let w = ws(&[(
+            "crates/remos-net/src/whatif.rs",
+            "fn f(m: &HashMap<u32, u64>) -> u64 {
+                let sizes: Vec<u64> = m.values().copied().collect();
+                fct_digest(&sizes)
+            }
+            fn fct_digest(v: &[u64]) -> u64 { 0 }",
+        )]);
+        let got = analyze(&w);
+        assert_eq!(got.len(), 1, "got: {got:?}");
+        assert_eq!(got[0].rule, "determinism-taint");
+    }
+
+    #[test]
     fn sorted_values_are_clean() {
         let w = ws(&[(
             "crates/remos-core/src/x.rs",

@@ -26,8 +26,9 @@ use crate::modeler::plan::QueryPlan;
 use crate::modeler::{pool, Modeler, ModelerConfig, SelectedSamples};
 use crate::provenance::Provenance;
 use crate::quality::DataQuality;
-use crate::query::{FlowQuery, GraphQuery, QueryResult, QuerySpec, ReachableQuery};
+use crate::query::{FlowQuery, GraphQuery, QueryResult, QuerySpec, ReachableQuery, WhatIfQuery};
 use crate::timeframe::Timeframe;
+use crate::whatif::HypotheticalFlow;
 use remos_net::{SimDuration, SimTime};
 use remos_obs::{Counter, Histogram, Obs};
 use std::collections::BTreeMap;
@@ -58,6 +59,9 @@ struct RemosMetrics {
     flow_queries: Counter,
     rejected_queries: Counter,
     batch_size: Histogram,
+    whatif_flows_estimated: Counter,
+    whatif_replay_steps: Counter,
+    whatif_batch: Histogram,
 }
 
 impl RemosMetrics {
@@ -67,6 +71,9 @@ impl RemosMetrics {
             flow_queries: obs.counter("remos_flow_queries_total"),
             rejected_queries: obs.counter("remos_rejected_queries_total"),
             batch_size: obs.histogram("remos_batch_size"),
+            whatif_flows_estimated: obs.counter("whatif_flows_estimated_total"),
+            whatif_replay_steps: obs.counter("whatif_replay_steps_total"),
+            whatif_batch: obs.histogram("remos_whatif_batch"),
         }
     }
 }
@@ -85,6 +92,11 @@ enum BatchJob {
         plan: Arc<QueryPlan>,
         selected: Arc<SelectedSamples>,
         q: FlowQuery,
+    },
+    WhatIf {
+        plan: Arc<QueryPlan>,
+        selected: Arc<SelectedSamples>,
+        q: WhatIfQuery,
     },
 }
 
@@ -122,6 +134,7 @@ fn mark_answer(result: &mut QueryResult, source: &str, degraded: bool) {
             }
         }
         QueryResult::Peers(_) => {}
+        QueryResult::Fcts(r) => mark(&mut r.provenance),
     }
 }
 
@@ -369,6 +382,30 @@ impl Remos {
                 }
                 QueryResult::Flows(resp)
             }
+            QuerySpec::WhatIf(q) => {
+                self.obs_metrics.whatif_batch.observe(q.flows.len() as u64);
+                if q.flows.is_empty() {
+                    return Err(InvalidQueryKind::EmptyFlowSet.into());
+                }
+                // Validate before measuring, so malformed flow sets cost
+                // no measurement time (same order as the flows arm).
+                let names = Self::whatif_plan_names(&q.flows)?;
+                budget.check(self.measured_now())?;
+                self.provide_samples(q.timeframe, mode)?;
+                budget.check(self.measured_now())?;
+                self.check_whatif_hosts(&names)?;
+                let plan = self.modeler.plan_for(&*self.collector, &names)?;
+                let selected = self.modeler.select_samples(
+                    &*self.collector,
+                    plan.topo.dir_link_count(),
+                    q.timeframe,
+                )?;
+                budget.check(self.measured_now())?;
+                let report = self.modeler.whatif_answer(&plan, &selected, &q)?;
+                self.obs_metrics.whatif_flows_estimated.add(report.flows.len() as u64);
+                self.obs_metrics.whatif_replay_steps.add(report.replay_steps);
+                QueryResult::Fcts(report)
+            }
             QuerySpec::Reachable(q) => self.answer_reachable(&q)?,
         };
         mark_answer(&mut res, &self.collector.describe(), degraded);
@@ -509,6 +546,7 @@ impl Remos {
             let tf = match s {
                 QuerySpec::Graph(q) if !q.nodes.is_empty() => Some(q.timeframe),
                 QuerySpec::Flows(q) if q.request.flow_count() > 0 => Some(q.timeframe),
+                QuerySpec::WhatIf(q) if !q.flows.is_empty() => Some(q.timeframe),
                 _ => None,
             };
             if let Some(tf) = tf {
@@ -581,6 +619,23 @@ impl Remos {
                         Err(e) => results[i] = Some(Err(e)),
                     }
                 }
+                QuerySpec::WhatIf(q) => {
+                    self.obs_metrics.whatif_batch.observe(q.flows.len() as u64);
+                    if q.flows.is_empty() {
+                        results[i] = Some(Err(InvalidQueryKind::EmptyFlowSet.into()));
+                        continue;
+                    }
+                    let prepared = Self::whatif_plan_names(&q.flows).and_then(|names| {
+                        self.check_whatif_hosts(&names)?;
+                        let plan = self.modeler.plan_for(&*self.collector, &names)?;
+                        let selected = self.selection_for(q.timeframe, &mut selections)?;
+                        Ok(BatchJob::WhatIf { plan, selected, q })
+                    });
+                    match prepared {
+                        Ok(job) => jobs.push((i, job)),
+                        Err(e) => results[i] = Some(Err(e)),
+                    }
+                }
                 QuerySpec::Reachable(q) => {
                     results[i] = Some(self.answer_reachable(&q));
                 }
@@ -627,6 +682,12 @@ impl Remos {
                         }
                         Ok(QueryResult::Flows(resp))
                     }),
+                BatchJob::WhatIf { plan, selected, q } => {
+                    // min_quality and provenance stripping live inside
+                    // `whatif_answer` — the replay's quality depends on
+                    // snapshot-wide data the answer does not carry.
+                    modeler.whatif_answer(plan, selected, q).map(QueryResult::Fcts)
+                }
             },
         );
         for ((i, _), r) in jobs.iter().zip(answers) {
@@ -643,7 +704,13 @@ impl Remos {
             .collect();
         for r in out.iter_mut() {
             match r {
-                Ok(res) => mark_answer(res, &source, false),
+                Ok(res) => {
+                    if let QueryResult::Fcts(rep) = res {
+                        self.obs_metrics.whatif_flows_estimated.add(rep.flows.len() as u64);
+                        self.obs_metrics.whatif_replay_steps.add(rep.replay_steps);
+                    }
+                    mark_answer(res, &source, false);
+                }
                 Err(_) => self.obs_metrics.rejected_queries.inc(),
             }
         }
@@ -682,6 +749,41 @@ impl Remos {
             }
         }
         Ok(names)
+    }
+
+    /// Canonical endpoint name set of a what-if flow set, with the same
+    /// validation order as [`Remos::flow_plan_names`]: degenerate flows
+    /// are rejected before any measurement time is spent.
+    fn whatif_plan_names(flows: &[HypotheticalFlow]) -> CoreResult<Vec<String>> {
+        for f in flows {
+            if f.src == f.dst {
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::IdenticalEndpoints {
+                    node: f.src.clone(),
+                }));
+            }
+        }
+        let mut names: Vec<String> =
+            flows.iter().flat_map(|f| [f.src.clone(), f.dst.clone()]).collect();
+        names.sort();
+        names.dedup();
+        Ok(names)
+    }
+
+    /// Reject what-if endpoints that name switches before planning: the
+    /// replay routes host-to-host, so a router endpoint would otherwise
+    /// surface as a confusing [`RemosError::Disconnected`] from the
+    /// planner instead of the typed [`InvalidQueryKind::NotAHost`].
+    fn check_whatif_hosts(&self, names: &[String]) -> CoreResult<()> {
+        let topo = self.collector.topology()?;
+        for n in names {
+            let id = topo.lookup(n).map_err(|_| RemosError::UnknownNode(n.clone()))?;
+            if topo.node(id).kind != remos_net::topology::NodeKind::Compute {
+                return Err(RemosError::InvalidQuery(InvalidQueryKind::NotAHost {
+                    node: n.clone(),
+                }));
+            }
+        }
+        Ok(())
     }
 
     /// The simple host compute/memory interface (§2).
@@ -1103,6 +1205,129 @@ mod tests {
         assert_eq!(obs.counter("remos_rejected_queries_total").get(), 1);
         // The shared handle also carries the collector's poll counter.
         assert!(obs.counter("collector_polls_total").get() >= 2);
+    }
+
+    #[test]
+    fn whatif_query_estimates_fcts() {
+        use remos_net::SimTime;
+        let (mut remos, _sim) = full_stack();
+        let obs = Obs::new();
+        remos.set_obs(obs.clone());
+        // 1.25 MB at the 100 Mbps line rate: 0.1 s ideal FCT each; the
+        // arrivals are staggered so the two flows never contend.
+        let report = remos
+            .run(Query::estimate_fcts([
+                HypotheticalFlow::new("m-1", "m-3", 1_250_000),
+                HypotheticalFlow::new("m-2", "m-4", 1_250_000).at(SimTime::from_secs(1)),
+            ]))
+            .unwrap()
+            .into_fcts()
+            .unwrap();
+        assert_eq!(report.flows.len(), 2);
+        assert_eq!(report.completed_count(), 2);
+        for f in &report.flows {
+            let fct = f.fct.as_secs_f64();
+            assert!((fct - 0.1).abs() < 0.01, "fct {fct}");
+            assert!(f.slowdown < 1.01, "slowdown {}", f.slowdown);
+        }
+        assert!(report.flows[1].started >= SimTime::from_secs(1));
+        let p = report.provenance.as_ref().expect("provenance attached by default");
+        assert!(p.solver.contains("whatif-replay/epoch"), "{}", p.solver);
+        assert_eq!(p.scope, 2);
+        assert_eq!(obs.counter("whatif_flows_estimated_total").get(), 2);
+        assert!(obs.counter("whatif_replay_steps_total").get() >= 2);
+
+        let stripped = remos
+            .run(Query::estimate_fcts([HypotheticalFlow::new("m-1", "m-3", 1_000)])
+                .without_provenance())
+            .unwrap()
+            .into_fcts()
+            .unwrap();
+        assert!(stripped.provenance.is_none());
+    }
+
+    #[test]
+    fn whatif_accounts_for_background_utilization() {
+        let (mut remos, sim) = full_stack();
+        let flow = || Query::estimate_fcts([HypotheticalFlow::new("m-2", "m-4", 1_250_000)]);
+        let idle = remos.run(flow()).unwrap().into_fcts().unwrap();
+        {
+            let mut s = sim.lock();
+            let topo = s.topology_arc();
+            let m1 = topo.lookup("m-1").unwrap();
+            let m3 = topo.lookup("m-3").unwrap();
+            s.start_flow(FlowParams::cbr(m1, m3, mbps(60.0))).unwrap();
+            s.run_for(SimDuration::from_secs(1)).unwrap();
+        }
+        let busy = remos.run(flow()).unwrap().into_fcts().unwrap();
+        // The hypothetical m-2 -> m-4 flow shares the backbone with the
+        // 60 Mbps stream: ~40 Mbps left, so the estimate is ~2.5x slower.
+        let i = idle.flows[0].fct.as_secs_f64();
+        let b = busy.flows[0].fct.as_secs_f64();
+        assert!(b > i * 2.0, "busy {b} vs idle {i}");
+    }
+
+    #[test]
+    fn whatif_rejects_malformed_flow_sets() {
+        let (mut remos, sim) = full_stack();
+        let t0 = sim.lock().now();
+        assert!(matches!(
+            remos.run(Query::estimate_fcts(Vec::<HypotheticalFlow>::new())),
+            Err(RemosError::InvalidQuery(k)) if k.is_empty_set()
+        ));
+        assert!(matches!(
+            remos.run(Query::estimate_fcts([HypotheticalFlow::new("m-1", "m-1", 10)])),
+            Err(RemosError::InvalidQuery(InvalidQueryKind::IdenticalEndpoints { .. }))
+        ));
+        // Both rejected before any measurement time was consumed.
+        assert_eq!(sim.lock().now(), t0);
+        assert!(matches!(
+            remos.run(Query::estimate_fcts([HypotheticalFlow::new("m-1", "nope", 10)])),
+            Err(RemosError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            remos.run(Query::estimate_fcts([HypotheticalFlow::new("m-1", "aspen", 10)])),
+            Err(RemosError::InvalidQuery(InvalidQueryKind::NotAHost { .. }))
+        ));
+    }
+
+    #[test]
+    fn run_batch_whatif_matches_sequential() {
+        use remos_net::SimTime;
+        // What-if entries answered from one pinned batch selection must
+        // be bit-identical to the same queries run sequentially from the
+        // same history state. Window timeframes keep the sequential runs
+        // from consuming extra measurement time.
+        let tf = Timeframe::Window(SimDuration::from_secs(2));
+        let specs = |n: usize| -> Vec<QuerySpec> {
+            (0..n)
+                .map(|i| {
+                    let (src, dst) =
+                        if i % 2 == 0 { ("m-1", "m-3") } else { ("m-2", "m-4") };
+                    Query::estimate_fcts([
+                        HypotheticalFlow::new(src, dst, 500_000 * (i as u64 + 1)),
+                        HypotheticalFlow::new(dst, src, 250_000)
+                            .at(SimTime::from_millis(50)),
+                    ])
+                    .timeframe(tf)
+                    .into()
+                })
+                .collect()
+        };
+        let (mut batch_remos, _bsim) = full_stack();
+        let batch = batch_remos.run_batch(specs(6));
+        let (mut seq_remos, _sim) = full_stack();
+        let seq: Vec<CoreResult<QueryResult>> =
+            specs(6).into_iter().map(|s| seq_remos.run(s)).collect();
+        assert_eq!(batch.len(), 6);
+        for (b, s) in batch.iter().zip(&seq) {
+            let (br, sr) = match (b, s) {
+                (Ok(QueryResult::Fcts(br)), Ok(QueryResult::Fcts(sr))) => (br, sr),
+                other => panic!("unexpected batch/sequential results: {other:?}"),
+            };
+            assert_eq!(br.fct_digest, sr.fct_digest);
+            assert_eq!(br.flows, sr.flows);
+        }
     }
 
     #[test]

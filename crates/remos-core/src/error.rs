@@ -43,6 +43,8 @@ pub enum InvalidQueryKind {
     /// An adaptive application was configured with an empty rate
     /// ladder, so there is no rate to run at.
     EmptyRateLadder,
+    /// `estimate_fcts` was asked about zero hypothetical flows.
+    EmptyFlowSet,
 }
 
 impl InvalidQueryKind {
@@ -62,6 +64,7 @@ impl InvalidQueryKind {
             InvalidQueryKind::EmptyNodeSet
                 | InvalidQueryKind::EmptyFlowRequest
                 | InvalidQueryKind::EmptyRateLadder
+                | InvalidQueryKind::EmptyFlowSet
         )
     }
 }
@@ -85,6 +88,7 @@ impl fmt::Display for InvalidQueryKind {
                 write!(f, "current set size {current} vs pool {pool}")
             }
             InvalidQueryKind::EmptyRateLadder => write!(f, "empty rate ladder"),
+            InvalidQueryKind::EmptyFlowSet => write!(f, "empty what-if flow set"),
         }
     }
 }

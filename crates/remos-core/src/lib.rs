@@ -77,6 +77,7 @@ pub mod quality;
 pub mod query;
 pub mod stats;
 pub mod timeframe;
+pub mod whatif;
 
 pub use api::{Remos, RemosConfig};
 pub use budget::QueryBudget;
@@ -89,6 +90,7 @@ pub use quality::DataQuality;
 pub use query::{Query, QueryResult, QuerySpec};
 pub use stats::Quartiles;
 pub use timeframe::Timeframe;
+pub use whatif::{FctReport, FlowFct, HypotheticalFlow};
 
 /// Everything a query-writing application needs, in one import:
 /// `use remos_core::prelude::*;`.
@@ -100,4 +102,5 @@ pub mod prelude {
     pub use crate::quality::DataQuality;
     pub use crate::query::{Query, QueryResult, QuerySpec};
     pub use crate::timeframe::Timeframe;
+    pub use crate::whatif::{FctReport, FlowFct, HypotheticalFlow};
 }

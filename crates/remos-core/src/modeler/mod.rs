@@ -871,4 +871,102 @@ impl Modeler {
         };
         Ok(FlowInfoResponse { fixed, variable, independent })
     }
+
+    /// Answer a what-if query over one sample selection. Pure — no
+    /// collector or clock access. Endpoint names resolve against the
+    /// plan's frozen topology (a plan-cache hit therefore skips routing
+    /// entirely), the newest selected snapshot supplies per-interface
+    /// background utilization, and `remos_net::whatif` replays the fluid
+    /// max-min schedule on a scratch arena.
+    pub(crate) fn whatif_answer(
+        &self,
+        plan: &QueryPlan,
+        selected: &SelectedSamples,
+        q: &crate::query::WhatIfQuery,
+    ) -> CoreResult<crate::whatif::FctReport> {
+        use crate::whatif::{FctReport, FlowFct};
+        use remos_net::topology::NodeKind;
+        use remos_net::whatif::{WhatIfEngine, WhatIfFlow};
+
+        let topo: &Topology = &plan.topo;
+        // Resolve and validate endpoints up front: typed errors beat the
+        // kernel's stringly NetError.
+        let mut net_flows = Vec::with_capacity(q.flows.len());
+        for f in &q.flows {
+            if f.src == f.dst {
+                return Err(InvalidQueryKind::IdenticalEndpoints { node: f.src.clone() }.into());
+            }
+            let src =
+                topo.lookup(&f.src).map_err(|_| RemosError::UnknownNode(f.src.clone()))?;
+            let dst =
+                topo.lookup(&f.dst).map_err(|_| RemosError::UnknownNode(f.dst.clone()))?;
+            for (id, name) in [(src, &f.src), (dst, &f.dst)] {
+                if topo.node(id).kind != NodeKind::Compute {
+                    return Err(InvalidQueryKind::NotAHost { node: name.clone() }.into());
+                }
+            }
+            net_flows.push(WhatIfFlow { src, dst, size_bytes: f.size_bytes, arrival: f.arrival });
+        }
+
+        // The replay's contention structure depends on every link's
+        // background load, not just the queried paths — so the answer is
+        // only as trustworthy as the worst-measured interface anywhere
+        // in the snapshot.
+        let worst_quality = selected
+            .quality
+            .iter()
+            .copied()
+            .fold(DataQuality::Fresh, DataQuality::worst);
+        if let Some(floor) = q.min_quality {
+            if !worst_quality.meets(floor) {
+                return Err(RemosError::QualityTooLow { required: floor, actual: worst_quality });
+            }
+        }
+
+        let mut engine = WhatIfEngine::new(Arc::clone(&plan.topo), Arc::clone(&plan.routing));
+        let background = selected
+            .samples
+            .iter()
+            .max_by_key(|(t, _)| *t)
+            .map(|(_, util)| util.as_slice());
+        let report = engine.estimate_with(&net_flows, background, q.horizon)?;
+
+        let provenance = q.provenance.then(|| Provenance {
+            timeframe: q.timeframe,
+            snapshots: selected.samples.len(),
+            newest_sample: selected.newest(),
+            oldest_sample: selected.oldest(),
+            worst_quality,
+            solver: format!("whatif-replay/epoch{}/{:?}", plan.epoch, engine.mode()),
+            scope: net_flows.len(),
+            degraded: false,
+            source: None,
+        });
+
+        let flows = q
+            .flows
+            .iter()
+            .zip(report.estimates.iter())
+            .map(|(f, e)| FlowFct {
+                src: f.src.clone(),
+                dst: f.dst.clone(),
+                size_bytes: f.size_bytes,
+                started: e.started,
+                finished: e.finished,
+                completed: e.completed,
+                fct: e.fct(),
+                slowdown: e.slowdown,
+                bottleneck: e.bottleneck,
+                bottleneck_capacity: e.bottleneck_capacity,
+            })
+            .collect();
+
+        Ok(FctReport {
+            flows,
+            fct_digest: report.fct_digest,
+            replay_steps: report.replay_steps,
+            solves: report.solves,
+            provenance,
+        })
+    }
 }

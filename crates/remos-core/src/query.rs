@@ -23,6 +23,8 @@ use crate::flows::{FlowInfoRequest, FlowInfoResponse};
 use crate::graph::RemosGraph;
 use crate::quality::DataQuality;
 use crate::timeframe::Timeframe;
+use crate::whatif::{FctReport, HypotheticalFlow};
+use remos_net::SimTime;
 
 /// Entry points for building query specs.
 ///
@@ -54,6 +56,22 @@ impl Query {
             timeframe: Timeframe::Current,
             min_quality: None,
             provenance: true,
+        }
+    }
+
+    /// Start a what-if query: estimate the completion time of each
+    /// hypothetical flow by replaying a fluid max-min schedule against
+    /// the current topology snapshot (`remos_estimate_fcts`).
+    pub fn estimate_fcts<I>(flows: I) -> WhatIfQuery
+    where
+        I: IntoIterator<Item = HypotheticalFlow>,
+    {
+        WhatIfQuery {
+            flows: flows.into_iter().collect(),
+            timeframe: Timeframe::Current,
+            min_quality: None,
+            provenance: true,
+            horizon: None,
         }
     }
 
@@ -154,6 +172,59 @@ impl FlowQuery {
     }
 }
 
+/// A typed `remos_estimate_fcts` query.
+#[derive(Clone, Debug)]
+pub struct WhatIfQuery {
+    /// The hypothetical flows to replay, in caller order.
+    pub flows: Vec<HypotheticalFlow>,
+    /// Which snapshot the background load is read from. `Current` uses
+    /// the latest collector sample; `Window`/`Future` select exactly as
+    /// graph and flow queries do.
+    pub timeframe: Timeframe,
+    /// Reject the answer unless the snapshot meets this floor.
+    pub min_quality: Option<DataQuality>,
+    /// Attach a [`crate::provenance::Provenance`] record (stamped with
+    /// the snapshot epoch and solver mode) to the report.
+    pub provenance: bool,
+    /// Stop the replay at this virtual time; flows still in flight are
+    /// reported with `completed = false`. `None` replays to drain.
+    pub horizon: Option<SimTime>,
+}
+
+impl WhatIfQuery {
+    /// Set the timeframe (default `Current`).
+    pub fn timeframe(mut self, tf: Timeframe) -> Self {
+        self.timeframe = tf;
+        self
+    }
+
+    /// Demand a measurement-quality floor (see
+    /// [`GraphQuery::min_quality`]).
+    pub fn min_quality(mut self, floor: DataQuality) -> Self {
+        self.min_quality = Some(floor);
+        self
+    }
+
+    /// Attach provenance to the report (the default).
+    pub fn with_provenance(mut self) -> Self {
+        self.provenance = true;
+        self
+    }
+
+    /// Strip provenance from the report.
+    pub fn without_provenance(mut self) -> Self {
+        self.provenance = false;
+        self
+    }
+
+    /// Cut the replay off at `t` of virtual time instead of replaying
+    /// until every flow drains.
+    pub fn horizon(mut self, t: SimTime) -> Self {
+        self.horizon = Some(t);
+        self
+    }
+}
+
 /// A typed reachability query.
 #[derive(Clone, Debug)]
 pub struct ReachableQuery {
@@ -174,6 +245,8 @@ pub enum QuerySpec {
     Flows(FlowQuery),
     /// A reachability query.
     Reachable(ReachableQuery),
+    /// A what-if flow-completion-time query.
+    WhatIf(WhatIfQuery),
 }
 
 impl From<GraphQuery> for QuerySpec {
@@ -194,6 +267,12 @@ impl From<ReachableQuery> for QuerySpec {
     }
 }
 
+impl From<WhatIfQuery> for QuerySpec {
+    fn from(q: WhatIfQuery) -> Self {
+        QuerySpec::WhatIf(q)
+    }
+}
+
 /// The answer to an executed [`QuerySpec`], one variant per query kind.
 #[derive(Clone, Debug)]
 pub enum QueryResult {
@@ -203,6 +282,8 @@ pub enum QueryResult {
     Flows(FlowInfoResponse),
     /// Answer to a [`QuerySpec::Reachable`] query.
     Peers(Vec<String>),
+    /// Answer to a [`QuerySpec::WhatIf`] query.
+    Fcts(FctReport),
 }
 
 impl QueryResult {
@@ -211,6 +292,7 @@ impl QueryResult {
             QueryResult::Graph(_) => "graph",
             QueryResult::Flows(_) => "flows",
             QueryResult::Peers(_) => "peers",
+            QueryResult::Fcts(_) => "fcts",
         };
         RemosError::Internal(format!("query result is {got}, not {wanted}"))
     }
@@ -238,6 +320,14 @@ impl QueryResult {
             other => Err(other.mismatch("peers")),
         }
     }
+
+    /// Unwrap a what-if answer.
+    pub fn into_fcts(self) -> CoreResult<FctReport> {
+        match self {
+            QueryResult::Fcts(r) => Ok(r),
+            other => Err(other.mismatch("fcts")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +350,29 @@ mod tests {
         assert_eq!(q.timeframe, Timeframe::Window(SimDuration::from_secs(5)));
         assert_eq!(q.min_quality, Some(DataQuality::Fresh));
         assert!(!q.provenance);
+    }
+
+    #[test]
+    fn whatif_builder_defaults_and_knobs() {
+        let q = Query::estimate_fcts([HypotheticalFlow::new("m-1", "m-4", 1 << 20)]);
+        assert_eq!(q.flows.len(), 1);
+        assert_eq!(q.timeframe, Timeframe::Current);
+        assert_eq!(q.min_quality, None);
+        assert!(q.provenance);
+        assert_eq!(q.horizon, None);
+
+        let q = q
+            .timeframe(Timeframe::Window(SimDuration::from_secs(5)))
+            .min_quality(DataQuality::Fresh)
+            .horizon(SimTime::from_secs(30))
+            .without_provenance();
+        assert_eq!(q.timeframe, Timeframe::Window(SimDuration::from_secs(5)));
+        assert_eq!(q.min_quality, Some(DataQuality::Fresh));
+        assert_eq!(q.horizon, Some(SimTime::from_secs(30)));
+        assert!(!q.provenance);
+
+        let spec: QuerySpec = q.into();
+        assert!(matches!(spec, QuerySpec::WhatIf(_)));
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //! relies on.
 
 use crate::engine::{FlowHandle, Simulator, SolverMode};
-use crate::error::Result;
+use crate::error::{NetError, Result};
 use crate::flow::FlowParams;
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use crate::topology::{NodeId, Topology, TopologyBuilder};
-use crate::units::gbps;
+use crate::units::{gbps, Bps};
+use crate::whatif::WhatIfFlow;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -215,6 +216,290 @@ impl FabricChurn {
     }
 }
 
+/// An empirical flow-size distribution as cumulative `(probability,
+/// bytes)` points, sampled by inverse transform with linear
+/// interpolation between points.
+///
+/// The presets follow the two canonical datacenter traces: the
+/// search-cluster mix (mostly short RPCs plus a heavy tail of multi-MB
+/// responses) and the data-mining mix (half the flows under a few KB but
+/// nearly all bytes in >100 MB background transfers).
+#[derive(Clone, Debug)]
+pub struct FlowSizeEcdf {
+    /// `(cumulative probability, bytes)`, strictly increasing in both
+    /// coordinates, first probability 0, last probability 1.
+    points: Vec<(f64, u64)>,
+}
+
+impl FlowSizeEcdf {
+    /// Build from cumulative points. The first point anchors probability
+    /// `0.0` at the minimum size; the last must reach probability `1.0`.
+    pub fn new(points: &[(f64, u64)]) -> Result<FlowSizeEcdf> {
+        if points.len() < 2 {
+            return Err(NetError::Invalid("ECDF needs at least two points".into()));
+        }
+        if points[0].0 != 0.0 || points[points.len() - 1].0 != 1.0 {
+            return Err(NetError::Invalid("ECDF must span probabilities 0.0..=1.0".into()));
+        }
+        for w in points.windows(2) {
+            if w[1].0 <= w[0].0 || w[1].1 < w[0].1 {
+                return Err(NetError::Invalid(format!(
+                    "ECDF points must increase: {:?} then {:?}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        Ok(FlowSizeEcdf { points: points.to_vec() })
+    }
+
+    /// Search-cluster mix: short query/response RPCs with a moderate
+    /// heavy tail.
+    pub fn web_search() -> FlowSizeEcdf {
+        FlowSizeEcdf::new(&[
+            (0.0, 5_000),
+            (0.15, 10_000),
+            (0.30, 30_000),
+            (0.45, 60_000),
+            (0.60, 200_000),
+            (0.70, 1_000_000),
+            (0.80, 2_000_000),
+            (0.90, 5_000_000),
+            (0.97, 10_000_000),
+            (1.0, 30_000_000),
+        ])
+        .expect("preset ECDF is valid")
+    }
+
+    /// Data-mining mix: half the flows are tiny control messages, almost
+    /// all bytes ride in very large background transfers.
+    pub fn data_mining() -> FlowSizeEcdf {
+        FlowSizeEcdf::new(&[
+            (0.0, 500),
+            (0.50, 2_000),
+            (0.70, 10_000),
+            (0.80, 100_000),
+            (0.90, 1_000_000),
+            (0.95, 10_000_000),
+            (0.99, 100_000_000),
+            (1.0, 400_000_000),
+        ])
+        .expect("preset ECDF is valid")
+    }
+
+    /// Uniform sizes over `lo..=hi` bytes.
+    pub fn uniform(lo: u64, hi: u64) -> Result<FlowSizeEcdf> {
+        if hi <= lo {
+            return Err(NetError::Invalid(format!("uniform ECDF needs lo < hi, got {lo}..{hi}")));
+        }
+        FlowSizeEcdf::new(&[(0.0, lo), (1.0, hi)])
+    }
+
+    /// Inverse-transform sample one flow size.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        // Segment whose upper cumulative probability covers `u`.
+        let hi = self
+            .points
+            .partition_point(|&(p, _)| p < u)
+            .clamp(1, self.points.len() - 1);
+        let (p0, b0) = self.points[hi - 1];
+        let (p1, b1) = self.points[hi];
+        let t = ((u - p0) / (p1 - p0)).clamp(0.0, 1.0);
+        b0 + ((b1 - b0) as f64 * t) as u64
+    }
+
+    /// Mean flow size in bytes (exact, by segment trapezoids) — the
+    /// quantity the load calibration divides by.
+    pub fn mean_bytes(&self) -> f64 {
+        self.points
+            .windows(2)
+            .map(|w| (w[1].0 - w[0].0) * (w[0].1 as f64 + w[1].1 as f64) / 2.0)
+            .sum()
+    }
+}
+
+/// Parameters for seeded what-if workload synthesis.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// RNG seed; `(seed, flows, target_load, locality_pct, skew)` names a
+    /// reproducible workload.
+    pub seed: u64,
+    /// Number of hypothetical flows to draw.
+    pub flows: usize,
+    /// Target utilization of the *hottest expected* host uplink
+    /// (fraction of its capacity); the aggregate arrival rate is
+    /// calibrated so offered load on that link equals this.
+    pub target_load: f64,
+    /// Percentage (0..=100) of flows whose destination stays in the
+    /// source pod.
+    pub locality_pct: u32,
+    /// ToR (edge switch) popularity skew: per-ToR weight is
+    /// `1 / (rank + 1)^skew` with rank = ToR index. `0.0` is uniform.
+    pub skew: f64,
+}
+
+impl WorkloadSpec {
+    /// A balanced default: moderate load, mild skew, mostly cross-pod.
+    pub fn new(seed: u64, flows: usize, target_load: f64) -> WorkloadSpec {
+        WorkloadSpec { seed, flows, target_load, locality_pct: 25, skew: 1.0 }
+    }
+}
+
+/// Draw lognormal inter-arrival gaps with mean `mean_gap_secs` (sigma of
+/// the underlying normal fixed at 1), via Box–Muller on the shared RNG.
+fn lognormal_gap(rng: &mut StdRng, mean_gap_secs: f64) -> f64 {
+    const SIGMA: f64 = 1.0;
+    let mu = mean_gap_secs.ln() - SIGMA * SIGMA / 2.0;
+    // Box–Muller; clamp u1 away from zero so ln stays finite.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    (mu + SIGMA * z).exp()
+}
+
+/// Pick an index from cumulative weights via one uniform draw.
+fn pick_weighted(rng: &mut StdRng, cum: &[f64]) -> usize {
+    let total = *cum.last().expect("non-empty weight table");
+    let u: f64 = rng.gen::<f64>() * total;
+    cum.partition_point(|&c| c <= u).min(cum.len() - 1)
+}
+
+/// Synthesize a seeded hypothetical flow set over a fat-tree: flow sizes
+/// from `ecdf`, lognormal inter-arrivals calibrated so the hottest
+/// expected host uplink sees `target_load` of its capacity, and a skewed
+/// ToR-to-ToR spatial matrix (Zipf-like ToR popularity, `locality_pct`
+/// of flows staying intra-pod). Fully deterministic per spec.
+pub fn synth_fabric_workload(
+    tree: &FatTree,
+    ecdf: &FlowSizeEcdf,
+    spec: &WorkloadSpec,
+) -> Result<Vec<WhatIfFlow>> {
+    // Hosts hang off edge switches at the fat-tree's access tier.
+    synth_workload_over(tree.hosts(), tree.pods(), tree.pods() / 2, gbps(1.0), ecdf, spec)
+}
+
+/// Generic variant of [`synth_fabric_workload`] for an arbitrary host
+/// list: hosts are grouped into `groups * tors_per_group` equal "racks"
+/// in list order (pass `1, 1` for no structure), and `access_capacity`
+/// is the per-host access-link capacity the load calibration targets.
+pub fn synth_workload_over(
+    hosts: &[NodeId],
+    groups: usize,
+    tors_per_group: usize,
+    access_capacity: Bps,
+    ecdf: &FlowSizeEcdf,
+    spec: &WorkloadSpec,
+) -> Result<Vec<WhatIfFlow>> {
+    if hosts.len() < 2 {
+        return Err(NetError::Invalid("workload synthesis needs at least two hosts".into()));
+    }
+    if !(spec.target_load > 0.0 && spec.target_load.is_finite()) {
+        return Err(NetError::Invalid(format!("target load {} out of range", spec.target_load)));
+    }
+    if access_capacity <= 0.0 || access_capacity.is_nan() {
+        return Err(NetError::Invalid("access capacity must be positive".into()));
+    }
+    let requested_tors = (groups * tors_per_group).max(1);
+    let hosts_per_tor = hosts.len().div_ceil(requested_tors);
+    // Actual rack count after rounding (the last rack may be partial).
+    let n_tors = (hosts.len() - 1) / hosts_per_tor + 1;
+    let tors_per_group = n_tors.div_ceil(groups.max(1));
+    let locality_pct = spec.locality_pct.min(100);
+    let locality = f64::from(locality_pct) / 100.0;
+
+    // Zipf-like ToR popularity (rank = index), as a cumulative table.
+    let weight = |t: usize| 1.0 / ((t + 1) as f64).powf(spec.skew);
+    let mut cum_src = Vec::with_capacity(n_tors);
+    let mut acc = 0.0;
+    for t in 0..n_tors {
+        acc += weight(t);
+        cum_src.push(acc);
+    }
+    let total_w = acc;
+
+    // Destination marginals at ToR granularity, for calibration: the
+    // sampler below picks dst ToRs with the same skew, restricted to the
+    // source group (locality) or to the other groups (1 - locality).
+    let group_of = |t: usize| t / tors_per_group;
+    let mut p_dst_tor = vec![0.0; n_tors];
+    for s in 0..n_tors {
+        let ps = weight(s) / total_w;
+        let g = group_of(s);
+        let (mut in_w, mut out_w) = (0.0, 0.0);
+        for d in 0..n_tors {
+            if group_of(d) == g {
+                in_w += weight(d);
+            } else {
+                out_w += weight(d);
+            }
+        }
+        for (d, p) in p_dst_tor.iter_mut().enumerate() {
+            let (branch, denom) =
+                if group_of(d) == g { (locality, in_w) } else { (1.0 - locality, out_w) };
+            if denom > 0.0 {
+                *p += ps * branch * weight(d) / denom;
+            }
+        }
+    }
+    // Hottest expected host marginal over src egress and dst ingress.
+    let mut p_max = 0.0f64;
+    for (t, &p_dst) in p_dst_tor.iter().enumerate() {
+        let p_src = weight(t) / total_w;
+        let hosts_here = hosts_per_tor.min(hosts.len() - t * hosts_per_tor);
+        let per_host = p_src.max(p_dst) / hosts_here.max(1) as f64;
+        p_max = p_max.max(per_host);
+    }
+
+    // Aggregate arrival rate so offered load on the hottest access link
+    // equals the target: lambda * P_max * mean_bytes * 8 = load * cap.
+    let mean_bytes = ecdf.mean_bytes();
+    let lambda = spec.target_load * access_capacity / (8.0 * mean_bytes * p_max);
+    let mean_gap = 1.0 / lambda;
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut out = Vec::with_capacity(spec.flows);
+    let mut at = 0.0f64;
+    // Scratch cumulative table for the per-source dst-ToR draw.
+    let mut cum_dst = vec![0.0; n_tors];
+    for _ in 0..spec.flows {
+        at += lognormal_gap(&mut rng, mean_gap);
+        let src_tor = pick_weighted(&mut rng, &cum_src);
+        let hosts_here = hosts_per_tor.min(hosts.len() - src_tor * hosts_per_tor);
+        let src = hosts[src_tor * hosts_per_tor + rng.gen_range(0..hosts_here)];
+        let stay_local = n_tors == 1 || rng.gen_range(0..100u32) < locality_pct;
+        let g = group_of(src_tor);
+        let mut acc = 0.0;
+        for (d, c) in cum_dst.iter_mut().enumerate() {
+            if (group_of(d) == g) == stay_local {
+                acc += weight(d);
+            }
+            *c = acc;
+        }
+        let dst = if acc > 0.0 {
+            let dst_tor = pick_weighted(&mut rng, &cum_dst);
+            let dh = hosts_per_tor.min(hosts.len() - dst_tor * hosts_per_tor);
+            let mut dst = hosts[dst_tor * hosts_per_tor + rng.gen_range(0..dh)];
+            if dst == src {
+                // Same rack, same host: take the neighbour instead.
+                let i = hosts.iter().position(|&h| h == src).unwrap_or(0);
+                dst = hosts[(i + 1) % hosts.len()];
+            }
+            dst
+        } else {
+            // Degenerate partition (e.g. one group, no locality): uniform.
+            let i = hosts.iter().position(|&h| h == src).unwrap_or(0);
+            hosts[(i + 1 + rng.gen_range(0..hosts.len() - 1)) % hosts.len()]
+        };
+        out.push(WhatIfFlow {
+            src,
+            dst,
+            size_bytes: ecdf.sample(&mut rng),
+            arrival: SimTime::from_secs_f64(at),
+        });
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +546,83 @@ mod tests {
         };
         assert_eq!(run(SolverMode::Incremental), run(SolverMode::Incremental));
         assert_eq!(run(SolverMode::Incremental), run(SolverMode::Full));
+    }
+
+    #[test]
+    fn ecdf_validates_and_samples_in_range() {
+        assert!(FlowSizeEcdf::new(&[(0.0, 10)]).is_err());
+        assert!(FlowSizeEcdf::new(&[(0.1, 10), (1.0, 20)]).is_err());
+        assert!(FlowSizeEcdf::new(&[(0.0, 10), (0.5, 5), (1.0, 20)]).is_err());
+        let e = FlowSizeEcdf::uniform(1_000, 9_000).unwrap();
+        assert!((e.mean_bytes() - 5_000.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let s = e.sample(&mut rng);
+            assert!((1_000..=9_000).contains(&s), "{s}");
+        }
+        let ws = FlowSizeEcdf::web_search();
+        let dm = FlowSizeEcdf::data_mining();
+        assert!(dm.mean_bytes() > ws.mean_bytes());
+    }
+
+    #[test]
+    fn synthesis_is_deterministic_per_spec() {
+        let tree = FatTree::build(4).unwrap();
+        let ecdf = FlowSizeEcdf::web_search();
+        let spec = WorkloadSpec::new(42, 64, 0.5);
+        let a = synth_fabric_workload(&tree, &ecdf, &spec).unwrap();
+        let b = synth_fabric_workload(&tree, &ecdf, &spec).unwrap();
+        assert_eq!(a, b);
+        let c = synth_fabric_workload(&tree, &ecdf, &WorkloadSpec::new(43, 64, 0.5)).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn synthesis_yields_valid_replayable_flows() {
+        let tree = FatTree::build(4).unwrap();
+        let ecdf = FlowSizeEcdf::uniform(10_000, 1_000_000).unwrap();
+        let spec = WorkloadSpec { seed: 9, flows: 200, target_load: 0.6, locality_pct: 50, skew: 1.0 };
+        let flows = synth_fabric_workload(&tree, &ecdf, &spec).unwrap();
+        assert_eq!(flows.len(), 200);
+        let hosts = tree.hosts();
+        let mut last = crate::time::SimTime::ZERO;
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            assert!(hosts.contains(&f.src) && hosts.contains(&f.dst));
+            assert!(f.arrival >= last, "arrivals must be nondecreasing");
+            last = f.arrival;
+        }
+        // The set replays cleanly through the what-if kernel.
+        let (topo, _) = tree.into_parts();
+        let mut eng = crate::whatif::WhatIfEngine::from_topology(topo);
+        let rep = eng.estimate(&flows).unwrap();
+        assert!(rep.estimates.iter().all(|e| e.completed));
+    }
+
+    #[test]
+    fn higher_target_load_packs_arrivals_tighter() {
+        let tree = FatTree::build(4).unwrap();
+        let ecdf = FlowSizeEcdf::web_search();
+        let low = synth_fabric_workload(&tree, &ecdf, &WorkloadSpec::new(1, 128, 0.1)).unwrap();
+        let high = synth_fabric_workload(&tree, &ecdf, &WorkloadSpec::new(1, 128, 0.9)).unwrap();
+        let span = |v: &[WhatIfFlow]| v.last().unwrap().arrival.as_secs_f64();
+        // 9x the offered load compresses the same flow count into
+        // roughly a ninth of the time (same seed, same draws).
+        assert!(span(&high) < span(&low) / 4.0, "{} vs {}", span(&high), span(&low));
+    }
+
+    #[test]
+    fn generic_host_synthesis_handles_flat_lists() {
+        let hosts: Vec<NodeId> = (0..5).map(NodeId).collect();
+        let ecdf = FlowSizeEcdf::uniform(1_000, 2_000).unwrap();
+        let spec = WorkloadSpec::new(3, 50, 0.4);
+        let flows =
+            synth_workload_over(&hosts, 1, 1, gbps(1.0), &ecdf, &spec).unwrap();
+        assert_eq!(flows.len(), 50);
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+        }
+        assert!(synth_workload_over(&hosts[..1], 1, 1, gbps(1.0), &ecdf, &spec).is_err());
     }
 
     #[test]

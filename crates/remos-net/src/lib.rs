@@ -44,6 +44,7 @@ pub mod time;
 pub mod topology;
 pub mod traffic;
 pub mod units;
+pub mod whatif;
 
 pub use audit::{AuditViolation, MaxMinAudit};
 pub use digest::EventDigest;
@@ -53,3 +54,4 @@ pub use fabric::{FabricChurn, FatTree};
 pub use time::{SimDuration, SimTime};
 pub use topology::{DirLink, Direction, LinkId, NodeId, NodeKind, Topology, TopologyBuilder};
 pub use units::{gbps, kbps, mbps, Bps};
+pub use whatif::{FlowEstimate, WhatIfEngine, WhatIfFlow, WhatIfReport};

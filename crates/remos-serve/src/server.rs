@@ -457,6 +457,7 @@ fn floor_of(spec: &QuerySpec) -> Option<DataQuality> {
     match spec {
         QuerySpec::Graph(g) => g.min_quality,
         QuerySpec::Flows(f) => f.min_quality,
+        QuerySpec::WhatIf(w) => w.min_quality,
         QuerySpec::Reachable(_) => None,
     }
 }
@@ -465,6 +466,7 @@ fn strip_floor(mut spec: QuerySpec) -> QuerySpec {
     match &mut spec {
         QuerySpec::Graph(g) => g.min_quality = None,
         QuerySpec::Flows(f) => f.min_quality = None,
+        QuerySpec::WhatIf(w) => w.min_quality = None,
         QuerySpec::Reachable(_) => {}
     }
     spec
@@ -474,6 +476,11 @@ fn worst_of(r: &QueryResult) -> DataQuality {
     match r {
         QueryResult::Graph(g) => g.worst_quality(),
         QueryResult::Flows(f) => f.worst_quality(),
+        QueryResult::Fcts(r) => r
+            .provenance
+            .as_ref()
+            .map(|p| p.worst_quality)
+            .unwrap_or(DataQuality::Fresh),
         QueryResult::Peers(_) => DataQuality::Fresh,
     }
 }
@@ -485,6 +492,7 @@ fn cost_of(spec: &QuerySpec, poll_gap: SimDuration) -> u64 {
     let tf = match spec {
         QuerySpec::Graph(g) => g.timeframe,
         QuerySpec::Flows(f) => f.timeframe,
+        QuerySpec::WhatIf(w) => w.timeframe,
         QuerySpec::Reachable(_) => return 1,
     };
     tf.min_samples(poll_gap).max(1) as u64
