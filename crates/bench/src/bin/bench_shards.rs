@@ -1,0 +1,324 @@
+//! Sharded-collection benchmark: federation poll+merge cost vs a
+//! monolithic single collector on the same fabric, written to
+//! `BENCH_shards.json`.
+//!
+//! Scenario: a k=16 fat-tree (1024 hosts, 6144 directed interfaces)
+//! carrying a seeded population of 2048 persistent flows, 80%
+//! intra-pod. The monolithic side is an `OracleCollector` — one
+//! exclusive lock, one per-link flow-table scan per directed interface.
+//! The sharded side is the PR 10 coordinator: `shard_fabric` splits the
+//! fabric into 7 pod-group shards plus a WAN/spine shard (8 children),
+//! the federation polls them concurrently on the shared scoped pool,
+//! each shard issues one region-batched settled read
+//! (`dirlink_rates_settled_into`), and the dirty-shard merge re-applies
+//! the results into the persistent merged buffers.
+//!
+//! Measured polls run against a settled simulator (no time advance
+//! between polls), so ns/poll isolates collection + merge cost from
+//! solver cost. The acceptance gate is a >=3x median ns/poll speedup,
+//! and — machine-independently — the merged view must be *bit-identical*
+//! to the monolithic collector in both solver modes: same snapshot
+//! bits, and a `RemosGraph::digest` pinned against the goldens below.
+//!
+//! Flags: `--quick` shrinks the scenario; `--out <path>` overrides the
+//! JSON destination.
+
+use remos_core::collector::multi::MultiCollector;
+use remos_core::collector::oracle::OracleCollector;
+use remos_core::collector::shard::shard_fabric;
+use remos_core::collector::Collector;
+use remos_core::modeler::Modeler;
+use remos_core::Timeframe;
+use remos_net::flow::FlowParams;
+use remos_net::{mbps, FatTree, SimDuration, Simulator, SolverMode};
+use remos_snmp::sim::{share, SharedSim};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Config {
+    k: usize,
+    flows: usize,
+    seed: u64,
+    locality_pct: u64,
+    pod_groups: usize,
+    warmup_polls: usize,
+    polls: usize,
+    query_hosts_per_pod: usize,
+}
+
+/// Golden merged-view `RemosGraph::digest` per configuration, captured
+/// from the monolithic collector (the sharded federation must match it
+/// bit-for-bit, in both solver modes). Machine-independent: hard-fails
+/// even in quick mode.
+const GOLDEN_GRAPH_DIGEST: u64 = 0x2d28_57c1_10ad_d31b;
+const GOLDEN_QUICK_GRAPH_DIGEST: u64 = 0x9c50_b06c_3cf1_7ebb;
+
+/// The acceptance bar: sharded median ns/poll must beat monolithic by
+/// at least this factor (hard gate in the full-size run only; quick
+/// mode warns — shared CI runners are too noisy for wall-clock bars).
+const SPEEDUP_GATE: f64 = 3.0;
+
+fn percentiles(samples: &mut [u64]) -> (u64, u64) {
+    samples.sort_unstable();
+    (samples[samples.len() / 2], samples[samples.len() * 9 / 10])
+}
+
+/// Seeded persistent cross-section: `locality_pct`% of flows stay
+/// intra-pod, the rest cross the spine; a mix of greedy and fixed-rate.
+fn seed_flows(tree: &FatTree, sim: &SharedSim, cfg: &Config) {
+    let mut state = cfg.seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move |bound: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let pods = tree.pods() as u64;
+    let per_pod = (tree.topology().compute_nodes().len() / tree.pods()) as u64;
+    let mut s = sim.lock();
+    for _ in 0..cfg.flows {
+        let (sp, si) = (next(pods) as usize, next(per_pod) as usize);
+        let mut di = next(per_pod) as usize;
+        let dp = if next(100) < cfg.locality_pct {
+            sp
+        } else {
+            (sp + 1 + next(pods - 1) as usize) % tree.pods()
+        };
+        if dp == sp && di == si {
+            di = (di + 1) % per_pod as usize;
+        }
+        let (src, dst) = (tree.host(sp, si), tree.host(dp, di));
+        let params = if next(2) == 0 {
+            FlowParams::greedy(src, dst)
+        } else {
+            FlowParams::cbr(src, dst, mbps(5.0 + next(45) as f64))
+        };
+        s.start_flow(params).expect("seed flow");
+    }
+}
+
+struct SideStats {
+    describe: String,
+    median_ns_per_poll: u64,
+    p90_ns_per_poll: u64,
+    polls_per_sec: f64,
+}
+
+/// Warm then measure `cfg.polls` polls of `col` against a settled
+/// simulator: pure collection + merge cost, no solver time.
+fn measure_polls(col: &mut dyn Collector, cfg: &Config) -> SideStats {
+    for _ in 0..cfg.warmup_polls {
+        assert!(col.poll().expect("warmup poll"), "warmup poll produced nothing");
+    }
+    let mut samples = Vec::with_capacity(cfg.polls);
+    for _ in 0..cfg.polls {
+        let t0 = Instant::now();
+        assert!(col.poll().expect("measured poll"), "measured poll produced nothing");
+        samples.push(t0.elapsed().as_nanos() as u64);
+    }
+    let (median_ns_per_poll, p90_ns_per_poll) = percentiles(&mut samples);
+    SideStats {
+        describe: col.describe(),
+        median_ns_per_poll,
+        p90_ns_per_poll,
+        polls_per_sec: 1e9 / median_ns_per_poll.max(1) as f64,
+    }
+}
+
+struct ModeResult {
+    label: &'static str,
+    mono: SideStats,
+    fed: SideStats,
+    speedup: f64,
+    graph_digest: u64,
+}
+
+fn run_mode(mode: SolverMode, label: &'static str, cfg: &Config) -> ModeResult {
+    let tree = FatTree::build(cfg.k).expect("fat tree builds");
+    let mut sim = Simulator::new(FatTree::build(cfg.k).expect("fat tree builds").into_parts().0)
+        .expect("fabric simulator");
+    sim.set_solver_mode(mode);
+    let sim: SharedSim = share(sim);
+    seed_flows(&tree, &sim, cfg);
+    sim.lock().run_for(SimDuration::from_millis(500)).expect("advance sim");
+
+    let mut mono = OracleCollector::new(Arc::clone(&sim));
+    let shards = shard_fabric(&tree, &sim, cfg.pod_groups).expect("shard fabric");
+    assert_eq!(shards.len(), cfg.pod_groups + 1, "pod groups + spine");
+    let children: Vec<Box<dyn Collector>> =
+        shards.into_iter().map(|s| Box::new(s) as Box<dyn Collector>).collect();
+    let mut fed = MultiCollector::new(children);
+    fed.refresh_topology().expect("federation discovery");
+
+    let mono_stats = measure_polls(&mut mono, cfg);
+    let fed_stats = measure_polls(&mut fed, cfg);
+
+    // Bit-identity, sample level: the merged snapshot equals the
+    // monolithic one bit-for-bit.
+    let (ms, fs) =
+        (mono.history().latest().expect("mono snapshot"), fed.history().latest().expect("fed snapshot"));
+    assert_eq!(ms.t, fs.t, "{label}: sample time diverged");
+    assert_eq!(ms.util.len(), fs.util.len(), "{label}: sample width diverged");
+    for (i, (a, b)) in ms.util.iter().zip(fs.util.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{label}: util[{i}] diverged: {a} vs {b}");
+    }
+    assert_eq!(ms.quality, fs.quality, "{label}: quality diverged");
+
+    // Bit-identity, query level: graph digests through the modeler.
+    let names: Vec<String> = (0..tree.pods())
+        .flat_map(|p| (0..cfg.query_hosts_per_pod).map(move |i| (p, i)))
+        .map(|(p, i)| tree.topology().node(tree.host(p, i)).name.clone())
+        .collect();
+    let modeler = Modeler::default();
+    let gm = modeler.get_graph(&mono, &names, Timeframe::Current).expect("mono graph");
+    let gf = modeler.get_graph(&fed, &names, Timeframe::Current).expect("fed graph");
+    assert_eq!(gm.digest(), gf.digest(), "{label}: merged graph digest diverged from monolithic");
+
+    ModeResult {
+        label,
+        speedup: mono_stats.median_ns_per_poll as f64 / fed_stats.median_ns_per_poll.max(1) as f64,
+        mono: mono_stats,
+        fed: fed_stats,
+        graph_digest: gm.digest(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_shards.json", |s| s.as_str());
+
+    let cfg = if quick {
+        Config {
+            k: 8,
+            flows: 256,
+            seed: 0x5AAD_5EED,
+            locality_pct: 80,
+            pod_groups: 7,
+            warmup_polls: 3,
+            polls: 30,
+            query_hosts_per_pod: 2,
+        }
+    } else {
+        Config {
+            k: 16,
+            flows: 2048,
+            seed: 0x5AAD_5EED,
+            locality_pct: 80,
+            pod_groups: 7,
+            warmup_polls: 3,
+            polls: 50,
+            query_hosts_per_pod: 2,
+        }
+    };
+    let dirlinks = {
+        let half = cfg.k / 2;
+        // host-edge, edge-agg, and agg-core tiers are k*(k/2)^2 duplex
+        // links each; two directions per link.
+        6 * cfg.k * half * half
+    };
+    println!(
+        "shard benchmark: k={} fat-tree ({} directed interfaces), {} flows, {}% intra-pod, \
+         {}+1 shards, {} polls{}",
+        cfg.k,
+        dirlinks,
+        cfg.flows,
+        cfg.locality_pct,
+        cfg.pod_groups,
+        cfg.polls,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let full = run_mode(SolverMode::Full, "full", &cfg);
+    let inc = run_mode(SolverMode::Incremental, "incremental", &cfg);
+    for r in [&full, &inc] {
+        println!(
+            "  {:<12} monolithic {:>12} ns/poll median ({:>10} p90) | sharded {:>10} ns/poll \
+             median ({:>9} p90) | {:>6.1}x | graph digest {:#x}",
+            r.label,
+            r.mono.median_ns_per_poll,
+            r.mono.p90_ns_per_poll,
+            r.fed.median_ns_per_poll,
+            r.fed.p90_ns_per_poll,
+            r.speedup,
+            r.graph_digest,
+        );
+    }
+
+    // Machine-independent gates: hard-fail even in quick mode.
+    assert_eq!(
+        full.graph_digest, inc.graph_digest,
+        "solver modes diverged on the sharded fabric scenario"
+    );
+    let golden = if quick { GOLDEN_QUICK_GRAPH_DIGEST } else { GOLDEN_GRAPH_DIGEST };
+    assert_eq!(
+        full.graph_digest, golden,
+        "merged graph digest diverged from the golden (got {:#x}, want {:#x})",
+        full.graph_digest, golden
+    );
+
+    let doc = serde_json::json!({
+        "benchmark": "shard_poll_merge",
+        "quick": quick,
+        "scenario": {
+            "k": cfg.k,
+            "dir_links": dirlinks,
+            "flows": cfg.flows,
+            "seed": cfg.seed,
+            "locality_pct": cfg.locality_pct,
+            "shards": cfg.pod_groups + 1,
+            "polls": cfg.polls,
+        },
+        "modes": {
+            "full": mode_json(&full),
+            "incremental": mode_json(&inc),
+        },
+        "graph_digest": full.graph_digest,
+        "golden_graph_digest": golden,
+        "speedup_gate": SPEEDUP_GATE,
+        "digests_match": true,
+    });
+    std::fs::write(out, format!("{:#}\n", doc)).expect("write BENCH_shards.json");
+    println!("wrote {out}");
+
+    // Wall-clock gate: >=3x in the full-size run; quick mode only warns
+    // (shared runners are too noisy, and the shrunken fabric gives the
+    // monolithic side a smaller handicap).
+    let worst = full.speedup.min(inc.speedup);
+    if quick {
+        if worst < SPEEDUP_GATE {
+            eprintln!(
+                "WARN: quick-mode speedup {worst:.2}x below {SPEEDUP_GATE}x \
+                 (informational only at quick scale)"
+            );
+        }
+        return;
+    }
+    if worst < SPEEDUP_GATE {
+        eprintln!(
+            "FAIL: sharded poll speedup {worst:.2}x is below the {SPEEDUP_GATE}x acceptance bar"
+        );
+        std::process::exit(1);
+    }
+}
+
+fn mode_json(r: &ModeResult) -> serde_json::Value {
+    serde_json::json!({
+        "monolithic": {
+            "collector": r.mono.describe.clone(),
+            "median_ns_per_poll": r.mono.median_ns_per_poll,
+            "p90_ns_per_poll": r.mono.p90_ns_per_poll,
+            "polls_per_sec": r.mono.polls_per_sec,
+        },
+        "sharded": {
+            "collector": r.fed.describe.clone(),
+            "median_ns_per_poll": r.fed.median_ns_per_poll,
+            "p90_ns_per_poll": r.fed.p90_ns_per_poll,
+            "polls_per_sec": r.fed.polls_per_sec,
+        },
+        "speedup": r.speedup,
+        "graph_digest": r.graph_digest,
+    })
+}

@@ -20,7 +20,7 @@ const VALUED: &[&str] = &[
     "--independent", "--pool", "--start", "-k", "--app", "--pair", "--interval",
     "--duration", "--format", "--repeat", "--batch",
     "--requests", "--tenants", "--count", "--seed", "--deadline", "--kill", "--gap",
-    "--rate", "--burst", "--queue-depth",
+    "--rate", "--burst", "--queue-depth", "--shards",
     "--flows", "--synth", "--horizon",
 ];
 

@@ -97,7 +97,8 @@ COMMAND OPTIONS:
   serve:   --requests FILE           (lines: tenant node,node [deadline_s])
   loadgen: [--tenants N] [--count N] [--seed S] [--gap S]
   serve/loadgen also take: --deadline S (0 = none), --rate TOKENS_PER_S,
-           --burst TOKENS, --queue-depth N, --kill node:T (repeatable)
+           --burst TOKENS, --queue-depth N, --kill node:T (repeatable),
+           --shards N (split agents over N collectors, one breaker each)
 ";
 
 #[cfg(test)]
@@ -456,6 +457,43 @@ mod tests {
         // The breaker must have tripped and requests degraded past Full.
         assert!(out.contains("opened"), "{out}");
         assert!(!out.contains("opened 0 time(s)"), "{out}");
+    }
+
+    #[test]
+    fn loadgen_sharded_prints_per_shard_breakers() {
+        let args = [
+            "loadgen", "--scenario", "cmu", "--count", "12", "--seed", "42", "--shards", "3",
+        ];
+        let a = call(&args).unwrap();
+        let b = call(&args).unwrap();
+        assert_eq!(a, b, "sharded loadgen must stay seed-deterministic");
+        for shard in ["shard0", "shard1", "shard2"] {
+            assert!(a.contains(&format!("breaker[{shard}]:")), "{a}");
+        }
+        // The legacy single-breaker line is replaced, not duplicated.
+        assert!(!a.contains("\nbreaker: "), "{a}");
+        assert!(a.contains("decision digest:"), "{a}");
+        assert!(call(&["loadgen", "--scenario", "cmu", "--shards", "0"]).is_err());
+    }
+
+    #[test]
+    fn loadgen_sharded_kill_trips_only_that_shard() {
+        // Agents chunk in node order (m-1..m-8, then the routers): with
+        // two shards, m-1..m-6 form shard0. Killing exactly those agents
+        // must open shard0's breaker while shard1 — which still has its
+        // routers and hosts — keeps serving with a Closed breaker.
+        let out = call(&[
+            "loadgen", "--scenario", "cmu", "--count", "16", "--shards", "2",
+            "--kill", "m-1:2", "--kill", "m-2:2", "--kill", "m-3:2",
+            "--kill", "m-4:2", "--kill", "m-5:2", "--kill", "m-6:2",
+        ])
+        .unwrap();
+        let s0 = out.lines().find(|l| l.starts_with("breaker[shard0]")).expect("shard0 line");
+        let s1 = out.lines().find(|l| l.starts_with("breaker[shard1]")).expect("shard1 line");
+        assert!(!s0.contains("opened 0 time(s)"), "shard0 breaker never tripped: {out}");
+        assert!(s1.contains("Closed, opened 0 time(s)"), "shard1 breaker disturbed: {out}");
+        // The healthy shard kept the stack answering.
+        assert!(out.contains("answered"), "{out}");
     }
 
     #[test]

@@ -7,12 +7,17 @@
 //! quotas, deadline budgets, and the degradation ladder. `serve` replays
 //! a request file; `loadgen` synthesizes a seeded workload and reports
 //! shed rates, rung counts, latency quantiles, and the decision digest.
+//!
+//! With `--shards N` the agents are split over N collectors, each behind
+//! its own circuit breaker and federated through a `MultiCollector`, so
+//! one faulty region trips one breaker instead of the whole stack.
 
 use crate::args::Parsed;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use remos_core::collector::multi::MultiCollector;
 use remos_core::collector::snmp::{SnmpCollector, SnmpCollectorConfig};
-use remos_core::collector::SimClock;
+use remos_core::collector::{Collector, SimClock};
 use remos_core::{Query, Remos, RemosConfig, RemosError};
 use remos_net::{SimDuration, SimTime, Simulator};
 use remos_serve::quota::MILLI;
@@ -28,13 +33,23 @@ use std::sync::Arc;
 
 type CmdResult = Result<(), String>;
 
+/// Per-shard circuit breakers, labelled for the summary printout. One
+/// entry (labelled `all`) when the stack is monolithic.
+type ShardBreakers = Vec<(String, Arc<CircuitBreaker>)>;
+
 fn io_err(e: std::io::Error) -> String {
     format!("output error: {e}")
 }
 
 /// Build the protected serving stack for the scenario: simulator,
-/// fault-aware agents, breaker-wrapped collector, `Server` on top.
-fn serve_stack(p: &Parsed) -> Result<(Server, SharedSim, Arc<CircuitBreaker>), String> {
+/// fault-aware agents, breaker-wrapped collector(s), `Server` on top.
+///
+/// `--shards N` splits the agents into N contiguous chunks, each polled
+/// by its own SNMP collector behind its *own* circuit breaker, federated
+/// through a [`MultiCollector`]. A misbehaving shard then trips only its
+/// breaker — its region of the merged view degrades to stale/missing
+/// while the other shards keep answering Fresh.
+fn serve_stack(p: &Parsed) -> Result<(Server, SharedSim, ShardBreakers), String> {
     let sc = crate::commands::load_scenario(p)?;
     let topo = sc.build_topology().map_err(|e| e.to_string())?;
     let sim = share(Simulator::new(topo).map_err(|e| e.to_string())?);
@@ -63,16 +78,40 @@ fn serve_stack(p: &Parsed) -> Result<(Server, SharedSim, Arc<CircuitBreaker>), S
         );
     }
 
-    let mut collector =
-        SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
-    let breaker = CircuitBreaker::new(BreakerConfig::default());
-    collector.set_retry_observer(Arc::clone(&breaker) as _);
-    let collector = BreakerCollector::wrap(collector, Arc::clone(&breaker));
-    let remos = Remos::new(
-        Box::new(collector),
-        Box::new(SimClock(Arc::clone(&sim))),
-        RemosConfig::default(),
-    );
+    let shards: usize = match p.get("--shards") {
+        None => 1,
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err("--shards: expected an integer >= 1".into()),
+        },
+    };
+    let shards = shards.min(agents.len().max(1));
+    let mut breakers = Vec::with_capacity(shards);
+    let collector: Box<dyn Collector> = if shards <= 1 {
+        let mut collector =
+            SnmpCollector::new(Arc::clone(&transport), agents, SnmpCollectorConfig::default());
+        let breaker = CircuitBreaker::new(BreakerConfig::default());
+        collector.set_retry_observer(Arc::clone(&breaker) as _);
+        breakers.push(("all".to_string(), Arc::clone(&breaker)));
+        Box::new(BreakerCollector::wrap(collector, breaker))
+    } else {
+        let chunk = agents.len().div_ceil(shards);
+        let mut children: Vec<Box<dyn Collector>> = Vec::with_capacity(shards);
+        for (i, group) in agents.chunks(chunk).enumerate() {
+            let mut collector = SnmpCollector::new(
+                Arc::clone(&transport),
+                group.to_vec(),
+                SnmpCollectorConfig::default(),
+            );
+            let breaker = CircuitBreaker::new(BreakerConfig::default());
+            collector.set_retry_observer(Arc::clone(&breaker) as _);
+            children.push(Box::new(BreakerCollector::wrap(collector, Arc::clone(&breaker))));
+            breakers.push((format!("shard{i}"), breaker));
+        }
+        Box::new(MultiCollector::new(children))
+    };
+    let remos =
+        Remos::new(collector, Box::new(SimClock(Arc::clone(&sim))), RemosConfig::default());
 
     let mut cfg = ServerConfig::default();
     if let Some(d) = p.get("--queue-depth") {
@@ -92,7 +131,25 @@ fn serve_stack(p: &Parsed) -> Result<(Server, SharedSim, Arc<CircuitBreaker>), S
     if let Some(seed) = p.get("--seed") {
         cfg.fair_seed = seed.parse().map_err(|_| "--seed: not an integer".to_string())?;
     }
-    Ok((Server::new(remos, cfg), sim, breaker))
+    Ok((Server::new(remos, cfg), sim, breakers))
+}
+
+/// Summary line(s) for the stack's breaker(s): the legacy single
+/// `breaker:` line when the stack is monolithic, one labelled line per
+/// shard when `--shards` split it.
+fn write_breakers(
+    breakers: &[(String, Arc<CircuitBreaker>)],
+    out: &mut dyn Write,
+) -> CmdResult {
+    if let [(_, b)] = breakers {
+        return writeln!(out, "breaker: {:?}, opened {} time(s)", b.state(), b.times_opened())
+            .map_err(io_err);
+    }
+    for (label, b) in breakers {
+        writeln!(out, "breaker[{label}]: {:?}, opened {} time(s)", b.state(), b.times_opened())
+            .map_err(io_err)?;
+    }
+    Ok(())
 }
 
 /// How a submission was refused, for summary accounting.
@@ -179,7 +236,7 @@ pub fn serve(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     let path = p.require("--requests")?;
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read requests {path:?}: {e}"))?;
-    let (mut server, _sim, breaker) = serve_stack(p)?;
+    let (mut server, _sim, breakers) = serve_stack(p)?;
 
     let mut submitted = 0usize;
     let mut shed = 0usize;
@@ -234,8 +291,7 @@ pub fn serve(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     }
     writeln!(out, "\n{} submitted, {} shed at admission", submitted, shed).map_err(io_err)?;
     tally.write_summary(&server, out)?;
-    writeln!(out, "breaker: {:?}, opened {} time(s)", breaker.state(), breaker.times_opened())
-        .map_err(io_err)
+    write_breakers(&breakers, out)
 }
 
 /// `remos-sim loadgen`
@@ -263,7 +319,7 @@ pub fn loadgen(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     };
     let gap = p.get_f64("--gap", 0.25)?;
 
-    let (mut server, sim, breaker) = serve_stack(p)?;
+    let (mut server, sim, breakers) = serve_stack(p)?;
     let hosts: Vec<String> = {
         let s = sim.lock();
         let t = s.topology_arc();
@@ -328,6 +384,5 @@ pub fn loadgen(p: &Parsed, out: &mut dyn Write) -> CmdResult {
     )
     .map_err(io_err)?;
     tally.write_summary(&server, out)?;
-    writeln!(out, "breaker: {:?}, opened {} time(s)", breaker.state(), breaker.times_opened())
-        .map_err(io_err)
+    write_breakers(&breakers, out)
 }

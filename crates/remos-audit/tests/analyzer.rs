@@ -2,9 +2,12 @@
 //! real-workspace cleanliness gate.
 //!
 //! The fixture tree under `tests/fixtures/ws/` is a miniature workspace
-//! (its files are analyzed, never compiled) seeding exactly one
-//! violation per rule. The golden file `tests/fixtures/expected.json`
-//! is the byte-exact JSON report the driver must produce for it.
+//! (its files are analyzed, never compiled) seeding at least one
+//! violation per rule — `determinism-taint` seeds two, a cross-function
+//! flow and the coordinator's epoch-vector digest — next to the clean
+//! patterns the rules must NOT flag. The golden file
+//! `tests/fixtures/expected.json` is the byte-exact JSON report the
+//! driver must produce for it.
 
 use remos_audit::driver::{fix_allowlist, run, RunResult};
 use remos_audit::report::{to_json, to_sarif};
@@ -73,12 +76,39 @@ fn lock_across_collector_call_fires_with_location() {
 fn determinism_taint_into_digest_fires_with_location() {
     let r = fixture_result();
     let v = find(&r, "determinism-taint");
-    assert_eq!(v.len(), 1, "exactly one seeded taint flow: {:?}", r.rejected);
-    assert_eq!(v[0].file, Path::new("crates/remos-core/src/taint_digest.rs"));
-    assert_eq!(v[0].line, 9, "the `mix(&vals)` call forwarding hash-ordered values");
+    assert_eq!(v.len(), 2, "exactly two seeded taint flows: {:?}", r.rejected);
+    let direct = v
+        .iter()
+        .find(|v| v.file == Path::new("crates/remos-core/src/taint_digest.rs"))
+        .expect("cross-function flow");
+    assert_eq!(direct.line, 9, "the `mix(&vals)` call forwarding hash-ordered values");
     // The flow is cross-function: `mix` itself is not a digest — only
     // its parameter summary reaches one.
-    assert_eq!(v[0].token, "mix");
+    assert_eq!(direct.token, "mix");
+}
+
+/// The sharded coordinator's epoch-vector digest is a taint sink by the
+/// `digest` name rule: a hash-ordered epoch vector feeding it is a
+/// finding, while the scoped pool's index-ordered fan-out over a `Vec`
+/// of shards is sanctioned — same sink, no finding.
+#[test]
+fn epoch_vector_digest_is_a_sink_and_pool_fan_out_is_sanctioned() {
+    let r = fixture_result();
+    let v = find(&r, "determinism-taint");
+    let coord: Vec<_> = v
+        .iter()
+        .filter(|v| v.file == Path::new("crates/remos-core/src/coordinator.rs"))
+        .collect();
+    assert_eq!(coord.len(), 1, "exactly the hashed fan-out: {:?}", r.rejected);
+    assert_eq!(coord[0].token, "epoch_digest");
+    assert!(
+        coord[0].message.contains("`hashed_fan_out`"),
+        "finding must be in the HashMap path, not the pool fan-out: {}",
+        coord[0].message
+    );
+    // `sanctioned_fan_out` (pool::run_indexed_mut over a Vec) stays
+    // clean — checked implicitly by the exact count above and the
+    // byte-exact golden.
 }
 
 #[test]

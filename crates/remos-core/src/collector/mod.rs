@@ -18,6 +18,7 @@
 pub mod benchmark;
 pub mod multi;
 pub mod oracle;
+pub mod shard;
 pub mod snmp;
 
 use crate::error::{CoreResult, RemosError};
@@ -138,6 +139,21 @@ impl SampleHistory {
         self.generation += 1;
     }
 
+    /// Pop the oldest snapshot *for buffer reuse* — only when the history
+    /// is full, i.e. exactly the snapshot the next [`push`] would evict
+    /// anyway. Steady-state collectors recycle the returned `util` /
+    /// `quality` boxes in place of fresh allocations (the zero-alloc
+    /// contract). Bumps the generation: the sample set changed.
+    ///
+    /// [`push`]: SampleHistory::push
+    pub fn recycle_oldest(&mut self) -> Option<Snapshot> {
+        if self.samples.len() < self.max_len {
+            return None;
+        }
+        self.generation += 1;
+        self.samples.pop_front()
+    }
+
     /// Monotone snapshot-generation counter: bumped on every [`push`]
     /// and [`clear`]. Equal generations guarantee equal sample sets.
     ///
@@ -198,6 +214,65 @@ pub trait Collector: Send {
     /// failover shows up in the answers served during it.
     fn describe(&self) -> String {
         "collector".to_string()
+    }
+
+    /// Directed-interface indices (into this collector's *own* topology,
+    /// sorted ascending) this collector actually measures; `None` means
+    /// all of them. Region-scoped shard collectors report their slice of
+    /// a shared fabric here so a federation can attribute each merged
+    /// entry to the children that observe it instead of treating every
+    /// child as a full-view contributor.
+    fn coverage(&self) -> Option<&[u32]> {
+        None
+    }
+}
+
+/// Boxed collectors forward the whole interface, so decorators like
+/// `BreakerCollector<Box<dyn Collector>>` compose over heterogeneous
+/// children (the sharded federation wraps each child this way).
+impl Collector for Box<dyn Collector> {
+    fn refresh_topology(&mut self) -> CoreResult<()> {
+        (**self).refresh_topology()
+    }
+
+    fn topology(&self) -> CoreResult<Arc<Topology>> {
+        (**self).topology()
+    }
+
+    fn host_info(&self, name: &str) -> CoreResult<HostInfo> {
+        (**self).host_info(name)
+    }
+
+    fn poll(&mut self) -> CoreResult<bool> {
+        (**self).poll()
+    }
+
+    fn history(&self) -> &SampleHistory {
+        (**self).history()
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        (**self).topology_epoch()
+    }
+
+    fn generation(&self) -> u64 {
+        (**self).generation()
+    }
+
+    fn now(&self) -> CoreResult<SimTime> {
+        (**self).now()
+    }
+
+    fn set_obs(&mut self, obs: &remos_obs::Obs) {
+        (**self).set_obs(obs)
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+
+    fn coverage(&self) -> Option<&[u32]> {
+        (**self).coverage()
     }
 }
 

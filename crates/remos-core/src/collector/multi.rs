@@ -1,4 +1,4 @@
-//! Cooperating collectors (§5).
+//! Cooperating collectors (§5) — the sharded coordinator.
 //!
 //! "A large environment may require multiple cooperating Collectors. …
 //! we are also looking into the problem of dealing with very large
@@ -6,11 +6,34 @@
 //! the network information."
 //!
 //! [`MultiCollector`] owns several child collectors, each responsible for
-//! a region (e.g. one SNMP collector per campus subnet, a benchmark
-//! collector for the WAN in between), and merges their views: nodes are
-//! unified by name, links by endpoint-name pair (border links observed by
-//! two children are deduplicated, utilization merged by maximum), and
-//! snapshots are re-indexed into the merged topology.
+//! a region (e.g. one SNMP collector per campus subnet, a
+//! [`ShardCollector`](crate::collector::shard::ShardCollector) per pod
+//! group of a fabric), and merges their views: nodes are unified by name,
+//! links by endpoint-name pair (border links observed by two children are
+//! deduplicated, utilization merged by maximum), and snapshots are
+//! re-indexed into the merged topology. When every child reports the
+//! *same* shared topology `Arc` (the fabric-shard case), the merged view
+//! *is* that topology and the remap is the identity — graph digests stay
+//! bit-identical to a monolithic collector.
+//!
+//! Three scaling properties distinguish the coordinator from a naive
+//! fan-out:
+//!
+//! * **Concurrent polling** — children are polled on the shared scoped
+//!   pool (`remos_net::pool::run_indexed_mut`), results slotted in input
+//!   order, so an 8-shard fabric pays roughly its slowest shard per
+//!   poll, not the sum.
+//! * **Dirty-shard merge** — the merged `util`/`quality` vectors are
+//!   persistent; a poll re-applies only children whose sample
+//!   `generation()` advanced (or whose lag behind the merge time
+//!   changed, which re-ages their quality), writing in place with zero
+//!   steady-state allocation. Border entries observed by several
+//!   children are the only part recomputed every merge.
+//! * **Epoch vector** — [`Collector::topology_epoch`] is an FNV-1a
+//!   digest over the children's *structural* digests, not a counter. A
+//!   child re-discovering an unchanged region keeps the digest (and the
+//!   merged topology `Arc`, remap, and history), so cached query plans
+//!   keyed on the epoch survive shard rediscovery that changed nothing.
 //!
 //! The federation is also the failover layer: a child whose region stops
 //! answering keeps contributing its *last* sample, aged into
@@ -22,8 +45,10 @@ use crate::collector::{Collector, SampleHistory, Snapshot};
 use crate::error::{CoreResult, RemosError};
 use crate::graph::HostInfo;
 use crate::quality::DataQuality;
+use remos_net::pool;
 use remos_net::topology::{DirLink, NodeKind, Topology, TopologyBuilder};
 use remos_net::{SimDuration, SimTime};
+use remos_obs::{Counter, Histogram, Obs};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -33,12 +58,129 @@ pub struct MultiCollectorConfig {
     /// Child samples older than this (relative to the newest child sample)
     /// are reported as [`DataQuality::Missing`] instead of `Stale`.
     pub missing_after: SimDuration,
+    /// Worker threads for the concurrent child fan-out: `0` picks
+    /// automatically from the hardware, `1` polls serially on the caller
+    /// (the allocation-free path the zero-alloc contract measures).
+    pub poll_workers: usize,
+    /// Bound of the merged sample history.
+    pub history_len: usize,
+    /// Reference mode for equivalence tests: every merge re-applies
+    /// every child from scratch instead of only the dirty ones. The
+    /// incremental merge must be bit-identical to this.
+    pub force_full_merge: bool,
 }
 
 impl Default for MultiCollectorConfig {
     fn default() -> Self {
-        MultiCollectorConfig { missing_after: SimDuration::from_secs(30) }
+        MultiCollectorConfig {
+            missing_after: SimDuration::from_secs(30),
+            poll_workers: 0,
+            history_len: crate::collector::DEFAULT_HISTORY_LEN,
+            force_full_merge: false,
+        }
     }
+}
+
+/// One child's observation of a merged entry.
+struct Contributor {
+    child: u32,
+    child_idx: u32,
+}
+
+/// A merged entry observed by two or more children (a border link):
+/// recomputed from all contributors on every merge.
+struct SharedEntry {
+    merged_idx: u32,
+    /// In child order, so quality tie-breaks match a sequential merge.
+    contributors: Vec<Contributor>,
+}
+
+/// Persistent merge state: topology, remap, contributor split, and the
+/// in-place merged sample buffers.
+struct Merged {
+    topo: Arc<Topology>,
+    /// Host name -> child that first reported it, for O(1) `host_info`.
+    host_child: HashMap<String, usize>,
+    /// Per child: `(child_idx, merged_idx)` entries only it observes.
+    exclusive: Vec<Vec<(u32, u32)>>,
+    /// Entries observed by several children.
+    shared: Vec<SharedEntry>,
+    /// Persistent merged buffers, re-applied in place per dirty child.
+    util: Vec<f64>,
+    quality: Vec<DataQuality>,
+    /// Child sample generation at the last full (util + quality) apply.
+    applied_gen: Vec<Option<u64>>,
+    /// Child lag behind the merge time at the last quality apply
+    /// (`None` = child had no sample).
+    applied_age: Vec<Option<SimDuration>>,
+    /// Per-child structural digests the epoch vector is built from.
+    child_struct: Vec<u64>,
+    /// The child topology `Arc`s behind those digests (pointer-equality
+    /// fast path on rediscovery).
+    child_topos: Vec<Option<Arc<Topology>>>,
+}
+
+struct MultiMetrics {
+    shard_polls: Counter,
+    dirty_shards: Histogram,
+    merge_ns: Histogram,
+}
+
+impl MultiMetrics {
+    fn new(obs: &Obs) -> MultiMetrics {
+        MultiMetrics {
+            shard_polls: obs.counter("multi_shard_polls_total"),
+            dirty_shards: obs.histogram("multi_dirty_shards"),
+            merge_ns: obs.histogram("multi_merge_ns"),
+        }
+    }
+}
+
+const FNV_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(d: u64, bytes: &[u8]) -> u64 {
+    let mut d = d;
+    for &b in bytes {
+        d ^= u64::from(b);
+        d = d.wrapping_mul(FNV_PRIME);
+    }
+    d
+}
+
+/// FNV-1a digest of everything that gives a child topology its meaning:
+/// node names/kinds/resources and link endpoints/capacity/latency, in id
+/// order. Equal digests imply the same dir-link indexing, so remaps and
+/// histories built under one stay valid under the other.
+fn structure_digest(t: &Topology) -> u64 {
+    let mut d = FNV_BASIS;
+    for n in t.node_ids() {
+        let node = t.node(n);
+        d = fnv_bytes(d, node.name.as_bytes());
+        d = fnv_bytes(d, &[matches!(node.kind, NodeKind::Network) as u8]);
+        d = fnv_bytes(d, &node.compute_flops.to_bits().to_le_bytes());
+        d = fnv_bytes(d, &node.memory_bytes.to_le_bytes());
+    }
+    for l in t.link_ids() {
+        let link = t.link(l);
+        d = fnv_bytes(d, &(link.a.index() as u64).to_le_bytes());
+        d = fnv_bytes(d, &(link.b.index() as u64).to_le_bytes());
+        d = fnv_bytes(d, &link.capacity.to_bits().to_le_bytes());
+        d = fnv_bytes(d, &link.latency.as_nanos().to_le_bytes());
+    }
+    d
+}
+
+/// The epoch *vector* folded to one value: FNV-1a over the per-child
+/// structural digests plus the child count. Fed to the plan cache as
+/// [`Collector::topology_epoch`]; one shard's rediscovery only moves it
+/// when that shard's structure actually changed.
+fn epoch_digest(child_structs: &[u64]) -> u64 {
+    let mut d = FNV_BASIS;
+    for &s in child_structs {
+        d = fnv_bytes(d, &s.to_le_bytes());
+    }
+    fnv_bytes(d, &(child_structs.len() as u64).to_le_bytes())
 }
 
 /// A federation of collectors presenting one merged view.
@@ -47,13 +189,9 @@ pub struct MultiCollector {
     cfg: MultiCollectorConfig,
     merged: Option<Merged>,
     history: SampleHistory,
-    topology_epoch: u64,
-}
-
-struct Merged {
-    topo: Arc<Topology>,
-    /// For each child: map child dir-link index -> merged dir-link index.
-    remap: Vec<Vec<usize>>,
+    epoch: u64,
+    obs: Obs,
+    metrics: MultiMetrics,
 }
 
 impl MultiCollector {
@@ -64,16 +202,16 @@ impl MultiCollector {
 
     /// Federate with an explicit configuration.
     pub fn with_config(children: Vec<Box<dyn Collector>>, cfg: MultiCollectorConfig) -> Self {
-        MultiCollector {
-            children,
-            cfg,
-            merged: None,
-            history: SampleHistory::default(),
-            topology_epoch: 0,
-        }
+        let obs = Obs::new();
+        let metrics = MultiMetrics::new(&obs);
+        let history = SampleHistory::new(cfg.history_len);
+        MultiCollector { children, cfg, merged: None, history, epoch: 0, obs, metrics }
     }
 
-    fn merge(&mut self) -> CoreResult<Merged> {
+    /// Rebuild the merged view if any child's structure changed; keep
+    /// everything (topology `Arc`, remap, merged history, epoch) when
+    /// rediscovery found the same structures.
+    fn rebuild_or_keep(&mut self) -> CoreResult<()> {
         if self.children.is_empty() {
             return Err(RemosError::Collector("no child collectors".into()));
         }
@@ -84,7 +222,129 @@ impl MultiCollector {
         if topos.iter().all(|t| t.is_none()) {
             return Err(RemosError::Collector("no child has a discovered topology".into()));
         }
+        let mut structs = Vec::with_capacity(topos.len());
+        for (ci, topo) in topos.iter().enumerate() {
+            let s = match topo {
+                None => 0,
+                Some(t) => {
+                    let prior = self
+                        .merged
+                        .as_ref()
+                        .and_then(|m| m.child_topos.get(ci))
+                        .and_then(|o| o.as_ref());
+                    match prior {
+                        // Same Arc as last time: digest cannot have moved.
+                        Some(old) if Arc::ptr_eq(old, t) => {
+                            self.merged.as_ref().map(|m| m.child_struct[ci]).unwrap_or(0)
+                        }
+                        _ => structure_digest(t),
+                    }
+                }
+            };
+            structs.push(s);
+        }
+        if let Some(m) = &mut self.merged {
+            if m.child_struct == structs {
+                // Structures unchanged: merged topology, remap, buffers,
+                // history, and the epoch all stay — cached plans keyed on
+                // the epoch survive this rediscovery.
+                m.child_topos = topos;
+                return Ok(());
+            }
+        }
+        let merged = self.merge(&topos, structs)?;
+        self.epoch = epoch_digest(&merged.child_struct);
+        self.merged = Some(merged);
+        self.history.clear();
+        Ok(())
+    }
 
+    /// Build the merged topology, remap, and contributor split.
+    fn merge(
+        &self,
+        topos: &[Option<Arc<Topology>>],
+        child_struct: Vec<u64>,
+    ) -> CoreResult<Merged> {
+        // Fast path: every discovered child reports the same shared
+        // topology (fabric shards). The merged view IS that topology —
+        // identity remap, and crucially the same `Arc`, so plan-cache
+        // pointer guards and graph digests match a monolithic collector.
+        let first = topos.iter().flatten().next().cloned();
+        let all_same = first.as_ref().is_some_and(|f| {
+            topos.iter().flatten().all(|t| Arc::ptr_eq(f, t))
+        });
+        let (topo, remap) = if let (Some(f), true) = (first, all_same) {
+            let n = f.dir_link_count();
+            let remap: Vec<Vec<usize>> = topos
+                .iter()
+                .map(|t| if t.is_some() { (0..n).collect() } else { Vec::new() })
+                .collect();
+            (f, remap)
+        } else {
+            self.merge_by_name(topos)?
+        };
+
+        // Host name -> first child able to answer `host_info` for it.
+        let mut host_child: HashMap<String, usize> = HashMap::new();
+        for (ci, t) in topos.iter().enumerate() {
+            let Some(t) = t else { continue };
+            for nid in t.node_ids() {
+                let node = t.node(nid);
+                if node.kind == NodeKind::Compute {
+                    host_child.entry(node.name.clone()).or_insert(ci);
+                }
+            }
+        }
+
+        // Contributor split: which children actually observe each merged
+        // entry. A child observes the entries its coverage() declares
+        // (all of them by default), remapped into the merged indexing.
+        let n = topo.dir_link_count();
+        let mut contrib: Vec<Vec<Contributor>> = (0..n).map(|_| Vec::new()).collect();
+        for (ci, map) in remap.iter().enumerate() {
+            if map.is_empty() {
+                continue;
+            }
+            let mut note = |child_idx: usize| {
+                let m = map.get(child_idx).copied().unwrap_or(usize::MAX);
+                if m != usize::MAX {
+                    contrib[m].push(Contributor { child: ci as u32, child_idx: child_idx as u32 });
+                }
+            };
+            match self.children[ci].coverage() {
+                None => (0..map.len()).for_each(&mut note),
+                Some(list) => list.iter().for_each(|&i| note(i as usize)),
+            }
+        }
+        let mut exclusive: Vec<Vec<(u32, u32)>> = (0..topos.len()).map(|_| Vec::new()).collect();
+        let mut shared = Vec::new();
+        for (m, list) in contrib.into_iter().enumerate() {
+            match list.len() {
+                0 => {}
+                1 => exclusive[list[0].child as usize].push((list[0].child_idx, m as u32)),
+                _ => shared.push(SharedEntry { merged_idx: m as u32, contributors: list }),
+            }
+        }
+        Ok(Merged {
+            topo,
+            host_child,
+            exclusive,
+            shared,
+            util: vec![0.0; n],
+            quality: vec![DataQuality::Missing; n],
+            applied_gen: vec![None; topos.len()],
+            applied_age: vec![None; topos.len()],
+            child_struct,
+            child_topos: topos.to_vec(),
+        })
+    }
+
+    /// The general name-union merge for heterogeneous children (regional
+    /// SNMP collectors with border overlap).
+    fn merge_by_name(
+        &self,
+        topos: &[Option<Arc<Topology>>],
+    ) -> CoreResult<(Arc<Topology>, Vec<Vec<usize>>)> {
         // Union of nodes by name. Network kind wins on conflict (a border
         // router may look like an opaque endpoint to a benchmark child).
         let mut kinds: BTreeMap<String, NodeKind> = BTreeMap::new();
@@ -136,7 +396,7 @@ impl MultiCollector {
 
         // Per-child dir-link remap.
         let mut remap = Vec::with_capacity(topos.len());
-        for t in &topos {
+        for t in topos {
             let Some(t) = t else {
                 remap.push(Vec::new());
                 continue;
@@ -164,12 +424,34 @@ impl MultiCollector {
             }
             remap.push(m);
         }
-        Ok(Merged { topo, remap })
+        Ok((topo, remap))
     }
+}
+
+/// Quality of `snap`'s entry `idx`, aged by how far the snapshot lags
+/// the merge time (`age`), degrading to Missing past `missing_after`.
+fn aged_quality(
+    snap: &Snapshot,
+    idx: usize,
+    age: SimDuration,
+    missing_after: SimDuration,
+) -> DataQuality {
+    let mut q = snap.quality.get(idx).copied().unwrap_or(DataQuality::Missing);
+    if age > SimDuration::ZERO {
+        q = q.worst(DataQuality::Stale { age });
+    }
+    if let Some(total_age) = q.age() {
+        if total_age > missing_after {
+            q = DataQuality::Missing;
+        }
+    }
+    q
 }
 
 impl Collector for MultiCollector {
     fn set_obs(&mut self, obs: &remos_obs::Obs) {
+        self.obs = obs.clone();
+        self.metrics = MultiMetrics::new(obs);
         for c in &mut self.children {
             c.set_obs(obs);
         }
@@ -195,14 +477,11 @@ impl Collector for MultiCollector {
                 RemosError::Collector("multi-collector has no children".into())
             }));
         }
-        self.merged = Some(self.merge()?);
-        self.topology_epoch += 1;
-        self.history.clear();
-        Ok(())
+        self.rebuild_or_keep()
     }
 
     fn topology_epoch(&self) -> u64 {
-        self.topology_epoch
+        self.epoch
     }
 
     fn topology(&self) -> CoreResult<Arc<Topology>> {
@@ -213,6 +492,16 @@ impl Collector for MultiCollector {
     }
 
     fn host_info(&self, name: &str) -> CoreResult<HostInfo> {
+        // O(1) owner lookup via the map built at merge time; fall back to
+        // the scan when the mapped child cannot answer right now (its
+        // region may be down) or before the first merge.
+        if let Some(m) = &self.merged {
+            if let Some(&ci) = m.host_child.get(name) {
+                if let Ok(h) = self.children[ci].host_info(name) {
+                    return Ok(h);
+                }
+            }
+        }
         for c in &self.children {
             if let Ok(h) = c.host_info(name) {
                 return Ok(h);
@@ -230,17 +519,40 @@ impl Collector for MultiCollector {
         let mut any = false;
         let mut errors = 0usize;
         let mut first_err = None;
-        for c in &mut self.children {
-            match c.poll() {
-                Ok(produced) => any |= produced,
-                Err(e) => {
-                    errors += 1;
-                    if first_err.is_none() {
-                        first_err = Some(e);
+        let workers = match self.cfg.poll_workers {
+            0 => pool::default_workers(self.children.len()),
+            w => w,
+        };
+        if workers == 1 {
+            // Serial fan-out: the allocation-free steady-state path.
+            for c in &mut self.children {
+                match c.poll() {
+                    Ok(produced) => any |= produced,
+                    Err(e) => {
+                        errors += 1;
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+        } else {
+            // Concurrent fan-out on the shared scoped pool; results come
+            // back in input order, so error selection is deterministic.
+            let results = pool::run_indexed_mut(&mut self.children, workers, |_, c| c.poll());
+            for r in results {
+                match r {
+                    Ok(produced) => any |= produced,
+                    Err(e) => {
+                        errors += 1;
+                        if first_err.is_none() {
+                            first_err = Some(e);
+                        }
                     }
                 }
             }
         }
+        self.metrics.shard_polls.add(self.children.len() as u64);
         if errors == self.children.len() {
             return Err(first_err.unwrap_or_else(|| {
                 RemosError::Collector("multi-collector has no children".into())
@@ -249,52 +561,113 @@ impl Collector for MultiCollector {
         if !any {
             return Ok(false);
         }
-        let merged = self
-            .merged
-            .as_ref()
-            .ok_or_else(|| RemosError::Collector("topology not discovered yet".into()))?;
-        let n = merged.topo.dir_link_count();
-        let mut util = vec![0.0f64; n];
-        let mut quality = vec![DataQuality::Missing; n];
-        let mut interval = remos_net::SimDuration::ZERO;
+        // Disjoint field borrows: the merge mutates `merged`/`history`
+        // while reading the children's sample histories.
+        let MultiCollector { children, cfg, merged, history, obs, metrics, .. } = self;
+        let Some(merged) = merged.as_mut() else {
+            return Err(RemosError::Collector("topology not discovered yet".into()));
+        };
+        let t0 = obs.clock_nanos();
         // Merged time is the newest child sample; older child samples age
         // into Stale/Missing relative to it.
-        let t = self
-            .children
+        let t = children
             .iter()
             .filter_map(|c| c.history().latest().map(|s| s.t))
             .max();
         let Some(t) = t else { return Ok(false) };
-        for (ci, c) in self.children.iter().enumerate() {
-            let Some(snap) = c.history().latest() else { continue };
-            let age = t.saturating_since(snap.t);
-            interval = interval.max(snap.interval);
-            for (child_idx, &merged_idx) in merged.remap[ci].iter().enumerate() {
-                if merged_idx == usize::MAX || child_idx >= snap.util.len() {
-                    continue;
-                }
-                let mut q = snap.quality.get(child_idx).copied().unwrap_or(DataQuality::Missing);
-                // Age the child's quality by how far it lags the merge.
-                if age > SimDuration::ZERO {
-                    q = q.worst(DataQuality::Stale { age });
-                }
-                if let Some(total_age) = q.age() {
-                    if total_age > self.cfg.missing_after {
-                        q = DataQuality::Missing;
+        let mut interval = SimDuration::ZERO;
+        let mut dirty = 0u64;
+        for (ci, c) in children.iter().enumerate() {
+            let latest = c.history().latest();
+            let gen = c.generation();
+            let age = latest.map(|s| t.saturating_since(s.t));
+            if let Some(s) = latest {
+                interval = interval.max(s.interval);
+            }
+            // A child is dirty when it produced (or dropped) samples;
+            // it needs re-aging when the merge time moved past it.
+            let util_dirty = cfg.force_full_merge || merged.applied_gen[ci] != Some(gen);
+            let quality_dirty = util_dirty || merged.applied_age[ci] != age;
+            if util_dirty {
+                dirty += 1;
+            }
+            if !quality_dirty {
+                continue;
+            }
+            match latest {
+                None => {
+                    // No sample: this child's entries read zero/Missing,
+                    // exactly as a from-scratch merge would leave them.
+                    for &(_, m) in &merged.exclusive[ci] {
+                        merged.util[m as usize] = 0.0;
+                        merged.quality[m as usize] = DataQuality::Missing;
                     }
                 }
+                Some(snap) => {
+                    let age = t.saturating_since(snap.t);
+                    for &(child_idx, m) in &merged.exclusive[ci] {
+                        let (child_idx, m) = (child_idx as usize, m as usize);
+                        if child_idx >= snap.util.len() {
+                            // Topology drift: reads as unmeasured.
+                            merged.util[m] = 0.0;
+                            merged.quality[m] = DataQuality::Missing;
+                            continue;
+                        }
+                        if util_dirty {
+                            // Single contributor: copy the sample through
+                            // bit-exactly (a max against the 0.0 base
+                            // would rewrite -0.0 and break bit-identity
+                            // with a monolithic collector).
+                            merged.util[m] = snap.util[child_idx];
+                        }
+                        merged.quality[m] =
+                            aged_quality(snap, child_idx, age, cfg.missing_after);
+                    }
+                }
+            }
+            merged.applied_gen[ci] = Some(gen);
+            merged.applied_age[ci] = age;
+        }
+        // Border entries observed by several children: recompute from all
+        // contributors (child order, matching a sequential merge).
+        for e in &merged.shared {
+            let mut u = 0.0f64;
+            let mut q = DataQuality::Missing;
+            for contrib in &e.contributors {
+                let Some(snap) = children[contrib.child as usize].history().latest() else {
+                    continue;
+                };
+                let idx = contrib.child_idx as usize;
+                if idx >= snap.util.len() {
+                    continue;
+                }
+                let age = t.saturating_since(snap.t);
                 // Border links observed twice: keep the larger utilization
                 // and the better-quality observation.
-                util[merged_idx] = util[merged_idx].max(snap.util[child_idx]);
-                quality[merged_idx] = quality[merged_idx].better(q);
+                u = u.max(snap.util[idx]);
+                q = q.better(aged_quality(snap, idx, age, cfg.missing_after));
             }
+            merged.util[e.merged_idx as usize] = u;
+            merged.quality[e.merged_idx as usize] = q;
         }
-        self.history.push(Snapshot {
-            t,
-            interval,
-            util: util.into_boxed_slice(),
-            quality: quality.into_boxed_slice(),
-        });
+        metrics.dirty_shards.observe(dirty);
+        // Publish: recycle the snapshot the push would evict so the
+        // steady state copies into existing buffers instead of
+        // allocating.
+        let n = merged.util.len();
+        let (mut util, mut quality) = match history.recycle_oldest() {
+            Some(s) if s.util.len() == n && s.quality.len() == n => (s.util, s.quality),
+            _ => (
+                vec![0.0f64; n].into_boxed_slice(),
+                vec![DataQuality::Missing; n].into_boxed_slice(),
+            ),
+        };
+        util.copy_from_slice(&merged.util);
+        quality.copy_from_slice(&merged.quality);
+        history.push(Snapshot { t, interval, util, quality });
+        if let (Some(t0), Some(t1)) = (t0, obs.clock_nanos()) {
+            metrics.merge_ns.observe(t1.saturating_sub(t0));
+        }
         Ok(true)
     }
 

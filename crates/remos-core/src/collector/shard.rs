@@ -1,0 +1,291 @@
+//! Region-scoped shard collectors over a shared simulated fabric.
+//!
+//! The paper's §5 anticipates "multiple cooperating Collectors" for
+//! large networks. [`ShardCollector`] is the sharded-back-end half of
+//! that story: each shard owns a disjoint *region* (a set of directed
+//! interfaces) of one shared fabric and measures only those, so a
+//! [`MultiCollector`](crate::collector::multi::MultiCollector) can poll
+//! all shards concurrently — readers share the simulator through
+//! `SimCell::read` and only pay an exclusive lock when the rates still
+//! need settling.
+//!
+//! Because every shard reports the *same* full-fabric topology (its
+//! region is declared through [`Collector::coverage`], not by cutting
+//! the graph), the federation's merged view is the fabric's own
+//! `Arc<Topology>` — node ids, routing, and therefore graph digests are
+//! bit-identical to a monolithic collector over the same simulator.
+//!
+//! [`shard_fabric`] builds the canonical partition for a fat-tree:
+//! per-pod-group shards owning the host and edge-aggregation links of
+//! their pods, plus one WAN/spine shard owning every
+//! aggregation-core link.
+
+use crate::collector::{Collector, SampleHistory, Snapshot};
+use crate::error::{CoreResult, RemosError};
+use crate::graph::HostInfo;
+use crate::quality::DataQuality;
+use remos_net::topology::{DirLink, NodeKind, Topology};
+use remos_net::{Direction, FatTree, SimDuration, SimTime, Simulator};
+use remos_obs::{Counter, Obs};
+use remos_snmp::sim::SharedSim;
+use std::sync::Arc;
+
+/// Collector measuring one region of a shared simulated fabric.
+pub struct ShardCollector {
+    sim: SharedSim,
+    label: String,
+    /// Directed-interface indices this shard measures, sorted ascending.
+    region: Vec<u32>,
+    history: SampleHistory,
+    last_rates: Option<SimTime>,
+    topology_epoch: u64,
+    polls: Counter,
+}
+
+impl ShardCollector {
+    /// Shard over `sim` measuring exactly `region` (directed-interface
+    /// indices of the simulator's topology). The region is sorted and
+    /// deduplicated; indices beyond the topology are rejected.
+    pub fn new(sim: SharedSim, label: &str, mut region: Vec<u32>) -> CoreResult<ShardCollector> {
+        region.sort_unstable();
+        region.dedup();
+        let n = sim.read().topology().dir_link_count();
+        if region.last().is_some_and(|&i| i as usize >= n) {
+            return Err(RemosError::Collector(format!(
+                "shard {label}: region index out of range (topology has {n} directed interfaces)"
+            )));
+        }
+        Ok(ShardCollector {
+            sim,
+            label: label.to_string(),
+            region,
+            history: SampleHistory::default(),
+            last_rates: None,
+            topology_epoch: 0,
+            polls: Obs::new().counter("shard_polls_total"),
+        })
+    }
+
+    /// Replace the history bound (the zero-alloc tests use a short one
+    /// so the recycling steady state is reached quickly).
+    pub fn with_history_len(mut self, max_len: usize) -> ShardCollector {
+        self.history = SampleHistory::new(max_len);
+        self
+    }
+
+    /// The measured region (sorted directed-interface indices).
+    pub fn region(&self) -> &[u32] {
+        &self.region
+    }
+
+    /// Read one settled sample. Region entries are measured Fresh;
+    /// everything outside the region stays zero/Missing (the federation
+    /// attributes those to the shards that do cover them).
+    fn sample(&mut self, sim: &Simulator) -> CoreResult<bool> {
+        let t = sim.now();
+        let n = sim.topology().dir_link_count();
+        if self.region.last().is_some_and(|&i| i as usize >= n) {
+            return Err(RemosError::Collector(format!(
+                "shard {}: region outgrew the topology ({n} directed interfaces)",
+                self.label
+            )));
+        }
+        // Steady state recycles the snapshot the push below would evict:
+        // its non-region entries are already zero/Missing (regions never
+        // change), so only the measured entries need rewriting.
+        let (mut util, mut quality) = match self.history.recycle_oldest() {
+            Some(s) if s.util.len() == n && s.quality.len() == n => (s.util, s.quality),
+            _ => (
+                vec![0.0f64; n].into_boxed_slice(),
+                vec![DataQuality::Missing; n].into_boxed_slice(),
+            ),
+        };
+        // One pass over the flow table for the whole region (bit-identical
+        // to per-index `dirlink_rate_settled` reads, which scan the flow
+        // table once *per link*).
+        sim.dirlink_rates_settled_into(&self.region, &mut util);
+        for &i in &self.region {
+            quality[i as usize] = DataQuality::Fresh;
+        }
+        let interval = match self.last_rates {
+            Some(prev) => t.saturating_since(prev),
+            None => SimDuration::ZERO,
+        };
+        self.last_rates = Some(t);
+        self.polls.inc();
+        self.history.push(Snapshot { t, interval, util, quality });
+        Ok(true)
+    }
+}
+
+impl Collector for ShardCollector {
+    fn refresh_topology(&mut self) -> CoreResult<()> {
+        self.topology_epoch += 1;
+        self.history.clear();
+        Ok(())
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.topology_epoch
+    }
+
+    fn topology(&self) -> CoreResult<Arc<Topology>> {
+        Ok(self.sim.read().topology_arc())
+    }
+
+    fn host_info(&self, name: &str) -> CoreResult<HostInfo> {
+        let sim = self.sim.read();
+        let topo = sim.topology();
+        let id = topo.lookup(name).map_err(RemosError::from)?;
+        let node = topo.node(id);
+        if node.kind != NodeKind::Compute {
+            return Err(RemosError::UnknownNode(name.to_string()));
+        }
+        Ok(HostInfo { compute_flops: node.compute_flops, memory_bytes: node.memory_bytes })
+    }
+
+    fn poll(&mut self) -> CoreResult<bool> {
+        let sim = Arc::clone(&self.sim);
+        {
+            let s = sim.read();
+            if s.rates_settled() {
+                return self.sample(&s);
+            }
+        }
+        // Someone has to pay for the solve; the first shard to arrive
+        // does, the rest find the rates settled. The read guard is
+        // dropped before the write request (no reader-to-writer upgrade)
+        // and settling is idempotent, so the race is harmless.
+        sim.lock().settle_rates();
+        let s = sim.read();
+        self.sample(&s)
+    }
+
+    fn history(&self) -> &SampleHistory {
+        &self.history
+    }
+
+    fn now(&self) -> CoreResult<SimTime> {
+        Ok(self.sim.read().now())
+    }
+
+    fn set_obs(&mut self, obs: &Obs) {
+        self.polls = obs.counter("shard_polls_total");
+    }
+
+    fn describe(&self) -> String {
+        format!("shard({}, {} ifaces)", self.label, self.region.len())
+    }
+
+    fn coverage(&self) -> Option<&[u32]> {
+        Some(&self.region)
+    }
+}
+
+/// Split a fat-tree fabric into `pod_groups` pod-group shards (each
+/// owning the host and edge-aggregation links of a contiguous pod
+/// range) plus one WAN/spine shard owning every aggregation-core link.
+/// The regions tile the fabric's directed interfaces exactly once, so
+/// the federation's merged view covers every link Fresh.
+///
+/// `sim` must simulate the same topology `tree` describes (the shards
+/// read rates by directed-interface index).
+pub fn shard_fabric(
+    tree: &FatTree,
+    sim: &SharedSim,
+    pod_groups: usize,
+) -> CoreResult<Vec<ShardCollector>> {
+    let pods = tree.pods();
+    let groups = pod_groups.clamp(1, pods);
+    let topo = tree.topology();
+    if sim.read().topology().dir_link_count() != topo.dir_link_count() {
+        return Err(RemosError::Collector(
+            "shard_fabric: simulator topology does not match the fat-tree".into(),
+        ));
+    }
+    let mut regions: Vec<Vec<u32>> = vec![Vec::new(); groups + 1];
+    for l in topo.link_ids() {
+        // Contiguous balanced pod->group map; core links go to the spine.
+        let g = match tree.pod_of_link(l) {
+            Some(pod) => pod * groups / pods,
+            None => groups,
+        };
+        for dir in [Direction::AtoB, Direction::BtoA] {
+            regions[g].push(DirLink { link: l, dir }.index() as u32);
+        }
+    }
+    let mut out = Vec::with_capacity(groups + 1);
+    for (g, region) in regions.into_iter().enumerate() {
+        let label = if g == groups {
+            "spine".to_string()
+        } else {
+            let lo = (g * pods).div_ceil(groups);
+            let hi = ((g + 1) * pods).div_ceil(groups) - 1;
+            format!("pods{lo}-{hi}")
+        };
+        out.push(ShardCollector::new(Arc::clone(sim), &label, region)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use remos_net::flow::FlowParams;
+    use remos_snmp::sim::share;
+
+    #[test]
+    fn fabric_shards_tile_the_whole_fabric() {
+        let tree = FatTree::build(4).unwrap();
+        let n = tree.topology().dir_link_count();
+        let sim = share(Simulator::new(FatTree::build(4).unwrap().into_parts().0).unwrap());
+        let shards = shard_fabric(&tree, &sim, 3).unwrap();
+        assert_eq!(shards.len(), 4, "3 pod groups + spine");
+        let mut seen = vec![0u32; n];
+        for s in &shards {
+            for &i in s.region() {
+                seen[i as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "regions must tile every dirlink exactly once");
+        assert!(shards.last().unwrap().describe().contains("spine"));
+    }
+
+    #[test]
+    fn shard_reads_match_the_oracle_in_its_region() {
+        let tree = FatTree::build(4).unwrap();
+        let src = tree.host(0, 0);
+        let dst = tree.host(0, 1);
+        let sim = share(Simulator::new(FatTree::build(4).unwrap().into_parts().0).unwrap());
+        sim.lock().start_flow(FlowParams::greedy(src, dst)).unwrap();
+        sim.lock().run_for(SimDuration::from_millis(1)).unwrap();
+        let mut shards = shard_fabric(&tree, &sim, 2).unwrap();
+        for s in &mut shards {
+            assert!(s.poll().unwrap());
+        }
+        // Every dirlink's rate, reassembled from the shard snapshots,
+        // equals the simulator's own (exclusive-lock) answer bitwise.
+        let n = tree.topology().dir_link_count();
+        for i in 0..n {
+            let want = sim.lock().dirlink_rate(DirLink::from_index(i));
+            let owner = shards.iter().find(|s| s.region().contains(&(i as u32))).unwrap();
+            let snap = owner.history().latest().unwrap();
+            assert_eq!(snap.util[i], want);
+            assert_eq!(snap.quality[i], DataQuality::Fresh);
+        }
+        // Host info and time answer like any full-view collector.
+        assert!(shards[0].host_info("p0e0h0").is_ok());
+        assert!(shards[0].host_info("c0x0").is_err());
+        assert!(shards[0].now().is_ok());
+    }
+
+    #[test]
+    fn shard_region_validation() {
+        let sim = share(Simulator::new(FatTree::build(4).unwrap().into_parts().0).unwrap());
+        let n = sim.read().topology().dir_link_count() as u32;
+        assert!(ShardCollector::new(Arc::clone(&sim), "bad", vec![n]).is_err());
+        let ok = ShardCollector::new(sim, "ok", vec![3, 1, 1, 2]).unwrap();
+        assert_eq!(ok.region(), &[1, 2, 3]);
+        assert_eq!(ok.coverage(), Some(&[1u32, 2, 3][..]));
+    }
+}

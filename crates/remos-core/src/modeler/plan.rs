@@ -12,7 +12,11 @@
 //!
 //! Invalidation is epoch-based: every collector bumps its
 //! `topology_epoch` on rediscovery, so a plan built under an older epoch
-//! can never be looked up again. As defense in depth the modeler also
+//! can never be looked up again. The epoch need not be a counter — a
+//! federated `collector::multi::MultiCollector` reports a digest over
+//! its per-child structure digests, so one shard's rediscovery leaves
+//! the epoch (and every cached plan) untouched unless that child's
+//! structure actually changed. As defense in depth the modeler also
 //! rejects a hit whose topology `Arc` is not pointer-identical to the
 //! collector's current one, so a collector that swaps its topology
 //! without bumping the epoch falls back to a cold rebuild instead of

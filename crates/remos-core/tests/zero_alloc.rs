@@ -10,7 +10,9 @@
 //! design. Debug runs still exercise the full scenario and report the
 //! observed allocation count instead of asserting on it.
 
+use remos_core::collector::multi::{MultiCollector, MultiCollectorConfig};
 use remos_core::collector::oracle::OracleCollector;
+use remos_core::collector::shard::shard_fabric;
 use remos_core::collector::Collector;
 use remos_core::modeler::{Modeler, ModelerConfig, QueryWorkspace};
 use remos_core::timeframe::Timeframe;
@@ -103,6 +105,65 @@ fn steady_state_churn_events_are_allocation_free() {
     // allocation is live.
     assert_eq!(churn.live_flows(), 120);
     assert_ne!(churn.sim.rates_digest(), 0);
+}
+
+/// Sharded poll + dirty-shard merge at steady state: once every shard's
+/// sample history and the federation's merged history are full (so each
+/// poll recycles the snapshot it would evict) and the merge buffers have
+/// reached their terminal shape, a serial-path federation poll — child
+/// reads through the shared `SimCell`, per-child dirty apply into the
+/// persistent merged vectors, snapshot publish — touches the heap zero
+/// times.
+///
+/// The serial path (`poll_workers: 1`) is measured deliberately: the
+/// concurrent fan-out ships results back through scoped threads and is
+/// allocating by design, like the engine's parallel solver branch.
+#[test]
+fn steady_state_sharded_merge_is_allocation_free() {
+    let tree = FatTree::build(4).expect("fat tree builds");
+    let sim: SharedSim =
+        share(Simulator::new(FatTree::build(4).expect("fat tree builds").into_parts().0)
+            .expect("fabric simulator"));
+    {
+        // `FatTree::build` is deterministic, so `tree`'s node ids line up
+        // with the sim's own copy of the same fabric.
+        let mut s = sim.lock();
+        for p in 0..3usize {
+            let (src, dst) = (tree.host(p, 0), tree.host(p + 1, 1));
+            s.start_flow(remos_net::flow::FlowParams::greedy(src, dst)).expect("start flow");
+        }
+    }
+    let children: Vec<Box<dyn Collector>> = shard_fabric(&tree, &sim, 3)
+        .expect("shard fabric")
+        .into_iter()
+        .map(|s| Box::new(s.with_history_len(4)) as Box<dyn Collector>)
+        .collect();
+    let mut fed = MultiCollector::with_config(
+        children,
+        MultiCollectorConfig { poll_workers: 1, history_len: 4, ..Default::default() },
+    );
+    fed.refresh_topology().expect("discover");
+    // Warmup: advance and poll until every history is full and recycling.
+    for _ in 0..8 {
+        sim.lock().run_for(SimDuration::from_millis(100)).expect("advance sim");
+        assert!(fed.poll().expect("warm poll"));
+    }
+    let digest = {
+        let snap = fed.history().latest().expect("warm snapshot");
+        assert!(snap.util.iter().any(|&u| u > 0.0), "scenario produced no traffic");
+        snap.util.iter().map(|u| u.to_bits()).fold(0u64, |a, b| a.rotate_left(7) ^ b)
+    };
+    let before = alloc_count();
+    for _ in 0..64 {
+        assert!(fed.poll().expect("measured poll"));
+        black_box(fed.history().latest());
+    }
+    let delta = alloc_count() - before;
+    expect_zero(delta, "sharded poll+merge");
+    // The measured polls re-published the same settled state.
+    let snap = fed.history().latest().expect("measured snapshot");
+    let after = snap.util.iter().map(|u| u.to_bits()).fold(0u64, |a, b| a.rotate_left(7) ^ b);
+    assert_eq!(after, digest, "steady-state merge drifted");
 }
 
 /// Warm cached graph queries through a reused [`QueryWorkspace`]: after

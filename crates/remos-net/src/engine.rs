@@ -76,7 +76,11 @@ pub struct ProcessId(usize);
 /// The engine calls [`TrafficProcess::fire`] at each scheduled time; the
 /// process manipulates flows through the [`ProcessCtx`] and returns the next
 /// time it wants to fire (or `None` to finish).
-pub trait TrafficProcess: Send {
+/// `Send + Sync` because processes live inside the [`Simulator`], which
+/// sits behind a reader-writer cell (shard collectors read settled state
+/// concurrently); `fire` still requires `&mut self` through the write
+/// guard, so `Sync` is only the marker that lets `&Simulator` travel.
+pub trait TrafficProcess: Send + Sync {
     /// React to the scheduled instant `now`, returning the next fire time.
     fn fire(&mut self, now: SimTime, ctx: &mut ProcessCtx<'_>) -> Option<SimTime>;
 }
@@ -882,6 +886,62 @@ impl Simulator {
             .filter(|f| f.params.tag == tag && f.path.hops.contains(&d))
             .map(|f| f.rate)
             .sum()
+    }
+
+    /// True when no pending flow or link change could alter the solved
+    /// rates: [`Simulator::dirlink_rate_settled`] reads are valid.
+    pub fn rates_settled(&self) -> bool {
+        self.dirty.kind == DirtyKind::Clean
+    }
+
+    /// Solve any pending rate changes now, so that shared-read consumers
+    /// (shard collectors polling disjoint regions concurrently) can use
+    /// [`Simulator::dirlink_rate_settled`] without exclusive access.
+    pub fn settle_rates(&mut self) {
+        self.recompute_rates_if_dirty();
+    }
+
+    /// Instantaneous aggregate rate over a directed interface, bits/s,
+    /// without re-solving. Valid only while [`Simulator::rates_settled`]
+    /// holds; the sum visits flows in id order, exactly like
+    /// [`Simulator::dirlink_rate`], so the two read bit-identical values.
+    pub fn dirlink_rate_settled(&self, d: DirLink) -> Bps {
+        debug_assert!(self.rates_settled(), "dirlink_rate_settled read on unsettled rates");
+        self.order_slots
+            .iter()
+            .map(|&s| &self.slots[s as usize])
+            .filter(|f| f.path.hops.contains(&d))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Batched [`Simulator::dirlink_rate_settled`]: write the settled
+    /// rate of every directed interface in `region` (sorted ascending
+    /// indices) into the matching slots of `out`, in one pass over the
+    /// flow table — O(flows · hops · log |region|) instead of
+    /// O(|region| · flows · hops). This is the region-scoped read a
+    /// shard collector issues per poll.
+    ///
+    /// Bit-identical to the per-link sums: each slot starts from the
+    /// empty-sum identity (`-0.0`, matching `Iterator::sum`) and flow
+    /// contributions are added in flow-id order — the same order and
+    /// grouping the per-link sum uses, so every partial result rounds
+    /// identically.
+    pub fn dirlink_rates_settled_into(&self, region: &[u32], out: &mut [f64]) {
+        debug_assert!(self.rates_settled(), "dirlink_rates_settled_into on unsettled rates");
+        debug_assert!(region.windows(2).all(|w| w[0] < w[1]), "region must be sorted/deduped");
+        for &i in region {
+            out[i as usize] = -0.0;
+        }
+        for &s in &self.order_slots {
+            let f = &self.slots[s as usize];
+            for h in &f.path.hops {
+                let idx = h.index();
+                if region.binary_search(&(idx as u32)).is_ok() {
+                    out[idx] += f.rate;
+                }
+            }
+        }
     }
 
     fn recompute_rates_if_dirty(&mut self) {
@@ -1871,6 +1931,39 @@ mod tests {
             (digests, sim.event_digest())
         };
         assert_eq!(run(SolverMode::Full), run(SolverMode::Incremental));
+    }
+
+    #[test]
+    fn batched_region_rates_match_per_link_sums() {
+        // The batched read must be bit-identical to the per-link settled
+        // sums (and those to the exclusive-access reads) over every
+        // directed interface, with mixed flow kinds sharing links.
+        let (mut sim, h1, h2, h3) = star();
+        sim.start_flow(FlowParams::greedy(h1, h2)).unwrap();
+        sim.start_flow(FlowParams::cbr(h3, h2, mbps(30.0))).unwrap();
+        sim.start_flow(FlowParams::greedy(h2, h1)).unwrap();
+        sim.run_for(SimDuration::from_millis(100)).unwrap();
+        sim.settle_rates();
+        let n = sim.topology().dir_link_count();
+        let region: Vec<u32> = (0..n as u32).collect();
+        let mut batched = vec![1.0f64; n]; // poisoned: every slot must be rewritten
+        sim.dirlink_rates_settled_into(&region, &mut batched);
+        for (i, &b) in batched.iter().enumerate() {
+            let d = DirLink::from_index(i);
+            assert_eq!(b.to_bits(), sim.dirlink_rate_settled(d).to_bits(), "index {i}");
+            assert_eq!(b.to_bits(), sim.dirlink_rate(d).to_bits(), "index {i}");
+        }
+        // A partial region only touches its own slots.
+        let some: Vec<u32> = (0..n as u32).filter(|i| i % 2 == 0).collect();
+        let mut partial = vec![-1.0f64; n];
+        sim.dirlink_rates_settled_into(&some, &mut partial);
+        for i in 0..n {
+            if i % 2 == 0 {
+                assert_eq!(partial[i].to_bits(), batched[i].to_bits(), "index {i}");
+            } else {
+                assert_eq!(partial[i], -1.0, "index {i} written outside region");
+            }
+        }
     }
 
     #[test]

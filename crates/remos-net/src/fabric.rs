@@ -37,8 +37,13 @@ pub struct FatTree {
     topology: Topology,
     /// Host ids in pod-major order: `hosts[pod * hosts_per_pod + i]`.
     hosts: Vec<NodeId>,
+    /// Pod of each node, indexed by `NodeId`; `NO_POD` for core switches.
+    pod_by_node: Vec<u32>,
     k: usize,
 }
+
+/// [`FatTree::pod_of`] sentinel for nodes outside every pod (the core).
+const NO_POD: u32 = u32::MAX;
 
 impl FatTree {
     /// Build the 3-tier k-ary fat-tree. `k` must be even and at least 4.
@@ -54,10 +59,20 @@ impl FatTree {
 
         // Core layer: (k/2) groups of (k/2) switches. Aggregation switch
         // `a` of every pod uplinks to all of core group `a`.
+        let mut pod_by_node: Vec<u32> = Vec::new();
+        let tag = |n: NodeId, pod: u32, pods: &mut Vec<u32>| {
+            let i = n.index();
+            if pods.len() <= i {
+                pods.resize(i + 1, NO_POD);
+            }
+            pods[i] = pod;
+        };
         let mut core = Vec::with_capacity(half * half);
         for g in 0..half {
             for i in 0..half {
-                core.push(b.network(&format!("c{g}x{i}")));
+                let c = b.network(&format!("c{g}x{i}"));
+                tag(c, NO_POD, &mut pod_by_node);
+                core.push(c);
             }
         }
 
@@ -66,15 +81,20 @@ impl FatTree {
             let mut edges = Vec::with_capacity(half);
             let mut aggs = Vec::with_capacity(half);
             for e in 0..half {
-                edges.push(b.network(&format!("p{p}e{e}")));
+                let edge = b.network(&format!("p{p}e{e}"));
+                tag(edge, p as u32, &mut pod_by_node);
+                edges.push(edge);
             }
             for a in 0..half {
-                aggs.push(b.network(&format!("p{p}a{a}")));
+                let agg = b.network(&format!("p{p}a{a}"));
+                tag(agg, p as u32, &mut pod_by_node);
+                aggs.push(agg);
             }
             // Hosts: (k/2) per edge switch.
             for (e, &edge) in edges.iter().enumerate() {
                 for h in 0..half {
                     let host = b.compute(&format!("p{p}e{e}h{h}"));
+                    tag(host, p as u32, &mut pod_by_node);
                     b.link(host, edge, gbps(1.0), lat)?;
                     hosts.push(host);
                 }
@@ -93,12 +113,32 @@ impl FatTree {
             }
         }
 
-        Ok(FatTree { topology: b.build()?, hosts, k })
+        Ok(FatTree { topology: b.build()?, hosts, pod_by_node, k })
     }
 
     /// The built topology.
     pub fn topology(&self) -> &Topology {
         &self.topology
+    }
+
+    /// Pod a node belongs to; `None` for core switches.
+    pub fn pod_of(&self, n: NodeId) -> Option<usize> {
+        match self.pod_by_node.get(n.index()).copied() {
+            Some(p) if p != NO_POD => Some(p as usize),
+            _ => None,
+        }
+    }
+
+    /// Pod a link belongs to: `Some(p)` for host-edge and
+    /// edge-aggregation links inside pod `p`, `None` for
+    /// aggregation-core links (the spine/WAN tier). Every link is one or
+    /// the other, so partitioning by this tiles the whole fabric.
+    pub fn pod_of_link(&self, l: crate::topology::LinkId) -> Option<usize> {
+        let link = self.topology.link(l);
+        match (self.pod_of(link.a), self.pod_of(link.b)) {
+            (Some(p), Some(q)) if p == q => Some(p),
+            _ => None,
+        }
     }
 
     /// Consume into the topology and the pod-major host table.
@@ -522,6 +562,25 @@ mod tests {
         assert_eq!(t.topology().node_count(), 1024 + 128 + 128 + 64);
         assert_eq!(t.topology().link_count(), 3 * 1024);
         assert!(t.topology().is_connected());
+    }
+
+    #[test]
+    fn pod_partition_tiles_every_link() {
+        let t = FatTree::build(4).unwrap();
+        let mut per_pod = vec![0usize; t.pods()];
+        let mut spine = 0usize;
+        for l in t.topology().link_ids() {
+            match t.pod_of_link(l) {
+                Some(p) => per_pod[p] += 1,
+                None => spine += 1,
+            }
+        }
+        // Each pod: 4 host links + 4 edge-agg links; spine: 16 agg-core.
+        assert!(per_pod.iter().all(|&c| c == 8), "{per_pod:?}");
+        assert_eq!(spine, 16);
+        // Hosts and pod switches carry their pod; the core carries none.
+        assert_eq!(t.pod_of(t.host(2, 0)), Some(2));
+        assert_eq!(t.pod_of(NodeId(0)), None); // first core switch
     }
 
     #[test]

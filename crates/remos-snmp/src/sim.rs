@@ -12,14 +12,36 @@ use crate::agent::{Agent, MibProvider};
 use crate::fault::FaultDirector;
 use crate::mib::{Mib, SERVICES_HOST, SERVICES_ROUTER};
 use crate::transport::SimTransport;
-use parking_lot::Mutex;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use remos_net::counters::to_counter32;
 use remos_net::topology::{DirLink, NodeId, NodeKind};
 use remos_net::{SimTime, Simulator};
 use std::sync::Arc;
 
+/// Reader-writer cell around the simulator. [`SimCell::lock`] keeps the
+/// historical exclusive-access spelling every call site uses; the
+/// [`SimCell::read`] path lets shard collectors sample *settled* rates
+/// concurrently (`Simulator::dirlink_rate_settled`) without serializing
+/// on a single mutex.
+pub struct SimCell(RwLock<Simulator>);
+
+impl SimCell {
+    /// Exclusive access (mutation: flows, time, topology, lazy solves).
+    pub fn lock(&self) -> RwLockWriteGuard<'_, Simulator> {
+        self.0.write()
+    }
+
+    /// Shared read access for settled-state consumers. Callers must not
+    /// hold a read guard while requesting [`SimCell::lock`] on the same
+    /// thread (a classic reader-to-writer upgrade deadlock): drop the
+    /// guard, write, then re-acquire.
+    pub fn read(&self) -> RwLockReadGuard<'_, Simulator> {
+        self.0.read()
+    }
+}
+
 /// Shared handle to the simulated network.
-pub type SharedSim = Arc<Mutex<Simulator>>;
+pub type SharedSim = Arc<SimCell>;
 
 /// The synthetic IPv4 address of a simulated node: `10.0.hi.lo` derived
 /// from the node id (collision-free up to 50k nodes).
@@ -30,7 +52,7 @@ pub fn node_ip(node: NodeId) -> [u8; 4] {
 
 /// Wrap a simulator for sharing between agents and the experiment harness.
 pub fn share(sim: Simulator) -> SharedSim {
-    Arc::new(Mutex::new(sim))
+    Arc::new(SimCell(RwLock::new(sim)))
 }
 
 /// [`MibProvider`] reading one node's state from the shared simulator.

@@ -246,7 +246,7 @@ fn multi_collector_failover() {
     };
     let mut multi = MultiCollector::with_config(
         vec![mk(pick(&["m-1", "m-2", "m-3", "aspen"])), mk(pick(&east_names))],
-        MultiCollectorConfig { missing_after: SimDuration::from_secs(2) },
+        MultiCollectorConfig { missing_after: SimDuration::from_secs(2), ..Default::default() },
     );
     multi.refresh_topology().unwrap();
     let topo = multi.topology().unwrap();

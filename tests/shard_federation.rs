@@ -1,0 +1,361 @@
+//! Sharded-collection equivalence and degradation tests.
+//!
+//! The sharded coordinator's contract has two halves. First, splitting a
+//! fabric across shard collectors must be *invisible* to consumers: the
+//! merged view is bit-identical — topology `Arc`, samples, graph
+//! digests, flow grants — to a monolithic collector over the same
+//! simulator, in both solver modes. Second, the incremental dirty-shard
+//! merge must be bit-identical to a from-scratch re-merge
+//! (`force_full_merge`) under any interleaving of shard faults, and a
+//! crashed shard must degrade only its own region.
+
+use proptest::prelude::*;
+use remos::core::collector::multi::{MultiCollector, MultiCollectorConfig};
+use remos::core::collector::oracle::OracleCollector;
+use remos::core::collector::shard::{shard_fabric, ShardCollector};
+use remos::core::collector::{Collector, SampleHistory, Snapshot};
+use remos::core::graph::HostInfo;
+use remos::core::{
+    CoreResult, DataQuality, FlowInfoRequest, Modeler, RemosError, Timeframe,
+};
+use remos::net::flow::FlowParams;
+use remos::net::topology::Topology;
+use remos::net::{mbps, FatTree, SimDuration, SimTime, Simulator, SolverMode};
+use remos::snmp::sim::{share, SharedSim};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Shard wrapper with an externally driven kill switch: while `down`,
+/// polling and rediscovery fail as an unreachable region would, but the
+/// last samples stay in the history to be aged by the federation.
+struct FlakyShard {
+    inner: ShardCollector,
+    down: Arc<AtomicBool>,
+}
+
+impl FlakyShard {
+    fn check(&self) -> CoreResult<()> {
+        if self.down.load(Ordering::Relaxed) {
+            Err(RemosError::Collector("injected shard outage".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl Collector for FlakyShard {
+    fn refresh_topology(&mut self) -> CoreResult<()> {
+        self.check()?;
+        self.inner.refresh_topology()
+    }
+
+    fn topology(&self) -> CoreResult<Arc<Topology>> {
+        self.inner.topology()
+    }
+
+    fn host_info(&self, name: &str) -> CoreResult<HostInfo> {
+        self.check()?;
+        self.inner.host_info(name)
+    }
+
+    fn poll(&mut self) -> CoreResult<bool> {
+        self.check()?;
+        self.inner.poll()
+    }
+
+    fn history(&self) -> &SampleHistory {
+        self.inner.history()
+    }
+
+    fn topology_epoch(&self) -> u64 {
+        self.inner.topology_epoch()
+    }
+
+    fn now(&self) -> CoreResult<SimTime> {
+        self.check()?;
+        self.inner.now()
+    }
+
+    fn coverage(&self) -> Option<&[u32]> {
+        self.inner.coverage()
+    }
+
+    fn describe(&self) -> String {
+        self.inner.describe()
+    }
+}
+
+fn fabric_sim(k: usize, mode: SolverMode) -> (FatTree, SharedSim) {
+    let tree = FatTree::build(k).unwrap();
+    let mut sim = Simulator::new(FatTree::build(k).unwrap().into_parts().0).unwrap();
+    sim.set_solver_mode(mode);
+    (tree, share(sim))
+}
+
+/// Cross-pod traffic: a mix of greedy and fixed-rate flows derived from
+/// the seed, so utilization differs per link and per run.
+fn seed_flows(tree: &FatTree, sim: &SharedSim, seed: u64, n: usize) -> Vec<remos::net::FlowHandle> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move |bound: u64| {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) % bound
+    };
+    let pods = tree.pods() as u64;
+    let per_pod = (tree.topology().compute_nodes().len() / tree.pods()) as u64;
+    let mut handles = Vec::new();
+    let mut s = sim.lock();
+    for _ in 0..n {
+        let (sp, si) = (next(pods) as usize, next(per_pod) as usize);
+        let (mut dp, di) = (next(pods) as usize, next(per_pod) as usize);
+        if dp == sp {
+            dp = (dp + 1) % tree.pods();
+        }
+        let (src, dst) = (tree.host(sp, si), tree.host(dp, di));
+        let params = if next(2) == 0 {
+            FlowParams::greedy(src, dst)
+        } else {
+            FlowParams::cbr(src, dst, mbps(5.0 + next(40) as f64))
+        };
+        handles.push(s.start_flow(params).unwrap());
+    }
+    handles
+}
+
+fn snapshots_bit_identical(a: &Snapshot, b: &Snapshot, what: &str) {
+    assert_eq!(a.t, b.t, "{what}: sample time");
+    assert_eq!(a.interval, b.interval, "{what}: sample interval");
+    assert_eq!(a.util.len(), b.util.len(), "{what}: width");
+    for (i, (x, y)) in a.util.iter().zip(b.util.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: util[{i}] {x} vs {y}");
+    }
+    assert_eq!(a.quality, b.quality, "{what}: quality");
+}
+
+/// The headline equivalence: an 8-way sharded federation over a fabric
+/// answers bit-identically to a monolithic oracle collector over the
+/// same simulator — shared topology `Arc`, samples, graph digest, and
+/// flow grants — in both solver modes.
+#[test]
+fn sharded_view_is_bit_identical_to_monolithic() {
+    for mode in [SolverMode::Incremental, SolverMode::Full] {
+        let (tree, sim) = fabric_sim(8, mode);
+        seed_flows(&tree, &sim, 0xC0FFEE, 24);
+        sim.lock().run_for(SimDuration::from_millis(500)).unwrap();
+
+        let mut mono = OracleCollector::new(Arc::clone(&sim));
+        let children: Vec<Box<dyn Collector>> = shard_fabric(&tree, &sim, 7)
+            .unwrap()
+            .into_iter()
+            .map(|s| Box::new(s) as Box<dyn Collector>)
+            .collect();
+        assert_eq!(children.len(), 8, "7 pod groups + spine");
+        let mut fed = MultiCollector::new(children);
+        fed.refresh_topology().unwrap();
+
+        // The merged topology IS the fabric's (same allocation), so node
+        // ids, routing, and digests cannot drift.
+        assert!(Arc::ptr_eq(&mono.topology().unwrap(), &fed.topology().unwrap()));
+
+        // Two polls with traffic movement in between: util and interval
+        // both become non-trivial.
+        for _ in 0..2 {
+            assert!(mono.poll().unwrap());
+            assert!(fed.poll().unwrap());
+            sim.lock().run_for(SimDuration::from_millis(250)).unwrap();
+        }
+        let (ms, fs) = (mono.history().latest().unwrap(), fed.history().latest().unwrap());
+        assert!(ms.util.iter().any(|&u| u > 0.0), "scenario produced no traffic");
+        snapshots_bit_identical(ms, fs, &format!("{mode:?}"));
+        assert!(fs.quality.iter().all(|q| q.is_fresh()));
+
+        // Graph digest and flow grants through the modeler agree.
+        let names: Vec<String> = (0..tree.pods())
+            .flat_map(|p| (0..2).map(move |i| (p, i)))
+            .map(|(p, i)| tree.topology().node(tree.host(p, i)).name.clone())
+            .collect();
+        let modeler = Modeler::default();
+        let gm = modeler.get_graph(&mono, &names, Timeframe::Current).unwrap();
+        let gf = modeler.get_graph(&fed, &names, Timeframe::Current).unwrap();
+        assert_eq!(gm.digest(), gf.digest(), "{mode:?}: merged graph digest drifted");
+
+        let req = FlowInfoRequest::new()
+            .fixed(&names[0], &names[3], mbps(10.0))
+            .fixed(&names[1], &names[5], mbps(25.0));
+        let rm = modeler.flow_info(&mono, &req, Timeframe::Current).unwrap();
+        let rf = modeler.flow_info(&fed, &req, Timeframe::Current).unwrap();
+        for (a, b) in rm.fixed.iter().zip(rf.fixed.iter()) {
+            assert_eq!(a.bandwidth, b.bandwidth, "{mode:?}: grant bandwidth");
+            assert_eq!(a.fully_satisfied, b.fully_satisfied);
+            assert_eq!(a.estimate_quality, b.estimate_quality);
+        }
+    }
+}
+
+/// Builds a 4-shard flaky federation over `sim`, returning the
+/// federation, the per-shard kill switches, and the per-shard regions.
+fn flaky_federation(
+    tree: &FatTree,
+    sim: &SharedSim,
+    force_full_merge: bool,
+) -> (MultiCollector, Vec<Arc<AtomicBool>>, Vec<Vec<u32>>) {
+    let shards = shard_fabric(tree, sim, 3).unwrap();
+    let mut flags = Vec::new();
+    let mut regions = Vec::new();
+    let children: Vec<Box<dyn Collector>> = shards
+        .into_iter()
+        .map(|s| {
+            let down = Arc::new(AtomicBool::new(false));
+            flags.push(Arc::clone(&down));
+            regions.push(s.region().to_vec());
+            Box::new(FlakyShard { inner: s, down }) as Box<dyn Collector>
+        })
+        .collect();
+    let fed = MultiCollector::with_config(
+        children,
+        MultiCollectorConfig {
+            missing_after: SimDuration::from_secs(4),
+            poll_workers: 1,
+            force_full_merge,
+            ..Default::default()
+        },
+    );
+    (fed, flags, regions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The incremental dirty-shard merge is bit-identical to a
+    /// from-scratch re-merge under interleaved shard faults: two
+    /// federations over the same simulator — one incremental, one
+    /// `force_full_merge` — see the same fault schedule and must publish
+    /// identical snapshots, graph digests, and flow grants every round.
+    #[test]
+    fn incremental_merge_matches_full_remerge(seed in 0u64..200) {
+        let tree = FatTree::build(4).unwrap();
+        let sim = share(Simulator::new(FatTree::build(4).unwrap().into_parts().0).unwrap());
+        let mut handles = seed_flows(&tree, &sim, seed, 6);
+        let (mut inc, inc_flags, _) = flaky_federation(&tree, &sim, false);
+        let (mut full, full_flags, _) = flaky_federation(&tree, &sim, true);
+        inc.refresh_topology().unwrap();
+        full.refresh_topology().unwrap();
+        prop_assert_eq!(inc.topology_epoch(), full.topology_epoch());
+
+        let mut state = seed ^ 0x5DEE_CE66;
+        let mut next = move |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for round in 0..8 {
+            // Interleaved faults: each shard is independently down ~1/4
+            // of the rounds; the schedule is identical for both
+            // federations.
+            for (a, b) in inc_flags.iter().zip(full_flags.iter()) {
+                let down = next(4) == 0;
+                a.store(down, Ordering::Relaxed);
+                b.store(down, Ordering::Relaxed);
+            }
+            // Churn: traffic moves between rounds so stale regions carry
+            // visibly old utilization.
+            if !handles.is_empty() && next(3) == 0 {
+                let h = handles.swap_remove(next(handles.len() as u64) as usize);
+                sim.lock().stop_flow(h).unwrap();
+            }
+            if next(3) == 0 {
+                handles.extend(seed_flows(&tree, &sim, seed ^ round, 1));
+            }
+            sim.lock().run_for(SimDuration::from_millis(500)).unwrap();
+
+            let ri = inc.poll();
+            let rf = full.poll();
+            prop_assert_eq!(ri.is_ok(), rf.is_ok(), "round {}: poll outcome diverged", round);
+            if ri.is_err() {
+                continue; // every shard down this round
+            }
+            prop_assert_eq!(
+                inc.history().latest().is_some(),
+                full.history().latest().is_some(),
+                "round {}: one federation published, the other did not", round
+            );
+            let (a, b) = match (inc.history().latest(), full.history().latest()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            snapshots_bit_identical(a, b, &format!("round {round}"));
+        }
+
+        // Everything a consumer can observe agrees at the end too.
+        for f in inc_flags.iter().chain(full_flags.iter()) {
+            f.store(false, Ordering::Relaxed);
+        }
+        let names: Vec<String> = (0..4)
+            .map(|p| tree.topology().node(tree.host(p, 0)).name.clone())
+            .collect();
+        let modeler = Modeler::default();
+        let gi = modeler.get_graph(&inc, &names, Timeframe::Current).unwrap();
+        let gf = modeler.get_graph(&full, &names, Timeframe::Current).unwrap();
+        prop_assert_eq!(gi.digest(), gf.digest());
+        let req = FlowInfoRequest::new().fixed(&names[0], &names[2], mbps(8.0));
+        let ri = modeler.flow_info(&inc, &req, Timeframe::Current).unwrap();
+        let rf = modeler.flow_info(&full, &req, Timeframe::Current).unwrap();
+        prop_assert_eq!(&ri.fixed[0].bandwidth, &rf.fixed[0].bandwidth);
+        prop_assert_eq!(ri.fixed[0].estimate_quality, rf.fixed[0].estimate_quality);
+    }
+}
+
+/// One shard crashes mid-churn: its region ages Stale and then Missing
+/// while every other region keeps answering Fresh with live utilization.
+#[test]
+fn crashed_shard_degrades_only_its_region() {
+    let tree = FatTree::build(4).unwrap();
+    let sim = share(Simulator::new(FatTree::build(4).unwrap().into_parts().0).unwrap());
+    seed_flows(&tree, &sim, 0x1998, 10);
+    let (mut fed, flags, regions) = flaky_federation(&tree, &sim, false);
+    fed.refresh_topology().unwrap();
+    sim.lock().run_for(SimDuration::from_millis(500)).unwrap();
+    assert!(fed.poll().unwrap());
+    {
+        let snap = fed.history().latest().unwrap();
+        assert!(snap.quality.iter().all(|q| q.is_fresh()), "healthy baseline not fresh");
+    }
+
+    // Shard 0 (first pod group) crashes; traffic keeps churning.
+    flags[0].store(true, Ordering::Relaxed);
+    let in_region = |i: usize| regions[0].contains(&(i as u32));
+    for _ in 0..3 {
+        seed_flows(&tree, &sim, 0xD00D, 2);
+        sim.lock().run_for(SimDuration::from_secs(1)).unwrap();
+        assert!(fed.poll().unwrap(), "federation must keep publishing");
+    }
+    let snap = fed.history().latest().unwrap();
+    for (i, q) in snap.quality.iter().enumerate() {
+        if in_region(i) {
+            assert!(
+                matches!(q, DataQuality::Stale { .. }),
+                "crashed region entry {i} should be Stale, got {q:?}"
+            );
+        } else {
+            assert!(q.is_fresh(), "healthy region entry {i} degraded: {q:?}");
+        }
+    }
+    assert!(fed.describe().contains("3/4"), "describe: {}", fed.describe());
+
+    // Past `missing_after`, the dead region reads Missing — but only it.
+    sim.lock().run_for(SimDuration::from_secs(4)).unwrap();
+    assert!(fed.poll().unwrap());
+    let snap = fed.history().latest().unwrap();
+    for (i, q) in snap.quality.iter().enumerate() {
+        if in_region(i) {
+            assert_eq!(*q, DataQuality::Missing, "entry {i}");
+        } else {
+            assert!(q.is_fresh(), "entry {i}: {q:?}");
+        }
+    }
+
+    // The shard recovers: one poll later its region is Fresh again.
+    flags[0].store(false, Ordering::Relaxed);
+    sim.lock().run_for(SimDuration::from_millis(100)).unwrap();
+    assert!(fed.poll().unwrap());
+    let snap = fed.history().latest().unwrap();
+    assert!(snap.quality.iter().all(|q| q.is_fresh()), "recovery did not restore freshness");
+}
